@@ -1,0 +1,109 @@
+"""Benchmark fixtures: the full paper-scale corpus, built once.
+
+``scale=1.0`` reproduces the paper's populations exactly: 365 Lib-io
+projects, 327 cloned & usable, 132 rigid, 195 studied split
+34/65/25/29/20/22 across the six taxa.  Building and mining it takes
+about a minute; every benchmark then measures the (fast) figure/table
+computation on top and prints paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze_corpus
+from repro.synthesis import CorpusSpec, build_corpus
+
+#: The paper's published values, used in the comparison printouts and
+#: shape assertions of every benchmark.
+PAPER = {
+    "funnel": {
+        "lib_io": 365,
+        "zero_version": 14,
+        "no_create": 24,
+        "cloned_usable": 327,
+        "rigid": 132,
+        "studied": 195,
+    },
+    "populations": {
+        "Frozen": 34,
+        "AlmFrozen": 65,
+        "FS+Frozen": 25,
+        "Moderate": 29,
+        "FS+Low": 20,
+        "Active": 22,
+    },
+    # Fig 12 (per-taxon quartiles): (min, q1, q2, q3, max)
+    "fig12_active_commits": {
+        "AlmFrozen": (1, 1, 1, 2, 3),
+        "FS+Frozen": (1, 1, 2, 2, 3),
+        "Moderate": (4, 5, 7, 10, 22),
+        "FS+Low": (4, 5, 6.5, 7, 10),
+        "Active": (7, 15, 22, 50.5, 232),
+    },
+    "fig12_total_activity": {
+        "AlmFrozen": (1, 1, 3, 5, 10),
+        "FS+Frozen": (11, 15.5, 23, 31.5, 383),
+        "Moderate": (11, 15, 23, 37.5, 88),
+        "FS+Low": (27, 41.5, 71, 143, 315),
+        "Active": (112, 177, 254, 558.5, 3485),
+    },
+    # Fig 4 medians for the headline measures.
+    "fig4_median_activity": {
+        "Frozen": 0, "AlmFrozen": 3, "FS+Frozen": 23,
+        "Moderate": 23, "FS+Low": 71, "Active": 254,
+    },
+    "fig4_median_sup": {
+        "Frozen": 1, "AlmFrozen": 6, "FS+Frozen": 2,
+        "Moderate": 20, "FS+Low": 17.5, "Active": 31,
+    },
+    # Sec V overall tests.
+    "kw_activity_chi2": 178.22,
+    "kw_commits_chi2": 175.27,
+    "shapiro_w": 0.24386,
+    # Sec IV duration claims: share of projects with PUP > 24 / > 12 months.
+    "pup_over_24": {
+        "Frozen": 0.68, "AlmFrozen": 0.58, "FS+Frozen": 0.44,
+        "Moderate": 0.72, "FS+Low": 0.70, "Active": 0.91,
+    },
+    "pup_over_12": {
+        "Frozen": 0.79, "AlmFrozen": 0.73, "FS+Frozen": 0.64,
+        "Moderate": 0.86, "FS+Low": 0.75, "Active": 0.95,
+    },
+    # RQ shares (over the 327 cloned repositories).
+    "rigid_share": 0.40,
+    "frozen_share": 0.10,
+    "almost_frozen_share": 0.20,
+    "rigidity_share": 0.70,
+    "low_heartbeat_share": 0.64,  # 124/195 studied with 0-3 active commits
+    "reed_limit": 14,
+}
+
+
+@pytest.fixture(scope="session")
+def full_corpus():
+    return build_corpus(CorpusSpec(seed=2019, scale=1.0))
+
+
+@pytest.fixture(scope="session")
+def full_report(full_corpus):
+    return full_corpus.run_funnel()
+
+
+@pytest.fixture(scope="session")
+def full_analysis(full_report):
+    return analyze_corpus(full_report.studied + full_report.rigid)
+
+
+@pytest.fixture(scope="session")
+def paper():
+    return PAPER
+
+
+def print_comparison(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a paper-vs-measured block under the benchmark output."""
+    print(f"\n== {title} ==")
+    width = max((len(label) for label, _, _ in rows), default=10)
+    print(f"{'':{width}}  {'paper':>12}  {'measured':>12}")
+    for label, paper_value, measured in rows:
+        print(f"{label:<{width}}  {paper_value!s:>12}  {measured!s:>12}")

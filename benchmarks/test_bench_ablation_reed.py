@@ -1,0 +1,78 @@
+"""E14 — ablation: sensitivity of the taxa to the reed threshold.
+
+The paper fixes the reed limit at 14 (the 85% split).  This ablation
+sweeps the threshold and measures how many projects change taxon: the
+classification should be locally stable around 14 (reeds only gate the
+FS&Low / Moderate boundary), and degrade as the threshold collapses."""
+
+from benchmarks.conftest import print_comparison
+from repro.core import classify_metrics
+from repro.core.taxa import Taxon
+
+
+def assign_with_limit(projects, reed_limit):
+    assignments = {}
+    for project in projects:
+        metrics = project.metrics
+        reeds = metrics.heartbeat.reeds(reed_limit)
+        assignments[project.name] = classify_metrics(
+            n_commits=metrics.n_commits,
+            active_commits=metrics.active_commits,
+            total_activity=metrics.total_activity,
+            reeds=reeds,
+        )
+    return assignments
+
+
+def test_bench_reed_threshold_sweep(benchmark, full_report):
+    projects = full_report.studied
+    baseline = assign_with_limit(projects, 14)
+
+    def sweep():
+        return {
+            limit: assign_with_limit(projects, limit)
+            for limit in (4, 7, 10, 14, 20, 30, 50)
+        }
+
+    results = benchmark(sweep)
+
+    rows = []
+    for limit, assignments in results.items():
+        moved = sum(1 for name, taxon in assignments.items() if taxon is not baseline[name])
+        rows.append((f"reed limit {limit}", "-", f"{moved} projects reassigned"))
+    print_comparison("E14: taxa reassignments vs reed threshold", rows)
+
+    # Identity at the paper's threshold.
+    assert all(results[14][name] is taxon for name, taxon in baseline.items())
+    # Local stability: a +-50% change of the threshold moves few projects.
+    for limit in (10, 20):
+        moved = sum(
+            1 for name, taxon in results[limit].items() if taxon is not baseline[name]
+        )
+        assert moved <= len(projects) * 0.15, limit
+    # Reed-free structure (huge threshold) erases FS&Low entirely: its
+    # definition requires at least one reed.
+    extreme = results[50]
+    fs_low_left = sum(1 for t in extreme.values() if t is Taxon.FOCUSED_SHOT_AND_LOW)
+    assert fs_low_left < sum(
+        1 for t in baseline.values() if t is Taxon.FOCUSED_SHOT_AND_LOW
+    )
+
+
+def test_bench_reed_threshold_only_moves_neighbours(benchmark, full_report):
+    """Changing the threshold may only shuffle projects between taxa
+    whose definitions involve reeds (FS&Low vs Moderate/Active); the
+    frozen family is threshold-independent."""
+    projects = full_report.studied
+    baseline = assign_with_limit(projects, 14)
+    frozen_family = {
+        Taxon.FROZEN,
+        Taxon.ALMOST_FROZEN,
+        Taxon.FOCUSED_SHOT_AND_FROZEN,
+        Taxon.HISTORY_LESS,
+    }
+    for limit in (4, 7, 10, 20, 30, 50):
+        moved = assign_with_limit(projects, limit)
+        for name, taxon in moved.items():
+            if baseline[name] in frozen_family:
+                assert taxon is baseline[name], (name, limit)

@@ -1,0 +1,68 @@
+"""E13 — project durations and DDL-commit shares (Sec IV prose).
+
+Paper, per taxon: the share of projects whose *project* duration (PUP)
+exceeds 24 and 12 months (e.g. 68%/79% for Frozen, 91%/95% for Active),
+and the DDL file accounting for only 4-6% of all project commits."""
+
+import pytest
+
+from benchmarks.conftest import print_comparison
+from repro.core.taxa import TAXA_ORDER
+
+PAPER_DDL_SHARE = {
+    "Frozen": 0.06,
+    "AlmFrozen": 0.05,
+    "FS+Frozen": 0.04,
+    "Moderate": 0.05,
+    "FS+Low": 0.06,
+    "Active": 0.06,
+}
+
+
+def test_bench_duration_shares(benchmark, full_analysis, paper):
+    def compute():
+        return {
+            taxon: (
+                full_analysis.profiles[taxon].share_pup_over(24),
+                full_analysis.profiles[taxon].share_pup_over(12),
+            )
+            for taxon in TAXA_ORDER
+        }
+
+    shares = benchmark(compute)
+
+    rows = []
+    for taxon in TAXA_ORDER:
+        over24, over12 = shares[taxon]
+        rows.append(
+            (f"{taxon.short} PUP>24mo", paper["pup_over_24"][taxon.short], round(over24, 2))
+        )
+        rows.append(
+            (f"{taxon.short} PUP>12mo", paper["pup_over_12"][taxon.short], round(over12, 2))
+        )
+    print_comparison("E13: project duration shares", rows)
+
+    for taxon in TAXA_ORDER:
+        over24, over12 = shares[taxon]
+        assert over24 == pytest.approx(paper["pup_over_24"][taxon.short], abs=0.17), taxon
+        assert over12 == pytest.approx(paper["pup_over_12"][taxon.short], abs=0.17), taxon
+        assert over12 >= over24  # monotone by construction of the claim
+
+    # Headline: "65% of projects spanned more than 24 months and 77%
+    # more than a year" (over all studied projects).
+    studied = [p for t in TAXA_ORDER for p in full_analysis.projects_of(t)]
+    over24_all = sum(1 for p in studied if p.pup_months > 24) / len(studied)
+    over12_all = sum(1 for p in studied if p.pup_months > 12) / len(studied)
+    print(f"\nall studied: PUP>24mo {over24_all:.0%} (paper 65%), "
+          f">12mo {over12_all:.0%} (paper 77%)")
+    assert over24_all == pytest.approx(0.65, abs=0.12)
+    assert over12_all == pytest.approx(0.77, abs=0.12)
+
+
+def test_bench_ddl_commit_shares(benchmark, full_analysis):
+    rows = []
+    for taxon in TAXA_ORDER:
+        share = full_analysis.profiles[taxon].mean_ddl_commit_share
+        rows.append((f"{taxon.short} DDL share", PAPER_DDL_SHARE[taxon.short], round(share, 3)))
+        assert share == pytest.approx(PAPER_DDL_SHARE[taxon.short], abs=0.03), taxon
+    print_comparison("E13: DDL commits as a share of all project commits", rows)

@@ -1,0 +1,128 @@
+"""E16/E17 — extension studies from the paper's open research paths.
+
+Sec VI: "we can continue research to test the existence of patterns at
+the table level, to extract the treatment of constraints (esp., foreign
+keys) in FOSS projects."  Table-level patterns are summarized by the
+related work's Electrolysis pattern ([14]/[15]); FK treatment follows
+[12] ("the lack of integrity constraints in several places").
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.extensions import foreign_key_profile, study_table_lives
+from repro.vcs import extract_file_history
+
+
+def test_bench_table_lives_electrolysis(benchmark, full_report):
+    """E16: dead tables live shorter and quieter than survivors."""
+    histories = [p.history for p in full_report.studied]
+
+    study = benchmark(study_table_lives, histories)
+
+    dead, survivors = study.dead, study.survivors
+    rows = [
+        ("table lives observed", "-", len(study.lives)),
+        ("dead tables", "-", len(dead)),
+        ("survivor tables", "-", len(survivors)),
+        (
+            "median duration dead (months)",
+            "short/medium",
+            study.median_duration(survivors=False),
+        ),
+        (
+            "median duration survivors (months)",
+            "medium/high",
+            study.median_duration(survivors=True),
+        ),
+        ("active share among dead", "low", round(study.active_share(survivors=False), 2)),
+        (
+            "active share among survivors",
+            "higher",
+            round(study.active_share(survivors=True), 2),
+        ),
+    ]
+    print_comparison("E16: Electrolysis pattern (table lives)", rows)
+
+    assert len(dead) > 20  # deletions happen across the corpus
+    assert len(survivors) > len(dead)  # growth dominates
+    assert study.electrolysis_holds()
+    # Kaplan-Meier view of the same data: with heavy censoring (most
+    # tables survive the observation window) the survival curve stays
+    # high — dying is the exception, not the rule.
+    curve = study.survival_curve()
+    assert curve.n_events == len(dead)
+    assert curve.survival_at(12) > 0.8
+    assert curve.median_survival() is None  # never falls to 50%
+    # Survivors that are active live longer than quiet survivors
+    # ("the more active they are, the stronger they are attracted
+    # towards high durations").
+    active_survivors = [life for life in survivors if life.is_active]
+    quiet_survivors = [life for life in survivors if not life.is_active]
+    if active_survivors and quiet_survivors:
+        median = study._median
+        assert median([l.duration_months for l in active_survivors]) >= median(
+            [l.duration_months for l in quiet_survivors]
+        )
+
+
+def test_bench_foreign_key_usage(benchmark, full_corpus, full_report):
+    """E17: FK treatment — many projects never declare referential
+    integrity at all."""
+
+    def profile_all():
+        profiles = []
+        for project in full_report.studied:
+            repo = full_corpus.provider(project.name)
+            versions = extract_file_history(repo, project.ddl_path)
+            profiles.append(foreign_key_profile(project.name, versions))
+        return profiles
+
+    profiles = benchmark.pedantic(profile_all, rounds=1, iterations=1)
+
+    with_fk = [p for p in profiles if p.ever_used]
+    share = len(with_fk) / len(profiles)
+    births = sum(p.fk_births for p in profiles)
+    deaths = sum(p.fk_deaths for p in profiles)
+    rows = [
+        ("projects ever using FKs", "partial usage", f"{share:.0%}"),
+        ("FK births over all histories", "-", births),
+        ("FK deaths over all histories", "-", deaths),
+        (
+            "mean FK density at end (users only)",
+            "-",
+            round(sum(p.density_at_end for p in with_fk) / len(with_fk), 2),
+        ),
+    ]
+    print_comparison("E17: foreign-key treatment", rows)
+
+    # "Lack of integrity constraints in several places": a substantial
+    # fraction of projects never uses FKs — and a substantial fraction does.
+    assert 0.2 < share < 0.8
+    assert births >= deaths  # constraints accrete more than they vanish
+
+
+def test_bench_bursts_and_calmness(benchmark, full_report):
+    """E18: bursts of concentrated effort interrupt longer calmness
+    ([13]'s growth pattern, measured on the corpus's monthly heartbeat)."""
+    from repro.extensions import burst_profile
+
+    projects = [p for p in full_report.studied if p.metrics.sup_months >= 6]
+
+    profiles = benchmark(lambda: [burst_profile(p.metrics) for p in projects])
+
+    calm_shares = [p.calm_share for p in profiles]
+    concentrations = [
+        p.concentration(top=1) for p in profiles if p.total_activity > 0
+    ]
+    rows = [
+        ("projects with SUP >= 6 months", "-", len(projects)),
+        ("mean calm-month share", "calmness dominates", f"{sum(calm_shares)/len(calm_shares):.0%}"),
+        (
+            "mean share of activity in the peak burst",
+            "bursts concentrate effort",
+            f"{sum(concentrations)/len(concentrations):.0%}",
+        ),
+    ]
+    print_comparison("E18: bursts vs calmness", rows)
+
+    assert sum(calm_shares) / len(calm_shares) > 0.5
+    assert sum(concentrations) / len(concentrations) > 0.5

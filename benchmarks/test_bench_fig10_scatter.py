@@ -1,0 +1,58 @@
+"""E4 — Fig 10: the (activity, active commits) scatter per taxon.
+
+Regenerates the scatter and asserts the figure's qualitative geography:
+almost frozen lower-left, focused shot & frozen upper-left, moderate
+center, FS&Low upper-center, active upper-right."""
+
+import statistics
+
+from repro.core.taxa import Taxon
+from repro.reporting import fig10_report
+
+
+def _centroid(points, taxon):
+    xs = [p.activity for p in points if p.taxon is taxon]
+    ys = [p.active_commits for p in points if p.taxon is taxon]
+    return statistics.median(xs), statistics.median(ys)
+
+
+def test_bench_fig10_scatter(benchmark, full_analysis, paper):
+    points, chart = benchmark(fig10_report, full_analysis)
+    print("\n" + chart)
+
+    # Frozen excluded, everything else present.
+    assert len(points) == sum(
+        count for short, count in paper["populations"].items() if short != "Frozen"
+    )
+
+    af = _centroid(points, Taxon.ALMOST_FROZEN)
+    fsf = _centroid(points, Taxon.FOCUSED_SHOT_AND_FROZEN)
+    moderate = _centroid(points, Taxon.MODERATE)
+    fs_low = _centroid(points, Taxon.FOCUSED_SHOT_AND_LOW)
+    active = _centroid(points, Taxon.ACTIVE)
+
+    # Lower-left: almost frozen (small on both axes).
+    assert af[0] < fsf[0] and af[1] <= fsf[1]
+    # FS&F sits left of moderate in commits, similar in activity.
+    assert fsf[1] < moderate[1]
+    # FS&Low complements moderate with higher activity, similar commits.
+    assert fs_low[0] > moderate[0]
+    assert abs(fs_low[1] - moderate[1]) <= 3
+    # Active is upper-right of everything.
+    assert active[0] > fs_low[0] and active[1] > moderate[1]
+
+
+def test_bench_fig10_activity_commit_correlation(benchmark, full_analysis):
+    """The diagonal trend: activity and active commits are positively
+    associated over the studied projects."""
+    points, _ = fig10_report(full_analysis)
+    xs = [p.activity for p in points]
+    ys = [p.active_commits for p in points]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    correlation = cov / (var_x * var_y)
+    print(f"\nE4: Pearson r(activity, active commits) = {correlation:.3f}")
+    assert correlation > 0.5

@@ -1,0 +1,45 @@
+"""E6 — Fig 12: quartiles of activity and active commits per taxon.
+
+The quartile table is the calibration anchor of the synthetic corpus, so
+measured quartiles must track the published ones closely (medians within
+tight bands; Q1/Q3 within the published min/max envelope)."""
+
+from benchmarks.conftest import print_comparison
+from repro.core.taxa import NONFROZEN_TAXA
+from repro.reporting import fig12_rows
+from repro.stats import quartiles
+
+
+def test_bench_fig12_quartiles(benchmark, full_analysis, paper):
+    rows = benchmark(fig12_rows, full_analysis)
+    assert set(rows) == {"active_commits", "total_activity"}
+
+    comparisons = []
+    for measure, key in (
+        ("active_commits", "fig12_active_commits"),
+        ("total_activity", "fig12_total_activity"),
+    ):
+        for taxon in NONFROZEN_TAXA:
+            expected = paper[key][taxon.short]
+            measured = quartiles(full_analysis.values(taxon, measure)).as_row()
+            comparisons.append(
+                (f"{measure} {taxon.short}", expected, tuple(round(v, 1) for v in measured))
+            )
+            # Median within a band around the published median.
+            exp_med, meas_med = expected[2], measured[2]
+            tolerance = max(2.0, 0.5 * exp_med)
+            assert abs(meas_med - exp_med) <= tolerance, (measure, taxon)
+            # Quartile box inside the published min/max envelope.
+            assert measured[1] >= expected[0] * 0.5 - 1
+            assert measured[3] <= expected[4] * 1.5 + 1
+    print_comparison("E6: Fig 12 quartiles (min, Q1, Q2, Q3, max)", comparisons)
+
+
+def test_bench_fig12_taxon_boundaries(benchmark, full_analysis):
+    """Hard boundaries implied by the classification rules."""
+    af_activity = quartiles(full_analysis.values(NONFROZEN_TAXA[0], "total_activity"))
+    assert af_activity.maximum <= 10
+    fsf_activity = quartiles(full_analysis.values(NONFROZEN_TAXA[1], "total_activity"))
+    assert fsf_activity.minimum >= 11
+    active_activity = quartiles(full_analysis.values(NONFROZEN_TAXA[4], "total_activity"))
+    assert active_activity.minimum > 90

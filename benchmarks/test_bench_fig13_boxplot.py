@@ -1,0 +1,48 @@
+"""E7 — Fig 13: the double box plot and its cohesion observations.
+
+Asserts the figure's qualitative claims: the Active taxon's box is far
+from all others; the three most-frozen taxa cluster in tight boxes; and
+population vs box surface are roughly inversely related (the largest box
+belongs to the smallest population, FS&Low)."""
+
+from benchmarks.conftest import print_comparison
+from repro.core.taxa import NONFROZEN_TAXA, Taxon
+from repro.reporting import fig13_report
+
+
+def test_bench_fig13_geometry(benchmark, full_analysis):
+    plot, sketch = benchmark(fig13_report, full_analysis)
+    print("\n" + sketch)
+
+    active_box = plot.box_of(Taxon.ACTIVE)
+    for taxon in NONFROZEN_TAXA:
+        if taxon is Taxon.ACTIVE:
+            continue
+        assert not active_box.overlaps(plot.box_of(taxon)), taxon
+
+    # Paper legend: Active activity Q1 ~ 177, Q3 ~ 558.5; commits Q1 ~ 15,
+    # Q3 ~ 50.5 — shape check: the box sits in that region.
+    assert active_box.x.q1 > 100
+    assert active_box.y.q1 >= 8
+
+
+def test_bench_fig13_cohesion(benchmark, full_analysis, paper):
+    plot, _ = fig13_report(full_analysis)
+    areas = {taxon: plot.box_of(taxon).area for taxon in NONFROZEN_TAXA}
+    populations = {
+        taxon: full_analysis.population(taxon) for taxon in NONFROZEN_TAXA
+    }
+    rows = [
+        (taxon.short, populations[taxon], round(areas[taxon], 1))
+        for taxon in NONFROZEN_TAXA
+    ]
+    print_comparison("E7: population vs box surface (cohesion)", rows)
+
+    # "The most populous, Almost Frozen, [has the] smallest distribution
+    # of all" — smallest box among the non-active taxa.
+    non_active = [t for t in NONFROZEN_TAXA if t is not Taxon.ACTIVE]
+    assert min(non_active, key=lambda t: areas[t]) is Taxon.ALMOST_FROZEN
+    # Apart from far-away Active, the largest box belongs to FS&Low,
+    # the smallest population.
+    assert max(non_active, key=lambda t: areas[t]) is Taxon.FOCUSED_SHOT_AND_LOW
+    assert min(populations, key=populations.get) is Taxon.FOCUSED_SHOT_AND_LOW

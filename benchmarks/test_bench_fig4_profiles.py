@@ -1,0 +1,60 @@
+"""E3 — Fig 4: measurements per taxon (min/median/max/avg).
+
+Regenerates the full Fig 4 table and asserts the medians of the headline
+measures land near the published ones (exact agreement is not expected —
+the corpus is a calibrated re-draw — but medians are the calibration
+anchor, so they must be close)."""
+
+from benchmarks.conftest import print_comparison
+from repro.core.taxa import TAXA_ORDER, Taxon
+from repro.reporting import ExperimentSuite, fig4_rows
+
+
+def _median(analysis, taxon, measure):
+    return analysis.profiles[taxon].measures[measure].median
+
+
+def test_bench_fig4_table(benchmark, full_report, full_analysis, paper):
+    rows = benchmark(fig4_rows, full_analysis)
+    assert len(rows) == 41
+
+    suite = ExperimentSuite(full_report, full_analysis)
+    print("\n" + suite.render_fig4())
+
+    comparisons = []
+    for taxon in TAXA_ORDER:
+        measured = _median(full_analysis, taxon, "total_activity")
+        expected = paper["fig4_median_activity"][taxon.short]
+        comparisons.append((f"median activity {taxon.short}", expected, measured))
+        # Shape: within a factor ~2 of the published median (and exact
+        # zero for Frozen).
+        if expected == 0:
+            assert measured == 0
+        else:
+            assert 0.4 * expected <= measured <= 2.5 * expected, taxon
+    for taxon in TAXA_ORDER:
+        measured = _median(full_analysis, taxon, "sup_months")
+        expected = paper["fig4_median_sup"][taxon.short]
+        comparisons.append((f"median SUP {taxon.short}", expected, measured))
+        assert abs(measured - expected) <= max(6, 0.6 * expected), taxon
+    print_comparison("E3: Fig 4 medians (paper vs measured)", comparisons)
+
+
+def test_bench_fig4_orderings(benchmark, full_analysis):
+    """The qualitative orderings the paper's narrative rests on."""
+    med = {t: _median(full_analysis, t, "total_activity") for t in TAXA_ORDER}
+    assert (
+        med[Taxon.FROZEN]
+        < med[Taxon.ALMOST_FROZEN]
+        < med[Taxon.FOCUSED_SHOT_AND_FROZEN]
+        <= med[Taxon.FOCUSED_SHOT_AND_LOW]
+        < med[Taxon.ACTIVE]
+    )
+    commits = {t: _median(full_analysis, t, "active_commits") for t in TAXA_ORDER}
+    assert commits[Taxon.ALMOST_FROZEN] <= 3
+    assert commits[Taxon.FOCUSED_SHOT_AND_FROZEN] <= 3
+    assert 4 <= commits[Taxon.MODERATE] <= 22
+    assert commits[Taxon.ACTIVE] > commits[Taxon.MODERATE]
+    # Deletions are rare everywhere except the active taxon (Sec VI).
+    for taxon in (Taxon.ALMOST_FROZEN, Taxon.MODERATE):
+        assert _median(full_analysis, taxon, "table_deletions") <= 1

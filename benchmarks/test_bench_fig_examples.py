@@ -1,0 +1,143 @@
+"""E9/E10 — the per-project reference charts (Figs 1, 2, 5-9).
+
+For each taxon, picks the corpus project closest to the taxon's median
+activity (the paper's figures show "typical examples"), regenerates both
+chart series — schema size over human time and heartbeat over transition
+id — and asserts the shape features each figure's caption calls out.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.taxa import Taxon
+from repro.viz import (
+    heartbeat_chart,
+    heartbeat_series,
+    line_chart,
+    monthly_heartbeat,
+    schema_size_series,
+)
+
+
+def representative(analysis, taxon):
+    projects = analysis.projects_of(taxon)
+    target = statistics.median(p.metrics.total_activity for p in projects)
+    return min(projects, key=lambda p: abs(p.metrics.total_activity - target))
+
+
+def test_bench_fig2_active_example(benchmark, full_analysis):
+    """Fig 1/2/9 (E9): an active project's dual chart.
+
+    The figures show *growing* active projects (the corpus also holds a
+    couple of flat ones, as does the paper — 2 of 22), so the
+    representative is the median-activity project among the growers.
+    """
+    growers = [
+        p
+        for p in full_analysis.projects_of(Taxon.ACTIVE)
+        if p.metrics.tables_at_end > p.metrics.tables_at_start
+    ]
+    assert growers, "the active taxon must contain growing projects"
+    import statistics
+
+    target = statistics.median(p.metrics.total_activity for p in growers)
+    project = min(growers, key=lambda p: abs(p.metrics.total_activity - target))
+
+    def build_series():
+        return (
+            schema_size_series(project.metrics),
+            heartbeat_series(project.metrics),
+            monthly_heartbeat(project.metrics),
+        )
+
+    sizes, beats, monthly = benchmark(build_series)
+    print("\n" + line_chart(sizes))
+    print("\n" + heartbeat_chart(monthly))
+
+    # Captions: schema size typically grows; the heartbeat mixes reeds
+    # and turf; activity is high on both sides of the axis.
+    assert project.metrics.total_activity > 90
+    assert project.metrics.reeds >= 1
+    assert project.metrics.turf_commits >= 1
+    assert sizes.tables[-1] != sizes.tables[0] or not sizes.is_flat
+    assert sum(beats.maintenance) > 0  # red bars exist
+    assert sum(beats.expansion) > sum(beats.maintenance)  # growth dominates
+
+
+def test_bench_fig5_almost_frozen_example(benchmark, full_analysis):
+    """Fig 5 (E10): almost frozen — few commits, tiny active volume."""
+    project = representative(full_analysis, Taxon.ALMOST_FROZEN)
+    sizes = schema_size_series(project.metrics)
+    print("\n" + line_chart(sizes))
+    print("\n" + heartbeat_chart(heartbeat_series(project.metrics)))
+    assert project.metrics.active_commits <= 3
+    assert project.metrics.total_activity <= 10
+
+
+def test_bench_fig6_fsf_example(benchmark, full_analysis):
+    """Fig 6 (E10): a focused shot concentrating the change."""
+    project = representative(full_analysis, Taxon.FOCUSED_SHOT_AND_FROZEN)
+    beats = heartbeat_series(project.metrics)
+    print("\n" + heartbeat_chart(beats))
+    activities = [e + m for e, m in zip(beats.expansion, beats.maintenance)]
+    # The single largest commit carries most of the total activity.
+    assert max(activities) / project.metrics.total_activity > 0.5
+
+
+def test_bench_fig7_moderate_example(benchmark, full_analysis):
+    """Fig 7 (E10): moderate tempo — mild injections, mostly turf."""
+    project = representative(full_analysis, Taxon.MODERATE)
+    print("\n" + line_chart(schema_size_series(project.metrics)))
+    metrics = project.metrics
+    assert 4 <= metrics.active_commits
+    assert metrics.turf_commits >= metrics.reeds
+    assert metrics.total_activity <= 90
+
+
+def _reed_share(project):
+    beats = heartbeat_series(project.metrics)
+    activities = sorted(
+        (e + m for e, m in zip(beats.expansion, beats.maintenance)), reverse=True
+    )
+    return sum(activities[: project.metrics.reeds]) / project.metrics.total_activity
+
+
+def test_bench_fig8_fs_low_example(benchmark, full_analysis):
+    """Fig 8 (E10): the reeds carry the bulk of FS&Low activity.
+
+    The claim is taxon-wide ("change in this category comes to a large
+    extent due to the reeds"); the chart shows the most extreme project,
+    like the paper's TalkingData/OWL-v3 whose reed holds ~90% of the
+    post-V0 activity.
+    """
+    projects = full_analysis.projects_of(Taxon.FOCUSED_SHOT_AND_LOW)
+    shares = benchmark(lambda: [_reed_share(p) for p in projects])
+    extreme = max(projects, key=_reed_share)
+    print("\n" + heartbeat_chart(heartbeat_series(extreme.metrics)))
+    mean_share = sum(shares) / len(shares)
+    print(f"mean reed share of activity: {mean_share:.0%}; max: {max(shares):.0%}")
+    assert all(1 <= p.metrics.reeds <= 2 for p in projects)
+    assert mean_share > 0.5  # reeds dominate across the taxon
+    assert max(shares) > 0.8  # and some projects are nearly all reed
+
+
+def test_bench_schema_line_shapes(benchmark, full_analysis, paper):
+    """Per-taxon schema-line shapes quoted in Sec IV: 75% of Almost
+    Frozen flat; the majority of Moderate rising."""
+    flat_af = [
+        schema_size_series(p.metrics).is_flat
+        for p in full_analysis.projects_of(Taxon.ALMOST_FROZEN)
+    ]
+    share_flat = sum(flat_af) / len(flat_af)
+    print(f"\nAlmost Frozen flat-line share: {share_flat:.0%} (paper: 75%)")
+    assert share_flat == pytest.approx(0.75, abs=0.15)
+
+    rising_moderate = [
+        schema_size_series(p.metrics).is_monotone_rise
+        and not schema_size_series(p.metrics).is_flat
+        for p in full_analysis.projects_of(Taxon.MODERATE)
+    ]
+    share_rising = sum(rising_moderate) / len(rising_moderate)
+    print(f"Moderate rising-line share: {share_rising:.0%} (paper: 65%)")
+    assert share_rising > 0.4

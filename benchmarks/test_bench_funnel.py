@@ -1,0 +1,70 @@
+"""E1 — the collection funnel of Sec III.A.
+
+Regenerates the paper's funnel counts (365 Lib-io projects -> 327 cloned
+& usable -> 132 rigid / 195 studied) on the full-scale synthetic corpus
+and benchmarks a reduced-scale end-to-end funnel run.
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.reporting import funnel_text
+from repro.synthesis import CorpusSpec, build_corpus
+
+
+def test_bench_funnel_counts(benchmark, full_corpus, full_report, paper):
+    """Full-scale funnel counts must equal the paper's exactly."""
+
+    def run_small_funnel():
+        corpus = build_corpus(
+            CorpusSpec(seed=7, scale=0.05, join_rejected=5, not_in_libio=5, path_omitted=3)
+        )
+        return corpus.run_funnel()
+
+    benchmark.pedantic(run_small_funnel, rounds=1, iterations=1)
+
+    expected = paper["funnel"]
+    print("\n" + funnel_text(full_report))
+    print_comparison(
+        "E1: collection funnel (paper vs measured)",
+        [
+            ("Lib-io dataset", expected["lib_io"], full_report.lib_io_projects),
+            ("zero-version removed", expected["zero_version"], full_report.removed_zero_versions),
+            ("no CREATE TABLE removed", expected["no_create"], full_report.removed_no_create),
+            ("cloned & usable", expected["cloned_usable"], full_report.cloned_usable),
+            ("rigid", expected["rigid"], full_report.rigid_count),
+            ("studied", expected["studied"], full_report.studied_count),
+        ],
+    )
+    assert full_report.lib_io_projects == expected["lib_io"]
+    assert full_report.removed_zero_versions == expected["zero_version"]
+    assert full_report.removed_no_create == expected["no_create"]
+    assert full_report.cloned_usable == expected["cloned_usable"]
+    assert full_report.rigid_count == expected["rigid"]
+    assert full_report.studied_count == expected["studied"]
+    assert abs(full_report.rigid_share - paper["rigid_share"]) < 0.01
+
+
+def test_bench_paper_scale_sql_collection(benchmark, paper):
+    """The funnel's first stage at the paper's true magnitude: 133,029
+    repositories in the SQL-Collection, of which only the Libraries.io
+    join survives — the join/filter machinery must handle that volume."""
+    corpus = build_corpus(
+        CorpusSpec(
+            seed=11,
+            scale=0.04,
+            join_rejected=5,
+            not_in_libio=5,
+            path_omitted=3,
+            sql_collection_total=133_029,
+        )
+    )
+
+    report = benchmark.pedantic(corpus.run_funnel, rounds=1, iterations=1)
+    print_comparison(
+        "E1b: SQL-Collection at paper magnitude",
+        [
+            ("SQL-Collection repositories", 133_029, report.sql_collection_repos),
+            ("survive the Libraries.io join", "tiny fraction", report.joined_and_filtered),
+        ],
+    )
+    assert report.sql_collection_repos == 133_029
+    assert report.joined_and_filtered < 200

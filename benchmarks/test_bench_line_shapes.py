@@ -1,0 +1,77 @@
+"""E20 — the per-taxon schema-line shape shares quoted in Sec IV.
+
+Paper quotes: Almost Frozen 75% flat; FS&Frozen 52% single step-up;
+Moderate 65% rise / 10% flat / rest turbulent-or-dropping; Active 50%
+multi-step rise, 9% single step, 2/22 flat, 3/22 massive drop, 4/22
+turbulent.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_comparison
+from repro.core.shapes import LineShape, shape_shares
+from repro.core.taxa import Taxon
+
+
+def test_bench_line_shape_shares(benchmark, full_analysis):
+    taxa = (
+        Taxon.ALMOST_FROZEN,
+        Taxon.FOCUSED_SHOT_AND_FROZEN,
+        Taxon.MODERATE,
+        Taxon.ACTIVE,
+    )
+
+    def compute():
+        return {taxon: shape_shares(full_analysis.projects_of(taxon)) for taxon in taxa}
+
+    shares = benchmark(compute)
+
+    def pct(taxon, *shapes):
+        return sum(shares[taxon].get(shape, 0.0) for shape in shapes)
+
+    rows = [
+        ("AlmFrozen flat", "75%", f"{pct(Taxon.ALMOST_FROZEN, LineShape.FLAT):.0%}"),
+        (
+            "FS+Frozen single step-up",
+            "52%",
+            f"{pct(Taxon.FOCUSED_SHOT_AND_FROZEN, LineShape.SINGLE_STEP_RISE):.0%}",
+        ),
+        (
+            "Moderate rise",
+            "65%",
+            f"{pct(Taxon.MODERATE, LineShape.SINGLE_STEP_RISE, LineShape.MULTI_STEP_RISE):.0%}",
+        ),
+        ("Moderate flat", "10%", f"{pct(Taxon.MODERATE, LineShape.FLAT):.0%}"),
+        (
+            "Active rise (any)",
+            "59%",
+            f"{pct(Taxon.ACTIVE, LineShape.SINGLE_STEP_RISE, LineShape.MULTI_STEP_RISE):.0%}",
+        ),
+        ("Active flat", "9% (2/22)", f"{pct(Taxon.ACTIVE, LineShape.FLAT):.0%}"),
+        (
+            "Active drop or turbulent",
+            "32% (7/22)",
+            f"{pct(Taxon.ACTIVE, LineShape.DROP, LineShape.TURBULENT):.0%}",
+        ),
+    ]
+    print_comparison("E20: schema-line shapes per taxon", rows)
+
+    assert pct(Taxon.ALMOST_FROZEN, LineShape.FLAT) == pytest.approx(0.75, abs=0.15)
+    assert pct(
+        Taxon.FOCUSED_SHOT_AND_FROZEN, LineShape.SINGLE_STEP_RISE
+    ) == pytest.approx(0.52, abs=0.25)
+    assert pct(
+        Taxon.MODERATE, LineShape.SINGLE_STEP_RISE, LineShape.MULTI_STEP_RISE
+    ) == pytest.approx(0.65, abs=0.25)
+    assert pct(Taxon.MODERATE, LineShape.FLAT) == pytest.approx(0.10, abs=0.15)
+    # Active: growth dominates, with a small flat/drop/turbulent tail.
+    assert pct(
+        Taxon.ACTIVE, LineShape.SINGLE_STEP_RISE, LineShape.MULTI_STEP_RISE
+    ) > 0.35
+    assert pct(Taxon.ACTIVE, LineShape.FLAT) < 0.3
+
+
+def test_bench_frozen_lines_are_flat(benchmark, full_analysis):
+    """Frozen projects by definition never move their table count."""
+    shares = benchmark(shape_shares, full_analysis.projects_of(Taxon.FROZEN))
+    assert shares[LineShape.FLAT] == 1.0

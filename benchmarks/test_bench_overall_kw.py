@@ -1,0 +1,36 @@
+"""E8 — Sec V overall statistics: Kruskal-Wallis across the taxa and
+Shapiro-Wilk non-normality of total activity.
+
+Paper: KW chi-squared = 178.22 (activity) and 175.27 (active commits),
+df = 5, p < 2.2e-16; Shapiro-Wilk W = 0.24386, p < 2.2e-16."""
+
+from benchmarks.conftest import print_comparison
+from repro.reporting import overall_tests
+
+
+def test_bench_overall_kruskal(benchmark, full_analysis, paper):
+    tests = benchmark(overall_tests, full_analysis)
+
+    print_comparison(
+        "E8: overall tests (Sec V)",
+        [
+            ("KW activity chi2", paper["kw_activity_chi2"], round(tests.kw_activity.statistic, 2)),
+            ("KW commits chi2", paper["kw_commits_chi2"], round(tests.kw_active_commits.statistic, 2)),
+            ("KW df", 5, tests.kw_activity.df),
+            ("KW p (both)", "< 2.2e-16", f"{max(tests.kw_activity.p_value, tests.kw_active_commits.p_value):.3g}"),
+            ("Shapiro W", paper["shapiro_w"], round(tests.shapiro_activity.w, 5)),
+            ("Shapiro p", "< 2.2e-16", f"{tests.shapiro_activity.p_value:.3g}"),
+        ],
+    )
+
+    assert tests.kw_activity.df == 5
+    # Same magnitude as the published chi-squared statistics.
+    assert abs(tests.kw_activity.statistic - paper["kw_activity_chi2"]) < 25
+    assert abs(tests.kw_active_commits.statistic - paper["kw_commits_chi2"]) < 25
+    # "It is extremely improbable that the taxa represent similar behaviors."
+    assert tests.kw_activity.p_value < 2.2e-16
+    assert tests.kw_active_commits.p_value < 2.2e-16
+    # Non-normality of activity, with a W in the same low band.
+    assert not tests.shapiro_activity.normal()
+    assert tests.shapiro_activity.w < 0.5
+    assert tests.shapiro_activity.p_value < 1e-20

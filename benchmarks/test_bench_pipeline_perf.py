@@ -1,0 +1,94 @@
+"""Performance benchmarks of the pipeline's hot paths.
+
+Not a paper artifact — these are the engineering benchmarks a release
+ships: lexer/parser throughput on a mysqldump-style workload, schema
+diffing, history measurement, and classification, so regressions in the
+hot loops (the study re-parses every version of every history) show up
+immediately.
+"""
+
+import random
+
+from repro.core import classify, compute_metrics
+from repro.core.diff import diff_schemas
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.schema import build_schema
+from repro.sqlddl import parse_script, tokenize
+
+
+def _dump_text(n_tables: int, seed: int = 7) -> str:
+    """A realistic mysqldump-style script with comments and inserts."""
+    rng = random.Random(seed)
+    parts = [
+        "-- MySQL dump 10.13",
+        "/*!40101 SET NAMES utf8 */;",
+    ]
+    types = ("int(11)", "varchar(255)", "datetime", "text", "decimal(10,2)")
+    for table_index in range(n_tables):
+        name = f"table_{table_index}"
+        parts.append(f"DROP TABLE IF EXISTS `{name}`;")
+        columns = [f"  `id` int(11) NOT NULL AUTO_INCREMENT"]
+        for col_index in range(rng.randint(4, 12)):
+            columns.append(f"  `col_{col_index}` {rng.choice(types)} DEFAULT NULL")
+        columns.append("  PRIMARY KEY (`id`)")
+        parts.append(
+            f"CREATE TABLE `{name}` (\n" + ",\n".join(columns) + "\n) ENGINE=InnoDB;"
+        )
+        parts.append(f"INSERT INTO `{name}` VALUES (1, 'seed; data', NULL);")
+    return "\n".join(parts)
+
+
+DUMP = _dump_text(40)
+DUMP_BYTES = len(DUMP.encode())
+
+
+def test_bench_lexer_throughput(benchmark):
+    tokens = benchmark(tokenize, DUMP)
+    assert tokens[-1].kind.name == "EOF"
+    rate = DUMP_BYTES / benchmark.stats["mean"] / 1e6
+    print(f"\nlexer throughput: {rate:.1f} MB/s over a {DUMP_BYTES/1024:.0f} KiB dump")
+
+
+def test_bench_parser_throughput(benchmark):
+    statements = benchmark(parse_script, DUMP)
+    assert len(statements) > 80
+    rate = DUMP_BYTES / benchmark.stats["mean"] / 1e6
+    print(f"\nparser throughput: {rate:.1f} MB/s")
+
+
+def test_bench_schema_build(benchmark):
+    schema = benchmark(build_schema, DUMP)
+    assert len(schema) == 40
+
+
+def test_bench_diff_large_schemas(benchmark):
+    old = build_schema(_dump_text(40, seed=7))
+    new = build_schema(_dump_text(40, seed=8))
+    diff = benchmark(diff_schemas, old, new)
+    assert diff.activity > 0
+
+
+def test_bench_measure_long_history(benchmark):
+    texts = []
+    columns = ["id INT PRIMARY KEY"]
+    for index in range(120):
+        columns.append(f"c{index} INT")
+        texts.append(f"CREATE TABLE big ({', '.join(columns)});")
+    versions = tuple(
+        SchemaVersion(index=i, commit_oid=f"c{i}", timestamp=i * 86_400, schema=build_schema(t))
+        for i, t in enumerate(texts)
+    )
+    history = SchemaHistory("perf/history", "s.sql", versions)
+
+    metrics = benchmark(compute_metrics, history)
+    assert metrics.total_activity == 119
+
+
+def test_bench_classification(benchmark, full_report):
+    metrics = [p.metrics for p in full_report.studied]
+
+    def classify_all():
+        return [classify(m) for m in metrics]
+
+    taxa = benchmark(classify_all)
+    assert len(taxa) == len(metrics)

@@ -1,0 +1,56 @@
+"""E11 — the headline RQ1/RQ2 percentages (Secs IV.B and VI).
+
+Paper: of 327 cloned repositories, 40% are rigid (single version), 10%
+frozen, 20% almost frozen — 70% show total absence or very small
+presence of change.  Of the 195 studied, the taxa shares are roughly
+17/33/13/15/10/11% and 64% have 0-3 active commits."""
+
+import pytest
+
+from benchmarks.conftest import print_comparison
+from repro.core.taxa import TAXA_ORDER, Taxon
+from repro.reporting import rq_summary
+
+PAPER_STUDIED_SHARES = {
+    "Frozen": 0.17,
+    "AlmFrozen": 0.33,
+    "FS+Frozen": 0.13,
+    "Moderate": 0.15,
+    "FS+Low": 0.10,
+    "Active": 0.11,
+}
+
+
+def test_bench_rq_percentages(benchmark, full_analysis, paper):
+    summary = benchmark(rq_summary, full_analysis)
+
+    rows = [
+        ("rigid (history-less) share", paper["rigid_share"], round(summary["history_less_share"], 3)),
+        ("frozen share", paper["frozen_share"], round(summary["frozen_share"], 3)),
+        ("almost frozen share", paper["almost_frozen_share"], round(summary["almost_frozen_share"], 3)),
+        ("rigidity (RQ1 70%)", paper["rigidity_share"], round(summary["rigidity_share"], 3)),
+        ("0-3 active commits share", paper["low_heartbeat_share"], round(summary["low_heartbeat_share"], 3)),
+    ]
+    for taxon in TAXA_ORDER:
+        rows.append(
+            (
+                f"studied share {taxon.short}",
+                PAPER_STUDIED_SHARES[taxon.short],
+                round(summary[f"studied_share_{taxon.short}"], 3),
+            )
+        )
+    print_comparison("E11: RQ percentages", rows)
+
+    assert summary["history_less_share"] == pytest.approx(paper["rigid_share"], abs=0.01)
+    assert summary["frozen_share"] == pytest.approx(paper["frozen_share"], abs=0.01)
+    assert summary["almost_frozen_share"] == pytest.approx(
+        paper["almost_frozen_share"], abs=0.01
+    )
+    assert summary["rigidity_share"] == pytest.approx(paper["rigidity_share"], abs=0.02)
+    assert summary["low_heartbeat_share"] == pytest.approx(
+        paper["low_heartbeat_share"], abs=0.03
+    )
+    for taxon in TAXA_ORDER:
+        assert summary[f"studied_share_{taxon.short}"] == pytest.approx(
+            PAPER_STUDIED_SHARES[taxon.short], abs=0.02
+        )

@@ -1,0 +1,33 @@
+"""E2 — Table I / Fig 3: the taxa classification tree.
+
+Benchmarks classifying the full studied population and asserts the
+per-taxon populations match the paper's exactly (34/65/25/29/20/22).
+"""
+
+from benchmarks.conftest import print_comparison
+from repro.core import analyze_corpus
+from repro.core.taxa import TAXA_ORDER, classify
+
+
+def test_bench_taxa_classification(benchmark, full_report, full_analysis, paper):
+    projects = full_report.studied
+
+    def classify_all():
+        return [classify(p.metrics) for p in projects]
+
+    assignments = benchmark(classify_all)
+    assert len(assignments) == paper["funnel"]["studied"]
+
+    measured = {t.short: full_analysis.population(t) for t in TAXA_ORDER}
+    print_comparison(
+        "E2: taxa populations (Table I / Fig 4 'Count' row)",
+        [(short, paper["populations"][short], measured[short]) for short in measured],
+    )
+    assert measured == paper["populations"]
+
+
+def test_bench_reanalysis(benchmark, full_report):
+    """Benchmark the full corpus analysis (grouping + Fig 4 summaries)."""
+    projects = full_report.studied + full_report.rigid
+    analysis = benchmark(analyze_corpus, projects)
+    assert analysis.studied_count == len(full_report.studied)

@@ -1,0 +1,68 @@
+"""Gallery of per-taxon example charts (the paper's Figs 1, 2, 5-9).
+
+For each taxon, picks a representative synthetic project and renders the
+two reference charts: schema size over human time (left panels) and the
+heartbeat — expansion up, maintenance down — over transition id (right
+panels).
+
+Run:  python examples/heartbeat_gallery.py
+"""
+
+import argparse
+import random
+
+from repro.core.project import extract_project
+from repro.core.taxa import TAXA_ORDER, Taxon
+from repro.synthesis import archetype_of, plan_project, realize_project
+from repro.viz import (
+    heartbeat_chart,
+    heartbeat_series,
+    line_chart,
+    monthly_heartbeat,
+    schema_size_series,
+)
+
+_FIGURE_OF = {
+    Taxon.ALMOST_FROZEN: "Fig 5 (almost frozen: one tiny active commit)",
+    Taxon.FOCUSED_SHOT_AND_FROZEN: "Fig 6 (focused expansion, then frozen)",
+    Taxon.MODERATE: "Fig 7 (moderate tempo, mild injections)",
+    Taxon.FOCUSED_SHOT_AND_LOW: "Fig 8 (a reed carrying most activity)",
+    Taxon.ACTIVE: "Figs 1, 2, 9 (high, systematic activity)",
+    Taxon.FROZEN: "(frozen: no logical change at all)",
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+
+    for taxon in TAXA_ORDER:
+        archetype = archetype_of(taxon)
+        plan = plan_project(rng, archetype, f"gallery/{taxon.short.lower()}")
+        repo, ddl_path = realize_project(plan, rng)
+        project = extract_project(repo, ddl_path)
+        metrics = project.metrics
+
+        print("=" * 76)
+        print(f"{taxon.value.upper()} — {_FIGURE_OF[taxon]}")
+        print(
+            f"commits={metrics.n_commits} active={metrics.active_commits} "
+            f"activity={metrics.total_activity} reeds={metrics.reeds} "
+            f"SUP={metrics.sup_months}mo tables {metrics.tables_at_start}"
+            f"->{metrics.tables_at_end}"
+        )
+        print()
+        print(line_chart(schema_size_series(metrics), height=8))
+        print()
+        if taxon is Taxon.ACTIVE:
+            # Figs 1/9 aggregate the heartbeat per month for busy projects.
+            print(heartbeat_chart(monthly_heartbeat(metrics)))
+        else:
+            print(heartbeat_chart(heartbeat_series(metrics)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro: reproduction of "Profiles of Schema Evolution in Free Open
+Source Software Projects" (P. Vassiliadis, ICDE 2021).
+
+The package rebuilds the paper's full pipeline from scratch:
+
+- :mod:`repro.sqlddl` — MySQL-flavoured DDL lexer/parser;
+- :mod:`repro.schema` — the logical schema model and builder;
+- :mod:`repro.vcs` — a git-like commit-DAG substrate with file-history
+  extraction;
+- :mod:`repro.mining` — the GitHub-Activity x Libraries.io collection
+  funnel;
+- :mod:`repro.core` — Hecate-equivalent diffing, metrics, heartbeat,
+  and the taxa classification tree;
+- :mod:`repro.stats` — Kruskal-Wallis (from scratch), Shapiro-Wilk,
+  quartiles, box-plot geometry;
+- :mod:`repro.synthesis` — taxon-calibrated synthetic corpus generator
+  (the offline stand-in for the 327 cloned GitHub repositories);
+- :mod:`repro.viz` / :mod:`repro.reporting` — chart series, ASCII
+  rendering, and the per-figure experiment harness.
+
+Quickstart
+----------
+>>> from repro.synthesis import build_corpus, CorpusSpec
+>>> from repro.core import analyze_corpus
+>>> corpus = build_corpus(CorpusSpec(seed=2019, scale=0.1))
+>>> report = corpus.run_funnel()
+>>> analysis = analyze_corpus(report.studied + report.rigid)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,147 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``funnel``      run the collection funnel on a synthetic corpus and
+                print the stage counts (E1);
+``report``      run every experiment and print the full figure/table
+                bundle;
+``classify``    parse one or more .sql files given in time order as the
+                versions of a schema history, measure them and print
+                the taxon (the "bring your own history" entry point);
+``project``     show one synthetic project's charts (Fig 2 style);
+``export``      run the study and write projects.csv / transitions.csv /
+                funnel.json / taxa.json / fig4.json to a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import analyze_corpus, classify, compute_metrics
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.reporting import ExperimentSuite, funnel_text
+from repro.schema import build_schema
+from repro.synthesis import CorpusSpec, build_corpus
+from repro.viz import heartbeat_chart, heartbeat_series, line_chart, schema_size_series
+
+
+def _corpus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2019, help="corpus seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="population scale factor (1.0 = paper size)"
+    )
+
+
+def _build(args: argparse.Namespace):
+    spec = CorpusSpec(seed=args.seed, scale=args.scale)
+    started = time.time()
+    corpus = build_corpus(spec)
+    report = corpus.run_funnel()
+    elapsed = time.time() - started
+    print(f"# corpus seed={args.seed} scale={args.scale} built+mined in {elapsed:.1f}s\n")
+    return corpus, report
+
+
+def _cmd_funnel(args: argparse.Namespace) -> int:
+    _, report = _build(args)
+    print(funnel_text(report))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    _, report = _build(args)
+    analysis = analyze_corpus(report.studied + report.rigid)
+    print(ExperimentSuite(report, analysis).render_all())
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    versions = []
+    for index, path in enumerate(args.files):
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+        schema = build_schema(text)
+        versions.append(
+            SchemaVersion(
+                index=index,
+                commit_oid=path,
+                timestamp=index * 86_400,  # file order stands in for time
+                schema=schema,
+            )
+        )
+    history = SchemaHistory(project=args.name, ddl_path=args.files[0], versions=tuple(versions))
+    metrics = compute_metrics(history)
+    taxon = classify(metrics)
+    print(f"project:        {args.name}")
+    print(f"versions:       {metrics.n_commits}")
+    print(f"active commits: {metrics.active_commits}")
+    print(f"total activity: {metrics.total_activity} attributes")
+    print(f"reeds / turf:   {metrics.reeds} / {metrics.turf_commits}")
+    print(f"tables:         {metrics.tables_at_start} -> {metrics.tables_at_end}")
+    print(f"taxon:          {taxon.value}")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    corpus, report = _build(args)
+    pool = report.studied
+    if args.taxon:
+        pool = [p for p in pool if corpus.expected_taxa.get(p.name, None) is not None
+                and corpus.expected_taxa[p.name].value == args.taxon]
+    if not pool:
+        print(f"no project found for taxon {args.taxon!r}", file=sys.stderr)
+        return 1
+    project = max(pool, key=lambda p: p.metrics.total_activity)
+    print(line_chart(schema_size_series(project.metrics)))
+    print()
+    print(heartbeat_chart(heartbeat_series(project.metrics)))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io import export_study
+
+    _, report = _build(args)
+    analysis = analyze_corpus(report.studied + report.rigid)
+    paths = export_study(args.out, report, analysis)
+    for kind, path in paths.items():
+        print(f"wrote {kind:<12} {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    funnel = sub.add_parser("funnel", help="run the collection funnel")
+    _corpus_args(funnel)
+    funnel.set_defaults(func=_cmd_funnel)
+
+    report = sub.add_parser("report", help="run every experiment")
+    _corpus_args(report)
+    report.set_defaults(func=_cmd_report)
+
+    classify_cmd = sub.add_parser("classify", help="classify a DDL version history")
+    classify_cmd.add_argument("files", nargs="+", help=".sql files, oldest first")
+    classify_cmd.add_argument("--name", default="local/project", help="project label")
+    classify_cmd.set_defaults(func=_cmd_classify)
+
+    project = sub.add_parser("project", help="chart one synthetic project")
+    _corpus_args(project)
+    project.add_argument("--taxon", default="active", help="taxon to pick from")
+    project.set_defaults(func=_cmd_project)
+
+    export = sub.add_parser("export", help="export study artifacts (CSV/JSON)")
+    _corpus_args(export)
+    export.add_argument("--out", default="study-export", help="output directory")
+    export.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""Per-transition and per-project measurements (Sec III.B).
+
+For each transition Hecate computes (1) timing — distance from V0 in
+days, running month and year; (2) schema sizes of both versions; and
+(3) the six update categories.  Per project we aggregate into the
+measures of Fig 4: total activity, #commits, #active commits, #reeds,
+#turf commits, table insertions/deletions, tables at start/end, SUP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.diff import TransitionDiff, diff_schemas
+from repro.core.heartbeat import DEFAULT_REED_LIMIT, Heartbeat, HeartbeatEntry
+from repro.core.history import SchemaHistory
+from repro.schema.model import SchemaSize
+
+_SECONDS_PER_DAY = 86_400.0
+_DAYS_PER_MONTH = 30.4375  # mean Gregorian month
+
+
+@dataclass(frozen=True)
+class TransitionMetrics:
+    """Timing + sizes + change counts for one transition."""
+
+    transition_id: int  # 1-based
+    timestamp: int  # commit time of the newer version
+    days_since_v0: float
+    running_month: int  # 1-based month of project (schema) life
+    running_year: int  # 1-based year of project (schema) life
+    old_size: SchemaSize
+    new_size: SchemaSize
+    diff: TransitionDiff
+
+    @property
+    def expansion(self) -> int:
+        return self.diff.expansion
+
+    @property
+    def maintenance(self) -> int:
+        return self.diff.maintenance
+
+    @property
+    def activity(self) -> int:
+        return self.diff.activity
+
+    @property
+    def is_active(self) -> bool:
+        return self.diff.is_active
+
+    def heartbeat_entry(self) -> HeartbeatEntry:
+        return HeartbeatEntry(
+            transition_id=self.transition_id,
+            timestamp=self.timestamp,
+            expansion=self.expansion,
+            maintenance=self.maintenance,
+        )
+
+
+@dataclass(frozen=True)
+class ProjectMetrics:
+    """The Fig 4 measures for one project, plus the full heartbeat."""
+
+    project: str
+    transitions: tuple[TransitionMetrics, ...]
+    heartbeat: Heartbeat
+    n_commits: int  # commits of the DDL file (incl. V0)
+    sup_months: int  # Schema Update Period
+    tables_at_start: int
+    tables_at_end: int
+    attributes_at_start: int
+    attributes_at_end: int
+    reed_limit: int = DEFAULT_REED_LIMIT
+
+    @property
+    def total_activity(self) -> int:
+        return self.heartbeat.total_activity
+
+    @property
+    def total_expansion(self) -> int:
+        return self.heartbeat.total_expansion
+
+    @property
+    def total_maintenance(self) -> int:
+        return self.heartbeat.total_maintenance
+
+    @property
+    def active_commits(self) -> int:
+        return self.heartbeat.active_commits
+
+    @property
+    def reeds(self) -> int:
+        return self.heartbeat.reeds(self.reed_limit)
+
+    @property
+    def turf_commits(self) -> int:
+        return self.heartbeat.turf(self.reed_limit)
+
+    @property
+    def table_insertions(self) -> int:
+        return sum(len(t.diff.tables_inserted) for t in self.transitions)
+
+    @property
+    def table_deletions(self) -> int:
+        return sum(len(t.diff.tables_deleted) for t in self.transitions)
+
+    @property
+    def is_history_less(self) -> bool:
+        return self.n_commits <= 1
+
+    @property
+    def schema_size_series(self) -> list[tuple[int, int, int]]:
+        """(timestamp, #tables, #attributes) per version — the Fig 2
+        "schema size over human time" series (start + one per transition)."""
+        if not self.transitions:
+            return []
+        first = self.transitions[0]
+        series = [
+            (
+                int(first.timestamp - first.days_since_v0 * _SECONDS_PER_DAY),
+                self.tables_at_start,
+                self.attributes_at_start,
+            )
+        ]
+        for transition in self.transitions:
+            series.append(
+                (transition.timestamp, transition.new_size.tables, transition.new_size.attributes)
+            )
+        return series
+
+    def measure(self, name: str) -> float:
+        """Look up a Fig 4 measure by its row name (for reporting)."""
+        mapping = {
+            "sup_months": self.sup_months,
+            "total_activity": self.total_activity,
+            "n_commits": self.n_commits,
+            "active_commits": self.active_commits,
+            "reeds": self.reeds,
+            "turf_commits": self.turf_commits,
+            "table_insertions": self.table_insertions,
+            "table_deletions": self.table_deletions,
+            "tables_at_start": self.tables_at_start,
+            "tables_at_end": self.tables_at_end,
+        }
+        try:
+            return float(mapping[name])
+        except KeyError:
+            raise KeyError(f"unknown measure {name!r}; one of {sorted(mapping)}") from None
+
+
+def compute_metrics(history: SchemaHistory, reed_limit: int = DEFAULT_REED_LIMIT) -> ProjectMetrics:
+    """Run the full Hecate measurement pass over one schema history.
+
+    An empty history (a path that never parsed to any version) yields
+    all-zero metrics rather than an error: the funnel counts such
+    projects as zero-version extractions but callers may still probe
+    them directly.
+    """
+    if not history.versions:
+        return ProjectMetrics(
+            project=history.project,
+            transitions=(),
+            heartbeat=Heartbeat(entries=()),
+            n_commits=0,
+            sup_months=0,
+            tables_at_start=0,
+            tables_at_end=0,
+            attributes_at_start=0,
+            attributes_at_end=0,
+            reed_limit=reed_limit,
+        )
+    transitions: list[TransitionMetrics] = []
+    v0_time = history.v0.timestamp
+    for index, (older, newer) in enumerate(history.transitions(), start=1):
+        days = (newer.timestamp - v0_time) / _SECONDS_PER_DAY
+        transitions.append(
+            TransitionMetrics(
+                transition_id=index,
+                timestamp=newer.timestamp,
+                days_since_v0=days,
+                running_month=int(days // _DAYS_PER_MONTH) + 1,
+                running_year=int(days // 365.25) + 1,
+                old_size=older.schema.size,
+                new_size=newer.schema.size,
+                diff=diff_schemas(older.schema, newer.schema),
+            )
+        )
+    heartbeat = Heartbeat(entries=tuple(t.heartbeat_entry() for t in transitions))
+    start_size = history.v0.schema.size
+    end_size = history.last.schema.size
+    return ProjectMetrics(
+        project=history.project,
+        transitions=tuple(transitions),
+        heartbeat=heartbeat,
+        n_commits=history.n_commits,
+        sup_months=history.update_period_months,
+        tables_at_start=start_size.tables,
+        tables_at_end=end_size.tables,
+        attributes_at_start=start_size.attributes,
+        attributes_at_end=end_size.attributes,
+        reed_limit=reed_limit,
+    )

@@ -1,0 +1,111 @@
+"""Why is a commit non-active? (Sec III.B's characterization)
+
+"Non-Active commits involve changes in comments, directives to the
+DBMS, INSERT statements, indexing, and other changes that do not affect
+the logical capacity of the schema in terms of tables, attributes, data
+types or primary keys."
+
+This module classifies a non-active transition into those categories by
+comparing what the two versions' scripts contain besides logical DDL.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections import Counter
+
+from repro.sqlddl.ast import AlterKind, AlterTable, IgnoredStatement
+from repro.sqlddl.parser import parse_script
+
+
+class NonActiveKind(enum.Enum):
+    """Categories of sub-logical change, as listed by the paper."""
+
+    COMMENTS = "comments"  # only comment/whitespace text moved
+    DIRECTIVES = "DBMS directives"  # SET, USE, LOCK, /*!...*/ content
+    DATA = "INSERT statements"  # seed rows / data manipulation
+    INDEXING = "indexing"  # CREATE INDEX / KEY changes
+    CONSTRAINTS = "constraints"  # FK adds/drops (sub-logical here)
+    OTHER = "other sub-logical change"
+
+
+_DIRECTIVE_VERBS = {"SET", "USE", "LOCK", "UNLOCK", "START", "COMMIT", "BEGIN", "GO", "FLUSH"}
+_DATA_VERBS = {"INSERT", "UPDATE", "DELETE", "REPLACE", "TRUNCATE", "LOAD"}
+_INDEX_VERBS = {"CREATE", "DROP"}  # CREATE INDEX / DROP INDEX degrade to Ignored
+
+_INDEX_PATTERN = re.compile(r"\bINDEX\b", re.IGNORECASE)
+
+
+def _statement_profile(text: str) -> dict[NonActiveKind, Counter]:
+    """Sub-logical statements of one script, as multisets per category.
+
+    Keeping the statement texts (not just counts) means a CREATE INDEX
+    turned into a DROP INDEX still registers as an indexing change.
+    """
+    profile: dict[NonActiveKind, Counter] = {}
+
+    def note(kind: NonActiveKind, raw: str) -> None:
+        profile.setdefault(kind, Counter())[raw] += 1
+
+    for statement in parse_script(text):
+        if isinstance(statement, IgnoredStatement):
+            verb = statement.verb.upper()
+            raw = f"{verb} {statement.raw or ''}".strip()
+            if verb in _DATA_VERBS:
+                note(NonActiveKind.DATA, raw)
+            elif verb in _DIRECTIVE_VERBS:
+                note(NonActiveKind.DIRECTIVES, raw)
+            elif verb in _INDEX_VERBS and _INDEX_PATTERN.search(statement.raw or ""):
+                note(NonActiveKind.INDEXING, raw)
+            else:
+                note(NonActiveKind.OTHER, raw)
+        elif isinstance(statement, AlterTable):
+            for action in statement.actions:
+                raw = f"{statement.name}:{action.kind.value}:{action.raw}"
+                if action.kind is AlterKind.ADD_CONSTRAINT and action.constraint is not None:
+                    note(NonActiveKind.CONSTRAINTS, f"{statement.name}:{action.constraint}")
+                elif action.kind in (AlterKind.DROP_CONSTRAINT, AlterKind.OTHER):
+                    note(NonActiveKind.OTHER, raw)
+    return profile
+
+
+def categorize_nonactive(old_text: str, new_text: str) -> set[NonActiveKind]:
+    """Categories of change between two versions of a *non-active* commit.
+
+    The caller is expected to have established that the logical schema
+    did not change; this function explains what did.  If nothing in the
+    statement profiles moved, the change was comments/whitespace only.
+    """
+    old_profile = _statement_profile(old_text)
+    new_profile = _statement_profile(new_text)
+    moved = {
+        kind
+        for kind in set(old_profile) | set(new_profile)
+        if old_profile.get(kind, Counter()) != new_profile.get(kind, Counter())
+    }
+    if not moved:
+        return {NonActiveKind.COMMENTS}
+    return moved
+
+
+def nonactive_breakdown(versions: list[str]) -> Counter:
+    """Category counts over all non-active transitions of a text history.
+
+    ``versions`` are the raw texts in time order; transitions whose
+    logical schema changed are skipped (they are active commits).
+    """
+    from repro.schema.builder import build_schema
+
+    breakdown: Counter = Counter()
+    schemas = [build_schema(text) for text in versions]
+    for (old_text, old_schema), (new_text, new_schema) in zip(
+        zip(versions, schemas), zip(versions[1:], schemas[1:])
+    ):
+        from repro.core.diff import diff_schemas
+
+        if diff_schemas(old_schema, new_schema).is_active:
+            continue
+        for kind in categorize_nonactive(old_text, new_text):
+            breakdown[kind] += 1
+    return breakdown

@@ -1,0 +1,93 @@
+"""Rename-aware diffing — the ablation of Hecate's name-matching choice.
+
+The study (like Hecate) matches tables and attributes by name: a renamed
+table is counted as a full death plus a full birth.  DESIGN.md flags
+this as an ablation candidate: how much of the measured activity is an
+artifact of that choice?
+
+This module detects *likely table renames* between two versions — a
+dropped table and an added table with identical attribute signatures —
+and reports the activity with those pairs counted as renames (cost 0)
+instead of death+birth.  It deliberately stays conservative: only exact
+signature matches qualify, and ambiguous cases (several candidates with
+the same signature) are left as death+birth, because guessing would
+fabricate history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.diff import TransitionDiff, diff_schemas
+from repro.schema.model import Schema, Table
+
+
+def _signature(table: Table) -> tuple:
+    """Order-independent content signature of a table."""
+    return (
+        tuple(sorted((a.key, a.data_type, a.nullable) for a in table.attributes)),
+        table.pk_key,
+    )
+
+
+@dataclass(frozen=True)
+class RenameAwareDiff:
+    """The paper's diff plus detected table renames."""
+
+    base: TransitionDiff
+    renames: tuple[tuple[str, str], ...]  # (old name, new name)
+
+    @property
+    def renamed_attributes(self) -> int:
+        """Attributes that the name-matched diff double-counts."""
+        # Each rename removes one death (k attrs) and one birth (k attrs)
+        # from the activity; we count the per-rename attribute totals by
+        # summing both sides' contributions in the base diff.
+        by_table: dict[str, int] = {}
+        for change in self.base.changes:
+            by_table[change.table.lower()] = by_table.get(change.table.lower(), 0) + 1
+        total = 0
+        for old_name, new_name in self.renames:
+            total += by_table.get(old_name.lower(), 0)
+            total += by_table.get(new_name.lower(), 0)
+        return total
+
+    @property
+    def adjusted_activity(self) -> int:
+        """Activity with detected renames costed at zero."""
+        return self.base.activity - self.renamed_attributes
+
+    @property
+    def inflation(self) -> int:
+        """How many attribute-counts the name-matching choice added."""
+        return self.base.activity - self.adjusted_activity
+
+
+def detect_table_renames(old: Schema, new: Schema) -> list[tuple[str, str]]:
+    """Unambiguous (dropped, added) pairs with identical signatures."""
+    old_keys = set(old.by_key())
+    new_keys = set(new.by_key())
+    dropped = [old.by_key()[k] for k in sorted(old_keys - new_keys)]
+    added = [new.by_key()[k] for k in sorted(new_keys - old_keys)]
+    if not dropped or not added:
+        return []
+    dropped_by_sig: dict[tuple, list[Table]] = {}
+    for table in dropped:
+        dropped_by_sig.setdefault(_signature(table), []).append(table)
+    added_by_sig: dict[tuple, list[Table]] = {}
+    for table in added:
+        added_by_sig.setdefault(_signature(table), []).append(table)
+    renames: list[tuple[str, str]] = []
+    for signature, old_group in dropped_by_sig.items():
+        new_group = added_by_sig.get(signature, [])
+        if len(old_group) == 1 and len(new_group) == 1:
+            renames.append((old_group[0].name, new_group[0].name))
+    return renames
+
+
+def diff_with_rename_detection(old: Schema, new: Schema) -> RenameAwareDiff:
+    """The paper's diff, annotated with detected table renames."""
+    return RenameAwareDiff(
+        base=diff_schemas(old, new),
+        renames=tuple(detect_table_renames(old, new)),
+    )

@@ -1,0 +1,86 @@
+"""Schema-line shapes: the table-count trajectories of Sec IV.
+
+The paper repeatedly characterizes projects by the shape of their
+"schema line" (table count over time):
+
+- Almost Frozen: "75% of projects having a flat schema line";
+- FS&Frozen: "52% of the projects involve a single step-up";
+- Moderate: "65% of projects have a rise in the schema, 10% have a flat
+  line and the rest of the projects have turbulent or dropping lines";
+- Active: "typically growing (50% of the cases with several steps, 9%
+  with a single step), ... 2 cases of flat schemata, 3 cases of massive
+  drop of its size and 4 cases of turbulent evolution".
+
+This module turns those adjectives into a deterministic classifier over
+the table-count series.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.core.metrics import ProjectMetrics
+
+
+class LineShape(enum.Enum):
+    """The table-count trajectory of one project."""
+
+    FLAT = "flat"  # the count never changes
+    SINGLE_STEP_RISE = "single step-up"  # monotone, exactly one up-step
+    MULTI_STEP_RISE = "rise in several steps"  # monotone, 2+ up-steps
+    DROP = "massive drop"  # ends well below its peak
+    TURBULENT = "turbulent"  # up and down, no dominant direction
+
+    @property
+    def is_rise(self) -> bool:
+        return self in (LineShape.SINGLE_STEP_RISE, LineShape.MULTI_STEP_RISE)
+
+
+def classify_line(table_counts: Sequence[int], drop_threshold: float = 0.7) -> LineShape:
+    """Classify a table-count series into its :class:`LineShape`.
+
+    ``drop_threshold``: a project whose final count falls to at most
+    this fraction of its peak is a DROP ("massive drop of its size");
+    smaller dips inside an otherwise mixed line are TURBULENT.
+    """
+    if not table_counts:
+        raise ValueError("cannot classify an empty series")
+    counts = list(table_counts)
+    if len(set(counts)) == 1:
+        return LineShape.FLAT
+    up_steps = sum(1 for a, b in zip(counts, counts[1:]) if b > a)
+    down_steps = sum(1 for a, b in zip(counts, counts[1:]) if b < a)
+    if down_steps == 0:
+        return (
+            LineShape.SINGLE_STEP_RISE if up_steps == 1 else LineShape.MULTI_STEP_RISE
+        )
+    peak = max(counts)
+    if counts[-1] <= peak * drop_threshold and counts[-1] < counts[0]:
+        return LineShape.DROP
+    if up_steps == 0:
+        # Shrinking but not below the massive-drop threshold: the paper
+        # lumps mild decline with the turbulent/dropping group.
+        return LineShape.DROP if counts[-1] < counts[0] else LineShape.TURBULENT
+    return LineShape.TURBULENT
+
+
+def line_shape_of(metrics: ProjectMetrics, drop_threshold: float = 0.7) -> LineShape:
+    """Shape of one measured project's schema line."""
+    series = metrics.schema_size_series
+    if not series:
+        return LineShape.FLAT  # a single version never moves
+    return classify_line([tables for _, tables, _ in series], drop_threshold)
+
+
+def shape_shares(
+    projects, drop_threshold: float = 0.7
+) -> dict[LineShape, float]:
+    """Distribution of line shapes over a set of measured projects."""
+    shapes = [line_shape_of(p.metrics, drop_threshold) for p in projects]
+    if not shapes:
+        return {}
+    return {
+        shape: sum(1 for s in shapes if s is shape) / len(shapes)
+        for shape in LineShape
+    }

@@ -1,0 +1,134 @@
+"""The taxa of schema evolution and the classification tree (Fig 3, Table I).
+
+Rule-based definitions, applied in tree order:
+
+1. *History-less* — only 1 commit of the .sql file (no transitions).
+2. *Frozen* — with history, but total activity 0 and 0 active commits.
+3. *Almost Frozen* — at most 3 active commits, activity <= 10 attributes.
+4. *Focused Shot & Frozen* — at most 3 active commits, activity > 10.
+5. *Focused Shot & Low* — between 4 and 10 active commits, 1..2 reeds.
+6. *Moderate* — none of the rest, total activity below 90 attributes.
+7. *Active* — none of the rest, total activity above 90 attributes.
+
+Note on (5): Table I says "no more than 2 reeds", but the published
+per-taxon data (Fig 4) shows FS&Low minimum reeds = 1 while Moderate
+projects with 4-10 active commits have 0 reeds — i.e. the tree sends
+reed-less mid-heartbeat projects to Moderate.  We therefore require at
+least one reed for FS&Low, which reproduces the published populations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.metrics import ProjectMetrics
+
+
+class Taxon(enum.Enum):
+    """Families of evolutionary behaviour in FOSS schema histories."""
+
+    HISTORY_LESS = "history-less"
+    FROZEN = "frozen"
+    ALMOST_FROZEN = "almost frozen"
+    FOCUSED_SHOT_AND_FROZEN = "focused shot and frozen"
+    MODERATE = "moderate"
+    FOCUSED_SHOT_AND_LOW = "focused shot and low"
+    ACTIVE = "active"
+
+    @property
+    def short(self) -> str:
+        return _SHORT_NAMES[self]
+
+    @property
+    def is_studied(self) -> bool:
+        """History-less projects were set aside (no transitions)."""
+        return self is not Taxon.HISTORY_LESS
+
+
+_SHORT_NAMES = {
+    Taxon.HISTORY_LESS: "HistLess",
+    Taxon.FROZEN: "Frozen",
+    Taxon.ALMOST_FROZEN: "AlmFrozen",
+    Taxon.FOCUSED_SHOT_AND_FROZEN: "FS+Frozen",
+    Taxon.MODERATE: "Moderate",
+    Taxon.FOCUSED_SHOT_AND_LOW: "FS+Low",
+    Taxon.ACTIVE: "Active",
+}
+
+#: Presentation order used throughout the paper's tables.
+TAXA_ORDER: tuple[Taxon, ...] = (
+    Taxon.FROZEN,
+    Taxon.ALMOST_FROZEN,
+    Taxon.FOCUSED_SHOT_AND_FROZEN,
+    Taxon.MODERATE,
+    Taxon.FOCUSED_SHOT_AND_LOW,
+    Taxon.ACTIVE,
+)
+
+#: The five taxa with nonzero activity, used in the statistical tests
+#: (the totally frozen taxon is excluded as a special case of Almost
+#: Frozen — Sec V).
+NONFROZEN_TAXA: tuple[Taxon, ...] = (
+    Taxon.ALMOST_FROZEN,
+    Taxon.FOCUSED_SHOT_AND_FROZEN,
+    Taxon.MODERATE,
+    Taxon.FOCUSED_SHOT_AND_LOW,
+    Taxon.ACTIVE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonRules:
+    """Thresholds of the classification tree; paper defaults.
+
+    Exposed as a parameter object so the ablation bench (E14) can sweep
+    them without monkey-patching.
+    """
+
+    few_active_commits: int = 3  # "at most 3 active commits"
+    small_activity: int = 10  # "change <= 10 updated attributes"
+    fs_low_min_active: int = 4
+    fs_low_max_active: int = 10
+    fs_low_max_reeds: int = 2
+    moderate_activity_limit: int = 90  # "total change less than 90"
+
+
+DEFAULT_RULES = TaxonRules()
+
+
+def classify_metrics(
+    n_commits: int,
+    active_commits: int,
+    total_activity: int,
+    reeds: int,
+    rules: TaxonRules = DEFAULT_RULES,
+) -> Taxon:
+    """Classify from raw counts; the pure decision tree of Fig 3."""
+    if n_commits <= 1:
+        return Taxon.HISTORY_LESS
+    if active_commits == 0 and total_activity == 0:
+        return Taxon.FROZEN
+    if active_commits <= rules.few_active_commits:
+        if total_activity <= rules.small_activity:
+            return Taxon.ALMOST_FROZEN
+        return Taxon.FOCUSED_SHOT_AND_FROZEN
+    if (
+        rules.fs_low_min_active <= active_commits <= rules.fs_low_max_active
+        and 1 <= reeds <= rules.fs_low_max_reeds
+    ):
+        return Taxon.FOCUSED_SHOT_AND_LOW
+    if total_activity <= rules.moderate_activity_limit:
+        return Taxon.MODERATE
+    return Taxon.ACTIVE
+
+
+def classify(metrics: ProjectMetrics, rules: TaxonRules = DEFAULT_RULES) -> Taxon:
+    """Classify a measured project into its taxon."""
+    return classify_metrics(
+        n_commits=metrics.n_commits,
+        active_commits=metrics.active_commits,
+        total_activity=metrics.total_activity,
+        reeds=metrics.reeds,
+        rules=rules,
+    )

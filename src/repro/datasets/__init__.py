@@ -1,0 +1,23 @@
+"""Curated recreations of the projects named in the paper's figures."""
+
+from repro.datasets.named import (
+    NAMED_PROJECTS,
+    almost_frozen_reference,
+    builderscon_octav,
+    jasdel_harvester,
+    jronak_onlinejudge,
+    mozilla_tls_observatory,
+    named_project,
+    talkingdata_owl,
+)
+
+__all__ = [
+    "NAMED_PROJECTS",
+    "almost_frozen_reference",
+    "builderscon_octav",
+    "jasdel_harvester",
+    "jronak_onlinejudge",
+    "mozilla_tls_observatory",
+    "named_project",
+    "talkingdata_owl",
+]

@@ -1,0 +1,34 @@
+"""Extensions beyond the paper's core study.
+
+Sec VI lists the open research paths: "test the existence of patterns at
+the table level, [and] extract the treatment of constraints (esp.,
+foreign keys) in FOSS projects."  Both are implemented here on top of
+the core pipeline:
+
+- :mod:`repro.extensions.table_lives` — per-table birth/death/duration/
+  activity and the Electrolysis pattern of [14]/[15];
+- :mod:`repro.extensions.foreign_keys` — foreign-key usage over schema
+  histories, following [12].
+"""
+
+from repro.extensions.table_lives import (
+    TableLife,
+    TableLivesStudy,
+    study_table_lives,
+)
+from repro.extensions.foreign_keys import (
+    ForeignKeyProfile,
+    foreign_key_profile,
+)
+from repro.extensions.bursts import Burst, BurstProfile, burst_profile
+
+__all__ = [
+    "Burst",
+    "BurstProfile",
+    "ForeignKeyProfile",
+    "TableLife",
+    "TableLivesStudy",
+    "burst_profile",
+    "foreign_key_profile",
+    "study_table_lives",
+]

@@ -1,0 +1,112 @@
+"""Bursts and calmness in schema growth (after [13]).
+
+"[Skoulis et al.] shows that schemata grow over time with bursts of
+concentrated effort of growth and/or maintenance interrupting longer
+periods of calmness."  This module detects those bursts on the monthly
+heartbeat of a project and measures how concentrated change is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ProjectMetrics
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A maximal run of consecutive active months."""
+
+    start_month: int  # 1-based running month
+    end_month: int  # inclusive
+    activity: int
+
+    @property
+    def length(self) -> int:
+        return self.end_month - self.start_month + 1
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """Burst/calmness structure of one project."""
+
+    project: str
+    months_observed: int  # running months from V0 to the last commit
+    bursts: tuple[Burst, ...]
+    total_activity: int
+
+    @property
+    def n_bursts(self) -> int:
+        return len(self.bursts)
+
+    @property
+    def active_months(self) -> int:
+        return sum(burst.length for burst in self.bursts)
+
+    @property
+    def calm_months(self) -> int:
+        return self.months_observed - self.active_months
+
+    @property
+    def calm_share(self) -> float:
+        """Fraction of observed months without any logical change."""
+        if self.months_observed == 0:
+            return 1.0
+        return self.calm_months / self.months_observed
+
+    @property
+    def peak_burst(self) -> Burst | None:
+        if not self.bursts:
+            return None
+        return max(self.bursts, key=lambda b: b.activity)
+
+    def concentration(self, top: int = 1) -> float:
+        """Share of all activity inside the *top* most intense bursts."""
+        if self.total_activity == 0:
+            return 0.0
+        ranked = sorted((b.activity for b in self.bursts), reverse=True)
+        return sum(ranked[:top]) / self.total_activity
+
+
+def monthly_activity(metrics: ProjectMetrics) -> dict[int, int]:
+    """Total activity per running month (months with none are absent)."""
+    by_month: dict[int, int] = {}
+    for transition in metrics.transitions:
+        if transition.activity:
+            by_month[transition.running_month] = (
+                by_month.get(transition.running_month, 0) + transition.activity
+            )
+    return by_month
+
+
+def burst_profile(metrics: ProjectMetrics) -> BurstProfile:
+    """Detect bursts: maximal runs of consecutive months with activity."""
+    per_month = monthly_activity(metrics)
+    months_observed = max(
+        [t.running_month for t in metrics.transitions], default=0
+    )
+    bursts: list[Burst] = []
+    current_start: int | None = None
+    current_activity = 0
+    for month in range(1, months_observed + 2):
+        amount = per_month.get(month, 0)
+        if amount:
+            if current_start is None:
+                current_start = month
+                current_activity = 0
+            current_activity += amount
+        elif current_start is not None:
+            bursts.append(
+                Burst(
+                    start_month=current_start,
+                    end_month=month - 1,
+                    activity=current_activity,
+                )
+            )
+            current_start = None
+    return BurstProfile(
+        project=metrics.project,
+        months_observed=months_observed,
+        bursts=tuple(bursts),
+        total_activity=metrics.total_activity,
+    )

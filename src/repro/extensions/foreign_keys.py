@@ -1,0 +1,104 @@
+"""Foreign-key usage over schema histories (following [12]).
+
+The core study treats constraints other than primary keys as
+sub-logical, but the paper's companion work ([12], also quoted for "the
+lack of integrity constraints in several places") and the Sec VI open
+paths ask how foreign keys are treated in FOSS schemata.  This module
+extracts FK counts per version directly from the parsed statements,
+without touching the core schema model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlddl.ast import AlterKind, AlterTable, ConstraintKind, CreateTable, DropTable
+from repro.sqlddl.parser import parse_script
+from repro.vcs.history import FileVersion
+
+
+@dataclass(frozen=True)
+class ForeignKeyProfile:
+    """Foreign-key usage of one project's schema history."""
+
+    project: str
+    fk_counts: tuple[int, ...]  # one per version
+    tables_counts: tuple[int, ...]  # tables per version, for density
+
+    @property
+    def ever_used(self) -> bool:
+        return any(count > 0 for count in self.fk_counts)
+
+    @property
+    def fk_at_end(self) -> int:
+        return self.fk_counts[-1] if self.fk_counts else 0
+
+    @property
+    def fk_births(self) -> int:
+        """Total FK additions across transitions."""
+        return sum(
+            max(0, after - before)
+            for before, after in zip(self.fk_counts, self.fk_counts[1:])
+        )
+
+    @property
+    def fk_deaths(self) -> int:
+        return sum(
+            max(0, before - after)
+            for before, after in zip(self.fk_counts, self.fk_counts[1:])
+        )
+
+    @property
+    def density_at_end(self) -> float:
+        """FKs per table in the final version."""
+        if not self.tables_counts or self.tables_counts[-1] == 0:
+            return 0.0
+        return self.fk_at_end / self.tables_counts[-1]
+
+
+def _count_fks(text: str) -> tuple[int, int]:
+    """(foreign keys, tables) declared by one version's script.
+
+    Counts both table-level FK constraints in CREATE TABLE and
+    inline/ALTER additions, replaying drops: a dropped table takes its
+    FKs with it.
+    """
+    fks_per_table: dict[str, int] = {}
+    for statement in parse_script(text):
+        if isinstance(statement, CreateTable):
+            count = sum(
+                1
+                for constraint in statement.constraints
+                if constraint.kind is ConstraintKind.FOREIGN_KEY
+            )
+            fks_per_table[statement.name.lower()] = count
+        elif isinstance(statement, AlterTable):
+            key = statement.name.lower()
+            for action in statement.actions:
+                if (
+                    action.kind is AlterKind.ADD_CONSTRAINT
+                    and action.constraint is not None
+                    and action.constraint.kind is ConstraintKind.FOREIGN_KEY
+                ):
+                    fks_per_table[key] = fks_per_table.get(key, 0) + 1
+        elif isinstance(statement, DropTable):
+            for name in statement.names:
+                fks_per_table.pop(name.lower(), None)
+    return sum(fks_per_table.values()), len(fks_per_table)
+
+
+def foreign_key_profile(project: str, versions: list[FileVersion]) -> ForeignKeyProfile:
+    """Profile a project's FK usage across its schema history."""
+    fk_counts: list[int] = []
+    table_counts: list[int] = []
+    for version in versions:
+        if version.is_deletion or not version.text.strip():
+            continue
+        fks, tables = _count_fks(version.text)
+        fk_counts.append(fks)
+        table_counts.append(tables)
+    return ForeignKeyProfile(
+        project=project,
+        fk_counts=tuple(fk_counts),
+        tables_counts=tuple(table_counts),
+    )

@@ -1,0 +1,182 @@
+"""Per-table lives: birth, death, duration, and update activity.
+
+The paper's earlier companion studies ([14], [15]) analyse *tables*
+rather than schemata, summarized by the **Electrolysis pattern**:
+"whereas dead tables are attracted to lives of short or medium duration
+and absence of schema update activity, survivors are mostly located at
+medium or high durations and the more active they are, the stronger
+they are attracted towards high durations."
+
+This module derives per-table lives from a :class:`SchemaHistory` and
+aggregates the pattern's statistics so the extension bench can verify
+the shape on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.diff import ChangeKind, diff_schemas
+from repro.core.history import SchemaHistory
+
+_DAYS_PER_MONTH = 30.4375
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class TableLife:
+    """One table's biography inside a schema history."""
+
+    project: str
+    table: str
+    birth_version: int  # version index where the table first appears
+    death_version: int | None  # version index where it disappeared, or None
+    birth_ts: int
+    end_ts: int  # death time, or the history's last version time
+    activity: int  # intra-table attribute updates during its life
+
+    @property
+    def is_survivor(self) -> bool:
+        """Alive at the last observed version of the schema."""
+        return self.death_version is None
+
+    @property
+    def duration_months(self) -> int:
+        days = (self.end_ts - self.birth_ts) / _SECONDS_PER_DAY
+        return max(1, round(days / _DAYS_PER_MONTH))
+
+    @property
+    def is_active(self) -> bool:
+        """Any intra-table update at all (the [15] notion of activity)."""
+        return self.activity > 0
+
+
+@dataclass(frozen=True)
+class TableLivesStudy:
+    """All table lives of a corpus plus the Electrolysis aggregates."""
+
+    lives: tuple[TableLife, ...]
+
+    @property
+    def survivors(self) -> list[TableLife]:
+        return [life for life in self.lives if life.is_survivor]
+
+    @property
+    def dead(self) -> list[TableLife]:
+        return [life for life in self.lives if not life.is_survivor]
+
+    @staticmethod
+    def _median(values: list[float]) -> float:
+        if not values:
+            raise ValueError("empty sample")
+        ordered = sorted(values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[middle])
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    def median_duration(self, survivors: bool) -> float:
+        pool = self.survivors if survivors else self.dead
+        return self._median([life.duration_months for life in pool])
+
+    def active_share(self, survivors: bool) -> float:
+        pool = self.survivors if survivors else self.dead
+        if not pool:
+            return 0.0
+        return sum(1 for life in pool if life.is_active) / len(pool)
+
+    def survival_curve(self):
+        """Kaplan-Meier curve of table lifetimes.
+
+        Dead tables are events; survivors are right-censored at the end
+        of the observation window — the canonical treatment for the
+        duration side of the Electrolysis analysis.
+        """
+        from repro.stats.survival import kaplan_meier
+
+        durations = [life.duration_months for life in self.lives]
+        observed = [not life.is_survivor for life in self.lives]
+        return kaplan_meier(durations, observed)
+
+    def electrolysis_holds(self) -> bool:
+        """The pattern's two poles, as stated in the related work:
+        dead tables live shorter and quieter; survivors live longer."""
+        if not self.dead or not self.survivors:
+            return True  # nothing to contrast
+        longer_lives = self.median_duration(survivors=True) >= self.median_duration(
+            survivors=False
+        )
+        quieter_dead = self.active_share(survivors=False) <= self.active_share(
+            survivors=True
+        )
+        return longer_lives and quieter_dead
+
+
+_INTRA_TABLE_KINDS = {
+    ChangeKind.INJECTED,
+    ChangeKind.EJECTED,
+    ChangeKind.TYPE_CHANGED,
+    ChangeKind.PK_CHANGED,
+}
+
+
+def table_lives_of(history: SchemaHistory) -> list[TableLife]:
+    """Derive every table's life from one schema history."""
+    if not history.versions:
+        return []
+    births: dict[str, tuple[int, int, str]] = {}  # key -> (version, ts, name)
+    activity: dict[str, int] = {}
+    lives: list[TableLife] = []
+
+    v0 = history.v0
+    for table in v0.schema.tables:
+        births[table.key] = (0, v0.timestamp, table.name)
+        activity[table.key] = 0
+
+    for index, (older, newer) in enumerate(history.transitions(), start=1):
+        diff = diff_schemas(older.schema, newer.schema)
+        for change in diff.changes:
+            if change.kind in _INTRA_TABLE_KINDS:
+                activity[change.table.lower()] = activity.get(change.table.lower(), 0) + 1
+        for name in diff.tables_inserted:
+            births[name.lower()] = (index, newer.timestamp, name)
+            activity.setdefault(name.lower(), 0)
+        for name in diff.tables_deleted:
+            key = name.lower()
+            birth_version, birth_ts, original_name = births.pop(
+                key, (index - 1, older.timestamp, name)
+            )
+            lives.append(
+                TableLife(
+                    project=history.project,
+                    table=original_name,
+                    birth_version=birth_version,
+                    death_version=index,
+                    birth_ts=birth_ts,
+                    end_ts=newer.timestamp,
+                    activity=activity.pop(key, 0),
+                )
+            )
+
+    last_ts = history.last.timestamp
+    for key, (birth_version, birth_ts, name) in births.items():
+        lives.append(
+            TableLife(
+                project=history.project,
+                table=name,
+                birth_version=birth_version,
+                death_version=None,
+                birth_ts=birth_ts,
+                end_ts=last_ts,
+                activity=activity.get(key, 0),
+            )
+        )
+    return lives
+
+
+def study_table_lives(histories: list[SchemaHistory]) -> TableLivesStudy:
+    """Run the table-level study over many histories."""
+    lives: list[TableLife] = []
+    for history in histories:
+        lives.extend(table_lives_of(history))
+    return TableLivesStudy(lives=tuple(lives))

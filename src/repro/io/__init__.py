@@ -1,0 +1,31 @@
+"""Export and reload of study results.
+
+The paper publishes "all data, results, summary statistics" in a public
+repository; this subpackage is the equivalent release machinery: write
+the measured corpus as CSV/JSON artifacts a downstream analyst can load
+in any stack, and read them back losslessly for the measures.
+"""
+
+from repro.io.export import (
+    export_study,
+    funnel_payload,
+    project_rows,
+    transition_rows,
+    write_csv,
+    write_json,
+)
+from repro.io.load import load_project_rows, load_study_summary
+from repro.io.corpus_io import dump_corpus_histories, load_corpus_histories
+
+__all__ = [
+    "dump_corpus_histories",
+    "export_study",
+    "funnel_payload",
+    "load_corpus_histories",
+    "load_project_rows",
+    "load_study_summary",
+    "project_rows",
+    "transition_rows",
+    "write_csv",
+    "write_json",
+]

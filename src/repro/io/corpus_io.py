@@ -1,0 +1,119 @@
+"""Persist and reload synthetic corpora as plain files.
+
+A built corpus can be released as a directory tree of real ``.sql``
+files — one subdirectory per project, one file per schema version plus
+a ``versions.json`` manifest — and reloaded into in-memory repositories
+on another machine or in another process.  The reloaded corpus carries
+exactly the DDL histories (filler commits are not round-tripped; the
+manifest records the repository-level stats they contributed), so every
+schema-level measure re-derives identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.project import RepoStats, repo_stats_of
+from repro.vcs.history import extract_file_history
+from repro.vcs.repository import Repository
+
+
+def dump_corpus_histories(
+    directory: str | Path, repos: dict[str, Repository | None], ddl_paths: dict[str, str]
+) -> Path:
+    """Write every project's schema history under *directory*.
+
+    Layout::
+
+        <directory>/<owner>__<name>/v0000.sql, v0001.sql, ...
+        <directory>/<owner>__<name>/versions.json
+
+    Returns the directory path.  Projects without a repository (removed
+    from GitHub) or without the DDL path are skipped — exactly the ones
+    the funnel removes before measuring.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, repo in sorted(repos.items()):
+        if repo is None:
+            continue
+        ddl_path = ddl_paths.get(name)
+        if ddl_path is None:
+            continue
+        versions = extract_file_history(repo, ddl_path)
+        if not versions:
+            continue
+        slug = name.replace("/", "__")
+        project_dir = directory / slug
+        project_dir.mkdir(exist_ok=True)
+        manifest = {
+            "project": name,
+            "ddl_path": ddl_path,
+            "repo_stats": _stats_payload(repo),
+            "versions": [],
+        }
+        for index, version in enumerate(versions):
+            file_name = f"v{index:04d}.sql"
+            (project_dir / file_name).write_bytes(version.content or b"")
+            manifest["versions"].append(
+                {
+                    "file": file_name,
+                    "commit": version.commit_oid,
+                    "timestamp": version.timestamp,
+                    "author": version.author,
+                    "message": version.message,
+                }
+            )
+        with open(project_dir / "versions.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+    return directory
+
+
+def _stats_payload(repo: Repository) -> dict:
+    stats = repo_stats_of(repo)
+    return {
+        "total_commits": stats.total_commits,
+        "first_commit_ts": stats.first_commit_ts,
+        "last_commit_ts": stats.last_commit_ts,
+    }
+
+
+def load_corpus_histories(
+    directory: str | Path,
+) -> dict[str, tuple[Repository, str, RepoStats]]:
+    """Reload a dumped corpus.
+
+    Returns project name -> (repository holding the DDL history,
+    DDL path, original whole-repo stats).  The rebuilt repository
+    contains one commit per schema version with the original timestamps,
+    authors and messages, so Hecate measures are identical; PUP and
+    commit-share come from the recorded stats.
+    """
+    directory = Path(directory)
+    loaded: dict[str, tuple[Repository, str, RepoStats]] = {}
+    for project_dir in sorted(directory.iterdir()):
+        manifest_path = project_dir / "versions.json"
+        if not project_dir.is_dir() or not manifest_path.exists():
+            continue
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        name = manifest["project"]
+        ddl_path = manifest["ddl_path"]
+        repo = Repository(name)
+        for entry in manifest["versions"]:
+            content = (project_dir / entry["file"]).read_bytes()
+            repo.commit(
+                {ddl_path: content},
+                author=entry["author"],
+                timestamp=entry["timestamp"],
+                message=entry["message"],
+            )
+        stats_raw = manifest["repo_stats"]
+        stats = RepoStats(
+            total_commits=stats_raw["total_commits"],
+            first_commit_ts=stats_raw["first_commit_ts"],
+            last_commit_ts=stats_raw["last_commit_ts"],
+        )
+        loaded[name] = (repo, ddl_path, stats)
+    return loaded

@@ -1,0 +1,57 @@
+"""Reload exported study artifacts."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+_INT_FIELDS = {
+    "n_commits",
+    "active_commits",
+    "total_activity",
+    "expansion",
+    "maintenance",
+    "reeds",
+    "turf_commits",
+    "table_insertions",
+    "table_deletions",
+    "tables_at_start",
+    "tables_at_end",
+    "attributes_at_start",
+    "attributes_at_end",
+    "sup_months",
+    "pup_months",
+    "total_repo_commits",
+}
+
+_FLOAT_FIELDS = {"ddl_commit_share"}
+
+
+def load_project_rows(path: str | Path) -> list[dict]:
+    """Read ``projects.csv`` back with numeric fields restored."""
+    rows: list[dict] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        for raw in csv.DictReader(handle):
+            row: dict = {}
+            for key, value in raw.items():
+                if key in _INT_FIELDS:
+                    row[key] = int(value)
+                elif key in _FLOAT_FIELDS:
+                    row[key] = float(value)
+                else:
+                    row[key] = value
+            rows.append(row)
+    return rows
+
+
+def load_study_summary(directory: str | Path) -> dict:
+    """Read the JSON artifacts of one exported study directory."""
+    directory = Path(directory)
+    summary = {}
+    for name in ("funnel", "taxa", "fig4"):
+        path = directory / f"{name}.json"
+        if path.exists():
+            with open(path, encoding="utf-8") as handle:
+                summary[name] = json.load(handle)
+    return summary

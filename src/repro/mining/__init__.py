@@ -1,0 +1,35 @@
+"""The data-collection pipeline of Sec III.A.
+
+Models the two public datasets the paper queried (GitHub Activity's
+``contents`` table and Libraries.io's project metadata), the join and
+quality filters between them, the path-level post-processing (test/demo
+exclusion, vendor choice, multi-file reduction), and the end-to-end
+funnel that turns a raw corpus into the Schema_Evo_2019 study set.
+"""
+
+from repro.mining.github_activity import GithubActivityDataset, SqlFileRecord
+from repro.mining.librariesio import LibrariesIoDataset, LibrariesIoRecord
+from repro.mining.selection import SelectionCriteria, select_lib_io
+from repro.mining.path_filters import (
+    FileChoice,
+    MultiFileVerdict,
+    choose_ddl_file,
+    is_excluded_path,
+)
+from repro.mining.funnel import FunnelReport, RepoProvider, run_funnel
+
+__all__ = [
+    "FileChoice",
+    "FunnelReport",
+    "GithubActivityDataset",
+    "LibrariesIoDataset",
+    "LibrariesIoRecord",
+    "MultiFileVerdict",
+    "RepoProvider",
+    "SelectionCriteria",
+    "SqlFileRecord",
+    "choose_ddl_file",
+    "is_excluded_path",
+    "run_funnel",
+    "select_lib_io",
+]

@@ -1,0 +1,59 @@
+"""The GitHub Activity ``contents`` table, as queried on BigQuery.
+
+The paper: "We queried the contents table for all file descriptions
+ending to a '.sql' suffix ... and obtained a collection of SQL file
+descriptions (the SQL-Collection) for 133,029 repositories."  We model
+the slice of that table the query touches: one record per file
+description, with repository name and path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class SqlFileRecord:
+    """One file description row of the contents table."""
+
+    repo_name: str  # "owner/project"
+    path: str  # path inside the repository
+    size: int = 0
+
+    @property
+    def repo_url(self) -> str:
+        return f"https://github.com/{self.repo_name}"
+
+
+class GithubActivityDataset:
+    """An in-memory stand-in for the 3TB+ GitHub Activity dataset.
+
+    Only the operation the study performs is exposed: suffix-filtered
+    retrieval of file descriptions, grouped by repository.
+    """
+
+    def __init__(self, records: Iterable[SqlFileRecord] = ()) -> None:
+        self._records: list[SqlFileRecord] = list(records)
+
+    def add(self, record: SqlFileRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def query_files_with_suffix(self, suffix: str = ".sql") -> list[SqlFileRecord]:
+        """The paper's BigQuery: all file descriptions ending in *suffix*."""
+        lowered = suffix.lower()
+        return [r for r in self._records if r.path.lower().endswith(lowered)]
+
+    def sql_collection(self, suffix: str = ".sql") -> dict[str, list[SqlFileRecord]]:
+        """The SQL-Collection: repo name -> its matching file descriptions."""
+        collection: dict[str, list[SqlFileRecord]] = {}
+        for record in self.query_files_with_suffix(suffix):
+            collection.setdefault(record.repo_name, []).append(record)
+        return collection
+
+    def repository_count(self, suffix: str = ".sql") -> int:
+        """Number of distinct repositories holding matching files."""
+        return len(self.sql_collection(suffix))

@@ -1,0 +1,59 @@
+"""The Libraries.io project-metadata dataset.
+
+"Libraries.io is an open-source community monitoring and gathering
+metadata for over 2.7M unique open source packages ... The Libraries.io
+collection offers project metadata, including whether the project was an
+original project or a fork, its number of stars, watchers, etc."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class LibrariesIoRecord:
+    """Metadata of one monitored repository."""
+
+    repo_name: str  # "owner/project"
+    url: str
+    is_fork: bool
+    stars: int
+    contributors: int
+    watchers: int = 0
+    platform: str = "GitHub"
+    domain: str = ""  # CMS, IoT, messaging ... (for external validity)
+
+    @property
+    def is_original(self) -> bool:
+        return not self.is_fork
+
+
+class LibrariesIoDataset:
+    """In-memory stand-in for the Libraries.io export of 2018-12-22."""
+
+    def __init__(self, records: Iterable[LibrariesIoRecord] = ()) -> None:
+        self._by_name: dict[str, LibrariesIoRecord] = {}
+        self._by_url: dict[str, LibrariesIoRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: LibrariesIoRecord) -> None:
+        self._by_name[record.repo_name] = record
+        self._by_url[record.url] = record
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def lookup(self, repo_name: str, repo_url: str | None = None) -> LibrariesIoRecord | None:
+        """The paper's join: match on repository name, or project URL."""
+        record = self._by_name.get(repo_name)
+        if record is not None:
+            return record
+        if repo_url is not None:
+            return self._by_url.get(repo_url)
+        return None
+
+    def records(self) -> list[LibrariesIoRecord]:
+        return list(self._by_name.values())

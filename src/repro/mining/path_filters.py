@@ -1,0 +1,132 @@
+"""Path-level post-processing: the paper's second filtering stage.
+
+"To alleviate the possibility of void projects, or repetitions of the
+same change in multiple files, the results were post-processed:
+- We excluded all results whose file descriptions included the terms
+  'test' or 'demo' or 'example' in the path.
+- For all the cases where multiple vendors were supported, we chose
+  MySQL as the DBMS to investigate.
+- For all the cases where multiple SQL files were reported, we went
+  through manual inspection ... Cases omitted included (i) several DDL
+  scripts in a file-per-table mode, (ii) incremental maintenance of the
+  schema, (iii) the Cartesian product of multiple vendors X different
+  versions of the same schema for different languages."
+
+The manual inspection is encoded here as deterministic heuristics over
+the path list, so the whole funnel is automatic and auditable.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.mining.github_activity import SqlFileRecord
+from repro.sqlddl.dialect import Dialect, dialect_from_path
+
+_EXCLUDED_TERMS = ("test", "demo", "example")
+
+_INCREMENTAL_HINTS = re.compile(
+    r"(upgrade|migrat|patch|update|delta|changelog|_v\d|-v\d|\bv\d+[._]\d)", re.IGNORECASE
+)
+
+_LANGUAGE_HINTS = re.compile(
+    r"(^|[/_.-])(en|fr|de|es|it|pt|ru|zh|ja|nl|pl|cs|tr|el)([/_.-]|$)", re.IGNORECASE
+)
+
+
+class MultiFileVerdict(enum.Enum):
+    """Outcome of the multi-file manual-inspection heuristic."""
+
+    SINGLE_FILE = "single ddl file"
+    VENDOR_CHOICE = "mysql chosen among vendors"
+    FILE_PER_TABLE = "omitted: file-per-table layout"
+    INCREMENTAL = "omitted: incremental maintenance scripts"
+    VENDOR_LANGUAGE_PRODUCT = "omitted: vendor x language cartesian product"
+    AMBIGUOUS = "omitted: could not reduce to a single ddl file"
+
+
+@dataclass(frozen=True)
+class FileChoice:
+    """The chosen DDL file (or the reason the project was omitted)."""
+
+    verdict: MultiFileVerdict
+    chosen: SqlFileRecord | None
+
+    @property
+    def accepted(self) -> bool:
+        return self.chosen is not None
+
+
+def is_excluded_path(path: str) -> bool:
+    """The test/demo/example exclusion, applied to the whole path."""
+    lowered = path.lower()
+    return any(term in lowered for term in _EXCLUDED_TERMS)
+
+
+def _stem(path: str) -> str:
+    name = path.rsplit("/", 1)[-1]
+    return name[: -len(".sql")] if name.lower().endswith(".sql") else name
+
+
+def _looks_incremental(paths: list[str]) -> bool:
+    hits = sum(1 for p in paths if _INCREMENTAL_HINTS.search(p))
+    return hits >= max(2, len(paths) // 2)
+
+
+def _looks_file_per_table(paths: list[str]) -> bool:
+    """Many sibling files in one directory, short distinct stems."""
+    if len(paths) < 4:
+        return False
+    directories = {p.rsplit("/", 1)[0] if "/" in p else "" for p in paths}
+    return len(directories) == 1
+
+
+def _vendor_language_product(paths: list[str]) -> bool:
+    vendors = {dialect_from_path(p) for p in paths} - {Dialect.UNKNOWN}
+    languages = {m.group(2).lower() for p in paths for m in _LANGUAGE_HINTS.finditer(p)}
+    return len(vendors) >= 2 and len(languages) >= 2
+
+
+def choose_ddl_file(files: list[SqlFileRecord]) -> FileChoice:
+    """Reduce a project's ``.sql`` files to (at most) one DDL file.
+
+    Mirrors the paper's decision procedure, in order: path exclusions,
+    the trivial single-file case, the vendor-language cartesian product
+    (omitted), the multi-vendor case (MySQL chosen), file-per-table and
+    incremental layouts (omitted), and otherwise ambiguity (omitted).
+    """
+    candidates = [f for f in files if not is_excluded_path(f.path)]
+    if not candidates:
+        return FileChoice(MultiFileVerdict.AMBIGUOUS, None)
+    if len(candidates) == 1:
+        return FileChoice(MultiFileVerdict.SINGLE_FILE, candidates[0])
+
+    paths = [f.path for f in candidates]
+    if _vendor_language_product(paths):
+        return FileChoice(MultiFileVerdict.VENDOR_LANGUAGE_PRODUCT, None)
+
+    vendors = {f.path: dialect_from_path(f.path) for f in candidates}
+    distinct = set(vendors.values()) - {Dialect.UNKNOWN}
+    if len(distinct) >= 2:
+        mysql_files = [f for f in candidates if vendors[f.path] is Dialect.MYSQL]
+        if len(mysql_files) == 1:
+            return FileChoice(MultiFileVerdict.VENDOR_CHOICE, mysql_files[0])
+        if not mysql_files:
+            return FileChoice(MultiFileVerdict.AMBIGUOUS, None)
+        candidates = mysql_files  # several MySQL files: fall through
+        paths = [f.path for f in candidates]
+
+    if _looks_incremental(paths):
+        return FileChoice(MultiFileVerdict.INCREMENTAL, None)
+    if _looks_file_per_table(paths):
+        return FileChoice(MultiFileVerdict.FILE_PER_TABLE, None)
+    if len(candidates) == 1:
+        return FileChoice(MultiFileVerdict.VENDOR_CHOICE, candidates[0])
+
+    # Last resort: a clearly-named schema/install file among noise.
+    preferred = [f for f in candidates if _stem(f.path).lower() in ("schema", "install", "database", "db", "structure", "create")]
+    if len(preferred) == 1:
+        return FileChoice(MultiFileVerdict.SINGLE_FILE, preferred[0])
+    return FileChoice(MultiFileVerdict.AMBIGUOUS, None)

@@ -1,0 +1,69 @@
+"""The SQL-Collection x Libraries.io join with quality filters.
+
+"We joined the two data sets over (a) their repository names and (b) the
+URL of their projects, taking care to include only Libraries.io projects
+which were (i) original repositories, (ii) with more than 0 stars and
+(iii) more than 1 contributor."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mining.github_activity import GithubActivityDataset, SqlFileRecord
+from repro.mining.librariesio import LibrariesIoDataset, LibrariesIoRecord
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionCriteria:
+    """The paper's quality thresholds, as a tweakable parameter object."""
+
+    require_original: bool = True
+    min_stars: int = 1  # "more than 0 stars"
+    min_contributors: int = 2  # "more than 1 contributor"
+
+
+@dataclass(frozen=True)
+class SelectedProject:
+    """A repository that survived the join + filters."""
+
+    metadata: LibrariesIoRecord
+    sql_files: tuple[SqlFileRecord, ...]
+
+    @property
+    def repo_name(self) -> str:
+        return self.metadata.repo_name
+
+
+def passes_criteria(record: LibrariesIoRecord, criteria: SelectionCriteria) -> bool:
+    """Apply the (i)/(ii)/(iii) filters to one metadata record."""
+    if criteria.require_original and not record.is_original:
+        return False
+    if record.stars < criteria.min_stars:
+        return False
+    if record.contributors < criteria.min_contributors:
+        return False
+    return True
+
+
+def select_lib_io(
+    activity: GithubActivityDataset,
+    lib_io: LibrariesIoDataset,
+    criteria: SelectionCriteria = SelectionCriteria(),
+    suffix: str = ".sql",
+) -> list[SelectedProject]:
+    """Join the SQL-Collection with Libraries.io and filter.
+
+    Returns one :class:`SelectedProject` per surviving repository, with
+    all of its ``.sql`` file descriptions attached (path post-processing
+    happens downstream in :mod:`repro.mining.path_filters`).
+    """
+    selected: list[SelectedProject] = []
+    for repo_name, files in sorted(activity.sql_collection(suffix).items()):
+        record = lib_io.lookup(repo_name, files[0].repo_url if files else None)
+        if record is None:
+            continue
+        if not passes_criteria(record, criteria):
+            continue
+        selected.append(SelectedProject(metadata=record, sql_files=tuple(files)))
+    return selected

@@ -1,0 +1,33 @@
+"""Reporting: fixed-width tables and the per-figure experiment harness."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.markdown import render_experiments_markdown
+from repro.reporting.experiments import (
+    ExperimentSuite,
+    fig4_rows,
+    fig10_report,
+    fig11_cells,
+    fig11_effect_sizes,
+    fig12_rows,
+    fig13_report,
+    funnel_text,
+    overall_tests,
+    rq_summary,
+    table1_populations,
+)
+
+__all__ = [
+    "ExperimentSuite",
+    "fig4_rows",
+    "fig10_report",
+    "fig11_cells",
+    "fig11_effect_sizes",
+    "fig12_rows",
+    "fig13_report",
+    "format_table",
+    "funnel_text",
+    "overall_tests",
+    "render_experiments_markdown",
+    "rq_summary",
+    "table1_populations",
+]

@@ -1,0 +1,54 @@
+"""Fixed-width plain-text table formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        if abs(value) < 0.001 and value != 0:
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align_first_left: bool = True,
+) -> str:
+    """Render rows as a fixed-width table with a header rule.
+
+    Floats print with two decimals (scientific below 1e-3); integers and
+    float-integers print bare.
+    """
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row} does not match {columns} headers")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows else len(headers[i])
+        for i in range(columns)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0 and align_first_left:
+                parts.append(f"{cell:<{widths[index]}}")
+            else:
+                parts.append(f"{cell:>{widths[index]}}")
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Logical schema model: tables, attributes, and schema construction."""
+
+from repro.schema.model import Attribute, Schema, SchemaSize, Table
+from repro.schema.builder import SchemaBuildError, build_schema, apply_statements
+from repro.schema.writer import render_column, render_create_table, render_schema
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "SchemaBuildError",
+    "SchemaSize",
+    "Table",
+    "apply_statements",
+    "build_schema",
+    "render_column",
+    "render_create_table",
+    "render_schema",
+]

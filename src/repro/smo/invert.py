@@ -1,0 +1,63 @@
+"""Invert SMO operations and scripts.
+
+Every operation carries enough content to be undone — dropped tables
+and columns remember their definitions — so any script has an inverse,
+and ``apply(apply(s, script), invert_script(script)) == s`` (property-
+tested).  Inversion is how schema-evolution engines implement downgrade
+migrations ([3]'s PRISM generates both directions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.smo.operations import (
+    AddColumn,
+    ChangeColumnType,
+    CreateTableOp,
+    DropColumn,
+    DropTableOp,
+    RenameColumn,
+    RenameTable,
+    SetPrimaryKey,
+    SmoError,
+    SmoOperation,
+)
+
+
+def invert_smo(op: SmoOperation) -> SmoOperation:
+    """The inverse of one operation."""
+    if isinstance(op, CreateTableOp):
+        return DropTableOp(op.table)
+    if isinstance(op, DropTableOp):
+        return CreateTableOp(op.table)
+    if isinstance(op, RenameTable):
+        return RenameTable(old_name=op.new_name, new_name=op.old_name)
+    if isinstance(op, AddColumn):
+        return DropColumn(op.table_name, op.attribute, was_primary_key=op.into_primary_key)
+    if isinstance(op, DropColumn):
+        return AddColumn(op.table_name, op.attribute, into_primary_key=op.was_primary_key)
+    if isinstance(op, RenameColumn):
+        return RenameColumn(
+            table_name=op.table_name, old_name=op.new_name, new_name=op.old_name
+        )
+    if isinstance(op, ChangeColumnType):
+        return ChangeColumnType(
+            table_name=op.table_name,
+            column_name=op.column_name,
+            old_type=op.new_type,
+            new_type=op.old_type,
+        )
+    if isinstance(op, SetPrimaryKey):
+        return SetPrimaryKey(
+            table_name=op.table_name,
+            old_key=op.new_key,
+            new_key=op.old_key,
+            counted_changes=op.counted_changes,
+        )
+    raise SmoError(f"cannot invert {op!r}")  # pragma: no cover
+
+
+def invert_script(script: Iterable[SmoOperation]) -> list[SmoOperation]:
+    """The inverse script: inverted operations in reverse order."""
+    return [invert_smo(op) for op in reversed(list(script))]

@@ -1,0 +1,189 @@
+"""The SMO operation types.
+
+Each operation is a frozen value object with:
+
+- a human-readable rendering (``describe``),
+- the attribute-level *cost* it contributes to the study's activity
+  measure (so an inferred script's total cost equals the transition's
+  activity — tested as an invariant),
+- enough information to be applied and inverted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.model import Attribute, Table
+from repro.sqlddl.types import DataType
+
+
+class SmoError(Exception):
+    """An operation could not be applied to the given schema."""
+
+
+@dataclass(frozen=True)
+class CreateTableOp:
+    """CREATE TABLE with its full column set (attributes born)."""
+
+    table: Table
+
+    def describe(self) -> str:
+        return f"CREATE TABLE {self.table.name} ({len(self.table)} columns)"
+
+    @property
+    def cost(self) -> int:
+        return len(self.table)
+
+
+@dataclass(frozen=True)
+class DropTableOp:
+    """DROP TABLE, remembering the dropped content (for inversion)."""
+
+    table: Table
+
+    def describe(self) -> str:
+        return f"DROP TABLE {self.table.name}"
+
+    @property
+    def cost(self) -> int:
+        return len(self.table)
+
+
+@dataclass(frozen=True)
+class RenameTable:
+    """RENAME TABLE old TO new — free at the attribute level.
+
+    The study's diff has no rename detection, so inferred scripts never
+    contain this operation; it exists for hand-written scripts and for
+    replaying parsed ALTER/RENAME statements.
+    """
+
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return f"RENAME TABLE {self.old_name} TO {self.new_name}"
+
+    @property
+    def cost(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class AddColumn:
+    """ADD COLUMN (an attribute injection).
+
+    ``into_primary_key`` joins the new column to the table's key on
+    application — needed so that inverting a DropColumn of a key member
+    restores the key exactly.
+    """
+
+    table_name: str
+    attribute: Attribute
+    into_primary_key: bool = False
+
+    def describe(self) -> str:
+        return f"ALTER TABLE {self.table_name} ADD {self.attribute.name}"
+
+    @property
+    def cost(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class DropColumn:
+    """DROP COLUMN (an attribute ejection), remembering the content.
+
+    ``was_primary_key`` records whether the column participated in the
+    key, making the operation invertible without information loss.
+    """
+
+    table_name: str
+    attribute: Attribute
+    was_primary_key: bool = False
+
+    def describe(self) -> str:
+        return f"ALTER TABLE {self.table_name} DROP {self.attribute.name}"
+
+    @property
+    def cost(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class RenameColumn:
+    """RENAME COLUMN — free, like table renames (see RenameTable)."""
+
+    table_name: str
+    old_name: str
+    new_name: str
+
+    def describe(self) -> str:
+        return f"ALTER TABLE {self.table_name} RENAME {self.old_name} TO {self.new_name}"
+
+    @property
+    def cost(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class ChangeColumnType:
+    """MODIFY COLUMN type (a data-type change)."""
+
+    table_name: str
+    column_name: str
+    old_type: DataType
+    new_type: DataType
+
+    def describe(self) -> str:
+        return (
+            f"ALTER TABLE {self.table_name} MODIFY {self.column_name} "
+            f"{self.old_type} -> {self.new_type}"
+        )
+
+    @property
+    def cost(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SetPrimaryKey:
+    """Replace a table's primary key.
+
+    Cost counts the attributes whose PK participation changes *and*
+    survive the transition (matching the study's PK-change category).
+    Inference sets ``counted_changes`` to exactly that number; for
+    hand-written operations (where the survivor set is unknown) the
+    cost falls back to the full symmetric difference of the keys.
+    """
+
+    table_name: str
+    old_key: tuple[str, ...]
+    new_key: tuple[str, ...]
+    counted_changes: int | None = None
+
+    def describe(self) -> str:
+        return (
+            f"ALTER TABLE {self.table_name} PRIMARY KEY "
+            f"({', '.join(self.old_key) or '-'}) -> ({', '.join(self.new_key) or '-'})"
+        )
+
+    @property
+    def cost(self) -> int:
+        if self.counted_changes is not None:
+            return self.counted_changes
+        old = {c.lower() for c in self.old_key}
+        new = {c.lower() for c in self.new_key}
+        return len(old ^ new)
+
+
+SmoOperation = (
+    CreateTableOp
+    | DropTableOp
+    | RenameTable
+    | AddColumn
+    | DropColumn
+    | RenameColumn
+    | ChangeColumnType
+    | SetPrimaryKey
+)

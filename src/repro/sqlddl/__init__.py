@@ -1,0 +1,53 @@
+"""SQL DDL substrate: lexing, parsing and rendering of MySQL-flavoured DDL.
+
+The paper's toolchain (Hecate) consumes the ``CREATE TABLE`` statements of
+a schema file and turns them into a logical schema.  This subpackage is a
+from-scratch implementation of that front end: a lexer tolerant of the
+noise found in real-world ``.sql`` dumps (comments, ``INSERT`` statements,
+DBMS directives), a recursive-descent parser for the DDL statements that
+matter at the logical level, and a writer that renders a schema back to
+canonical DDL text (used by the synthetic-corpus realizer).
+"""
+
+from repro.sqlddl.errors import SqlSyntaxError, UnsupportedDialectError
+from repro.sqlddl.tokens import Token, TokenKind
+from repro.sqlddl.lexer import Lexer, tokenize
+from repro.sqlddl.types import DataType, normalize_type
+from repro.sqlddl.ast import (
+    AlterAction,
+    AlterTable,
+    ColumnDef,
+    CreateTable,
+    DropTable,
+    IgnoredStatement,
+    RenameTable,
+    Statement,
+    TableConstraint,
+)
+from repro.sqlddl.parser import Parser, parse_script, parse_statement
+from repro.sqlddl.dialect import Dialect, detect_dialect
+
+__all__ = [
+    "AlterAction",
+    "AlterTable",
+    "ColumnDef",
+    "CreateTable",
+    "DataType",
+    "Dialect",
+    "DropTable",
+    "IgnoredStatement",
+    "Lexer",
+    "Parser",
+    "RenameTable",
+    "SqlSyntaxError",
+    "Statement",
+    "TableConstraint",
+    "Token",
+    "TokenKind",
+    "UnsupportedDialectError",
+    "detect_dialect",
+    "normalize_type",
+    "parse_script",
+    "parse_statement",
+    "tokenize",
+]

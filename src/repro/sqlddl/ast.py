@@ -1,0 +1,132 @@
+"""AST nodes produced by the DDL parser.
+
+Only the statements that matter for *logical-level* schema evolution are
+modelled richly (``CREATE TABLE``, ``ALTER TABLE``, ``DROP TABLE``,
+``RENAME TABLE``); everything else a script contains — ``INSERT``,
+``SET``, ``CREATE INDEX``, ``USE`` ... — parses to
+:class:`IgnoredStatement` so the caller can count it as a *non-active*
+change, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sqlddl.types import DataType
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef:
+    """A column definition inside CREATE TABLE or ALTER TABLE ADD."""
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    is_primary_key: bool = False  # inline `PRIMARY KEY` on the column
+    default: str | None = None
+    auto_increment: bool = False
+    comment: str | None = None
+
+
+class ConstraintKind(enum.Enum):
+    PRIMARY_KEY = "primary key"
+    UNIQUE = "unique"
+    FOREIGN_KEY = "foreign key"
+    INDEX = "index"
+    CHECK = "check"
+    FULLTEXT = "fulltext"
+    SPATIAL = "spatial"
+
+
+@dataclass(frozen=True, slots=True)
+class TableConstraint:
+    """A table-level constraint (PRIMARY KEY (...), KEY idx (...), ...)."""
+
+    kind: ConstraintKind
+    columns: tuple[str, ...] = ()
+    name: str | None = None
+    ref_table: str | None = None  # FOREIGN KEY target
+    ref_columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable:
+    """CREATE TABLE statement."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    constraints: tuple[TableConstraint, ...] = ()
+    if_not_exists: bool = False
+    options: tuple[tuple[str, str], ...] = ()  # ENGINE=..., CHARSET=...
+
+    @property
+    def primary_key(self) -> tuple[str, ...]:
+        """Column names of the primary key (inline or table-level)."""
+        for constraint in self.constraints:
+            if constraint.kind is ConstraintKind.PRIMARY_KEY:
+                return constraint.columns
+        inline = tuple(c.name for c in self.columns if c.is_primary_key)
+        return inline
+
+
+class AlterKind(enum.Enum):
+    ADD_COLUMN = "add column"
+    DROP_COLUMN = "drop column"
+    MODIFY_COLUMN = "modify column"  # MODIFY: new definition, same name
+    CHANGE_COLUMN = "change column"  # CHANGE: rename + new definition
+    RENAME_COLUMN = "rename column"
+    ADD_CONSTRAINT = "add constraint"
+    DROP_CONSTRAINT = "drop constraint"
+    DROP_PRIMARY_KEY = "drop primary key"
+    RENAME_TABLE = "rename table"
+    OTHER = "other"
+
+
+@dataclass(frozen=True, slots=True)
+class AlterAction:
+    """One action inside an ALTER TABLE statement."""
+
+    kind: AlterKind
+    column: ColumnDef | None = None
+    old_name: str | None = None  # for CHANGE/RENAME COLUMN and RENAME TABLE
+    constraint: TableConstraint | None = None
+    raw: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class AlterTable:
+    """ALTER TABLE statement with one or more comma-separated actions."""
+
+    name: str
+    actions: tuple[AlterAction, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DropTable:
+    """DROP TABLE statement (possibly multi-table)."""
+
+    names: tuple[str, ...]
+    if_exists: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class RenameTable:
+    """RENAME TABLE a TO b [, c TO d ...]."""
+
+    renames: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class IgnoredStatement:
+    """Any statement that does not affect the logical schema.
+
+    ``verb`` is the first keyword (``INSERT``, ``SET``, ``CREATE`` for
+    non-table creates, ...) so callers can report what was skipped.
+    """
+
+    verb: str
+    raw: str = ""
+
+
+Statement = CreateTable | AlterTable | DropTable | RenameTable | IgnoredStatement

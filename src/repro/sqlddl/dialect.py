@@ -1,0 +1,113 @@
+"""Dialect detection for multi-vendor repositories.
+
+The paper's collection step resolves multi-vendor projects by *choosing
+MySQL* as the DBMS to investigate (Sec III.A).  To automate that choice
+we need a way to guess which vendor a given ``.sql`` file targets, both
+from its path (``schema.mysql.sql``, ``pgsql/install.sql``) and from
+lexical fingerprints in its content (backticks and ``ENGINE=`` say
+MySQL; ``SERIAL`` and ``ALTER TABLE ONLY`` say PostgreSQL; bracket
+quoting says MSSQL).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+from repro.sqlddl.errors import UnsupportedDialectError
+
+
+class Dialect(enum.Enum):
+    MYSQL = "mysql"
+    POSTGRES = "postgres"
+    SQLITE = "sqlite"
+    MSSQL = "mssql"
+    ORACLE = "oracle"
+    UNKNOWN = "unknown"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Dialect":
+        """Resolve a loose vendor name ('pgsql', 'mariadb', ...)."""
+        lowered = name.lower()
+        for alias, dialect in _NAME_ALIASES.items():
+            if alias in lowered:
+                return dialect
+        raise UnsupportedDialectError(f"unknown dialect name: {name!r}")
+
+
+_NAME_ALIASES = {
+    "mysql": Dialect.MYSQL,
+    "maria": Dialect.MYSQL,
+    "postgres": Dialect.POSTGRES,
+    "pgsql": Dialect.POSTGRES,
+    "psql": Dialect.POSTGRES,
+    "sqlite": Dialect.SQLITE,
+    "mssql": Dialect.MSSQL,
+    "sqlserver": Dialect.MSSQL,
+    "oracle": Dialect.ORACLE,
+    "oci": Dialect.ORACLE,
+}
+
+_PATH_HINTS: tuple[tuple[str, Dialect], ...] = (
+    ("mysql", Dialect.MYSQL),
+    ("maria", Dialect.MYSQL),
+    ("postgres", Dialect.POSTGRES),
+    ("pgsql", Dialect.POSTGRES),
+    ("psql", Dialect.POSTGRES),
+    ("sqlite", Dialect.SQLITE),
+    ("mssql", Dialect.MSSQL),
+    ("sqlserver", Dialect.MSSQL),
+    ("oracle", Dialect.ORACLE),
+)
+
+# (regex, dialect, weight): fingerprints scored over file content.
+_CONTENT_FINGERPRINTS: tuple[tuple[re.Pattern[str], Dialect, int], ...] = (
+    (re.compile(r"ENGINE\s*=", re.IGNORECASE), Dialect.MYSQL, 3),
+    (re.compile(r"AUTO_INCREMENT", re.IGNORECASE), Dialect.MYSQL, 2),
+    (re.compile(r"`\w+`"), Dialect.MYSQL, 1),
+    (re.compile(r"/\*!\d+"), Dialect.MYSQL, 2),
+    (re.compile(r"\bUNSIGNED\b", re.IGNORECASE), Dialect.MYSQL, 1),
+    (re.compile(r"\bSERIAL\b", re.IGNORECASE), Dialect.POSTGRES, 2),
+    (re.compile(r"ALTER\s+TABLE\s+ONLY", re.IGNORECASE), Dialect.POSTGRES, 3),
+    (re.compile(r"\bBYTEA\b", re.IGNORECASE), Dialect.POSTGRES, 2),
+    (re.compile(r"CREATE\s+SEQUENCE", re.IGNORECASE), Dialect.POSTGRES, 2),
+    (re.compile(r"OWNER\s+TO", re.IGNORECASE), Dialect.POSTGRES, 2),
+    (re.compile(r"\bAUTOINCREMENT\b", re.IGNORECASE), Dialect.SQLITE, 3),
+    (re.compile(r"\[\w+\]"), Dialect.MSSQL, 2),
+    (re.compile(r"\bNVARCHAR\b", re.IGNORECASE), Dialect.MSSQL, 2),
+    (re.compile(r"\bIDENTITY\s*\(", re.IGNORECASE), Dialect.MSSQL, 2),
+    (re.compile(r"\bGO\b\s*$", re.MULTILINE), Dialect.MSSQL, 1),
+    (re.compile(r"\bVARCHAR2\b", re.IGNORECASE), Dialect.ORACLE, 3),
+    (re.compile(r"\bNUMBER\s*\(", re.IGNORECASE), Dialect.ORACLE, 1),
+)
+
+
+def dialect_from_path(path: str) -> Dialect:
+    """Guess the vendor from hints in a file path; UNKNOWN if none."""
+    lowered = path.lower()
+    for hint, dialect in _PATH_HINTS:
+        if hint in lowered:
+            return dialect
+    return Dialect.UNKNOWN
+
+
+def detect_dialect(content: str, path: str = "") -> Dialect:
+    """Guess the target DBMS of a ``.sql`` file.
+
+    Path hints win when present (a file under ``sql/postgres/`` is a
+    postgres file no matter what it contains); otherwise fingerprints in
+    the content are scored and the best-scoring vendor wins.  Files with
+    no signal at all come back UNKNOWN, which the selection pipeline
+    treats as "generic SQL" and lets through.
+    """
+    from_path = dialect_from_path(path)
+    if from_path is not Dialect.UNKNOWN:
+        return from_path
+    scores: dict[Dialect, int] = {}
+    for pattern, dialect, weight in _CONTENT_FINGERPRINTS:
+        hits = len(pattern.findall(content))
+        if hits:
+            scores[dialect] = scores.get(dialect, 0) + weight * min(hits, 5)
+    if not scores:
+        return Dialect.UNKNOWN
+    return max(scores.items(), key=lambda item: item[1])[0]

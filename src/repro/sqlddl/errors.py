@@ -1,0 +1,30 @@
+"""Exception types for the SQL DDL substrate."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all errors raised by :mod:`repro.sqlddl`."""
+
+
+class SqlSyntaxError(SqlError):
+    """A statement could not be parsed.
+
+    Carries the 1-based line/column of the offending token so callers can
+    report the position inside the original ``.sql`` file.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SqlLexError(SqlSyntaxError):
+    """The raw text could not even be tokenized (e.g. unterminated string)."""
+
+
+class UnsupportedDialectError(SqlError):
+    """A dialect name was requested that the substrate does not model."""

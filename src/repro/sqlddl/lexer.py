@@ -1,0 +1,175 @@
+"""A lexer for real-world SQL dump files.
+
+Real ``.sql`` files in FOSS repositories are noisy: MySQL conditional
+comments (``/*!40101 ... */``), ``--`` and ``#`` line comments, backtick
+or double-quote or bracket-quoted identifiers, doubled-quote escapes,
+backslash escapes, and the occasional stray byte.  The lexer is built to
+never crash on that noise: anything it cannot classify becomes an
+OPERATOR token and the parser decides whether it matters.
+
+Implementation note: the study parses every version of every schema
+history, so lexing is the hottest loop of the whole pipeline.  Tokens
+are produced by one compiled master regex rather than per-character
+dispatch (about 10x faster on CPython).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.sqlddl.errors import SqlLexError
+from repro.sqlddl.tokens import Token, TokenKind
+
+_MASTER = re.compile(
+    r"""
+      (?P<WS>[ \t\r\n\f\v]+)
+    | (?P<LINECOMMENT>--[^\n]*|\#[^\n]*)
+    | (?P<EXECOPEN>/\*!\d*)
+    | (?P<BLOCKCOMMENT>/\*(?!!)(?:[^*]|\*(?!/))*\*/)
+    | (?P<EXECCLOSE>\*/)
+    | (?P<STRING>'(?:[^'\\]|\\.|'')*')
+    | (?P<BACKTICK>`(?:[^`]|``)*`)
+    | (?P<DQUOTE>"(?:[^"]|"")*")
+    | (?P<BRACKET>\[[^\]]*\])
+    | (?P<NUMBER>[0-9]+(?:\.[0-9]+)?)
+    | (?P<WORD>[A-Za-z_$][A-Za-z0-9_$]*)
+    | (?P<VARIABLE>@@?[A-Za-z0-9_$]*)
+    | (?P<PUNCT>[(),;.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_PUNCT_KINDS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    ".": TokenKind.DOT,
+}
+
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0"}
+
+_ESCAPE_RE = re.compile(r"\\(.)|''", re.DOTALL)
+
+
+def _decode_string(raw: str) -> str:
+    """Resolve backslash escapes and doubled quotes in a string body."""
+    body = raw[1:-1]
+    if "\\" not in body and "''" not in body:
+        return body
+
+    def replace(match: re.Match[str]) -> str:
+        escaped = match.group(1)
+        if escaped is None:  # matched ''
+            return "'"
+        return _STRING_ESCAPES.get(escaped, escaped)
+
+    return _ESCAPE_RE.sub(replace, body)
+
+
+class Lexer:
+    """Streaming tokenizer over a SQL script.
+
+    Parameters
+    ----------
+    text:
+        Full text of the ``.sql`` file.
+    keep_comments:
+        When True, MySQL *executable* comments (``/*! ... */``) are
+        re-lexed inline, because they often hide the very DDL we need
+        (mysqldump wraps ``CREATE TABLE`` options in them).  Plain
+        comments are always skipped.
+    strict:
+        When True (the default), unterminated quoted regions and block
+        comments raise :class:`SqlLexError`.  When False — the mode the
+        script-level parser uses, since mining must survive binary junk
+        committed as ``.sql`` — the offending opener degrades to an
+        OPERATOR token and lexing continues.
+    """
+
+    def __init__(self, text: str, keep_comments: bool = True, strict: bool = True) -> None:
+        self._text = text
+        self._keep_executable = keep_comments
+        self._strict = strict
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until EOF; the final token is always EOF."""
+        text = self._text
+        length = len(text)
+        pos = 0
+        line = 1
+        line_start = 0
+        match = _MASTER.match
+
+        def advance_lines(chunk: str, start: int) -> None:
+            nonlocal line, line_start
+            line += chunk.count("\n")
+            line_start = start + chunk.rfind("\n") + 1
+
+        while pos < length:
+            m = match(text, pos)
+            if m is None:
+                ch = text[pos]
+                if self._strict and ch in "'`\"[":
+                    raise SqlLexError(
+                        f"unterminated {ch!r}-quoted region", line, pos - line_start + 1
+                    )
+                if text.startswith("/*", pos):
+                    if self._strict:
+                        raise SqlLexError(
+                            "unterminated block comment", line, pos - line_start + 1
+                        )
+                    break  # lenient: the rest of the file is comment
+                yield Token(TokenKind.OPERATOR, ch, line, pos - line_start + 1)
+                pos += 1
+                continue
+            kind = m.lastgroup
+            raw = m.group()
+            column = pos - line_start + 1
+            end = m.end()
+            if kind == "WS" or kind == "LINECOMMENT" or kind == "BLOCKCOMMENT":
+                if "\n" in raw:
+                    advance_lines(raw, pos)
+                pos = end
+                continue
+            if kind == "EXECOPEN":
+                if self._keep_executable:
+                    pos = end  # lex the body inline; EXECCLOSE eats '*/'
+                    continue
+                closing = text.find("*/", end)
+                if closing < 0:
+                    if self._strict:
+                        raise SqlLexError("unterminated block comment", line, column)
+                    break  # lenient: the rest of the file is comment
+                advance_lines(text[pos : closing + 2], pos)
+                pos = closing + 2
+                continue
+            if kind == "EXECCLOSE":
+                pos = end
+                continue
+            if kind == "STRING":
+                yield Token(TokenKind.STRING, _decode_string(raw), line, column)
+            elif kind == "BACKTICK":
+                yield Token(TokenKind.QUOTED_IDENT, raw[1:-1].replace("``", "`"), line, column)
+            elif kind == "DQUOTE":
+                yield Token(TokenKind.QUOTED_IDENT, raw[1:-1].replace('""', '"'), line, column)
+            elif kind == "BRACKET":
+                yield Token(TokenKind.QUOTED_IDENT, raw[1:-1], line, column)
+            elif kind == "NUMBER":
+                yield Token(TokenKind.NUMBER, raw, line, column)
+            elif kind == "WORD":
+                yield Token(TokenKind.WORD, raw, line, column)
+            elif kind == "VARIABLE":
+                yield Token(TokenKind.VARIABLE, raw, line, column)
+            else:  # PUNCT
+                yield Token(_PUNCT_KINDS[raw], raw, line, column)
+            if "\n" in raw:
+                advance_lines(raw, pos)
+            pos = end
+        yield Token(TokenKind.EOF, "", line, pos - line_start + 1)
+
+
+def tokenize(text: str, keep_comments: bool = True, strict: bool = True) -> list[Token]:
+    """Tokenize *text* fully; convenience wrapper around :class:`Lexer`."""
+    return list(Lexer(text, keep_comments=keep_comments, strict=strict).tokens())

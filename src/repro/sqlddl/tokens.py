@@ -1,0 +1,51 @@
+"""Token model for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token.
+
+    The lexer is deliberately coarse: everything that is not punctuation,
+    a literal or an identifier-like word is simply a WORD, and keyword
+    recognition happens in the parser (SQL keywords are not reserved in
+    the wild — real dumps name columns ``key``, ``order``, ``type`` ...).
+    """
+
+    WORD = "word"  # identifier or keyword, case preserved
+    QUOTED_IDENT = "quoted_ident"  # `name`, "name" or [name]
+    STRING = "string"  # 'literal' (quotes stripped, escapes resolved)
+    NUMBER = "number"  # integer or decimal literal
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMICOLON = ";"
+    DOT = "."
+    OPERATOR = "operator"  # =, <, >, +, -, *, /, %, etc.
+    VARIABLE = "variable"  # @var or @@system_var
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_word(self, *words: str) -> bool:
+        """True if this token is a WORD equal (case-insensitively) to any of *words*."""
+        return self.kind is TokenKind.WORD and self.value.upper() in words
+
+    @property
+    def upper(self) -> str:
+        """Uppercased token text; convenient for keyword comparisons."""
+        return self.value.upper()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}({self.value!r})@{self.line}:{self.column}"

@@ -1,0 +1,93 @@
+"""SQL data-type model and cross-version normalization.
+
+The study counts an attribute as *maintained* when its data type changes
+between two schema versions.  Deciding "changed" on raw type text would
+over-count: MySQL prints ``INT(11)`` and ``int`` for the same logical
+type, and synonyms abound (``INTEGER``/``INT``, ``BOOL``/``TINYINT(1)``,
+``DEC``/``DECIMAL``...).  :func:`normalize_type` canonicalizes a parsed
+type so the differ compares logical types, mirroring how Hecate treats
+type equality at the logical level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Synonym table: alias -> canonical base-name.
+_SYNONYMS = {
+    "INTEGER": "INT",
+    "INT4": "INT",
+    "INT8": "BIGINT",
+    "INT2": "SMALLINT",
+    "MIDDLEINT": "MEDIUMINT",
+    "DEC": "DECIMAL",
+    "NUMERIC": "DECIMAL",
+    "FIXED": "DECIMAL",
+    "CHARACTER": "CHAR",
+    "BOOL": "BOOLEAN",
+    "FLOAT4": "FLOAT",
+    "FLOAT8": "DOUBLE",
+    "REAL": "DOUBLE",
+    "SERIAL": "BIGINT",
+    "BIGSERIAL": "BIGINT",
+    "SMALLSERIAL": "SMALLINT",
+    "LONGBLOB": "LONGBLOB",
+    "CHARACTER VARYING": "VARCHAR",
+    "NVARCHAR": "VARCHAR",
+    "NCHAR": "CHAR",
+}
+
+#: Types where the length argument is display-width only and does not
+#: change the logical type (MySQL integer display width).
+_WIDTH_IRRELEVANT = {"INT", "TINYINT", "SMALLINT", "MEDIUMINT", "BIGINT"}
+
+#: Types whose arguments are part of the logical type.
+_ARGS_SIGNIFICANT = {"VARCHAR", "CHAR", "DECIMAL", "BINARY", "VARBINARY", "BIT", "ENUM", "SET"}
+
+
+@dataclass(frozen=True, slots=True)
+class DataType:
+    """A parsed SQL data type.
+
+    ``base`` is the canonical uppercase name, ``args`` the parenthesised
+    arguments that are *logically significant*, and ``unsigned`` the
+    MySQL sign modifier (part of the logical type: changing a column
+    from ``INT`` to ``INT UNSIGNED`` halves/doubles its domain).
+    """
+
+    base: str
+    args: tuple[str, ...] = ()
+    unsigned: bool = False
+
+    def render(self) -> str:
+        """Canonical SQL text for this type."""
+        text = self.base
+        if self.args:
+            text += "(" + ",".join(self.args) + ")"
+        if self.unsigned:
+            text += " UNSIGNED"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def normalize_type(base: str, args: tuple[str, ...] = (), unsigned: bool = False) -> DataType:
+    """Build the canonical :class:`DataType` for a raw parsed type.
+
+    - resolves synonyms (``INTEGER`` -> ``INT``, ``BOOL`` -> ``BOOLEAN``)
+    - drops display widths on integer types (``INT(11)`` == ``INT``)
+    - special-cases ``TINYINT(1)`` as ``BOOLEAN`` (the MySQL idiom)
+    - keeps significant args (``VARCHAR(255)`` != ``VARCHAR(64)``)
+    """
+    canonical = base.upper().strip()
+    canonical = _SYNONYMS.get(canonical, canonical)
+    if canonical == "TINYINT" and args == ("1",):
+        return DataType("BOOLEAN", (), False)
+    if canonical in _WIDTH_IRRELEVANT:
+        return DataType(canonical, (), unsigned)
+    if canonical in _ARGS_SIGNIFICANT:
+        return DataType(canonical, tuple(a.strip() for a in args), unsigned)
+    # Everything else (DATETIME, TEXT, BLOB, JSON, user types ...): args
+    # such as fractional-second precision are kept verbatim.
+    return DataType(canonical, tuple(a.strip() for a in args), unsigned)

@@ -1,0 +1,41 @@
+"""Statistics toolkit for taxa well-formedness (Sec V).
+
+Kruskal-Wallis is implemented from scratch (midranks, tie correction,
+chi-square approximation) and cross-checked against scipy in the test
+suite; Shapiro-Wilk delegates to scipy.  Descriptive helpers produce the
+quartile tables (Fig 12) and double-box-plot geometry (Fig 13).
+"""
+
+from repro.stats.ranks import midranks, tie_correction
+from repro.stats.kruskal import KruskalResult, kruskal_wallis
+from repro.stats.normality import ShapiroResult, shapiro_wilk
+from repro.stats.descriptive import Quartiles, quartiles, summarize
+from repro.stats.pairwise import PairwiseMatrix, pairwise_kruskal
+from repro.stats.boxplot import BoxGeometry, DoubleBoxPlot, double_box_plot
+from repro.stats.survival import SurvivalCurve, SurvivalPoint, kaplan_meier
+from repro.stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from repro.stats.effectsize import CliffsDelta, cliffs_delta
+
+__all__ = [
+    "BoxGeometry",
+    "CliffsDelta",
+    "DoubleBoxPlot",
+    "KruskalResult",
+    "MannWhitneyResult",
+    "PairwiseMatrix",
+    "Quartiles",
+    "ShapiroResult",
+    "SurvivalCurve",
+    "SurvivalPoint",
+    "cliffs_delta",
+    "double_box_plot",
+    "kaplan_meier",
+    "kruskal_wallis",
+    "mann_whitney_u",
+    "midranks",
+    "pairwise_kruskal",
+    "quartiles",
+    "shapiro_wilk",
+    "summarize",
+    "tie_correction",
+]

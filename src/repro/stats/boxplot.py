@@ -1,0 +1,88 @@
+"""Double box plot geometry (Fig 13).
+
+"Each taxon has a rectangle with the Q1 and Q3 quartiles at its edges,
+for both dimensions.  A cross formed by lines passing from the Q2
+(median) for each dimension is also annotating the box of each taxon.
+The min and max values of each taxon for the respective dimension mark
+the limits of each line."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.stats.descriptive import Quartiles, quartiles
+
+
+@dataclass(frozen=True)
+class BoxGeometry:
+    """One taxon's rectangle-and-cross in the 2D (activity, commits) plane."""
+
+    label: Hashable
+    x: Quartiles  # horizontal axis: total activity
+    y: Quartiles  # vertical axis: active commits
+
+    @property
+    def box(self) -> tuple[float, float, float, float]:
+        """(x_left, y_bottom, x_right, y_top) of the Q1..Q3 rectangle."""
+        return (self.x.q1, self.y.q1, self.x.q3, self.y.q3)
+
+    @property
+    def cross(self) -> tuple[tuple[float, float, float], tuple[float, float, float]]:
+        """((x_min, x_med, x_max), (y_min, y_med, y_max)) whisker lines."""
+        return (
+            (self.x.minimum, self.x.median, self.x.maximum),
+            (self.y.minimum, self.y.median, self.y.maximum),
+        )
+
+    @property
+    def area(self) -> float:
+        """Surface of the Q1..Q3 rectangle (used for the cohesion claim
+        that population and box surface are roughly inversely related)."""
+        return self.x.iqr * self.y.iqr
+
+    def overlaps(self, other: "BoxGeometry") -> bool:
+        """True when the two Q1..Q3 rectangles intersect."""
+        ax1, ay1, ax2, ay2 = self.box
+        bx1, by1, bx2, by2 = other.box
+        return not (ax2 < bx1 or bx2 < ax1 or ay2 < by1 or by2 < ay1)
+
+
+@dataclass(frozen=True)
+class DoubleBoxPlot:
+    """The full Fig 13 chart: one BoxGeometry per taxon."""
+
+    boxes: tuple[BoxGeometry, ...]
+
+    def box_of(self, label: Hashable) -> BoxGeometry:
+        for box in self.boxes:
+            if box.label == label:
+                return box
+        raise KeyError(f"no box for {label!r}")
+
+    def overlap_pairs(self) -> list[tuple[Hashable, Hashable]]:
+        pairs: list[tuple[Hashable, Hashable]] = []
+        for i, a in enumerate(self.boxes):
+            for b in self.boxes[i + 1 :]:
+                if a.overlaps(b):
+                    pairs.append((a.label, b.label))
+        return pairs
+
+
+def double_box_plot(
+    activity: Mapping[Hashable, Sequence[float]],
+    active_commits: Mapping[Hashable, Sequence[float]],
+) -> DoubleBoxPlot:
+    """Build the Fig 13 geometry from per-taxon measure vectors."""
+    if tuple(activity.keys()) != tuple(active_commits.keys()):
+        raise ValueError("both measures must cover the same taxa in the same order")
+    boxes = tuple(
+        BoxGeometry(
+            label=label,
+            x=quartiles(activity[label]),
+            y=quartiles(active_commits[label]),
+        )
+        for label in activity
+    )
+    return DoubleBoxPlot(boxes=boxes)

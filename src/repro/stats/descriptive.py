@@ -1,0 +1,81 @@
+"""Descriptive statistics: quartiles and five-number summaries (Fig 12).
+
+Quartiles use R's default (type-7) linear interpolation, since the
+paper's numbers were produced in R — e.g. Moderate activity Q3 = 37.5
+only arises under interpolating quantiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """R type-7 sample quantile: linear interpolation between order stats."""
+    if not values:
+        raise ValueError("cannot take a quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class Quartiles:
+    """The five-number summary used in Fig 12 / Fig 13."""
+
+    minimum: float
+    q1: float
+    q2: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def median(self) -> float:
+        return self.q2
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        return (self.minimum, self.q1, self.q2, self.q3, self.maximum)
+
+    def contains(self, value: float) -> bool:
+        """True when *value* lies inside the [Q1, Q3] box."""
+        return self.q1 <= value <= self.q3
+
+
+def quartiles(values: Sequence[float]) -> Quartiles:
+    """Five-number summary of *values* (type-7 quartiles)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    floats = sorted(float(v) for v in values)
+    return Quartiles(
+        minimum=floats[0],
+        q1=quantile(floats, 0.25),
+        q2=quantile(floats, 0.50),
+        q3=quantile(floats, 0.75),
+        maximum=floats[-1],
+    )
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """min/median/max/avg — the cell layout of Fig 4."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    floats = [float(v) for v in values]
+    q = quartiles(floats)
+    return {
+        "min": q.minimum,
+        "med": q.median,
+        "max": q.maximum,
+        "avg": sum(floats) / len(floats),
+    }

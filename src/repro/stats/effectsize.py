@@ -1,0 +1,60 @@
+"""Effect sizes for pairwise taxa comparisons.
+
+The Fig 11 p-values say two taxa *differ*; an effect size says *by how
+much*.  Cliff's delta is the standard non-parametric companion to
+rank-sum tests: the probability that a value from the first sample
+exceeds one from the second, minus the reverse,
+
+    delta = (#{a > b} - #{a < b}) / (n1 * n2),  in [-1, 1].
+
+It relates directly to the Mann-Whitney U: delta = 2*U1/(n1*n2) - 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class CliffsDelta:
+    """Cliff's delta with the conventional magnitude label."""
+
+    delta: float
+
+    @property
+    def magnitude(self) -> str:
+        """Romano et al.'s thresholds: negligible/small/medium/large."""
+        size = abs(self.delta)
+        if size < 0.147:
+            return "negligible"
+        if size < 0.33:
+            return "small"
+        if size < 0.474:
+            return "medium"
+        return "large"
+
+    def __str__(self) -> str:
+        return f"delta = {self.delta:+.3f} ({self.magnitude})"
+
+
+def cliffs_delta(a: Sequence[float], b: Sequence[float]) -> CliffsDelta:
+    """Compute Cliff's delta of sample *a* over sample *b*.
+
+    O(n log n): sort *b* once and count dominances by bisection.
+    """
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    import bisect
+
+    sorted_b = sorted(float(v) for v in b)
+    n1, n2 = len(a), len(b)
+    greater = 0
+    less = 0
+    for value in a:
+        value = float(value)
+        less_than_value = bisect.bisect_left(sorted_b, value)
+        less_or_equal = bisect.bisect_right(sorted_b, value)
+        greater += less_than_value  # b's strictly below value
+        less += n2 - less_or_equal  # b's strictly above value
+    return CliffsDelta(delta=(greater - less) / (n1 * n2))

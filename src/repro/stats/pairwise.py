@@ -1,0 +1,78 @@
+"""Pairwise Kruskal-Wallis comparisons between taxa (Fig 11).
+
+Fig 11 is a matrix whose lower-left triangle holds the p-values for
+*active commits* and whose upper-right triangle holds the p-values for
+*total activity*, over the five non-frozen taxa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.stats.kruskal import KruskalResult, kruskal_wallis
+
+
+@dataclass(frozen=True)
+class PairwiseMatrix:
+    """All pairwise test results over a set of labelled groups."""
+
+    labels: tuple[Hashable, ...]
+    results: dict[tuple[Hashable, Hashable], KruskalResult]
+
+    def p_value(self, a: Hashable, b: Hashable) -> float:
+        """p-value for the (unordered) pair (a, b)."""
+        if (a, b) in self.results:
+            return self.results[(a, b)].p_value
+        return self.results[(b, a)].p_value
+
+    def significant_pairs(self, alpha: float = 0.05) -> list[tuple[Hashable, Hashable]]:
+        return [pair for pair, result in self.results.items() if result.p_value < alpha]
+
+    def non_significant_pairs(self, alpha: float = 0.05) -> list[tuple[Hashable, Hashable]]:
+        return [pair for pair, result in self.results.items() if result.p_value >= alpha]
+
+
+def pairwise_kruskal(groups: Mapping[Hashable, Sequence[float]]) -> PairwiseMatrix:
+    """Run Kruskal-Wallis for every unordered pair of groups.
+
+    Pairs where both groups are entirely constant at the same value
+    (H undefined) get p-value 1.0 — identical data is maximally
+    non-distinguishable, which matches the test's intent.
+    """
+    labels = tuple(groups.keys())
+    results: dict[tuple[Hashable, Hashable], KruskalResult] = {}
+    for i, a in enumerate(labels):
+        for b in labels[i + 1 :]:
+            try:
+                results[(a, b)] = kruskal_wallis(groups[a], groups[b])
+            except ValueError:
+                results[(a, b)] = KruskalResult(statistic=0.0, df=1, p_value=1.0)
+    return PairwiseMatrix(labels=labels, results=results)
+
+
+def fig11_matrix(
+    active_commits: Mapping[Hashable, Sequence[float]],
+    activity: Mapping[Hashable, Sequence[float]],
+) -> dict[tuple[Hashable, Hashable], float]:
+    """Assemble the dual-triangle matrix of Fig 11.
+
+    Returns (row, col) -> p, where row-major-below-diagonal entries are
+    active-commit p-values and above-diagonal entries are activity
+    p-values, following the figure's layout.
+    """
+    labels = tuple(active_commits.keys())
+    if tuple(activity.keys()) != labels:
+        raise ValueError("both measures must cover the same taxa in the same order")
+    commits_matrix = pairwise_kruskal(active_commits)
+    activity_matrix = pairwise_kruskal(activity)
+    cells: dict[tuple[Hashable, Hashable], float] = {}
+    for i, row in enumerate(labels):
+        for j, col in enumerate(labels):
+            if i == j:
+                continue
+            if i > j:  # lower-left: active commits
+                cells[(row, col)] = commits_matrix.p_value(row, col)
+            else:  # upper-right: total activity
+                cells[(row, col)] = activity_matrix.p_value(row, col)
+    return cells

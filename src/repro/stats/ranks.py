@@ -1,0 +1,56 @@
+"""Rank utilities: midranks with ties and the tie-correction factor."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def midranks(values: Sequence[float]) -> list[float]:
+    """Assign 1-based ranks; tied values share the average of their ranks.
+
+    >>> midranks([10, 20, 20, 30])
+    [1.0, 2.5, 2.5, 4.0]
+    """
+    indexed = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(indexed):
+        tie_end = position
+        while (
+            tie_end + 1 < len(indexed)
+            and values[indexed[tie_end + 1]] == values[indexed[position]]
+        ):
+            tie_end += 1
+        # ranks position+1 .. tie_end+1 averaged
+        average_rank = (position + 1 + tie_end + 1) / 2.0
+        for i in range(position, tie_end + 1):
+            ranks[indexed[i]] = average_rank
+        position = tie_end + 1
+    return ranks
+
+
+def tie_groups(values: Sequence[float]) -> list[int]:
+    """Sizes of groups of tied values (groups of size 1 included)."""
+    ordered = sorted(values)
+    groups: list[int] = []
+    position = 0
+    while position < len(ordered):
+        run = 1
+        while position + run < len(ordered) and ordered[position + run] == ordered[position]:
+            run += 1
+        groups.append(run)
+        position += run
+    return groups
+
+
+def tie_correction(values: Sequence[float]) -> float:
+    """Kruskal-Wallis tie correction: 1 - sum(t^3 - t) / (n^3 - n).
+
+    Returns 1.0 for tie-free data; 0.0 when every value is identical
+    (H is undefined in that degenerate case).
+    """
+    n = len(values)
+    if n < 2:
+        return 1.0
+    penalty = sum(t**3 - t for t in tie_groups(values))
+    return 1.0 - penalty / float(n**3 - n)

@@ -1,0 +1,102 @@
+"""Kaplan-Meier survival estimation.
+
+Table lives are right-censored data: dead tables have observed
+lifetimes, survivors are censored at the end of the observation window.
+The Kaplan-Meier product-limit estimator is the standard tool for such
+data and powers the table-lives extension's duration analysis.
+
+Implemented from first principles:
+
+    S(t) = prod over event times t_i <= t of (1 - d_i / n_i)
+
+with d_i deaths at t_i and n_i subjects at risk just before t_i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SurvivalPoint:
+    """One step of the survival curve."""
+
+    time: float  # an event (death) time
+    at_risk: int
+    deaths: int
+    survival: float  # S(t) just after this event time
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """A fitted Kaplan-Meier curve."""
+
+    points: tuple[SurvivalPoint, ...]
+    n_subjects: int
+    n_events: int
+
+    def survival_at(self, time: float) -> float:
+        """S(t): probability of surviving beyond *time*."""
+        survival = 1.0
+        for point in self.points:
+            if point.time > time:
+                break
+            survival = point.survival
+        return survival
+
+    def median_survival(self) -> float | None:
+        """Smallest event time with S(t) <= 0.5, or None if the curve
+        never falls that far (heavy censoring)."""
+        for point in self.points:
+            if point.survival <= 0.5:
+                return point.time
+        return None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def kaplan_meier(
+    durations: Sequence[float], observed: Sequence[bool]
+) -> SurvivalCurve:
+    """Fit the product-limit estimator.
+
+    ``durations[i]`` is subject *i*'s observed time; ``observed[i]`` is
+    True for a death (event) and False for censoring (still alive when
+    observation ended).
+    """
+    if len(durations) != len(observed):
+        raise ValueError("durations and observed flags must align")
+    if not durations:
+        raise ValueError("cannot fit a survival curve to an empty sample")
+    if any(d < 0 for d in durations):
+        raise ValueError("durations must be non-negative")
+
+    order = sorted(range(len(durations)), key=lambda i: durations[i])
+    points: list[SurvivalPoint] = []
+    survival = 1.0
+    at_risk = len(durations)
+    index = 0
+    n_events = 0
+    while index < len(order):
+        time = durations[order[index]]
+        deaths = 0
+        removed = 0
+        while index < len(order) and durations[order[index]] == time:
+            if observed[order[index]]:
+                deaths += 1
+            removed += 1
+            index += 1
+        if deaths:
+            survival *= 1.0 - deaths / at_risk
+            points.append(
+                SurvivalPoint(
+                    time=time, at_risk=at_risk, deaths=deaths, survival=survival
+                )
+            )
+            n_events += deaths
+        at_risk -= removed
+    return SurvivalCurve(
+        points=tuple(points), n_subjects=len(durations), n_events=n_events
+    )

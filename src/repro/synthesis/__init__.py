@@ -1,0 +1,35 @@
+"""Taxon-calibrated synthetic corpus generation.
+
+The paper's raw material — 327 cloned GitHub repositories — is not
+available offline, so this subpackage builds the closest synthetic
+equivalent that exercises the same code paths: for every taxon it
+samples target measurements from distributions calibrated to the
+published per-taxon statistics (Fig 4 / Fig 12), *realizes* them as
+actual MySQL DDL text committed into a :class:`~repro.vcs.Repository`,
+and wraps everything with the metadata rows the mining funnel consumes.
+
+Everything flows from one seeded ``random.Random``: ``build_corpus``
+with the same seed is byte-stable.
+"""
+
+from repro.synthesis.quantiles import FivePoint
+from repro.synthesis.archetypes import ARCHETYPES, TaxonArchetype, archetype_of
+from repro.synthesis.naming import NameForge
+from repro.synthesis.plan import CommitPlan, ProjectPlan, plan_project
+from repro.synthesis.realizer import realize_project
+from repro.synthesis.corpus import SyntheticCorpus, build_corpus, CorpusSpec
+
+__all__ = [
+    "ARCHETYPES",
+    "CommitPlan",
+    "CorpusSpec",
+    "FivePoint",
+    "NameForge",
+    "ProjectPlan",
+    "SyntheticCorpus",
+    "TaxonArchetype",
+    "archetype_of",
+    "build_corpus",
+    "plan_project",
+    "realize_project",
+]

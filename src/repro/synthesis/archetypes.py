@@ -1,0 +1,148 @@
+"""Per-taxon calibrated parameter distributions.
+
+Every :class:`FivePoint` below is read off the paper's published
+statistics: active commits and total activity come directly from the
+quartile table (Fig 12); schema-update period, commit counts, reeds,
+table operations and schema sizes from the min/median/max/avg table
+(Fig 4), with Q1/Q3 interpolated to respect the published medians and
+skew (all the distributions are heavily right-skewed / power-law-like,
+as the paper notes).  Project durations (PUP) are calibrated so the
+share of projects exceeding 12 and 24 months matches the percentages
+quoted per taxon in Sec IV, and the DDL-commit share matches the quoted
+4-6%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxa import Taxon
+from repro.synthesis.quantiles import FivePoint
+
+
+@dataclass(frozen=True)
+class TaxonArchetype:
+    """Everything the planner needs to generate one taxon's projects."""
+
+    taxon: Taxon
+    population: int  # the paper's per-taxon project count
+    active_commits: FivePoint
+    total_activity: FivePoint
+    non_active_commits: FivePoint  # extra commits w/o logical change
+    sup_months: FivePoint
+    pup_months: FivePoint  # tuned so max(PUP, SUP) hits the Sec IV duration shares
+    tables_at_start: FivePoint
+    table_insertions: FivePoint
+    table_deletions: FivePoint
+    ddl_commit_share: float  # DDL commits / all project commits
+    expansion_share: float  # fraction of activity that is expansion
+    flat_line_share: float  # projects whose schema size never changes
+
+
+ARCHETYPES: dict[Taxon, TaxonArchetype] = {
+    Taxon.FROZEN: TaxonArchetype(
+        taxon=Taxon.FROZEN,
+        population=34,
+        active_commits=FivePoint(0, 0, 0, 0, 0),
+        total_activity=FivePoint(0, 0, 0, 0, 0),
+        non_active_commits=FivePoint(1, 1, 1, 2, 10),
+        sup_months=FivePoint(1, 1, 1, 6, 69),
+        pup_months=FivePoint(1, 10, 36, 41, 140),
+        tables_at_start=FivePoint(1, 1, 2, 8, 227),
+        table_insertions=FivePoint(0, 0, 0, 0, 0),
+        table_deletions=FivePoint(0, 0, 0, 0, 0),
+        ddl_commit_share=0.06,
+        expansion_share=0.0,
+        flat_line_share=1.0,
+    ),
+    Taxon.ALMOST_FROZEN: TaxonArchetype(
+        taxon=Taxon.ALMOST_FROZEN,
+        population=65,
+        active_commits=FivePoint(1, 1, 1, 2, 3),
+        total_activity=FivePoint(1, 1, 3, 5, 10),
+        non_active_commits=FivePoint(0, 1, 1, 2, 10),
+        sup_months=FivePoint(1, 2, 6, 14, 99),
+        pup_months=FivePoint(1, 2, 22, 37, 140),
+        tables_at_start=FivePoint(1, 2, 3, 6, 68),
+        table_insertions=FivePoint(0, 0, 0, 0, 2),
+        table_deletions=FivePoint(0, 0, 0, 0, 1),
+        ddl_commit_share=0.05,
+        expansion_share=0.45,
+        flat_line_share=0.75,  # "75% of projects having a flat schema line"
+    ),
+    Taxon.FOCUSED_SHOT_AND_FROZEN: TaxonArchetype(
+        taxon=Taxon.FOCUSED_SHOT_AND_FROZEN,
+        population=25,
+        active_commits=FivePoint(1, 1, 2, 2, 3),
+        total_activity=FivePoint(11, 15.5, 23, 31.5, 383),
+        non_active_commits=FivePoint(0, 1, 1, 2, 14),
+        sup_months=FivePoint(1, 1, 2, 12, 46),
+        pup_months=FivePoint(1, 2, 16, 31, 140),
+        tables_at_start=FivePoint(1, 2, 4, 7, 47),
+        table_insertions=FivePoint(0, 1, 2, 3, 18),
+        table_deletions=FivePoint(0, 0, 1, 2, 45),
+        ddl_commit_share=0.04,
+        expansion_share=0.65,
+        flat_line_share=0.36,  # "36% ... attribute injections (flat line)"
+    ),
+    Taxon.MODERATE: TaxonArchetype(
+        taxon=Taxon.MODERATE,
+        population=29,
+        active_commits=FivePoint(4, 5, 7, 10, 22),
+        total_activity=FivePoint(11, 15, 23, 37.5, 88),
+        non_active_commits=FivePoint(0, 1, 2, 4, 21),
+        sup_months=FivePoint(1, 8, 20, 34, 100),
+        pup_months=FivePoint(1, 2, 28, 33, 140),
+        tables_at_start=FivePoint(1, 3, 5, 9, 65),
+        table_insertions=FivePoint(0, 1, 2, 3, 6),
+        table_deletions=FivePoint(0, 0, 0, 1, 4),
+        ddl_commit_share=0.05,
+        expansion_share=0.65,
+        flat_line_share=0.10,  # "10% have a flat line"
+    ),
+    Taxon.FOCUSED_SHOT_AND_LOW: TaxonArchetype(
+        taxon=Taxon.FOCUSED_SHOT_AND_LOW,
+        population=20,
+        active_commits=FivePoint(4, 5, 6.5, 7, 10),
+        total_activity=FivePoint(27, 41.5, 71, 143, 315),
+        non_active_commits=FivePoint(1, 2, 3, 5, 9),
+        sup_months=FivePoint(1, 6, 17.5, 32, 57),
+        pup_months=FivePoint(1, 2, 10, 55, 140),
+        tables_at_start=FivePoint(2, 4, 8, 12, 26),
+        table_insertions=FivePoint(0, 2, 4.5, 8, 16),
+        table_deletions=FivePoint(0, 1, 2.5, 4, 15),
+        ddl_commit_share=0.06,
+        expansion_share=0.62,
+        flat_line_share=0.0,
+    ),
+    Taxon.ACTIVE: TaxonArchetype(
+        taxon=Taxon.ACTIVE,
+        population=22,
+        active_commits=FivePoint(7, 15, 22, 50.5, 232),
+        total_activity=FivePoint(112, 177, 254, 558.5, 3485),
+        non_active_commits=FivePoint(1, 7, 14, 30, 284),
+        sup_months=FivePoint(1, 14, 31, 52, 100),
+        pup_months=FivePoint(1, 14, 75, 80, 140),
+        tables_at_start=FivePoint(2, 9, 20, 32, 61),
+        table_insertions=FivePoint(0, 10, 24, 40, 301),
+        table_deletions=FivePoint(0, 4, 9, 20, 214),
+        ddl_commit_share=0.06,
+        expansion_share=0.66,
+        flat_line_share=0.09,  # 2 of 22 flat
+    ),
+}
+
+#: Population of projects whose schema file has a single version (the
+#: paper's 132 "rigid" projects out of 327 cloned).
+HISTORY_LESS_POPULATION = 132
+
+#: Funnel noise populations (Sec III.A): projects removed after cloning.
+ZERO_VERSION_POPULATION = 14
+NO_CREATE_POPULATION = 24
+
+
+def archetype_of(taxon: Taxon) -> TaxonArchetype:
+    try:
+        return ARCHETYPES[taxon]
+    except KeyError:
+        raise KeyError(f"no archetype for {taxon}") from None

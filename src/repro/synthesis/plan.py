@@ -1,0 +1,375 @@
+"""Project planning: sample target measurements and per-commit budgets.
+
+A plan fixes, before any SQL is written, exactly what the measured
+project must look like: how many commits, which of them are active, the
+activity (in attributes) of each active commit, the reed structure, the
+schema-update period, and the surrounding repository (project duration,
+filler commits, merge commits).  The realizer then materializes the plan
+as DDL text; tests assert that re-measuring the realized project
+recovers the planned numbers exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.heartbeat import DEFAULT_REED_LIMIT
+from repro.core.taxa import Taxon
+from repro.synthesis.archetypes import TaxonArchetype
+
+_DAYS_PER_MONTH = 30.4375
+_SECONDS_PER_DAY = 86_400
+
+
+@dataclass
+class CommitPlan:
+    """One planned commit of the DDL file."""
+
+    timestamp: int
+    activity: int  # 0 for non-active commits
+
+    @property
+    def is_active(self) -> bool:
+        return self.activity > 0
+
+
+@dataclass
+class ProjectPlan:
+    """The full blueprint of one synthetic project."""
+
+    name: str
+    taxon: Taxon
+    ddl_path: str
+    v0_timestamp: int
+    commits: list[CommitPlan]  # transitions, in time order (excl. V0)
+    total_activity: int
+    active_commits: int
+    planned_reeds: int
+    sup_months: int
+    pup_months: int
+    tables_at_start: int
+    insert_budget: int  # target table insertions over the lifetime
+    delete_budget: int
+    expansion_share: float
+    flat_line: bool
+    growth_discipline: bool  # net table count never falls within a commit
+    total_project_commits: int
+    project_start: int  # first commit of the whole repository
+    domain: str = ""
+
+    @property
+    def n_commits(self) -> int:
+        """Commits of the DDL file, including V0."""
+        return len(self.commits) + 1
+
+
+def _compose_turf(rng: random.Random, count: int, total: int, cap: int) -> list[int]:
+    """Split *total* into *count* parts, each within [1, cap]."""
+    if count == 0:
+        if total:
+            raise ValueError("cannot place activity on zero commits")
+        return []
+    if not count <= total <= count * cap:
+        raise ValueError(f"cannot split {total} into {count} parts of at most {cap}")
+    parts = [1] * count
+    leftover = total - count
+    while leftover > 0:
+        open_indices = [i for i, part in enumerate(parts) if part < cap]
+        index = rng.choice(open_indices)
+        room = min(leftover, cap - parts[index])
+        take = rng.randint(1, room)
+        parts[index] += take
+        leftover -= take
+    return parts
+
+
+def _distribute(
+    rng: random.Random,
+    parts: list[int],
+    caps: list[int | None],
+    leftover: int,
+    bias: list[float] | None = None,
+) -> None:
+    """Distribute *leftover* units over *parts* respecting *caps* in place."""
+    weights = bias or [1.0] * len(parts)
+    while leftover > 0:
+        open_indices = [
+            i for i, (part, cap) in enumerate(zip(parts, caps)) if cap is None or part < cap
+        ]
+        if not open_indices:
+            raise ValueError("no capacity left to distribute activity")
+        total_weight = sum(weights[i] for i in open_indices)
+        pick = rng.random() * total_weight
+        index = open_indices[-1]
+        for i in open_indices:
+            pick -= weights[i]
+            if pick <= 0:
+                index = i
+                break
+        room = leftover if caps[index] is None else min(leftover, caps[index] - parts[index])
+        take = rng.randint(1, room) if room > 1 else room
+        parts[index] += take
+        leftover -= take
+
+
+def split_activity(
+    rng: random.Random,
+    taxon: Taxon,
+    active_commits: int,
+    total_activity: int,
+    reed_limit: int = DEFAULT_REED_LIMIT,
+) -> list[int]:
+    """Per-active-commit activity amounts with the taxon's reed shape.
+
+    Returns a list of ``active_commits`` positive ints summing to
+    ``total_activity``; reeds (> reed_limit) appear per the taxon's
+    published reed statistics.
+    """
+    a, t = active_commits, total_activity
+    cap = reed_limit  # turf commits stay at or below the limit
+    if taxon is Taxon.FROZEN:
+        if a or t:
+            raise ValueError("frozen projects have no activity")
+        return []
+    if taxon is Taxon.ALMOST_FROZEN:
+        return _compose_turf(rng, a, t, cap=min(cap, t))
+    if taxon is Taxon.FOCUSED_SHOT_AND_FROZEN:
+        # One (sometimes two, rarely three) focused shots carry nearly
+        # everything; the remaining commits are single-attribute noise.
+        shots = 1
+        roll = rng.random()
+        if a >= 2 and t >= 2 * (reed_limit + 1) and roll < 0.25:
+            shots = 2
+        if a >= 3 and t >= 3 * (reed_limit + 1) and roll < 0.05:
+            shots = 3
+        others = a - shots
+        pool = t - others
+        shot_parts = [pool // shots] * shots
+        shot_parts[0] += pool - sum(shot_parts)
+        if shots == 2 and shot_parts[0] > 2:
+            swing = rng.randint(0, shot_parts[0] // 3)
+            shot_parts[0] -= swing
+            shot_parts[1] += swing
+        parts = shot_parts + [1] * others
+        rng.shuffle(parts)
+        return parts
+    if taxon is Taxon.MODERATE:
+        reeds = 0
+        if a > 10 and t > a + reed_limit and rng.random() < 0.25:
+            reeds = rng.choice((1, 2)) if t > a + 2 * reed_limit else 1
+        turf_count = a - reeds
+        reed_parts = [reed_limit + 1] * reeds
+        base_turf = turf_count  # 1 each
+        leftover = t - sum(reed_parts) - base_turf
+        if leftover < 0:  # reeds took too much; fall back to all-turf
+            return _compose_turf(rng, a, t, cap=cap)
+        turf_parts = [1] * turf_count
+        # Reeds in Moderate stay modest (the taxon lacks big spikes).
+        caps: list[int | None] = [reed_limit + 6] * reeds + [cap] * turf_count
+        parts = reed_parts + turf_parts
+        try:
+            _distribute(rng, parts, caps, leftover)
+        except ValueError:
+            return _compose_turf(rng, a, t, cap=cap)
+        rng.shuffle(parts)
+        return parts
+    if taxon is Taxon.FOCUSED_SHOT_AND_LOW:
+        reeds = 2 if rng.random() < 0.4 else 1
+        if t < (reed_limit + 1) * reeds + (a - reeds):
+            reeds = 1
+        turf_count = a - reeds
+        parts = [reed_limit + 1] * reeds + [1] * turf_count
+        caps = [None] * reeds + [cap] * turf_count
+        bias = [6.0] * reeds + [1.0] * turf_count
+        _distribute(rng, parts, caps, leftover=t - sum(parts), bias=bias)
+        rng.shuffle(parts)
+        return parts
+    if taxon is Taxon.ACTIVE:
+        reeds = round(a * rng.uniform(0.15, 0.35))
+        # Active projects with a heartbeat in the FS&Low range (4-10
+        # active commits) must carry 3+ reeds, or the classification
+        # tree would route them to FS&Low.
+        min_reeds = 3 if a <= 10 else 1
+        reeds = max(min_reeds, min(reeds, 31, a))
+        while reeds > min_reeds and (reed_limit + 1) * reeds + (a - reeds) > t:
+            reeds -= 1
+        turf_count = a - reeds
+        parts = [reed_limit + 1] * reeds + [1] * turf_count
+        caps = [None] * reeds + [cap] * turf_count
+        bias = [4.0] * reeds + [1.0] * turf_count
+        leftover = t - sum(parts)
+        if leftover < 0:
+            raise ValueError(f"active project infeasible: a={a}, t={t}")
+        _distribute(rng, parts, caps, leftover, bias=bias)
+        rng.shuffle(parts)
+        return parts
+    raise ValueError(f"cannot split activity for {taxon}")
+
+
+def _sample_targets(
+    rng: random.Random, archetype: TaxonArchetype, reed_limit: int, u: float | None = None
+) -> tuple[int, int]:
+    """Sample (active_commits, total_activity) comonotonically.
+
+    A shared uniform draw correlates the two measures (big projects are
+    big in both), which is what the Fig 10 scatter exhibits; jitter
+    keeps the relation noisy rather than deterministic.  Callers that
+    generate a whole taxon population pass stratified ``u`` values so
+    the sample quartiles track the published calibration anchors even
+    for small populations.
+    """
+    if u is None:
+        u = rng.random()
+    active = archetype.active_commits.at_int(u, jitter=0.12, rng=rng)
+    activity = archetype.total_activity.at_int(u, jitter=0.12, rng=rng)
+    taxon = archetype.taxon
+    if taxon is Taxon.FROZEN:
+        return 0, 0
+    activity = max(activity, active)  # every active commit moves >= 1 attribute
+    if taxon is Taxon.ALMOST_FROZEN:
+        activity = min(activity, 10)
+        active = min(active, activity)
+    elif taxon is Taxon.FOCUSED_SHOT_AND_FROZEN:
+        activity = max(activity, 11)
+    elif taxon is Taxon.MODERATE:
+        activity = min(max(activity, active), 88)
+    elif taxon is Taxon.FOCUSED_SHOT_AND_LOW:
+        activity = max(activity, (reed_limit + 1) + (active - 1))
+    elif taxon is Taxon.ACTIVE:
+        # > 90 attributes total, and room for at least 3 reeds when the
+        # heartbeat is low enough to collide with FS&Low (see
+        # split_activity).
+        min_reeds = 3 if active <= 10 else 1
+        activity = max(activity, 91, (reed_limit + 1) * min_reeds + (active - min_reeds))
+    return active, activity
+
+
+_DDL_PATHS = (
+    "schema.sql",
+    "db/schema.sql",
+    "sql/install.sql",
+    "database/structure.sql",
+    "db/mysql.sql",
+    "setup/tables.sql",
+)
+
+_DOMAINS = (
+    "Content Management System",
+    "IoT Management",
+    "Task Management",
+    "Web Services",
+    "Messaging Platform",
+    "Scientific Data Management",
+    "Web Online Store",
+    "Online Charging System",
+    "Developer Tooling",
+    "Monitoring",
+)
+
+
+def plan_project(
+    rng: random.Random,
+    archetype: TaxonArchetype,
+    name: str,
+    epoch_start: int = 1_420_070_400,  # 2015-01-01
+    reed_limit: int = DEFAULT_REED_LIMIT,
+    u: float | None = None,
+    pup_u: float | None = None,
+    sup_u: float | None = None,
+) -> ProjectPlan:
+    """Draw one complete project plan from a taxon archetype.
+
+    ``u`` optionally pins the shared calibration uniform (see
+    :func:`_sample_targets`); corpus generation passes stratified values.
+    """
+    active, activity = _sample_targets(rng, archetype, reed_limit, u=u)
+    parts = split_activity(rng, archetype.taxon, active, activity, reed_limit)
+    non_active = archetype.non_active_commits.sample_int(rng)
+    if archetype.taxon is Taxon.FROZEN:
+        non_active = max(1, non_active)  # frozen still has >= 2 commits
+
+    if sup_u is None:
+        sup_months = archetype.sup_months.sample_int(rng)
+    else:
+        sup_months = archetype.sup_months.at_int(sup_u)
+    if pup_u is None:
+        pup_sample = archetype.pup_months.sample_int(rng)
+    else:
+        pup_sample = archetype.pup_months.at_int(pup_u)
+    pup_months = max(pup_sample, sup_months)
+    transitions = active + non_active
+
+    # Timeline: the whole project spans pup_months; the DDL file's
+    # window (SUP) is placed inside it, biased early (schemata are laid
+    # down near project start).
+    pup_days = pup_months * _DAYS_PER_MONTH
+    sup_days = sup_months * _DAYS_PER_MONTH
+    project_start = epoch_start + rng.randint(0, 4 * 365) * _SECONDS_PER_DAY
+    slack_days = max(0.0, pup_days - sup_days)
+    ddl_offset_days = rng.uniform(0.0, slack_days * 0.35)
+    v0_timestamp = project_start + int(ddl_offset_days * _SECONDS_PER_DAY)
+
+    if transitions == 1:
+        offsets = [sup_days]
+    else:
+        offsets = sorted(rng.uniform(0.0, sup_days) for _ in range(transitions - 1))
+        offsets.append(sup_days)
+    timestamps = []
+    previous = v0_timestamp
+    for offset in offsets:
+        ts = v0_timestamp + int(offset * _SECONDS_PER_DAY)
+        ts = max(ts, previous + 60)  # strictly increasing
+        timestamps.append(ts)
+        previous = ts
+
+    # Interleave active and non-active commits randomly over the slots.
+    flags = [True] * active + [False] * non_active
+    rng.shuffle(flags)
+    part_iter = iter(parts)
+    commits = [
+        CommitPlan(timestamp=ts, activity=next(part_iter) if is_active else 0)
+        for ts, is_active in zip(timestamps, flags)
+    ]
+
+    flat_line = rng.random() < archetype.flat_line_share
+    insert_budget = 0 if flat_line else archetype.table_insertions.sample_int(rng)
+    delete_budget = 0 if flat_line else archetype.table_deletions.sample_int(rng)
+    if not flat_line and archetype.taxon is not Taxon.FROZEN:
+        if insert_budget == 0 and delete_budget == 0:
+            # A project drawn as non-flat must move its table count at
+            # least once (a table birth needs >= 2 attributes of budget).
+            if activity >= 2:
+                insert_budget = 1
+            else:
+                flat_line = True
+
+    # Most projects grow monotonically (the Sec IV schema-line shapes);
+    # the undisciplined minority may shrink or zig-zag.
+    growth_discipline = rng.random() < 0.72
+
+    n_commits = transitions + 1
+    share = archetype.ddl_commit_share * rng.uniform(0.7, 1.4)
+    total_project_commits = max(n_commits + 2, round(n_commits / share))
+
+    return ProjectPlan(
+        name=name,
+        taxon=archetype.taxon,
+        ddl_path=rng.choice(_DDL_PATHS),
+        v0_timestamp=v0_timestamp,
+        commits=commits,
+        total_activity=activity,
+        active_commits=active,
+        planned_reeds=sum(1 for part in parts if part > reed_limit),
+        sup_months=sup_months,
+        pup_months=pup_months,
+        tables_at_start=archetype.tables_at_start.sample_int(rng),
+        insert_budget=insert_budget,
+        delete_budget=delete_budget,
+        expansion_share=archetype.expansion_share,
+        flat_line=flat_line,
+        growth_discipline=growth_discipline,
+        total_project_commits=total_project_commits,
+        project_start=project_start,
+        domain=rng.choice(_DOMAINS),
+    )

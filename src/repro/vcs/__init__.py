@@ -1,0 +1,34 @@
+"""A minimal git-like version control substrate.
+
+The study clones GitHub repositories and extracts, for one DDL file, the
+ordered list of commits that touched it.  Offline we reproduce exactly
+that interface: :class:`Repository` is a content-addressed store of
+blobs and commits (with parents, author time and messages, supporting
+branches and merges), and :mod:`repro.vcs.history` extracts per-file
+version histories with the linearization policies the paper discusses
+as a threat to validity (full topological order vs first-parent walk).
+"""
+
+from repro.vcs.objects import Blob, Commit, FileChange, hash_content
+from repro.vcs.repository import Repository, VcsError
+from repro.vcs.history import (
+    FileVersion,
+    LinearizationPolicy,
+    extract_file_history,
+    first_parent_walk,
+    topological_order,
+)
+
+__all__ = [
+    "Blob",
+    "Commit",
+    "FileChange",
+    "FileVersion",
+    "LinearizationPolicy",
+    "Repository",
+    "VcsError",
+    "extract_file_history",
+    "first_parent_walk",
+    "hash_content",
+    "topological_order",
+]

@@ -1,0 +1,219 @@
+"""The repository: commit DAG, branches, and tree reconstruction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vcs.objects import Blob, Commit, FileChange, commit_oid
+
+
+class VcsError(Exception):
+    """Raised for invalid repository operations."""
+
+
+class Repository:
+    """An in-memory content-addressed repository.
+
+    Supports the subset of git semantics the mining pipeline needs:
+    committing file changes on named branches, merging branches, walking
+    ancestry, and reconstructing the file tree at any commit.
+
+    Example
+    -------
+    >>> repo = Repository("acme/shop")
+    >>> first = repo.commit({"schema.sql": b"CREATE TABLE a (x int);"},
+    ...                     author="ann", timestamp=1_500_000_000,
+    ...                     message="initial schema")
+    >>> repo.read_file(first, "schema.sql").text
+    'CREATE TABLE a (x int);'
+    """
+
+    def __init__(self, name: str, default_branch: str = "master") -> None:
+        self.name = name
+        self.default_branch = default_branch
+        self._blobs: dict[str, Blob] = {}
+        self._commits: dict[str, Commit] = {}
+        self._branches: dict[str, str] = {}
+        self._order: list[str] = []  # insertion order (commit creation)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def branches(self) -> dict[str, str]:
+        """Branch name -> head commit oid (copy)."""
+        return dict(self._branches)
+
+    def head(self, branch: str | None = None) -> str | None:
+        """Head oid of *branch* (default branch if None); None if empty."""
+        return self._branches.get(branch or self.default_branch)
+
+    def commit_count(self) -> int:
+        return len(self._commits)
+
+    def all_commits(self) -> list[Commit]:
+        """All commits in creation order."""
+        return [self._commits[oid] for oid in self._order]
+
+    def get_commit(self, oid: str) -> Commit:
+        try:
+            return self._commits[oid]
+        except KeyError:
+            raise VcsError(f"unknown commit {oid!r}") from None
+
+    def get_blob(self, oid: str) -> Blob:
+        try:
+            return self._blobs[oid]
+        except KeyError:
+            raise VcsError(f"unknown blob {oid!r}") from None
+
+    # -- writing ----------------------------------------------------------
+
+    def commit(
+        self,
+        files: dict[str, bytes | None],
+        author: str,
+        timestamp: int,
+        message: str,
+        branch: str | None = None,
+        extra_parents: tuple[str, ...] = (),
+    ) -> str:
+        """Record a commit changing *files* on *branch*; returns its oid.
+
+        ``files`` maps path -> new content, or ``None`` to delete the
+        path.  ``extra_parents`` turns the commit into a merge.
+        """
+        branch = branch or self.default_branch
+        parent = self._branches.get(branch)
+        parents = (parent,) if parent else ()
+        parents += tuple(p for p in extra_parents if p)
+        changes: list[FileChange] = []
+        for path, content in sorted(files.items()):
+            if content is None:
+                changes.append(FileChange(path, None))
+            else:
+                blob = Blob(content)
+                self._blobs[blob.oid] = blob
+                changes.append(FileChange(path, blob.oid))
+        oid = commit_oid(parents, author, timestamp, message, tuple(changes))
+        if oid in self._commits:
+            # Identical content committed twice (can happen with merges
+            # of identical states); disambiguate with a counter suffix.
+            suffix = 1
+            base = oid
+            while oid in self._commits:
+                oid = f"{base[:-8]}{suffix:08d}"
+                suffix += 1
+        node = Commit(
+            oid=oid,
+            parents=parents,
+            author=author,
+            timestamp=timestamp,
+            message=message,
+            changes=tuple(changes),
+        )
+        self._commits[oid] = node
+        self._branches[branch] = oid
+        self._order.append(oid)
+        return oid
+
+    def branch(self, name: str, at: str | None = None) -> None:
+        """Create branch *name* at commit *at* (default: current head)."""
+        if name in self._branches:
+            raise VcsError(f"branch {name!r} already exists")
+        start = at or self.head()
+        if start is None:
+            raise VcsError("cannot branch an empty repository")
+        self._branches[name] = self.get_commit(start).oid
+
+    def merge(
+        self,
+        source: str,
+        target: str | None = None,
+        author: str = "merge-bot",
+        timestamp: int | None = None,
+        message: str | None = None,
+        files: dict[str, bytes | None] | None = None,
+    ) -> str:
+        """Merge branch *source* into *target* with a merge commit.
+
+        ``files`` carries the merge resolution (paths whose content the
+        merge commit sets); an empty resolution means target wins.
+        """
+        target = target or self.default_branch
+        source_head = self._branches.get(source)
+        if source_head is None:
+            raise VcsError(f"unknown branch {source!r}")
+        target_head = self._branches.get(target)
+        if target_head is None:
+            raise VcsError(f"unknown branch {target!r}")
+        if timestamp is None:
+            timestamp = max(
+                self.get_commit(source_head).timestamp,
+                self.get_commit(target_head).timestamp,
+            ) + 1
+        return self.commit(
+            files or {},
+            author=author,
+            timestamp=timestamp,
+            message=message or f"Merge branch '{source}' into {target}",
+            branch=target,
+            extra_parents=(source_head,),
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def ancestry(self, start: str | None = None) -> list[Commit]:
+        """All commits reachable from *start* (default head), no order
+        guarantee beyond "parents before children" NOT holding — use
+        :func:`repro.vcs.history.topological_order` for ordering."""
+        head = start or self.head()
+        if head is None:
+            return []
+        seen: set[str] = set()
+        stack = [head]
+        result: list[Commit] = []
+        while stack:
+            oid = stack.pop()
+            if oid in seen:
+                continue
+            seen.add(oid)
+            node = self.get_commit(oid)
+            result.append(node)
+            stack.extend(node.parents)
+        return result
+
+    def tree_at(self, oid: str) -> dict[str, str]:
+        """Reconstruct path -> blob oid for the tree at commit *oid*.
+
+        For merge commits, the first parent's tree is the base and the
+        merge commit's own changes are the resolution — matching the
+        first-parent worldview used for file-history extraction.
+        """
+        chain: list[Commit] = []
+        cursor: str | None = oid
+        while cursor is not None:
+            node = self.get_commit(cursor)
+            chain.append(node)
+            cursor = node.parents[0] if node.parents else None
+        tree: dict[str, str] = {}
+        for node in reversed(chain):
+            for change in node.changes:
+                if change.blob_oid is None:
+                    tree.pop(change.path, None)
+                else:
+                    tree[change.path] = change.blob_oid
+        return tree
+
+    def read_file(self, oid: str, path: str) -> Blob | None:
+        """Content of *path* at commit *oid*; None if absent."""
+        blob_oid = self.tree_at(oid).get(path)
+        if blob_oid is None:
+            return None
+        return self.get_blob(blob_oid)
+
+    def paths_ever_touched(self) -> set[str]:
+        """All paths any commit ever changed (GitHub-Activity style)."""
+        paths: set[str] = set()
+        for node in self._commits.values():
+            paths.update(node.changed_paths())
+        return paths

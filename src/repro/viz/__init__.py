@@ -1,0 +1,53 @@
+"""Chart data and terminal rendering for the paper's figures.
+
+``series`` extracts the plotted data (schema size over human time,
+heartbeat over transition id, monthly aggregation, scatter points);
+``ascii`` renders them as terminal charts so examples and benchmarks can
+show the figures without a plotting stack.
+"""
+
+from repro.viz.series import (
+    HeartbeatSeries,
+    ScatterPoint,
+    SchemaSizeSeries,
+    heartbeat_series,
+    monthly_heartbeat,
+    scatter_points,
+    schema_size_series,
+)
+from repro.viz.ascii import (
+    bar_chart,
+    box_plot_sketch,
+    heartbeat_chart,
+    line_chart,
+    scatter_chart,
+)
+from repro.viz.tree import classification_tree_text
+from repro.viz.svg import (
+    boxplot_svg,
+    export_figures,
+    heartbeat_svg,
+    scatter_svg,
+    schema_size_svg,
+)
+
+__all__ = [
+    "HeartbeatSeries",
+    "ScatterPoint",
+    "SchemaSizeSeries",
+    "bar_chart",
+    "box_plot_sketch",
+    "boxplot_svg",
+    "classification_tree_text",
+    "export_figures",
+    "heartbeat_chart",
+    "heartbeat_series",
+    "heartbeat_svg",
+    "line_chart",
+    "monthly_heartbeat",
+    "scatter_chart",
+    "scatter_points",
+    "scatter_svg",
+    "schema_size_series",
+    "schema_size_svg",
+]

@@ -1,0 +1,139 @@
+"""Terminal (ASCII) rendering of the paper's chart types.
+
+Pure-text output, suitable for examples and benchmark reports: a line
+chart for schema size over time, a two-sided bar chart for heartbeats
+(expansion up, maintenance down — the blue/red bars of Fig 2), a log-log
+scatter for Fig 10, and box sketches for Fig 13.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.stats.boxplot import DoubleBoxPlot
+from repro.viz.series import HeartbeatSeries, ScatterPoint, SchemaSizeSeries
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(fraction * cells)))
+
+
+def line_chart(
+    series: SchemaSizeSeries, height: int = 10, width: int = 60, attribute_axis: bool = False
+) -> str:
+    """Schema size over human time, one '*' per commit."""
+    values = series.attributes if attribute_axis else series.tables
+    if not values:
+        return "(empty history)"
+    times = series.timestamps
+    grid = [[" "] * width for _ in range(height)]
+    low_t, high_t = times[0], times[-1]
+    low_v, high_v = 0, max(values)
+    for ts, value in zip(times, values):
+        col = _scale(ts, low_t, high_t, width)
+        row = height - 1 - _scale(value, low_v, high_v, height)
+        grid[row][col] = "*"
+    unit = "attributes" if attribute_axis else "tables"
+    lines = [f"{series.project}: #{unit} over time (max={max(values)})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def heartbeat_chart(series: HeartbeatSeries, height: int = 6, max_width: int = 72) -> str:
+    """Expansion bars above the axis, maintenance bars below (Fig 2)."""
+    n = len(series.transition_ids)
+    if n == 0:
+        return "(no transitions)"
+    columns = min(n, max_width)
+    # When there are more transitions than columns, bucket them.
+    expansion = [0] * columns
+    maintenance = [0] * columns
+    for index in range(n):
+        bucket = index * columns // n
+        expansion[bucket] += series.expansion[index]
+        maintenance[bucket] += series.maintenance[index]
+    peak = max(1, max(expansion + maintenance))
+    top = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        top.append(
+            "".join("#" if e >= threshold and e > 0 else " " for e in expansion)
+        )
+    axis = "=" * columns
+    bottom = []
+    for level in range(1, height + 1):
+        threshold = peak * level / height
+        bottom.append(
+            "".join("#" if m >= threshold and m > 0 else " " for m in maintenance)
+        )
+    lines = [
+        f"{series.project}: heartbeat (expansion up / maintenance down, peak={peak})"
+    ]
+    lines += ["|" + row for row in top]
+    lines.append("+" + axis)
+    lines += ["|" + row for row in bottom]
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 50) -> str:
+    """Horizontal bars; used for populations and summary tables."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty)"
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label):<{label_width}} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: Sequence[ScatterPoint], height: int = 16, width: int = 64
+) -> str:
+    """Fig 10: log-log scatter of activity vs active commits.
+
+    Each taxon draws with its own glyph; collisions show the glyph of
+    the later-drawn point (as in any over-plotted scatter).
+    """
+    if not points:
+        return "(no points)"
+    glyphs = {}
+    palette = "o+x*sd^v"
+    for point in points:
+        if point.taxon not in glyphs:
+            glyphs[point.taxon] = palette[len(glyphs) % len(palette)]
+    xs = [math.log10(max(1, p.activity)) for p in points]
+    ys = [math.log10(max(1, p.active_commits)) for p in points]
+    low_x, high_x = min(xs), max(xs)
+    low_y, high_y = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for point, x, y in zip(points, xs, ys):
+        col = _scale(x, low_x, high_x, width)
+        row = height - 1 - _scale(y, low_y, high_y, height)
+        grid[row][col] = glyphs[point.taxon]
+    legend = "  ".join(f"{glyph}={taxon.short}" for taxon, glyph in glyphs.items())
+    lines = ["active commits (log) vs total activity (log)", legend]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def box_plot_sketch(plot: DoubleBoxPlot) -> str:
+    """Fig 13 as text: one line per taxon with its box coordinates."""
+    lines = ["taxon        activity [min Q1 |med| Q3 max]   active commits [min Q1 |med| Q3 max]"]
+    for box in plot.boxes:
+        x, y = box.x, box.y
+        label = getattr(box.label, "short", str(box.label))
+        lines.append(
+            f"{label:<12} [{x.minimum:g} {x.q1:g} |{x.median:g}| {x.q3:g} {x.maximum:g}]"
+            f"   [{y.minimum:g} {y.q1:g} |{y.median:g}| {y.q3:g} {y.maximum:g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Extract the data series behind the paper's project charts.
+
+Two chart families recur through the paper (Figs 1, 2, 5-9):
+
+- *schema size over human time*: one dot per commit, x = commit time,
+  y = #tables (or #attributes);
+- *heartbeat over transition id*: expansion bars above the x-axis and
+  maintenance bars below it, x = sequential transition id (Fig 2) or
+  running month (Figs 1, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ProjectMetrics
+from repro.core.project import ProjectHistory
+from repro.core.taxa import Taxon
+
+
+@dataclass(frozen=True)
+class SchemaSizeSeries:
+    """The (time, #tables, #attributes) dots of the schema-size chart."""
+
+    project: str
+    timestamps: tuple[int, ...]
+    tables: tuple[int, ...]
+    attributes: tuple[int, ...]
+
+    @property
+    def is_flat(self) -> bool:
+        """A "flat schema line": table count never changes."""
+        return len(set(self.tables)) <= 1
+
+    @property
+    def is_monotone_rise(self) -> bool:
+        """Table count never shrinks (the common growth pattern)."""
+        return all(b >= a for a, b in zip(self.tables, self.tables[1:]))
+
+    def step_count(self) -> int:
+        """Number of upward steps in the table-count line."""
+        return sum(1 for a, b in zip(self.tables, self.tables[1:]) if b > a)
+
+
+@dataclass(frozen=True)
+class HeartbeatSeries:
+    """Expansion/maintenance bars, one pair per transition."""
+
+    project: str
+    transition_ids: tuple[int, ...]
+    expansion: tuple[int, ...]
+    maintenance: tuple[int, ...]
+
+    @property
+    def peak_activity(self) -> int:
+        if not self.transition_ids:
+            return 0
+        return max(e + m for e, m in zip(self.expansion, self.maintenance))
+
+
+@dataclass(frozen=True, slots=True)
+class ScatterPoint:
+    """One project dot of the Fig 10 scatter."""
+
+    project: str
+    taxon: Taxon
+    activity: int
+    active_commits: int
+
+
+def schema_size_series(metrics: ProjectMetrics) -> SchemaSizeSeries:
+    """The Fig 2 (left) series for one project."""
+    points = metrics.schema_size_series
+    if not points:
+        return SchemaSizeSeries(metrics.project, (), (), ())
+    timestamps, tables, attributes = zip(*points)
+    return SchemaSizeSeries(
+        project=metrics.project,
+        timestamps=tuple(timestamps),
+        tables=tuple(tables),
+        attributes=tuple(attributes),
+    )
+
+
+def heartbeat_series(metrics: ProjectMetrics) -> HeartbeatSeries:
+    """The Fig 2 (right) series: bars over sequential transition ids."""
+    entries = metrics.heartbeat.entries
+    return HeartbeatSeries(
+        project=metrics.project,
+        transition_ids=tuple(e.transition_id for e in entries),
+        expansion=tuple(e.expansion for e in entries),
+        maintenance=tuple(e.maintenance for e in entries),
+    )
+
+
+def monthly_heartbeat(metrics: ProjectMetrics) -> HeartbeatSeries:
+    """Heartbeat aggregated per running month (Figs 1, 9)."""
+    by_month: dict[int, list[int]] = {}
+    for transition in metrics.transitions:
+        expansion, maintenance = by_month.setdefault(transition.running_month, [0, 0])
+        by_month[transition.running_month][0] = expansion + transition.expansion
+        by_month[transition.running_month][1] = maintenance + transition.maintenance
+    months = sorted(by_month)
+    return HeartbeatSeries(
+        project=metrics.project,
+        transition_ids=tuple(months),
+        expansion=tuple(by_month[m][0] for m in months),
+        maintenance=tuple(by_month[m][1] for m in months),
+    )
+
+
+def scatter_points(
+    projects: list[ProjectHistory], assignments: dict[str, Taxon]
+) -> list[ScatterPoint]:
+    """Fig 10: every studied project as (activity, active commits).
+
+    Frozen projects are excluded, as in the figure ("Frozen are not
+    shown due to the logarithmic nature of the axes").
+    """
+    points = []
+    for project in projects:
+        taxon = assignments[project.name]
+        if taxon in (Taxon.FROZEN, Taxon.HISTORY_LESS):
+            continue
+        points.append(
+            ScatterPoint(
+                project=project.name,
+                taxon=taxon,
+                activity=project.metrics.total_activity,
+                active_commits=project.metrics.active_commits,
+            )
+        )
+    return points

@@ -1,0 +1,253 @@
+"""Hand-written SVG rendering of the paper's figures.
+
+Produces standalone ``.svg`` files for the four chart families — schema
+size over human time, the heartbeat (expansion up / maintenance down),
+the Fig 10 log-log scatter, and the Fig 13 double box plot — without any
+plotting dependency.  ``export_figures`` writes the full set for a
+measured corpus, the graphical counterpart of the CSV export.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+from repro.stats.boxplot import DoubleBoxPlot
+from repro.viz.series import HeartbeatSeries, ScatterPoint, SchemaSizeSeries
+
+_WIDTH = 720
+_HEIGHT = 360
+_MARGIN = 48
+
+#: Default series palette (expansion, maintenance, accents per taxon).
+_EXPANSION_COLOR = "#2563eb"  # blue bars above the axis, as in Fig 2
+_MAINTENANCE_COLOR = "#dc2626"  # red bars below
+_LINE_COLOR = "#0f766e"
+_TAXON_COLORS = (
+    "#2563eb", "#0891b2", "#16a34a", "#ca8a04", "#ea580c", "#dc2626", "#9333ea",
+)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+class _Svg:
+    """Minimal SVG document builder."""
+
+    def __init__(self, width: int = _WIDTH, height: int = _HEIGHT) -> None:
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+
+    def line(self, x1, y1, x2, y2, color="#334155", width=1.0, dash=None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def rect(self, x, y, w, h, color, opacity=1.0, stroke="none") -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}" fill-opacity="{opacity}" stroke="{stroke}"/>'
+        )
+
+    def circle(self, x, y, r, color, opacity=0.85) -> None:
+        self._parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{color}" '
+            f'fill-opacity="{opacity}"/>'
+        )
+
+    def text(self, x, y, content, size=12, color="#0f172a", anchor="start") -> None:
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" fill="{color}" '
+            f'text-anchor="{anchor}" font-family="sans-serif">{_escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def _scale(value: float, low: float, high: float, out_low: float, out_high: float) -> float:
+    if high <= low:
+        return (out_low + out_high) / 2
+    fraction = (value - low) / (high - low)
+    return out_low + fraction * (out_high - out_low)
+
+
+def schema_size_svg(series: SchemaSizeSeries, attribute_axis: bool = False) -> str:
+    """Schema size over human time — the left panels of Figs 1, 2, 5-9."""
+    svg = _Svg()
+    values = series.attributes if attribute_axis else series.tables
+    unit = "attributes" if attribute_axis else "tables"
+    svg.text(_MARGIN, 24, f"{series.project}: #{unit} over time", size=14)
+    if not values:
+        svg.text(_MARGIN, _HEIGHT / 2, "(empty history)")
+        return svg.render()
+    left, right = _MARGIN, _WIDTH - _MARGIN
+    top, bottom = 40, _HEIGHT - _MARGIN
+    low_t, high_t = series.timestamps[0], series.timestamps[-1]
+    high_v = max(values)
+    svg.line(left, bottom, right, bottom)
+    svg.line(left, top, left, bottom)
+    for tick in range(5):
+        value = high_v * tick / 4
+        y = _scale(value, 0, high_v, bottom, top)
+        svg.line(left - 4, y, left, y)
+        svg.text(left - 8, y + 4, f"{value:.0f}", size=10, anchor="end")
+    points = []
+    for ts, value in zip(series.timestamps, values):
+        x = _scale(ts, low_t, high_t, left, right)
+        y = _scale(value, 0, high_v, bottom, top)
+        points.append((x, y))
+    for (x1, y1), (x2, y2) in zip(points, points[1:]):
+        svg.line(x1, y1, x2, y2, color=_LINE_COLOR, width=1.5)
+    for x, y in points:
+        svg.circle(x, y, 3, _LINE_COLOR)
+    days = (high_t - low_t) / 86_400
+    svg.text(right, bottom + 28, f"{days:.0f} days of schema life", size=10, anchor="end")
+    return svg.render()
+
+
+def heartbeat_svg(series: HeartbeatSeries) -> str:
+    """The heartbeat: expansion bars up, maintenance bars down (Fig 2)."""
+    svg = _Svg()
+    svg.text(_MARGIN, 24, f"{series.project}: heartbeat", size=14)
+    n = len(series.transition_ids)
+    if n == 0:
+        svg.text(_MARGIN, _HEIGHT / 2, "(no transitions)")
+        return svg.render()
+    left, right = _MARGIN, _WIDTH - _MARGIN
+    top, bottom = 40, _HEIGHT - _MARGIN
+    axis_y = (top + bottom) / 2
+    peak = max(1, max(max(series.expansion, default=0), max(series.maintenance, default=0)))
+    bar_width = max(1.0, (right - left) / max(n, 1) * 0.7)
+    svg.line(left, axis_y, right, axis_y)
+    for index in range(n):
+        x = _scale(index, 0, max(n - 1, 1), left, right - bar_width)
+        expansion = series.expansion[index]
+        maintenance = series.maintenance[index]
+        if expansion:
+            height = _scale(expansion, 0, peak, 0, axis_y - top)
+            svg.rect(x, axis_y - height, bar_width, height, _EXPANSION_COLOR)
+        if maintenance:
+            height = _scale(maintenance, 0, peak, 0, bottom - axis_y)
+            svg.rect(x, axis_y, bar_width, height, _MAINTENANCE_COLOR)
+    svg.text(left, bottom + 28, "expansion up / maintenance down", size=10)
+    svg.text(right, bottom + 28, f"peak = {peak} attributes", size=10, anchor="end")
+    return svg.render()
+
+
+def scatter_svg(points: Sequence[ScatterPoint]) -> str:
+    """Fig 10: log-log scatter of activity vs active commits, by taxon."""
+    svg = _Svg()
+    svg.text(_MARGIN, 24, "active commits vs total activity (log-log)", size=14)
+    if not points:
+        svg.text(_MARGIN, _HEIGHT / 2, "(no points)")
+        return svg.render()
+    left, right = _MARGIN, _WIDTH - _MARGIN
+    top, bottom = 40, _HEIGHT - _MARGIN - 20
+    xs = [math.log10(max(1, p.activity)) for p in points]
+    ys = [math.log10(max(1, p.active_commits)) for p in points]
+    low_x, high_x = min(xs), max(xs)
+    low_y, high_y = min(ys), max(ys)
+    svg.line(left, bottom, right, bottom)
+    svg.line(left, top, left, bottom)
+    colors: dict = {}
+    for point, x_value, y_value in zip(points, xs, ys):
+        if point.taxon not in colors:
+            colors[point.taxon] = _TAXON_COLORS[len(colors) % len(_TAXON_COLORS)]
+        x = _scale(x_value, low_x, high_x, left + 8, right - 8)
+        y = _scale(y_value, low_y, high_y, bottom - 8, top + 8)
+        svg.circle(x, y, 4, colors[point.taxon], opacity=0.7)
+    legend_x = left
+    for taxon, color in colors.items():
+        svg.circle(legend_x + 5, _HEIGHT - 18, 4, color)
+        label = taxon.short
+        svg.text(legend_x + 14, _HEIGHT - 14, label, size=10)
+        legend_x += 14 + 7 * len(label) + 16
+    return svg.render()
+
+
+def boxplot_svg(plot: DoubleBoxPlot) -> str:
+    """Fig 13: Q1..Q3 rectangles with median crosses, log-x."""
+    svg = _Svg()
+    svg.text(_MARGIN, 24, "double box plot: activity (x, log) vs active commits (y)", size=14)
+    boxes = plot.boxes
+    if not boxes:
+        return svg.render()
+    left, right = _MARGIN, _WIDTH - _MARGIN
+    top, bottom = 40, _HEIGHT - _MARGIN - 20
+
+    def log(value: float) -> float:
+        return math.log10(max(1.0, value))
+
+    low_x = min(log(b.x.minimum) for b in boxes)
+    high_x = max(log(b.x.maximum) for b in boxes)
+    low_y = min(b.y.minimum for b in boxes)
+    high_y = max(b.y.maximum for b in boxes)
+    svg.line(left, bottom, right, bottom)
+    svg.line(left, top, left, bottom)
+    for index, box in enumerate(boxes):
+        color = _TAXON_COLORS[index % len(_TAXON_COLORS)]
+        x1 = _scale(log(box.x.q1), low_x, high_x, left, right)
+        x2 = _scale(log(box.x.q3), low_x, high_x, left, right)
+        y1 = _scale(box.y.q3, low_y, high_y, bottom, top)
+        y2 = _scale(box.y.q1, low_y, high_y, bottom, top)
+        svg.rect(x1, y1, max(2, x2 - x1), max(2, y2 - y1), color, opacity=0.25, stroke=color)
+        x_med = _scale(log(box.x.median), low_x, high_x, left, right)
+        y_med = _scale(box.y.median, low_y, high_y, bottom, top)
+        x_min = _scale(log(box.x.minimum), low_x, high_x, left, right)
+        x_max = _scale(log(box.x.maximum), low_x, high_x, left, right)
+        y_min = _scale(box.y.minimum, low_y, high_y, bottom, top)
+        y_max = _scale(box.y.maximum, low_y, high_y, bottom, top)
+        svg.line(x_min, y_med, x_max, y_med, color=color, width=1, dash="3,3")
+        svg.line(x_med, y_min, x_med, y_max, color=color, width=1, dash="3,3")
+        label = getattr(box.label, "short", str(box.label))
+        svg.text(x_med, y1 - 4, label, size=10, color=color, anchor="middle")
+    return svg.render()
+
+
+def export_figures(directory: str | Path, analysis) -> dict[str, Path]:
+    """Write the figure set for a measured corpus (the graphical export).
+
+    Produces the Fig 10 scatter and Fig 13 box plot for the corpus, plus
+    a size/heartbeat pair for the most active project.
+    """
+    from repro.reporting.experiments import fig10_report, fig13_report
+    from repro.viz.series import heartbeat_series, schema_size_series
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+
+    points, _ = fig10_report(analysis)
+    paths["scatter"] = directory / "fig10_scatter.svg"
+    paths["scatter"].write_text(scatter_svg(points), encoding="utf-8")
+
+    plot, _ = fig13_report(analysis)
+    paths["boxplot"] = directory / "fig13_boxplot.svg"
+    paths["boxplot"].write_text(boxplot_svg(plot), encoding="utf-8")
+
+    projects = [p for profile in analysis.profiles.values() for p in profile.projects]
+    if projects:
+        busiest = max(projects, key=lambda p: p.metrics.total_activity)
+        paths["schema_size"] = directory / "fig2_schema_size.svg"
+        paths["schema_size"].write_text(
+            schema_size_svg(schema_size_series(busiest.metrics)), encoding="utf-8"
+        )
+        paths["heartbeat"] = directory / "fig2_heartbeat.svg"
+        paths["heartbeat"].write_text(
+            heartbeat_svg(heartbeat_series(busiest.metrics)), encoding="utf-8"
+        )
+    return paths

@@ -1,0 +1,32 @@
+"""Render the Fig 3 classification tree as text.
+
+The tree is generated from a :class:`~repro.core.taxa.TaxonRules`
+instance, so ablation runs with modified thresholds print their own
+decision tree rather than a stale constant picture.
+"""
+
+from __future__ import annotations
+
+from repro.core.taxa import DEFAULT_RULES, TaxonRules
+
+
+def classification_tree_text(rules: TaxonRules = DEFAULT_RULES) -> str:
+    """The rule-based taxa tree (Fig 3), with live thresholds."""
+    few = rules.few_active_commits
+    small = rules.small_activity
+    low_lo, low_hi = rules.fs_low_min_active, rules.fs_low_max_active
+    reeds_hi = rules.fs_low_max_reeds
+    limit = rules.moderate_activity_limit
+    return "\n".join(
+        [
+            "schema history",
+            "|-- single commit of the .sql file ............... History-less",
+            "|-- 0 active commits, 0 activity ................. Frozen",
+            f"|-- at most {few} active commits",
+            f"|   |-- activity <= {small} attributes .............. Almost Frozen",
+            f"|   `-- activity >  {small} attributes .............. Focused Shot & Frozen",
+            f"|-- {low_lo}-{low_hi} active commits with 1-{reeds_hi} reeds ....... Focused Shot & Low",
+            f"|-- activity <= {limit} attributes ................ Moderate",
+            f"`-- activity >  {limit} attributes ................ Active",
+        ]
+    )

@@ -1,0 +1,52 @@
+"""Shared fixtures: one scaled-down synthetic corpus per session.
+
+Building and mining a corpus is the expensive part of the pipeline, so
+integration-level tests share a single session-scoped build at a reduced
+scale (the full paper-scale corpus is exercised by the benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings as hypothesis_settings
+
+# One deterministic hypothesis profile for the whole suite: property
+# tests replay identically across runs (failures stay reproducible).
+hypothesis_settings.register_profile("repro", derandomize=True, deadline=None)
+hypothesis_settings.load_profile("repro")
+
+from repro.core import analyze_corpus
+from repro.synthesis import CorpusSpec, build_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """A small but complete corpus: every population present."""
+    spec = CorpusSpec(
+        seed=2019,
+        scale=0.2,
+        join_rejected=15,
+        not_in_libio=25,
+        path_omitted=9,
+    )
+    return build_corpus(spec)
+
+
+@pytest.fixture(scope="session")
+def funnel_report(corpus):
+    return corpus.run_funnel()
+
+
+@pytest.fixture(scope="session")
+def analysis(funnel_report):
+    # Rigid (history-less) projects ride along so corpus-wide shares
+    # (RQ1's 40%/70%) use the full cloned population as their base.
+    return analyze_corpus(funnel_report.studied + funnel_report.rigid)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)

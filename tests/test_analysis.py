@@ -1,0 +1,145 @@
+"""Tests for corpus-level analysis (taxa populations, Fig 4 profiles)."""
+
+import pytest
+
+from repro.core.analysis import FIG4_MEASURES, FiveNumber, analyze_corpus, summarize_taxon
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core.metrics import compute_metrics
+from repro.core.project import ProjectHistory, RepoStats
+from repro.core.taxa import Taxon
+from repro.schema import build_schema
+
+DAY = 86_400
+
+
+def project_with(name, specs, total_commits=100, pup_days=800):
+    """Build a ProjectHistory from (day, sql) specs."""
+    versions = tuple(
+        SchemaVersion(index=i, commit_oid=f"{name}-{i}", timestamp=int(d * DAY), schema=build_schema(sql))
+        for i, (d, sql) in enumerate(specs)
+    )
+    history = SchemaHistory(name, "schema.sql", versions)
+    return ProjectHistory(
+        name=name,
+        ddl_path="schema.sql",
+        history=history,
+        metrics=compute_metrics(history),
+        repo_stats=RepoStats(
+            total_commits=total_commits, first_commit_ts=0, last_commit_ts=pup_days * DAY
+        ),
+    )
+
+
+def frozen_project(name):
+    sql = "CREATE TABLE a (x INT);"
+    return project_with(name, [(0, sql), (30, sql + "\n-- tweak")])
+
+
+def almost_frozen_project(name):
+    return project_with(
+        name,
+        [
+            (0, "CREATE TABLE a (x INT);"),
+            (10, "CREATE TABLE a (x INT, y INT);"),
+        ],
+    )
+
+
+def history_less_project(name):
+    return project_with(name, [(0, "CREATE TABLE a (x INT);")])
+
+
+class TestFiveNumber:
+    def test_of(self):
+        summary = FiveNumber.of([1.0, 2.0, 3.0, 10.0])
+        assert summary.minimum == 1.0
+        assert summary.median == 2.5
+        assert summary.maximum == 10.0
+        assert summary.average == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FiveNumber.of([])
+
+
+class TestSummarizeTaxon:
+    def test_covers_all_measures(self):
+        profile = summarize_taxon(Taxon.ALMOST_FROZEN, [almost_frozen_project("p")])
+        assert set(profile.measures) == set(FIG4_MEASURES)
+
+    def test_empty_taxon(self):
+        profile = summarize_taxon(Taxon.ACTIVE, [])
+        assert profile.count == 0
+        assert profile.measures == {}
+
+    def test_values(self):
+        profile = summarize_taxon(
+            Taxon.ALMOST_FROZEN,
+            [almost_frozen_project("p1"), almost_frozen_project("p2")],
+        )
+        assert profile.values("total_activity") == [1.0, 1.0]
+
+
+class TestAnalyzeCorpus:
+    def make_analysis(self):
+        projects = [
+            frozen_project("f1"),
+            frozen_project("f2"),
+            almost_frozen_project("a1"),
+            history_less_project("h1"),
+        ]
+        return analyze_corpus(projects)
+
+    def test_assignments(self):
+        analysis = self.make_analysis()
+        assert analysis.assignments["f1"] is Taxon.FROZEN
+        assert analysis.assignments["a1"] is Taxon.ALMOST_FROZEN
+        assert analysis.assignments["h1"] is Taxon.HISTORY_LESS
+
+    def test_populations(self):
+        analysis = self.make_analysis()
+        assert analysis.population(Taxon.FROZEN) == 2
+        assert analysis.population(Taxon.ALMOST_FROZEN) == 1
+        assert analysis.population(Taxon.ACTIVE) == 0
+
+    def test_counts(self):
+        analysis = self.make_analysis()
+        assert analysis.studied_count == 3
+        assert analysis.cloned_count == 4
+
+    def test_shares(self):
+        analysis = self.make_analysis()
+        assert analysis.share_of_studied(Taxon.FROZEN) == pytest.approx(2 / 3)
+        assert analysis.share_of_cloned(Taxon.FROZEN) == pytest.approx(2 / 4)
+        assert analysis.share_of_cloned(Taxon.HISTORY_LESS) == pytest.approx(1 / 4)
+
+    def test_rigidity_share(self):
+        # history-less + frozen + almost frozen over cloned.
+        analysis = self.make_analysis()
+        assert analysis.rigidity_share() == pytest.approx(4 / 4)
+
+    def test_low_heartbeat_share(self):
+        analysis = self.make_analysis()
+        assert analysis.low_heartbeat_share() == 1.0  # all <= 3 active
+
+    def test_values_lookup(self):
+        analysis = self.make_analysis()
+        assert analysis.values(Taxon.ALMOST_FROZEN, "total_activity") == [1.0]
+
+    def test_profile_duration_share(self):
+        analysis = self.make_analysis()
+        profile = analysis.profiles[Taxon.FROZEN]
+        assert profile.share_pup_over(24) == 1.0  # 800 days > 24 months
+        assert profile.share_pup_over(30) == 0.0
+
+    def test_ddl_commit_share(self):
+        analysis = self.make_analysis()
+        profile = analysis.profiles[Taxon.FROZEN]
+        assert profile.mean_ddl_commit_share == pytest.approx(2 / 100)
+
+    def test_empty_corpus(self):
+        analysis = analyze_corpus([])
+        assert analysis.studied_count == 0
+        assert analysis.cloned_count == 0
+        assert analysis.rigidity_share() == 0.0
+        assert analysis.low_heartbeat_share() == 0.0

@@ -1,0 +1,219 @@
+"""Tests for replaying DDL scripts into logical schemata."""
+
+import pytest
+
+from repro.schema import Schema, build_schema
+from repro.schema.builder import BuildReport, SchemaBuildError
+
+
+class TestCreate:
+    def test_single_table(self):
+        schema = build_schema("CREATE TABLE t (a INT, b TEXT);")
+        assert schema.table_names == ("t",)
+        assert len(schema.table("t")) == 2
+
+    def test_primary_key_from_constraint(self):
+        schema = build_schema("CREATE TABLE t (a INT, b INT, PRIMARY KEY (b, a));")
+        assert schema.table("t").primary_key == ("b", "a")
+
+    def test_inline_primary_key(self):
+        schema = build_schema("CREATE TABLE t (a INT PRIMARY KEY, b INT);")
+        assert schema.table("t").primary_key == ("a",)
+
+    def test_recreate_replaces_when_lenient(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); CREATE TABLE t (a INT, b INT);"
+        )
+        assert len(schema.table("t")) == 2
+
+    def test_recreate_raises_when_strict(self):
+        with pytest.raises(SchemaBuildError):
+            build_schema(
+                "CREATE TABLE t (a INT); CREATE TABLE t (b INT);", lenient=False
+            )
+
+    def test_if_not_exists_keeps_original(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); CREATE TABLE IF NOT EXISTS t (a INT, b INT);"
+        )
+        assert len(schema.table("t")) == 1
+
+    def test_multiple_tables_preserve_order(self):
+        schema = build_schema(
+            "CREATE TABLE z (a INT); CREATE TABLE a (b INT); CREATE TABLE m (c INT);"
+        )
+        assert schema.table_names == ("z", "a", "m")
+
+
+class TestDrop:
+    def test_drop(self):
+        schema = build_schema("CREATE TABLE t (a INT); DROP TABLE t;")
+        assert len(schema) == 0
+
+    def test_drop_then_recreate(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); DROP TABLE t; CREATE TABLE t (a INT, b INT);"
+        )
+        assert len(schema.table("t")) == 2
+
+    def test_drop_missing_lenient_is_noop(self):
+        schema = build_schema("DROP TABLE ghost; CREATE TABLE t (a INT);")
+        assert schema.table_names == ("t",)
+
+    def test_drop_missing_strict_raises(self):
+        with pytest.raises(SchemaBuildError):
+            build_schema("DROP TABLE ghost;", lenient=False)
+
+    def test_drop_if_exists_missing_is_fine_even_strict(self):
+        schema = build_schema("DROP TABLE IF EXISTS ghost;", lenient=False)
+        assert len(schema) == 0
+
+    def test_typical_dump_prelude(self):
+        schema = build_schema(
+            "DROP TABLE IF EXISTS `t`;\nCREATE TABLE `t` (a INT);"
+        )
+        assert schema.table_names == ("t",)
+
+
+class TestAlter:
+    def test_add_column(self):
+        schema = build_schema("CREATE TABLE t (a INT); ALTER TABLE t ADD b TEXT;")
+        assert schema.table("t").attribute_names == ("a", "b")
+
+    def test_add_duplicate_column_lenient_noop(self):
+        schema = build_schema("CREATE TABLE t (a INT); ALTER TABLE t ADD a TEXT;")
+        assert schema.table("t").attribute("a").data_type.base == "INT"
+
+    def test_drop_column(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT, b INT); ALTER TABLE t DROP COLUMN a;"
+        )
+        assert schema.table("t").attribute_names == ("b",)
+
+    def test_drop_pk_column_shrinks_pk(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));"
+            "ALTER TABLE t DROP COLUMN a;"
+        )
+        assert schema.table("t").primary_key == ("b",)
+
+    def test_modify_column_type(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t MODIFY a BIGINT;"
+        )
+        assert schema.table("t").attribute("a").data_type.base == "BIGINT"
+
+    def test_change_column_renames_and_retypes(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT, PRIMARY KEY (a));"
+            "ALTER TABLE t CHANGE a b BIGINT;"
+        )
+        t = schema.table("t")
+        assert t.attribute_names == ("b",)
+        assert t.primary_key == ("b",)
+        assert t.attribute("b").data_type.base == "BIGINT"
+
+    def test_rename_column(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t RENAME COLUMN a TO z;"
+        )
+        assert schema.table("t").attribute_names == ("z",)
+
+    def test_rename_column_keeps_type(self):
+        schema = build_schema(
+            "CREATE TABLE t (a DECIMAL(8,2)); ALTER TABLE t RENAME COLUMN a TO z;"
+        )
+        assert schema.table("t").attribute("z").data_type.base == "DECIMAL"
+
+    def test_add_primary_key(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t ADD PRIMARY KEY (a);"
+        )
+        assert schema.table("t").primary_key == ("a",)
+
+    def test_drop_primary_key(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT PRIMARY KEY); ALTER TABLE t DROP PRIMARY KEY;"
+        )
+        assert schema.table("t").primary_key == ()
+
+    def test_alter_rename_table(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t RENAME TO s;"
+        )
+        assert schema.table_names == ("s",)
+
+    def test_alter_unknown_table_lenient_noop(self):
+        schema = build_schema("ALTER TABLE ghost ADD a INT;")
+        assert len(schema) == 0
+
+    def test_alter_unknown_table_strict_raises(self):
+        with pytest.raises(SchemaBuildError):
+            build_schema("ALTER TABLE ghost ADD a INT;", lenient=False)
+
+    def test_alter_unknown_column_strict_raises(self):
+        with pytest.raises(SchemaBuildError):
+            build_schema(
+                "CREATE TABLE t (a INT); ALTER TABLE t DROP COLUMN ghost;",
+                lenient=False,
+            )
+
+    def test_multi_action_alter(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT, b INT);"
+            "ALTER TABLE t DROP COLUMN a, ADD c TEXT, MODIFY b BIGINT;"
+        )
+        t = schema.table("t")
+        assert t.attribute_names == ("b", "c")
+        assert t.attribute("b").data_type.base == "BIGINT"
+
+    def test_engine_alter_is_logical_noop(self):
+        schema = build_schema("CREATE TABLE t (a INT); ALTER TABLE t ENGINE=MyISAM;")
+        assert len(schema.table("t")) == 1
+
+    def test_add_index_is_logical_noop(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t ADD KEY idx (a);"
+        )
+        assert schema.table("t").primary_key == ()
+
+
+class TestRename:
+    def test_rename_table_statement(self):
+        schema = build_schema("CREATE TABLE a (x INT); RENAME TABLE a TO b;")
+        assert schema.table_names == ("b",)
+
+    def test_rename_chain(self):
+        schema = build_schema(
+            "CREATE TABLE a (x INT); RENAME TABLE a TO b, b TO c;"
+        )
+        assert schema.table_names == ("c",)
+
+    def test_rename_missing_lenient(self):
+        schema = build_schema("RENAME TABLE ghost TO g2;")
+        assert len(schema) == 0
+
+
+class TestReport:
+    def test_report_counts(self):
+        report = BuildReport()
+        build_schema(
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"
+            "DROP TABLE a; ALTER TABLE b ADD z INT;"
+            "INSERT INTO b VALUES (1, 2); SET NAMES utf8;",
+            report=report,
+        )
+        assert report.created == 2
+        assert report.dropped == 1
+        assert report.altered == 1
+        assert report.ignored == 2
+        assert report.ignored_verbs == {"INSERT": 1, "SET": 1}
+
+    def test_ignored_statements_do_not_affect_schema(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT);"
+            "INSERT INTO t VALUES (1);"
+            "CREATE INDEX i ON t (a);"
+            "UPDATE t SET a = 2;"
+        )
+        assert schema.size.attributes == 1

@@ -1,0 +1,129 @@
+"""Tests for burst/calmness detection on the monthly heartbeat."""
+
+import pytest
+
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core.metrics import compute_metrics
+from repro.extensions import burst_profile
+from repro.extensions.bursts import monthly_activity
+from repro.schema import build_schema
+
+DAY = 86_400
+MONTH = 30.4375 * DAY
+
+
+def metrics_of(*specs):
+    versions = tuple(
+        SchemaVersion(index=i, commit_oid=f"c{i}", timestamp=int(d), schema=build_schema(sql))
+        for i, (d, sql) in enumerate(specs)
+    )
+    return compute_metrics(SchemaHistory("bursts/project", "s.sql", versions))
+
+
+def grow(n):
+    cols = ", ".join(f"c{i} INT" for i in range(n))
+    return f"CREATE TABLE t ({cols});"
+
+
+class TestMonthlyActivity:
+    def test_aggregates_same_month(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (3 * DAY, grow(2)),
+            (9 * DAY, grow(4)),
+        )
+        assert monthly_activity(metrics) == {1: 3}
+
+    def test_separate_months(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (0.5 * MONTH, grow(2)),
+            (2.2 * MONTH, grow(3)),
+        )
+        assert monthly_activity(metrics) == {1: 1, 3: 1}
+
+    def test_non_active_months_absent(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (1.5 * MONTH, grow(1) + "\n-- touch"),
+        )
+        assert monthly_activity(metrics) == {}
+
+
+class TestBurstProfile:
+    def test_single_burst(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (0.2 * MONTH, grow(3)),
+            (0.6 * MONTH, grow(6)),
+        )
+        profile = burst_profile(metrics)
+        assert profile.n_bursts == 1
+        assert profile.bursts[0].start_month == 1
+        assert profile.bursts[0].activity == 5
+
+    def test_burst_interrupted_by_calm(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (0.5 * MONTH, grow(4)),  # month 1: +3
+            (5.2 * MONTH, grow(7)),  # month 6: +3
+        )
+        profile = burst_profile(metrics)
+        assert profile.n_bursts == 2
+        assert profile.calm_months == profile.months_observed - 2
+
+    def test_consecutive_months_merge_into_one_burst(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (0.5 * MONTH, grow(2)),  # month 1
+            (1.5 * MONTH, grow(3)),  # month 2
+            (2.5 * MONTH, grow(4)),  # month 3
+            (8.5 * MONTH, grow(5)),  # month 9
+        )
+        profile = burst_profile(metrics)
+        assert profile.n_bursts == 2
+        assert profile.bursts[0].length == 3
+        assert profile.bursts[1].length == 1
+
+    def test_concentration(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (0.5 * MONTH, grow(10)),  # burst of 9
+            (6.5 * MONTH, grow(11)),  # burst of 1
+        )
+        profile = burst_profile(metrics)
+        assert profile.concentration(top=1) == pytest.approx(0.9)
+        assert profile.concentration(top=2) == pytest.approx(1.0)
+
+    def test_peak_burst(self):
+        metrics = metrics_of(
+            (0, grow(1)),
+            (0.5 * MONTH, grow(3)),
+            (6.5 * MONTH, grow(10)),
+        )
+        peak = burst_profile(metrics).peak_burst
+        assert peak is not None
+        assert peak.activity == 7
+
+    def test_frozen_project_has_no_bursts(self):
+        metrics = metrics_of((0, grow(2)), (2 * MONTH, grow(2) + "\n-- note"))
+        profile = burst_profile(metrics)
+        assert profile.n_bursts == 0
+        assert profile.calm_share == 1.0
+        assert profile.peak_burst is None
+        assert profile.concentration() == 0.0
+
+    def test_history_less(self):
+        profile = burst_profile(metrics_of((0, grow(2))))
+        assert profile.months_observed == 0
+        assert profile.n_bursts == 0
+
+    def test_corpus_calmness_dominates(self, funnel_report):
+        """[13]'s claim on our corpus: calm periods dominate active ones
+        for projects with long schema lives."""
+        long_lived = [
+            p for p in funnel_report.studied if p.metrics.sup_months >= 12
+        ]
+        assert long_lived
+        calm_shares = [burst_profile(p.metrics).calm_share for p in long_lived]
+        assert sum(calm_shares) / len(calm_shares) > 0.5

@@ -1,0 +1,67 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassify:
+    def test_classify_single_file(self, tmp_path, capsys):
+        sql = tmp_path / "schema.sql"
+        sql.write_text("CREATE TABLE t (a INT);")
+        assert main(["classify", str(sql)]) == 0
+        out = capsys.readouterr().out
+        assert "history-less" in out
+
+    def test_classify_history(self, tmp_path, capsys):
+        v0 = tmp_path / "v0.sql"
+        v1 = tmp_path / "v1.sql"
+        v0.write_text("CREATE TABLE t (a INT);")
+        v1.write_text("CREATE TABLE t (a INT, b INT, c INT);")
+        assert main(["classify", str(v0), str(v1), "--name", "me/app"]) == 0
+        out = capsys.readouterr().out
+        assert "me/app" in out
+        assert "almost frozen" in out
+        assert "total activity: 2" in out
+
+    def test_classify_large_shot(self, tmp_path, capsys):
+        v0 = tmp_path / "v0.sql"
+        v1 = tmp_path / "v1.sql"
+        v0.write_text("CREATE TABLE t (a INT);")
+        columns = ", ".join(f"c{i} INT" for i in range(20))
+        v1.write_text(f"CREATE TABLE t (a INT, {columns});")
+        main(["classify", str(v0), str(v1)])
+        out = capsys.readouterr().out
+        assert "focused shot and frozen" in out
+        assert "reeds / turf:   1 / 0" in out
+
+
+class TestFunnelAndReport:
+    def test_funnel_tiny_scale(self, capsys):
+        assert main(["funnel", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "SQL-Collection repositories" in out
+
+    def test_project_chart(self, capsys):
+        assert main(["project", "--scale", "0.05", "--seed", "3", "--taxon", "active"]) == 0
+        out = capsys.readouterr().out
+        assert "heartbeat" in out
+
+    def test_project_unknown_taxon(self, capsys):
+        assert main(["project", "--scale", "0.02", "--seed", "3", "--taxon", "nonsense"]) == 1
+
+    def test_export(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["export", "--scale", "0.02", "--seed", "3", "--out", str(out)]) == 0
+        assert (out / "projects.csv").exists()
+        assert (out / "fig4.json").exists()
+
+
+class TestArgParsing:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["transmogrify"])

@@ -1,0 +1,172 @@
+"""Integration tests over the session corpus: funnel, ground truth,
+determinism, and the corpus-level claims of the paper."""
+
+import pytest
+
+from repro.core import Taxon, analyze_corpus
+from repro.core.taxa import NONFROZEN_TAXA, TAXA_ORDER
+from repro.mining.path_filters import MultiFileVerdict
+from repro.synthesis import CorpusSpec, build_corpus
+from repro.synthesis.archetypes import ARCHETYPES
+
+
+class TestCorpusBuild:
+    def test_every_population_present(self, corpus):
+        expected_counts = {
+            taxon: corpus.spec.scaled(archetype.population)
+            for taxon, archetype in ARCHETYPES.items()
+        }
+        actual = {taxon: 0 for taxon in TAXA_ORDER}
+        for name, taxon in corpus.expected_taxa.items():
+            if taxon in actual:
+                actual[taxon] += 1
+        assert actual == expected_counts
+
+    def test_history_less_population(self, corpus):
+        rigid = sum(1 for t in corpus.expected_taxa.values() if t is Taxon.HISTORY_LESS)
+        assert rigid == corpus.spec.scaled(corpus.spec.history_less)
+
+    def test_provider_returns_repo_or_none(self, corpus):
+        known = corpus.studied_names[0]
+        assert corpus.provider(known) is not None
+        assert corpus.provider("ghost/never-existed") is None
+
+    def test_metadata_passes_quality_filters(self, corpus):
+        for name in corpus.expected_taxa:
+            record = corpus.lib_io.lookup(name)
+            assert record is not None
+            assert record.is_original
+            assert record.stars >= 1
+            assert record.contributors >= 2
+
+
+class TestFunnelCounts:
+    def test_lib_io_count(self, corpus, funnel_report):
+        spec = corpus.spec
+        expected = (
+            len(corpus.expected_taxa)
+            + spec.scaled(spec.zero_version)
+            + spec.scaled(spec.no_create)
+        )
+        assert funnel_report.lib_io_projects == expected
+
+    def test_removed_counts(self, corpus, funnel_report):
+        spec = corpus.spec
+        assert funnel_report.removed_zero_versions == spec.scaled(spec.zero_version)
+        assert funnel_report.removed_no_create == spec.scaled(spec.no_create)
+
+    def test_cloned_usable(self, corpus, funnel_report):
+        assert funnel_report.cloned_usable == len(corpus.expected_taxa)
+
+    def test_rigid_split(self, corpus, funnel_report):
+        rigid_expected = sum(
+            1 for t in corpus.expected_taxa.values() if t is Taxon.HISTORY_LESS
+        )
+        assert funnel_report.rigid_count == rigid_expected
+        assert funnel_report.studied_count == len(corpus.expected_taxa) - rigid_expected
+
+    def test_path_omissions_recorded(self, funnel_report):
+        omitted = funnel_report.omitted_by_paths
+        assert MultiFileVerdict.INCREMENTAL in omitted
+        assert MultiFileVerdict.FILE_PER_TABLE in omitted
+        assert MultiFileVerdict.VENDOR_LANGUAGE_PRODUCT in omitted
+
+    def test_funnel_is_strictly_narrowing(self, funnel_report):
+        assert (
+            funnel_report.sql_collection_repos
+            >= funnel_report.joined_and_filtered
+            >= funnel_report.lib_io_projects
+            >= funnel_report.cloned_usable
+            >= funnel_report.studied_count
+        )
+
+    def test_rigid_share_in_paper_ballpark(self, funnel_report):
+        # Paper: 132/327 = 40%.
+        assert funnel_report.rigid_share == pytest.approx(0.40, abs=0.03)
+
+
+class TestGroundTruth:
+    def test_every_studied_project_classifies_as_planned(self, corpus, funnel_report, analysis):
+        for project in funnel_report.studied:
+            expected = corpus.expected_taxa[project.name]
+            assert analysis.assignments[project.name] is expected, project.name
+
+    def test_plan_recovery_across_corpus(self, corpus, funnel_report):
+        for project in funnel_report.studied:
+            plan = corpus.plans.get(project.name)
+            assert plan is not None
+            metrics = project.metrics
+            assert metrics.total_activity == plan.total_activity
+            assert metrics.active_commits == plan.active_commits
+            assert metrics.n_commits == plan.n_commits
+            assert metrics.reeds == plan.planned_reeds
+
+    def test_rigid_projects_have_single_version(self, funnel_report):
+        for project in funnel_report.rigid:
+            assert project.history.n_commits == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        spec = CorpusSpec(seed=77, scale=0.05, join_rejected=3, not_in_libio=3, path_omitted=3)
+        a = build_corpus(spec)
+        b = build_corpus(spec)
+        assert sorted(a.expected_taxa.items()) == sorted(b.expected_taxa.items())
+        heads_a = {n: (r.head() if r else None) for n, r in a.repos.items()}
+        heads_b = {n: (r.head() if r else None) for n, r in b.repos.items()}
+        assert heads_a == heads_b
+
+    def test_different_seed_different_corpus(self):
+        spec_a = CorpusSpec(seed=1, scale=0.05, join_rejected=3, not_in_libio=3, path_omitted=3)
+        spec_b = CorpusSpec(seed=2, scale=0.05, join_rejected=3, not_in_libio=3, path_omitted=3)
+        a, b = build_corpus(spec_a), build_corpus(spec_b)
+        heads_a = {r.head() for r in a.repos.values() if r}
+        heads_b = {r.head() for r in b.repos.values() if r}
+        assert heads_a != heads_b
+
+
+class TestCorpusShape:
+    """Shape assertions against the paper's published per-taxon stats."""
+
+    def test_taxa_activity_ordering(self, analysis):
+        # Median activity must rise along AF < FS&F/Moderate < FS&L < Active.
+        med = {
+            taxon: analysis.profiles[taxon].measures["total_activity"].median
+            for taxon in NONFROZEN_TAXA
+        }
+        assert med[Taxon.ALMOST_FROZEN] < med[Taxon.FOCUSED_SHOT_AND_FROZEN]
+        assert med[Taxon.FOCUSED_SHOT_AND_LOW] > med[Taxon.MODERATE]
+        assert med[Taxon.ACTIVE] > med[Taxon.FOCUSED_SHOT_AND_LOW]
+
+    def test_active_commits_ordering(self, analysis):
+        med = {
+            taxon: analysis.profiles[taxon].measures["active_commits"].median
+            for taxon in NONFROZEN_TAXA
+        }
+        assert med[Taxon.ALMOST_FROZEN] <= 3
+        assert med[Taxon.MODERATE] >= 4
+        assert med[Taxon.ACTIVE] > med[Taxon.MODERATE]
+
+    def test_frozen_taxon_is_all_zero(self, analysis):
+        profile = analysis.profiles[Taxon.FROZEN]
+        assert profile.measures["total_activity"].maximum == 0
+        assert profile.measures["active_commits"].maximum == 0
+
+    def test_reed_constraints_per_taxon(self, analysis):
+        assert analysis.profiles[Taxon.ALMOST_FROZEN].measures["reeds"].maximum == 0
+        assert analysis.profiles[Taxon.FOCUSED_SHOT_AND_LOW].measures["reeds"].minimum >= 1
+        assert analysis.profiles[Taxon.FOCUSED_SHOT_AND_LOW].measures["reeds"].maximum <= 2
+
+    def test_rigidity_dominates(self, funnel_report, analysis):
+        # Paper RQ1: ~70% of cloned projects show absence or tiny change.
+        assert analysis.rigidity_share() > 0.6
+
+    def test_low_heartbeat_share(self, analysis):
+        # Paper: 124/195 = 64% of studied projects have 0-3 active commits.
+        assert analysis.low_heartbeat_share() == pytest.approx(0.64, abs=0.08)
+
+    def test_ddl_commit_share_small(self, analysis):
+        # Paper: DDL file commits are 4-6% of all project commits.
+        for taxon in NONFROZEN_TAXA:
+            share = analysis.profiles[taxon].mean_ddl_commit_share
+            assert 0.02 < share < 0.12, taxon

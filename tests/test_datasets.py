@@ -1,0 +1,114 @@
+"""Tests for the named example projects (the paper's figure subjects)."""
+
+import pytest
+
+from repro.core import classify
+from repro.core.project import extract_project
+from repro.core.taxa import Taxon
+from repro.datasets import NAMED_PROJECTS, named_project
+from repro.viz import schema_size_series
+
+
+def measure(name):
+    repo, path = named_project(name)
+    return extract_project(repo, path)
+
+
+class TestRegistry:
+    def test_all_builders_run(self):
+        for name in NAMED_PROJECTS:
+            repo, path = named_project(name)
+            assert repo.commit_count() > 0
+            assert path in repo.paths_ever_touched()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            named_project("nobody/nothing")
+
+    def test_builders_are_deterministic(self):
+        a, _ = named_project("jasdel/harvester")
+        b, _ = named_project("jasdel/harvester")
+        assert a.head() == b.head()
+
+
+class TestFig2Builderscon:
+    def test_taxon(self):
+        project = measure("builderscon/octav")
+        assert classify(project.metrics) is Taxon.ACTIVE
+
+    def test_ladder_up_shape(self):
+        project = measure("builderscon/octav")
+        series = schema_size_series(project.metrics)
+        # The ladder: five +2-table steps early, then a flat-ish tail.
+        assert series.tables[0] == 3
+        assert max(series.tables) == 13
+        assert series.is_monotone_rise
+
+    def test_heartbeat_mixes_reeds_and_turf(self):
+        metrics = measure("builderscon/octav").metrics
+        assert metrics.reeds == 5
+        assert metrics.turf_commits == 10
+
+
+class TestFig5AlmostFrozen:
+    def test_caption_numbers(self):
+        metrics = measure("reference/almost-frozen").metrics
+        assert metrics.n_commits == 9  # V0 + 8
+        assert metrics.active_commits == 1
+        assert metrics.total_activity == 3  # three datatype updates
+        assert classify(metrics) is Taxon.ALMOST_FROZEN
+
+    def test_flat_schema_line(self):
+        series = schema_size_series(measure("reference/almost-frozen").metrics)
+        assert series.is_flat
+
+
+class TestFig6Onlinejudge:
+    def test_taxon_and_expansion(self):
+        metrics = measure("jRonak/Onlinejudge").metrics
+        assert classify(metrics) is Taxon.FOCUSED_SHOT_AND_FROZEN
+        assert metrics.table_insertions == 2  # "focused expansion of two tables"
+        assert metrics.total_maintenance == 0
+
+
+class TestFig7TlsObservatory:
+    def test_caption_numbers(self):
+        metrics = measure("mozilla/tls-observatory").metrics
+        assert metrics.n_commits == 44  # "43 commits after the original"
+        assert metrics.active_commits == 23
+        assert classify(metrics) is Taxon.MODERATE
+
+    def test_mild_injections(self):
+        metrics = measure("mozilla/tls-observatory").metrics
+        assert metrics.reeds == 0
+        assert metrics.total_expansion > metrics.total_maintenance
+
+
+class TestFig8Harvester:
+    def test_two_reeds_two_steps(self):
+        project = measure("jasdel/harvester")
+        metrics = project.metrics
+        assert classify(metrics) is Taxon.FOCUSED_SHOT_AND_LOW
+        assert metrics.reeds == 2
+        series = schema_size_series(metrics)
+        assert series.step_count() == 2  # the two-step schema increase
+
+    def test_short_sup(self):
+        project = measure("jasdel/harvester")
+        assert project.sup_months <= 2
+        assert project.pup_months > project.sup_months
+
+
+class TestFig8TalkingData:
+    def test_caption_numbers(self):
+        metrics = measure("TalkingData/owl").metrics
+        assert classify(metrics) is Taxon.FOCUSED_SHOT_AND_LOW
+        assert metrics.reeds == 1
+        reed = max(metrics.heartbeat.entries, key=lambda e: e.activity)
+        assert reed.expansion == 124  # "124 attributes of growth"
+        assert reed.maintenance == 68  # "68 attributes of maintenance"
+
+    def test_reed_holds_ninety_percent(self):
+        metrics = measure("TalkingData/owl").metrics
+        reed = max(metrics.heartbeat.entries, key=lambda e: e.activity)
+        assert reed.activity / metrics.total_activity > 0.9

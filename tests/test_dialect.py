@@ -1,0 +1,77 @@
+"""Tests for dialect detection."""
+
+import pytest
+
+from repro.sqlddl import Dialect, detect_dialect
+from repro.sqlddl.dialect import dialect_from_path
+from repro.sqlddl.errors import UnsupportedDialectError
+
+
+class TestPathHints:
+    @pytest.mark.parametrize(
+        "path,dialect",
+        [
+            ("db/mysql.sql", Dialect.MYSQL),
+            ("sql/mariadb/schema.sql", Dialect.MYSQL),
+            ("install/postgres.sql", Dialect.POSTGRES),
+            ("pgsql/tables.sql", Dialect.POSTGRES),
+            ("db/sqlite.sql", Dialect.SQLITE),
+            ("mssql/create.sql", Dialect.MSSQL),
+            ("oracle/schema.sql", Dialect.ORACLE),
+            ("db/schema.sql", Dialect.UNKNOWN),
+        ],
+    )
+    def test_path_detection(self, path, dialect):
+        assert dialect_from_path(path) is dialect
+
+    def test_path_hint_overrides_content(self):
+        content = "CREATE TABLE t (a SERIAL);"  # postgres fingerprint
+        assert detect_dialect(content, path="db/mysql/schema.sql") is Dialect.MYSQL
+
+
+class TestContentFingerprints:
+    def test_mysql_engine_clause(self):
+        assert detect_dialect("CREATE TABLE t (a INT) ENGINE=InnoDB;") is Dialect.MYSQL
+
+    def test_mysql_backticks_and_autoincrement(self):
+        sql = "CREATE TABLE `t` (`a` INT AUTO_INCREMENT);"
+        assert detect_dialect(sql) is Dialect.MYSQL
+
+    def test_postgres_serial(self):
+        assert detect_dialect("CREATE TABLE t (id SERIAL PRIMARY KEY);") is Dialect.POSTGRES
+
+    def test_postgres_alter_only(self):
+        sql = "ALTER TABLE ONLY t ADD CONSTRAINT pk PRIMARY KEY (id);"
+        assert detect_dialect(sql) is Dialect.POSTGRES
+
+    def test_mssql_brackets_and_nvarchar(self):
+        sql = "CREATE TABLE [dbo].[t] ([a] NVARCHAR(50));"
+        assert detect_dialect(sql) is Dialect.MSSQL
+
+    def test_sqlite_autoincrement(self):
+        sql = "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT);"
+        assert detect_dialect(sql) is Dialect.SQLITE
+
+    def test_oracle_varchar2(self):
+        assert detect_dialect("CREATE TABLE t (a VARCHAR2(50));") is Dialect.ORACLE
+
+    def test_plain_sql_is_unknown(self):
+        assert detect_dialect("CREATE TABLE t (a INT);") is Dialect.UNKNOWN
+
+
+class TestFromName:
+    @pytest.mark.parametrize(
+        "name,dialect",
+        [
+            ("MySQL", Dialect.MYSQL),
+            ("mariadb-10", Dialect.MYSQL),
+            ("PostgreSQL", Dialect.POSTGRES),
+            ("sqlite3", Dialect.SQLITE),
+        ],
+    )
+    def test_loose_names(self, name, dialect):
+        assert Dialect.from_name(name) is dialect
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnsupportedDialectError):
+            Dialect.from_name("dBASE")

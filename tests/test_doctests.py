@@ -1,0 +1,20 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.stats.ranks
+import repro.vcs.repository
+
+_MODULES = [
+    repro.stats.ranks,
+    repro.vcs.repository,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

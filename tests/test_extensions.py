@@ -1,0 +1,213 @@
+"""Tests for the Sec VI extensions: table lives and foreign-key usage."""
+
+import pytest
+
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.extensions import (
+    foreign_key_profile,
+    study_table_lives,
+)
+from repro.extensions.table_lives import table_lives_of
+from repro.schema import build_schema
+from repro.vcs.history import FileVersion
+
+DAY = 86_400
+
+
+def make_history(*specs, project="ext/project"):
+    versions = tuple(
+        SchemaVersion(index=i, commit_oid=f"c{i}", timestamp=int(d * DAY), schema=build_schema(sql))
+        for i, (d, sql) in enumerate(specs)
+    )
+    return SchemaHistory(project, "schema.sql", versions)
+
+
+def file_versions(*texts):
+    return [
+        FileVersion(commit_oid=f"c{i}", timestamp=i * DAY, author="a", message="m",
+                    content=text.encode())
+        for i, text in enumerate(texts)
+    ]
+
+
+class TestTableLives:
+    def test_v0_tables_born_at_zero(self):
+        history = make_history((0, "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"))
+        lives = table_lives_of(history)
+        assert {life.table for life in lives} == {"a", "b"}
+        assert all(life.birth_version == 0 for life in lives)
+        assert all(life.is_survivor for life in lives)
+
+    def test_death_recorded(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"),
+            (30, "CREATE TABLE a (x INT);"),
+        )
+        lives = {life.table: life for life in table_lives_of(history)}
+        assert lives["b"].death_version == 1
+        assert not lives["b"].is_survivor
+        assert lives["a"].is_survivor
+
+    def test_late_birth(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT);"),
+            (60, "CREATE TABLE a (x INT); CREATE TABLE late (y INT);"),
+        )
+        lives = {life.table: life for life in table_lives_of(history)}
+        assert lives["late"].birth_version == 1
+        assert lives["late"].birth_ts == 60 * DAY
+
+    def test_duration_months(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT);"),
+            (91, "CREATE TABLE a (x INT, y INT);"),
+        )
+        life = table_lives_of(history)[0]
+        assert life.duration_months == 3
+
+    def test_intra_table_activity_attributed(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT); CREATE TABLE quiet (q INT);"),
+            (10, "CREATE TABLE a (x BIGINT, y INT); CREATE TABLE quiet (q INT);"),
+        )
+        lives = {life.table: life for life in table_lives_of(history)}
+        assert lives["a"].activity == 2  # type change + injection
+        assert lives["quiet"].activity == 0
+        assert lives["a"].is_active
+        assert not lives["quiet"].is_active
+
+    def test_birth_and_death_not_counted_as_activity(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT);"),
+            (10, "CREATE TABLE a (x INT); CREATE TABLE b (p INT, q INT);"),
+            (20, "CREATE TABLE a (x INT);"),
+        )
+        lives = {life.table: life for life in table_lives_of(history)}
+        assert lives["b"].activity == 0
+
+    def test_rebirth_after_death_is_a_new_life(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"),
+            (10, "CREATE TABLE a (x INT);"),
+            (20, "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"),
+        )
+        lives = [life for life in table_lives_of(history) if life.table == "b"]
+        assert len(lives) == 2
+        assert sorted(life.is_survivor for life in lives) == [False, True]
+
+    def test_empty_history(self):
+        history = SchemaHistory("p", "s.sql", ())
+        assert table_lives_of(history) == []
+
+    def test_study_aggregates(self):
+        history = make_history(
+            (0, "CREATE TABLE survivor (x INT); CREATE TABLE doomed (y INT);"),
+            (300, "CREATE TABLE survivor (x INT, z INT);"),
+        )
+        study = study_table_lives([history])
+        assert len(study.survivors) == 1
+        assert len(study.dead) == 1
+        assert study.median_duration(survivors=True) >= study.median_duration(survivors=False)
+
+    def test_electrolysis_trivial_without_dead(self):
+        history = make_history((0, "CREATE TABLE a (x INT);"))
+        assert study_table_lives([history]).electrolysis_holds()
+
+
+class TestForeignKeyProfile:
+    def test_no_fks(self):
+        profile = foreign_key_profile(
+            "p", file_versions("CREATE TABLE a (x INT);")
+        )
+        assert not profile.ever_used
+        assert profile.fk_at_end == 0
+
+    def test_create_table_fk(self):
+        profile = foreign_key_profile(
+            "p",
+            file_versions(
+                "CREATE TABLE parent (id INT PRIMARY KEY);"
+                "CREATE TABLE child (pid INT, FOREIGN KEY (pid) REFERENCES parent (id));"
+            ),
+        )
+        assert profile.ever_used
+        assert profile.fk_at_end == 1
+
+    def test_alter_add_fk(self):
+        profile = foreign_key_profile(
+            "p",
+            file_versions(
+                "CREATE TABLE a (x INT);",
+                "CREATE TABLE a (x INT);\n"
+                "ALTER TABLE a ADD CONSTRAINT fk1 FOREIGN KEY (x) REFERENCES b (y);",
+            ),
+        )
+        assert profile.fk_counts == (0, 1)
+        assert profile.fk_births == 1
+        assert profile.fk_deaths == 0
+
+    def test_fk_death(self):
+        with_fk = (
+            "CREATE TABLE p (id INT PRIMARY KEY);"
+            "CREATE TABLE c (pid INT, FOREIGN KEY (pid) REFERENCES p (id));"
+        )
+        without = "CREATE TABLE p (id INT PRIMARY KEY); CREATE TABLE c (pid INT);"
+        profile = foreign_key_profile("p", file_versions(with_fk, without))
+        assert profile.fk_deaths == 1
+
+    def test_dropping_table_removes_its_fks(self):
+        script = (
+            "CREATE TABLE c (pid INT, FOREIGN KEY (pid) REFERENCES p (id));"
+            "DROP TABLE c;"
+        )
+        profile = foreign_key_profile("p", file_versions(script))
+        assert profile.fk_at_end == 0
+
+    def test_density(self):
+        profile = foreign_key_profile(
+            "p",
+            file_versions(
+                "CREATE TABLE a (x INT);"
+                "CREATE TABLE b (y INT, FOREIGN KEY (y) REFERENCES a (x));"
+            ),
+        )
+        assert profile.density_at_end == pytest.approx(0.5)
+
+    def test_empty_versions_skipped(self):
+        versions = file_versions("", "CREATE TABLE a (x INT);")
+        profile = foreign_key_profile("p", versions)
+        assert len(profile.fk_counts) == 1
+
+
+class TestCorpusFkUsage:
+    def test_some_projects_use_fks_and_some_do_not(self, corpus, funnel_report):
+        """The synthetic corpus reproduces the related-work finding that
+        integrity constraints are missing in several places."""
+        from repro.vcs import extract_file_history
+
+        used = 0
+        total = 0
+        for project in funnel_report.studied:
+            repo = corpus.provider(project.name)
+            versions = extract_file_history(repo, project.ddl_path)
+            profile = foreign_key_profile(project.name, versions)
+            used += profile.ever_used
+            total += 1
+        assert 0 < used < total
+        assert 0.2 < used / total < 0.8
+
+
+class TestSurvivalCurveIntegration:
+    def test_survival_curve_of_study(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT); CREATE TABLE b (y INT); CREATE TABLE c (z INT);"),
+            (100, "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"),  # c dies
+            (400, "CREATE TABLE a (x INT);"),  # b dies
+        )
+        study = study_table_lives([history])
+        curve = study.survival_curve()
+        assert curve.n_subjects == 3
+        assert curve.n_events == 2
+        # c died after ~3 months, b after ~13; a is censored.
+        assert curve.survival_at(2) == 1.0
+        assert curve.survival_at(4) < 1.0

@@ -1,0 +1,143 @@
+"""Direct unit tests of the funnel with hand-built minimal datasets.
+
+The integration suite exercises the funnel over the synthetic corpus;
+these tests pin its behaviour on purpose-built edge cases: every removal
+stage, verdict bookkeeping, criteria and policy forwarding.
+"""
+
+import pytest
+
+from repro.core.taxa import Taxon, classify
+from repro.mining import (
+    GithubActivityDataset,
+    LibrariesIoDataset,
+    LibrariesIoRecord,
+    MultiFileVerdict,
+    SelectionCriteria,
+    SqlFileRecord,
+    run_funnel,
+)
+from repro.vcs import LinearizationPolicy, Repository
+
+DAY = 86_400
+SCHEMA_V0 = b"CREATE TABLE a (x INT);"
+SCHEMA_V1 = b"CREATE TABLE a (x INT, y INT);"
+
+
+def meta(name, **kw):
+    defaults = dict(is_fork=False, stars=3, contributors=4)
+    defaults.update(kw)
+    return LibrariesIoRecord(
+        repo_name=name, url=f"https://github.com/{name}", **defaults
+    )
+
+
+def repo_with_history(name, versions, path="schema.sql"):
+    repo = Repository(name)
+    for index, content in enumerate(versions):
+        repo.commit({path: content}, "dev", index * 30 * DAY, f"v{index}")
+    return repo
+
+
+class TestFunnelStages:
+    def build(self):
+        activity = GithubActivityDataset(
+            [
+                SqlFileRecord("ok/studied", "schema.sql"),
+                SqlFileRecord("ok/rigid", "schema.sql"),
+                SqlFileRecord("gone/removed", "schema.sql"),
+                SqlFileRecord("stale/path", "schema.sql"),
+                SqlFileRecord("data/only", "schema.sql"),
+                SqlFileRecord("fork/reject", "schema.sql"),
+                SqlFileRecord("multi/incremental", "db/upgrade_1.sql"),
+                SqlFileRecord("multi/incremental", "db/upgrade_2.sql"),
+                SqlFileRecord("multi/incremental", "db/upgrade_3.sql"),
+                SqlFileRecord("nolib/ghost", "schema.sql"),
+            ]
+        )
+        lib_io = LibrariesIoDataset(
+            [
+                meta("ok/studied"),
+                meta("ok/rigid"),
+                meta("gone/removed"),
+                meta("stale/path"),
+                meta("data/only"),
+                meta("fork/reject", is_fork=True),
+                meta("multi/incremental"),
+            ]
+        )
+        repos = {
+            "ok/studied": repo_with_history("ok/studied", [SCHEMA_V0, SCHEMA_V1]),
+            "ok/rigid": repo_with_history("ok/rigid", [SCHEMA_V0]),
+            "gone/removed": None,
+            "stale/path": repo_with_history("stale/path", [SCHEMA_V0], path="other.sql"),
+            "data/only": repo_with_history(
+                "data/only", [b"INSERT INTO x VALUES (1);", b"INSERT INTO x VALUES (2);"]
+            ),
+        }
+        return activity, lib_io, repos.get
+
+    def test_stage_counts(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(activity, lib_io, provider)
+        assert report.sql_collection_repos == 8  # distinct repos in the collection
+        assert report.joined_and_filtered == 6  # fork + unmonitored gone
+        assert report.lib_io_projects == 5  # incremental layout omitted
+        assert report.removed_zero_versions == 2  # gone + stale path
+        assert report.removed_no_create == 1  # data/only
+        assert report.cloned_usable == 2
+        assert report.rigid_count == 1
+        assert report.studied_count == 1
+
+    def test_omission_bookkeeping(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(activity, lib_io, provider)
+        assert report.omitted_by_paths == {MultiFileVerdict.INCREMENTAL: 1}
+
+    def test_studied_project_measured(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(activity, lib_io, provider)
+        project = report.studied[0]
+        assert project.name == "ok/studied"
+        assert project.metrics.total_activity == 1
+        assert classify(project.metrics) is Taxon.ALMOST_FROZEN
+
+    def test_rigid_share(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(activity, lib_io, provider)
+        assert report.rigid_share == pytest.approx(0.5)
+
+    def test_custom_criteria(self):
+        activity, lib_io, provider = self.build()
+        lenient = SelectionCriteria(require_original=False)
+        report = run_funnel(activity, lib_io, provider, criteria=lenient)
+        # The fork passes the join now but its repo is missing -> zero-version.
+        assert report.joined_and_filtered == 7
+
+    def test_reed_limit_forwarded(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(activity, lib_io, provider, reed_limit=0)
+        project = report.studied[0]
+        assert project.metrics.reeds == 1  # any activity is a reed at limit 0
+
+    def test_policy_forwarded(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(
+            activity, lib_io, provider, policy=LinearizationPolicy.FIRST_PARENT
+        )
+        assert report.studied_count == 1  # linear histories: identical outcome
+
+    def test_empty_datasets(self):
+        report = run_funnel(
+            GithubActivityDataset(), LibrariesIoDataset(), lambda name: None
+        )
+        assert report.sql_collection_repos == 0
+        assert report.cloned_usable == 0
+        assert report.rigid_share == 0.0
+
+    def test_stage_rows_shape(self):
+        activity, lib_io, provider = self.build()
+        report = run_funnel(activity, lib_io, provider)
+        rows = report.stage_rows()
+        assert rows[0][0] == "SQL-Collection repositories"
+        assert rows[-1] == ("Schema_Evo_2019 (studied)", 1)

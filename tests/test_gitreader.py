@@ -1,0 +1,104 @@
+"""Tests for reading schema histories from real git repositories.
+
+Builds an actual git repository on disk and runs the full pipeline over
+it — the adoption path for users with real clones.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.core import classify, compute_metrics
+from repro.core.history import history_from_versions
+from repro.core.taxa import Taxon
+from repro.mining.gitreader import GitReadError, count_repo_commits, read_git_file_history
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git binary not available"
+)
+
+
+def git(repo, *args, env_time=None):
+    env = {
+        "GIT_AUTHOR_NAME": "Ann",
+        "GIT_AUTHOR_EMAIL": "ann@example.com",
+        "GIT_COMMITTER_NAME": "Ann",
+        "GIT_COMMITTER_EMAIL": "ann@example.com",
+        "HOME": str(repo),
+    }
+    if env_time is not None:
+        env["GIT_AUTHOR_DATE"] = f"{env_time} +0000"
+        env["GIT_COMMITTER_DATE"] = f"{env_time} +0000"
+    subprocess.run(
+        ["git", "-C", str(repo), *args], check=True, capture_output=True, env=env
+    )
+
+
+@pytest.fixture()
+def git_repo(tmp_path):
+    repo = tmp_path / "clone"
+    repo.mkdir()
+    git(repo, "init", "-q", "-b", "main")
+    day = 86_400
+    schema = repo / "db"
+    schema.mkdir()
+
+    (schema / "schema.sql").write_text("CREATE TABLE users (id INT PRIMARY KEY);")
+    git(repo, "add", ".")
+    git(repo, "commit", "-q", "-m", "initial schema", env_time=1_600_000_000)
+
+    (repo / "app.py").write_text("print('hi')\n")
+    git(repo, "add", ".")
+    git(repo, "commit", "-q", "-m", "app code", env_time=1_600_000_000 + 10 * day)
+
+    (schema / "schema.sql").write_text(
+        "CREATE TABLE users (id INT PRIMARY KEY, email VARCHAR(255));"
+    )
+    git(repo, "add", ".")
+    git(repo, "commit", "-q", "-m", "add email", env_time=1_600_000_000 + 40 * day)
+    return repo
+
+
+class TestReadGitFileHistory:
+    def test_versions_oldest_first(self, git_repo):
+        versions = read_git_file_history(git_repo, "db/schema.sql")
+        assert len(versions) == 2
+        assert b"email" not in versions[0].content
+        assert b"email" in versions[1].content
+        assert versions[0].timestamp < versions[1].timestamp
+
+    def test_metadata(self, git_repo):
+        versions = read_git_file_history(git_repo, "db/schema.sql")
+        assert versions[0].author == "Ann"
+        assert versions[0].message == "initial schema"
+        assert len(versions[0].commit_oid) == 40
+
+    def test_missing_path_gives_empty(self, git_repo):
+        assert read_git_file_history(git_repo, "nope.sql") == []
+
+    def test_not_a_repo_raises(self, tmp_path):
+        with pytest.raises(GitReadError):
+            read_git_file_history(tmp_path, "x.sql")
+
+    def test_count_repo_commits(self, git_repo):
+        assert count_repo_commits(git_repo) == 3
+
+    def test_end_to_end_classification(self, git_repo):
+        versions = read_git_file_history(git_repo, "db/schema.sql")
+        history = history_from_versions("local/clone", "db/schema.sql", versions)
+        metrics = compute_metrics(history)
+        assert metrics.n_commits == 2
+        assert metrics.total_activity == 1
+        assert classify(metrics) is Taxon.ALMOST_FROZEN
+
+    def test_deletion_handling(self, git_repo):
+        git(git_repo, "rm", "-q", "db/schema.sql")
+        git(git_repo, "commit", "-q", "-m", "drop schema", env_time=1_600_000_000 + 90 * 86_400)
+        kept = read_git_file_history(git_repo, "db/schema.sql")
+        assert len(kept) == 2  # deletion skipped by default
+        with_deletions = read_git_file_history(
+            git_repo, "db/schema.sql", include_deletions=True
+        )
+        assert len(with_deletions) == 3
+        assert with_deletions[-1].is_deletion

@@ -1,0 +1,140 @@
+"""Tests for the heartbeat, reeds/turf, and the reed-limit derivation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heartbeat import (
+    DEFAULT_REED_LIMIT,
+    Heartbeat,
+    HeartbeatEntry,
+    derive_reed_limit,
+)
+
+
+def entry(tid, expansion, maintenance):
+    return HeartbeatEntry(
+        transition_id=tid, timestamp=tid * 1000, expansion=expansion, maintenance=maintenance
+    )
+
+
+class TestHeartbeatEntry:
+    def test_activity_is_sum(self):
+        assert entry(1, 3, 4).activity == 7
+
+    def test_active_when_positive(self):
+        assert entry(1, 1, 0).is_active
+        assert entry(1, 0, 1).is_active
+        assert not entry(1, 0, 0).is_active
+
+    def test_reed_strictly_above_limit(self):
+        assert not entry(1, 14, 0).is_reed()
+        assert entry(1, 15, 0).is_reed()
+
+    def test_reed_respects_custom_limit(self):
+        assert entry(1, 10, 0).is_reed(reed_limit=9)
+        assert not entry(1, 10, 0).is_reed(reed_limit=10)
+
+    def test_turf_is_active_but_not_reed(self):
+        assert entry(1, 5, 0).is_turf()
+        assert not entry(1, 0, 0).is_turf()
+        assert not entry(1, 20, 0).is_turf()
+
+    def test_maintenance_counts_toward_reed(self):
+        assert entry(1, 7, 8).is_reed()
+
+
+class TestHeartbeat:
+    def make(self):
+        return Heartbeat(
+            entries=(
+                entry(1, 0, 0),
+                entry(2, 3, 1),
+                entry(3, 20, 5),
+                entry(4, 0, 2),
+            )
+        )
+
+    def test_totals(self):
+        hb = self.make()
+        assert hb.total_expansion == 23
+        assert hb.total_maintenance == 8
+        assert hb.total_activity == 31
+
+    def test_active_commits(self):
+        assert self.make().active_commits == 3
+
+    def test_reeds_and_turf_partition_active(self):
+        hb = self.make()
+        assert hb.reeds() == 1
+        assert hb.turf() == 2
+        assert hb.reeds() + hb.turf() == hb.active_commits
+
+    def test_len_and_iter(self):
+        hb = self.make()
+        assert len(hb) == 4
+        assert [e.transition_id for e in hb] == [1, 2, 3, 4]
+
+    def test_empty_heartbeat(self):
+        hb = Heartbeat(entries=())
+        assert hb.total_activity == 0
+        assert hb.active_commits == 0
+        assert hb.reeds() == 0
+
+    @given(
+        amounts=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=30
+        ),
+        limit=st.integers(1, 40),
+    )
+    @settings(max_examples=100)
+    def test_reed_turf_partition_property(self, amounts, limit):
+        hb = Heartbeat(
+            entries=tuple(entry(i + 1, e, m) for i, (e, m) in enumerate(amounts))
+        )
+        assert hb.reeds(limit) + hb.turf(limit) == hb.active_commits
+
+
+class TestReedLimitDerivation:
+    def test_paper_limit_value(self):
+        assert DEFAULT_REED_LIMIT == 14
+
+    def test_simple_split(self):
+        # 20 values, 85% of 20 = 17 -> the 17th smallest value.
+        sample = list(range(1, 21))
+        assert derive_reed_limit(sample) == 17
+
+    def test_power_law_like_sample(self):
+        sample = [1] * 50 + [2] * 20 + [5] * 10 + [14] * 5 + [100] * 15
+        # ceil(0.85 * 100) = 85 -> index 84 -> the last 14.
+        assert derive_reed_limit(sample) == 14
+
+    def test_unsorted_input(self):
+        assert derive_reed_limit([9, 1, 5, 3, 7, 2, 8, 4, 6, 10]) == 9
+
+    def test_single_value(self):
+        assert derive_reed_limit([42]) == 42
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            derive_reed_limit([])
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_quantile_raises(self, bad):
+        with pytest.raises(ValueError):
+            derive_reed_limit([1, 2, 3], quantile=bad)
+
+    @given(
+        sample=st.lists(st.integers(1, 1000), min_size=1, max_size=200),
+        quantile=st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=100)
+    def test_result_is_a_sample_member(self, sample, quantile):
+        assert derive_reed_limit(sample, quantile) in sample
+
+    @given(sample=st.lists(st.integers(1, 1000), min_size=2, max_size=200))
+    @settings(max_examples=100)
+    def test_monotone_in_quantile(self, sample):
+        low = derive_reed_limit(sample, 0.25)
+        high = derive_reed_limit(sample, 0.9)
+        assert low <= high

@@ -1,0 +1,118 @@
+"""Tests for schema histories (version lists of one DDL file)."""
+
+import pytest
+
+from repro.core.history import SchemaHistory, SchemaVersion, history_from_versions
+from repro.schema import build_schema
+from repro.vcs.history import FileVersion
+
+DAY = 86_400
+
+
+def version(index, ts, sql="CREATE TABLE t (a INT);"):
+    return SchemaVersion(index=index, commit_oid=f"c{index}", timestamp=ts, schema=build_schema(sql))
+
+
+def file_version(ts, sql, oid="x"):
+    return FileVersion(commit_oid=oid, timestamp=ts, author="a", message="m",
+                       content=None if sql is None else sql.encode())
+
+
+class TestSchemaHistory:
+    def test_v0_and_last(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 0), version(1, DAY)))
+        assert history.v0.index == 0
+        assert history.last.index == 1
+
+    def test_empty_history_raises_on_access(self):
+        history = SchemaHistory("p", "s.sql", ())
+        with pytest.raises(ValueError):
+            history.v0
+
+    def test_unordered_versions_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaHistory("p", "s.sql", (version(0, 100), version(1, 50)))
+
+    def test_equal_timestamps_allowed(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 100), version(1, 100)))
+        assert history.n_commits == 2
+
+    def test_history_less(self):
+        assert SchemaHistory("p", "s.sql", (version(0, 0),)).is_history_less
+        assert not SchemaHistory("p", "s.sql", (version(0, 0), version(1, 1))).is_history_less
+
+    def test_transitions_pairs(self):
+        history = SchemaHistory(
+            "p", "s.sql", (version(0, 0), version(1, 1), version(2, 2))
+        )
+        transitions = history.transitions()
+        assert len(transitions) == 2
+        assert transitions[0][0].index == 0
+        assert transitions[1][1].index == 2
+
+
+class TestUpdatePeriod:
+    def test_single_version_zero_days(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 0),))
+        assert history.update_period_days == 0.0
+        assert history.update_period_months == 1  # floored at 1 month
+
+    def test_days(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 0), version(1, 10 * DAY)))
+        assert history.update_period_days == pytest.approx(10.0)
+
+    def test_same_day_commits_one_month(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 0), version(1, 3600)))
+        assert history.update_period_months == 1
+
+    def test_months_rounding(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 0), version(1, 91 * DAY)))
+        assert history.update_period_months == 3
+
+    def test_long_period(self):
+        history = SchemaHistory("p", "s.sql", (version(0, 0), version(1, 365 * DAY)))
+        assert history.update_period_months == 12
+
+
+class TestHistoryFromVersions:
+    def test_parses_each_version(self):
+        history = history_from_versions(
+            "p",
+            "s.sql",
+            [
+                file_version(0, "CREATE TABLE a (x INT);", "c0"),
+                file_version(DAY, "CREATE TABLE a (x INT, y INT);", "c1"),
+            ],
+        )
+        assert history.n_commits == 2
+        assert history.versions[1].schema.size.attributes == 2
+
+    def test_reindexes_versions(self):
+        history = history_from_versions(
+            "p",
+            "s.sql",
+            [
+                file_version(0, "CREATE TABLE a (x INT);"),
+                file_version(1, None),  # deletion: skipped
+                file_version(2, "CREATE TABLE a (x INT);"),
+            ],
+        )
+        assert [v.index for v in history.versions] == [0, 1]
+
+    def test_blank_versions_skipped(self):
+        history = history_from_versions(
+            "p", "s.sql", [file_version(0, "   \n"), file_version(1, "CREATE TABLE a (x INT);")]
+        )
+        assert history.n_commits == 1
+
+    def test_empty_input(self):
+        history = history_from_versions("p", "s.sql", [])
+        assert history.is_history_less
+        assert history.versions == ()
+
+    def test_carries_commit_metadata(self):
+        history = history_from_versions(
+            "p", "s.sql", [file_version(77, "CREATE TABLE a (x INT);", "oid-1")]
+        )
+        assert history.v0.commit_oid == "oid-1"
+        assert history.v0.timestamp == 77

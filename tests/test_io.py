@@ -1,0 +1,183 @@
+"""Tests for exporting and reloading study artifacts."""
+
+import json
+
+import pytest
+
+from repro.core import analyze_corpus
+from repro.core.taxa import TAXA_ORDER
+from repro.io import (
+    export_study,
+    funnel_payload,
+    load_project_rows,
+    load_study_summary,
+    project_rows,
+    transition_rows,
+    write_csv,
+)
+from repro.io.export import PROJECT_FIELDS, TRANSITION_FIELDS
+
+
+class TestRows:
+    def test_project_rows_cover_studied_and_rigid(self, funnel_report, analysis):
+        rows = project_rows(funnel_report.studied + funnel_report.rigid, analysis)
+        assert len(rows) == funnel_report.cloned_usable
+        assert all(set(PROJECT_FIELDS) <= set(row) for row in rows)
+
+    def test_project_row_values(self, funnel_report, analysis):
+        project = funnel_report.studied[0]
+        row = project_rows([project], analysis)[0]
+        assert row["project"] == project.name
+        assert row["total_activity"] == project.metrics.total_activity
+        assert row["taxon"] == analysis.assignments[project.name].value
+
+    def test_transition_rows_sum_to_activity(self, funnel_report):
+        project = max(funnel_report.studied, key=lambda p: p.metrics.total_activity)
+        rows = transition_rows(project)
+        assert sum(row["activity"] for row in rows) == project.metrics.total_activity
+        assert sum(row["is_active"] for row in rows) == project.metrics.active_commits
+
+    def test_transition_categories_sum(self, funnel_report):
+        project = max(funnel_report.studied, key=lambda p: p.metrics.total_activity)
+        for row in transition_rows(project):
+            categories = (
+                row["attrs_born"]
+                + row["attrs_injected"]
+                + row["attrs_deleted"]
+                + row["attrs_ejected"]
+                + row["attrs_type_changed"]
+                + row["attrs_pk_changed"]
+            )
+            assert categories == row["activity"]
+
+    def test_funnel_payload(self, funnel_report):
+        payload = funnel_payload(funnel_report)
+        assert payload["stages"]["Schema_Evo_2019 (studied)"] == funnel_report.studied_count
+        assert 0 <= payload["rigid_share"] <= 1
+
+
+class TestExportAndLoad:
+    def test_export_writes_all_artifacts(self, tmp_path, funnel_report, analysis):
+        paths = export_study(tmp_path, funnel_report, analysis)
+        for path in paths.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_projects_csv_round_trip(self, tmp_path, funnel_report, analysis):
+        paths = export_study(tmp_path, funnel_report, analysis)
+        rows = load_project_rows(paths["projects"])
+        assert len(rows) == funnel_report.cloned_usable
+        by_name = {row["project"]: row for row in rows}
+        for project in funnel_report.studied[:10]:
+            row = by_name[project.name]
+            assert row["total_activity"] == project.metrics.total_activity
+            assert row["active_commits"] == project.metrics.active_commits
+            assert isinstance(row["ddl_commit_share"], float)
+
+    def test_summary_round_trip(self, tmp_path, funnel_report, analysis):
+        export_study(tmp_path, funnel_report, analysis)
+        summary = load_study_summary(tmp_path)
+        assert set(summary) == {"funnel", "taxa", "fig4"}
+        taxa = summary["taxa"]
+        for taxon in TAXA_ORDER:
+            assert taxa[taxon.value]["count"] == analysis.population(taxon)
+
+    def test_fig4_json_contains_medians(self, tmp_path, funnel_report, analysis):
+        export_study(tmp_path, funnel_report, analysis)
+        summary = load_study_summary(tmp_path)
+        moderate = summary["fig4"].get("moderate")
+        assert moderate is not None
+        assert moderate["total_activity"]["med"] == analysis.profiles[
+            TAXA_ORDER[3]
+        ].measures["total_activity"].median
+
+    def test_write_csv_ignores_extra_fields(self, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv(path, [{"a": 1, "b": 2, "zz": 3}], fields=("a", "b"))
+        content = path.read_text()
+        assert "zz" not in content
+
+    def test_transitions_csv_header(self, tmp_path, funnel_report, analysis):
+        paths = export_study(tmp_path, funnel_report, analysis)
+        header = paths["transitions"].read_text().splitlines()[0]
+        assert header == ",".join(TRANSITION_FIELDS)
+
+
+class TestExperimentsMarkdown:
+    def test_generated_report_sections(self, funnel_report, analysis):
+        from repro.reporting import render_experiments_markdown
+
+        text = render_experiments_markdown(funnel_report, analysis)
+        for heading in (
+            "# Experiments report",
+            "## Collection funnel",
+            "## Taxa populations",
+            "## Quartiles (Fig 12)",
+            "## Pairwise Kruskal-Wallis",
+            "## Overall tests",
+            "## RQ percentages",
+            "## Double box plot geometry",
+        ):
+            assert heading in text
+
+    def test_markdown_tables_are_well_formed(self, funnel_report, analysis):
+        from repro.reporting import render_experiments_markdown
+
+        text = render_experiments_markdown(funnel_report, analysis)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_export_includes_markdown(self, tmp_path, funnel_report, analysis):
+        paths = export_study(tmp_path, funnel_report, analysis)
+        assert paths["experiments"].exists()
+        assert "Taxa populations" in paths["experiments"].read_text()
+
+
+class TestCorpusPersistence:
+    def test_dump_and_reload_round_trip(self, tmp_path, corpus, funnel_report):
+        from repro.core.history import history_from_versions
+        from repro.core.metrics import compute_metrics
+        from repro.io import dump_corpus_histories, load_corpus_histories
+        from repro.vcs import extract_file_history
+
+        # Dump a handful of studied projects only (speed).
+        subset = {p.name: corpus.repos[p.name] for p in funnel_report.studied[:8]}
+        paths = {p.name: corpus.ddl_paths[p.name] for p in funnel_report.studied[:8]}
+        dump_corpus_histories(tmp_path, subset, paths)
+        loaded = load_corpus_histories(tmp_path)
+        assert set(loaded) == set(subset)
+
+        for project in funnel_report.studied[:8]:
+            repo, ddl_path, stats = loaded[project.name]
+            versions = extract_file_history(repo, ddl_path)
+            history = history_from_versions(project.name, ddl_path, versions)
+            metrics = compute_metrics(history)
+            original = project.metrics
+            assert metrics.total_activity == original.total_activity
+            assert metrics.active_commits == original.active_commits
+            assert metrics.n_commits == original.n_commits
+            assert metrics.reeds == original.reeds
+            assert stats.total_commits == project.repo_stats.total_commits
+
+    def test_missing_repos_skipped(self, tmp_path):
+        from repro.io import dump_corpus_histories, load_corpus_histories
+
+        dump_corpus_histories(tmp_path, {"gone/repo": None}, {"gone/repo": "x.sql"})
+        assert load_corpus_histories(tmp_path) == {}
+
+    def test_manifest_contents(self, tmp_path, corpus, funnel_report):
+        from repro.io import dump_corpus_histories
+
+        project = funnel_report.studied[0]
+        dump_corpus_histories(
+            tmp_path,
+            {project.name: corpus.repos[project.name]},
+            {project.name: corpus.ddl_paths[project.name]},
+        )
+        slug = project.name.replace("/", "__")
+        manifest = json.loads((tmp_path / slug / "versions.json").read_text())
+        assert manifest["project"] == project.name
+        assert len(manifest["versions"]) == project.history.n_commits
+        first_sql = (tmp_path / slug / "v0000.sql").read_text()
+        assert "CREATE TABLE" in first_sql

@@ -1,0 +1,226 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.sqlddl import Token, TokenKind, tokenize
+from repro.sqlddl.errors import SqlLexError
+
+
+def kinds(text, **kw):
+    return [t.kind for t in tokenize(text, **kw)]
+
+
+def values(text, **kw):
+    return [t.value for t in tokenize(text, **kw) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_only_eof(self):
+        assert kinds(" \t\n\r\f\v ") == [TokenKind.EOF]
+
+    def test_single_word(self):
+        tokens = tokenize("SELECT")
+        assert tokens[0].kind is TokenKind.WORD
+        assert tokens[0].value == "SELECT"
+
+    def test_word_case_preserved(self):
+        assert values("CrEaTe") == ["CrEaTe"]
+
+    def test_word_with_underscore_and_digits(self):
+        assert values("user_id2") == ["user_id2"]
+
+    def test_word_with_dollar(self):
+        assert values("tmp$col") == ["tmp$col"]
+
+    def test_integer_number(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_decimal_number(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == "3.14"
+
+    def test_trailing_dot_is_not_part_of_number(self):
+        assert kinds("1.") == [TokenKind.NUMBER, TokenKind.DOT, TokenKind.EOF]
+
+    def test_punctuation_kinds(self):
+        assert kinds("(),;.")[:-1] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COMMA,
+            TokenKind.SEMICOLON,
+            TokenKind.DOT,
+        ]
+
+    def test_operator_fallback(self):
+        tokens = tokenize("=")
+        assert tokens[0].kind is TokenKind.OPERATOR
+        assert tokens[0].value == "="
+
+    def test_unicode_noise_becomes_operator(self):
+        tokens = tokenize("é")
+        assert tokens[0].kind is TokenKind.OPERATOR
+
+    def test_variable(self):
+        tokens = tokenize("@old_sql_mode")
+        assert tokens[0].kind is TokenKind.VARIABLE
+        assert tokens[0].value == "@old_sql_mode"
+
+    def test_system_variable(self):
+        tokens = tokenize("@@GLOBAL")
+        assert tokens[0].kind is TokenKind.VARIABLE
+        assert tokens[0].value == "@@GLOBAL"
+
+
+class TestQuoting:
+    def test_backtick_identifier(self):
+        tokens = tokenize("`my table`")
+        assert tokens[0].kind is TokenKind.QUOTED_IDENT
+        assert tokens[0].value == "my table"
+
+    def test_backtick_doubled_escape(self):
+        assert tokenize("`a``b`")[0].value == "a`b"
+
+    def test_double_quote_identifier(self):
+        tokens = tokenize('"col name"')
+        assert tokens[0].kind is TokenKind.QUOTED_IDENT
+        assert tokens[0].value == "col name"
+
+    def test_double_quote_doubled_escape(self):
+        assert tokenize('"a""b"')[0].value == 'a"b'
+
+    def test_bracket_identifier(self):
+        tokens = tokenize("[dbo]")
+        assert tokens[0].kind is TokenKind.QUOTED_IDENT
+        assert tokens[0].value == "dbo"
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "hello"
+
+    def test_string_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_string_backslash_escapes(self):
+        assert tokenize(r"'a\nb'")[0].value == "a\nb"
+        assert tokenize(r"'a\tb'")[0].value == "a\tb"
+        assert tokenize(r"'a\'b'")[0].value == "a'b"
+
+    def test_string_unknown_escape_keeps_char(self):
+        assert tokenize(r"'a\qb'")[0].value == "aqb"
+
+    def test_string_containing_semicolon_stays_one_token(self):
+        tokens = tokenize("'a;b'")
+        assert tokens[0].value == "a;b"
+        assert tokens[1].kind is TokenKind.EOF
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_unterminated_backtick_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("`oops")
+
+    def test_empty_string_literal(self):
+        assert tokenize("''")[0].value == ""
+
+
+class TestComments:
+    def test_line_comment_dash(self):
+        assert values("a -- comment\nb") == ["a", "b"]
+
+    def test_line_comment_hash(self):
+        assert values("a # comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* anything ; here */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert values("a /* line1\nline2\n*/ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a /* never closed")
+
+    def test_executable_comment_body_is_lexed(self):
+        # mysqldump hides options in /*!40101 ... */ comments.
+        assert values("/*!40101 SET NAMES utf8 */") == ["SET", "NAMES", "utf8"]
+
+    def test_executable_comment_skipped_without_keep(self):
+        assert values("/*!40101 SET NAMES utf8 */", keep_comments=False) == []
+
+    def test_comment_inside_string_is_preserved(self):
+        assert tokenize("'-- not a comment'")[0].value == "-- not a comment"
+
+    def test_dashes_without_content(self):
+        assert values("a --\nb") == ["a", "b"]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_line_after_block_comment(self):
+        tokens = tokenize("/*\n\n*/ x")
+        assert tokens[0].line == 3
+
+    def test_eof_is_always_last(self):
+        assert tokenize("a b c")[-1].kind is TokenKind.EOF
+
+
+class TestTokenHelpers:
+    def test_is_word_case_insensitive(self):
+        token = Token(TokenKind.WORD, "create", 1, 1)
+        assert token.is_word("CREATE")
+
+    def test_is_word_rejects_other_kinds(self):
+        token = Token(TokenKind.STRING, "CREATE", 1, 1)
+        assert not token.is_word("CREATE")
+
+    def test_is_word_multiple_options(self):
+        token = Token(TokenKind.WORD, "KEY", 1, 1)
+        assert token.is_word("PRIMARY", "KEY")
+
+    def test_upper(self):
+        assert Token(TokenKind.WORD, "int", 1, 1).upper == "INT"
+
+
+class TestRealWorldDumpFragments:
+    def test_mysqldump_header(self):
+        text = (
+            "-- MySQL dump 10.13\n"
+            "/*!40101 SET @OLD_CHARACTER_SET_CLIENT=@@CHARACTER_SET_CLIENT */;\n"
+        )
+        toks = values(text)
+        assert "SET" in toks
+        assert "@OLD_CHARACTER_SET_CLIENT" in toks
+
+    def test_insert_with_mixed_literals(self):
+        toks = tokenize("INSERT INTO t VALUES (1, 'x', NULL, 2.5);")
+        string_values = [t.value for t in toks if t.kind is TokenKind.STRING]
+        assert string_values == ["x"]
+
+    def test_whole_statement_token_stream(self):
+        toks = tokenize("CREATE TABLE `t` (`a` int(11));")
+        assert [t.kind for t in toks[:5]] == [
+            TokenKind.WORD,
+            TokenKind.WORD,
+            TokenKind.QUOTED_IDENT,
+            TokenKind.LPAREN,
+            TokenKind.QUOTED_IDENT,
+        ]

@@ -1,0 +1,140 @@
+"""Tests for per-transition and per-project metric computation."""
+
+import pytest
+
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core.metrics import compute_metrics
+from repro.schema import build_schema
+
+DAY = 86_400
+
+
+def version(index, ts, sql):
+    return SchemaVersion(index=index, commit_oid=f"c{index}", timestamp=ts, schema=build_schema(sql))
+
+
+def make_history(*specs):
+    """specs: (days_offset, sql)"""
+    versions = tuple(
+        version(i, int(days * DAY), sql) for i, (days, sql) in enumerate(specs)
+    )
+    return SchemaHistory("test/project", "schema.sql", versions)
+
+
+GROWING = make_history(
+    (0, "CREATE TABLE a (x INT);"),
+    (10, "CREATE TABLE a (x INT, y INT);"),  # inject y
+    (40, "CREATE TABLE a (x INT, y INT); CREATE TABLE b (p INT, q INT);"),  # b born
+    (100, "CREATE TABLE a (x BIGINT, y INT); CREATE TABLE b (p INT, q INT);"),  # type chg
+)
+
+
+class TestTransitionMetrics:
+    def test_transition_count(self):
+        metrics = compute_metrics(GROWING)
+        assert len(metrics.transitions) == 3
+
+    def test_transition_ids_one_based(self):
+        metrics = compute_metrics(GROWING)
+        assert [t.transition_id for t in metrics.transitions] == [1, 2, 3]
+
+    def test_days_since_v0(self):
+        metrics = compute_metrics(GROWING)
+        assert [round(t.days_since_v0) for t in metrics.transitions] == [10, 40, 100]
+
+    def test_running_month(self):
+        metrics = compute_metrics(GROWING)
+        assert [t.running_month for t in metrics.transitions] == [1, 2, 4]
+
+    def test_running_year(self):
+        metrics = compute_metrics(GROWING)
+        assert [t.running_year for t in metrics.transitions] == [1, 1, 1]
+
+    def test_sizes_tracked(self):
+        metrics = compute_metrics(GROWING)
+        second = metrics.transitions[1]
+        assert second.old_size.attributes == 2
+        assert second.new_size.attributes == 4
+        assert second.new_size.tables == 2
+
+    def test_expansion_maintenance_per_transition(self):
+        metrics = compute_metrics(GROWING)
+        assert [t.expansion for t in metrics.transitions] == [1, 2, 0]
+        assert [t.maintenance for t in metrics.transitions] == [0, 0, 1]
+
+
+class TestProjectMetrics:
+    def test_totals(self):
+        metrics = compute_metrics(GROWING)
+        assert metrics.total_activity == 4
+        assert metrics.total_expansion == 3
+        assert metrics.total_maintenance == 1
+
+    def test_commit_counts(self):
+        metrics = compute_metrics(GROWING)
+        assert metrics.n_commits == 4
+        assert metrics.active_commits == 3
+
+    def test_sizes_at_ends(self):
+        metrics = compute_metrics(GROWING)
+        assert metrics.tables_at_start == 1
+        assert metrics.tables_at_end == 2
+        assert metrics.attributes_at_start == 1
+        assert metrics.attributes_at_end == 4
+
+    def test_table_ops(self):
+        metrics = compute_metrics(GROWING)
+        assert metrics.table_insertions == 1
+        assert metrics.table_deletions == 0
+
+    def test_sup(self):
+        metrics = compute_metrics(GROWING)
+        assert metrics.sup_months == 3  # 100 days
+
+    def test_non_active_commit_counted_in_commits_only(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT);"),
+            (5, "CREATE TABLE a (x INT);\n-- cosmetic change"),
+        )
+        metrics = compute_metrics(history)
+        assert metrics.n_commits == 2
+        assert metrics.active_commits == 0
+        assert metrics.total_activity == 0
+
+    def test_reed_limit_parameter(self):
+        history = make_history(
+            (0, "CREATE TABLE a (x INT);"),
+            (5, "CREATE TABLE a (x INT, b INT, c INT, d INT, e INT, f INT);"),
+        )
+        default = compute_metrics(history)
+        strict = compute_metrics(history, reed_limit=4)
+        assert default.reeds == 0
+        assert strict.reeds == 1
+        assert strict.turf_commits == 0
+
+    def test_history_less_project(self):
+        metrics = compute_metrics(make_history((0, "CREATE TABLE a (x INT);")))
+        assert metrics.is_history_less
+        assert metrics.total_activity == 0
+        assert metrics.n_commits == 1
+
+    def test_schema_size_series(self):
+        metrics = compute_metrics(GROWING)
+        series = metrics.schema_size_series
+        assert len(series) == 4  # start + 3 transitions
+        assert [tables for _, tables, _ in series] == [1, 1, 2, 2]
+        assert [attrs for _, _, attrs in series] == [1, 2, 4, 4]
+
+    def test_measure_lookup(self):
+        metrics = compute_metrics(GROWING)
+        assert metrics.measure("total_activity") == 4.0
+        assert metrics.measure("tables_at_end") == 2.0
+
+    def test_measure_unknown_raises(self):
+        with pytest.raises(KeyError):
+            compute_metrics(GROWING).measure("nope")
+
+    def test_heartbeat_matches_transitions(self):
+        metrics = compute_metrics(GROWING)
+        assert len(metrics.heartbeat) == len(metrics.transitions)
+        assert metrics.heartbeat.total_activity == metrics.total_activity

@@ -1,0 +1,196 @@
+"""Tests for the data-collection pipeline (datasets, join, path rules)."""
+
+import pytest
+
+from repro.mining import (
+    GithubActivityDataset,
+    LibrariesIoDataset,
+    LibrariesIoRecord,
+    MultiFileVerdict,
+    SelectionCriteria,
+    SqlFileRecord,
+    choose_ddl_file,
+    is_excluded_path,
+    select_lib_io,
+)
+from repro.mining.selection import passes_criteria
+
+
+def record(name="acme/app", path="db/schema.sql"):
+    return SqlFileRecord(repo_name=name, path=path)
+
+
+def metadata(name="acme/app", is_fork=False, stars=5, contributors=3):
+    return LibrariesIoRecord(
+        repo_name=name,
+        url=f"https://github.com/{name}",
+        is_fork=is_fork,
+        stars=stars,
+        contributors=contributors,
+    )
+
+
+class TestGithubActivity:
+    def test_suffix_query(self):
+        dataset = GithubActivityDataset(
+            [record(path="db/schema.sql"), record(path="src/app.py")]
+        )
+        assert len(dataset.query_files_with_suffix(".sql")) == 1
+
+    def test_suffix_case_insensitive(self):
+        dataset = GithubActivityDataset([record(path="DB/SCHEMA.SQL")])
+        assert len(dataset.query_files_with_suffix(".sql")) == 1
+
+    def test_sql_collection_groups_by_repo(self):
+        dataset = GithubActivityDataset(
+            [
+                record("a/x", "one.sql"),
+                record("a/x", "two.sql"),
+                record("b/y", "three.sql"),
+            ]
+        )
+        collection = dataset.sql_collection()
+        assert set(collection) == {"a/x", "b/y"}
+        assert len(collection["a/x"]) == 2
+
+    def test_repository_count(self):
+        dataset = GithubActivityDataset([record("a/x"), record("b/y"), record("a/x", "z.sql")])
+        assert dataset.repository_count() == 2
+
+    def test_repo_url(self):
+        assert record("a/x").repo_url == "https://github.com/a/x"
+
+
+class TestLibrariesIo:
+    def test_lookup_by_name(self):
+        dataset = LibrariesIoDataset([metadata("a/x")])
+        assert dataset.lookup("a/x").repo_name == "a/x"
+
+    def test_lookup_by_url_fallback(self):
+        dataset = LibrariesIoDataset([metadata("a/x")])
+        found = dataset.lookup("renamed/x", "https://github.com/a/x")
+        assert found is not None
+
+    def test_lookup_missing(self):
+        assert LibrariesIoDataset().lookup("ghost/repo") is None
+
+    def test_is_original(self):
+        assert metadata(is_fork=False).is_original
+        assert not metadata(is_fork=True).is_original
+
+
+class TestSelectionCriteria:
+    def test_paper_defaults(self):
+        criteria = SelectionCriteria()
+        assert passes_criteria(metadata(stars=1, contributors=2), criteria)
+
+    def test_fork_rejected(self):
+        assert not passes_criteria(metadata(is_fork=True), SelectionCriteria())
+
+    def test_zero_stars_rejected(self):
+        assert not passes_criteria(metadata(stars=0), SelectionCriteria())
+
+    def test_single_contributor_rejected(self):
+        assert not passes_criteria(metadata(contributors=1), SelectionCriteria())
+
+    def test_join_over_both_datasets(self):
+        activity = GithubActivityDataset(
+            [record("good/app"), record("fork/app"), record("unknown/app")]
+        )
+        lib_io = LibrariesIoDataset(
+            [metadata("good/app"), metadata("fork/app", is_fork=True)]
+        )
+        selected = select_lib_io(activity, lib_io)
+        assert [p.repo_name for p in selected] == ["good/app"]
+
+    def test_selected_carries_files(self):
+        activity = GithubActivityDataset(
+            [record("a/x", "one.sql"), record("a/x", "two.sql")]
+        )
+        lib_io = LibrariesIoDataset([metadata("a/x")])
+        selected = select_lib_io(activity, lib_io)
+        assert len(selected[0].sql_files) == 2
+
+
+class TestPathExclusions:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "tests/schema.sql",
+            "db/test_data.sql",
+            "demo/install.sql",
+            "examples/northwind.sql",
+            "src/TestFixtures/db.sql",
+        ],
+    )
+    def test_excluded(self, path):
+        assert is_excluded_path(path)
+
+    @pytest.mark.parametrize(
+        "path", ["db/schema.sql", "sql/install.sql", "database/structure.sql"]
+    )
+    def test_not_excluded(self, path):
+        assert not is_excluded_path(path)
+
+
+class TestChooseDdlFile:
+    def test_single_file_accepted(self):
+        choice = choose_ddl_file([record(path="db/schema.sql")])
+        assert choice.verdict is MultiFileVerdict.SINGLE_FILE
+        assert choice.accepted
+
+    def test_only_excluded_files_rejected(self):
+        choice = choose_ddl_file([record(path="tests/schema.sql")])
+        assert not choice.accepted
+
+    def test_excluded_plus_real_file_reduces_to_single(self):
+        choice = choose_ddl_file(
+            [record(path="tests/fixture.sql"), record(path="db/schema.sql")]
+        )
+        assert choice.accepted
+        assert choice.chosen.path == "db/schema.sql"
+
+    def test_multi_vendor_prefers_mysql(self):
+        choice = choose_ddl_file(
+            [record(path="install/mysql.sql"), record(path="install/postgres.sql")]
+        )
+        assert choice.verdict is MultiFileVerdict.VENDOR_CHOICE
+        assert choice.chosen.path == "install/mysql.sql"
+
+    def test_multi_vendor_without_mysql_ambiguous(self):
+        choice = choose_ddl_file(
+            [record(path="install/postgres.sql"), record(path="install/oracle.sql")]
+        )
+        assert not choice.accepted
+
+    def test_incremental_scripts_omitted(self):
+        files = [record(path=f"db/upgrade_{i}.sql") for i in range(1, 6)]
+        choice = choose_ddl_file(files)
+        assert choice.verdict is MultiFileVerdict.INCREMENTAL
+
+    def test_file_per_table_omitted(self):
+        files = [record(path=f"db/tables/t{i}.sql") for i in range(6)]
+        choice = choose_ddl_file(files)
+        assert choice.verdict is MultiFileVerdict.FILE_PER_TABLE
+
+    def test_vendor_language_product_omitted(self):
+        files = [
+            record(path=f"install/{lang}/{vendor}.sql")
+            for lang in ("en", "fr")
+            for vendor in ("mysql", "postgres")
+        ]
+        choice = choose_ddl_file(files)
+        assert choice.verdict is MultiFileVerdict.VENDOR_LANGUAGE_PRODUCT
+
+    def test_schema_file_among_noise(self):
+        choice = choose_ddl_file(
+            [record(path="schema.sql"), record(path="procedures.sql")]
+        )
+        assert choice.accepted
+        assert choice.chosen.path == "schema.sql"
+
+    def test_two_equal_candidates_ambiguous(self):
+        choice = choose_ddl_file(
+            [record(path="alpha.sql"), record(path="beta.sql")]
+        )
+        assert choice.verdict is MultiFileVerdict.AMBIGUOUS

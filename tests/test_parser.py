@@ -1,0 +1,390 @@
+"""Tests for the DDL parser."""
+
+import pytest
+
+from repro.sqlddl import (
+    AlterTable,
+    CreateTable,
+    DropTable,
+    IgnoredStatement,
+    RenameTable,
+    SqlSyntaxError,
+    parse_script,
+    parse_statement,
+)
+from repro.sqlddl.ast import AlterKind, ConstraintKind
+
+
+class TestCreateTable:
+    def test_minimal(self):
+        stmt = parse_statement("CREATE TABLE t (a INT);")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.name == "t"
+        assert [c.name for c in stmt.columns] == ["a"]
+
+    def test_quoted_table_and_columns(self):
+        stmt = parse_statement("CREATE TABLE `my table` (`a col` INT);")
+        assert stmt.name == "my table"
+        assert stmt.columns[0].name == "a col"
+
+    def test_qualified_name_keeps_last_part(self):
+        stmt = parse_statement("CREATE TABLE mydb.users (a INT);")
+        assert stmt.name == "users"
+
+    def test_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT);")
+        assert stmt.if_not_exists
+
+    def test_multiple_columns(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, b TEXT, c DATE);")
+        assert [c.name for c in stmt.columns] == ["a", "b", "c"]
+
+    def test_not_null(self):
+        stmt = parse_statement("CREATE TABLE t (a INT NOT NULL, b INT NULL);")
+        assert not stmt.columns[0].nullable
+        assert stmt.columns[1].nullable
+
+    def test_inline_primary_key(self):
+        stmt = parse_statement("CREATE TABLE t (a INT PRIMARY KEY, b INT);")
+        assert stmt.primary_key == ("a",)
+
+    def test_table_level_primary_key(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));")
+        assert stmt.primary_key == ("a", "b")
+
+    def test_table_level_pk_wins_over_inline(self):
+        stmt = parse_statement("CREATE TABLE t (a INT PRIMARY KEY, b INT, PRIMARY KEY (b));")
+        assert stmt.primary_key == ("b",)
+
+    def test_auto_increment(self):
+        stmt = parse_statement("CREATE TABLE t (a INT NOT NULL AUTO_INCREMENT);")
+        assert stmt.columns[0].auto_increment
+
+    def test_default_number(self):
+        stmt = parse_statement("CREATE TABLE t (a INT DEFAULT 0);")
+        assert stmt.columns[0].default == "0"
+
+    def test_default_negative_number(self):
+        stmt = parse_statement("CREATE TABLE t (a INT DEFAULT -1);")
+        assert stmt.columns[0].default == "-1"
+
+    def test_default_string(self):
+        stmt = parse_statement("CREATE TABLE t (a VARCHAR(10) DEFAULT 'x');")
+        assert stmt.columns[0].default == "'x'"
+
+    def test_default_null(self):
+        stmt = parse_statement("CREATE TABLE t (a INT DEFAULT NULL);")
+        assert stmt.columns[0].default == "NULL"
+
+    def test_default_current_timestamp_with_on_update(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a TIMESTAMP DEFAULT CURRENT_TIMESTAMP "
+            "ON UPDATE CURRENT_TIMESTAMP);"
+        )
+        assert stmt.columns[0].default == "CURRENT_TIMESTAMP"
+
+    def test_comment_attribute(self):
+        stmt = parse_statement("CREATE TABLE t (a INT COMMENT 'the answer');")
+        assert stmt.columns[0].comment == "the answer"
+
+    def test_unique_key_constraint(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, UNIQUE KEY uq (a));")
+        kinds = [c.kind for c in stmt.constraints]
+        assert kinds == [ConstraintKind.UNIQUE]
+
+    def test_plain_key_is_index(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, KEY idx_a (a));")
+        assert stmt.constraints[0].kind is ConstraintKind.INDEX
+        assert stmt.constraints[0].columns == ("a",)
+
+    def test_index_with_prefix_length(self):
+        stmt = parse_statement("CREATE TABLE t (a VARCHAR(255), KEY k (a(100)));")
+        assert stmt.constraints[0].columns == ("a",)
+
+    def test_foreign_key(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT, CONSTRAINT fk FOREIGN KEY (a) "
+            "REFERENCES parent (id) ON DELETE CASCADE);"
+        )
+        fk = stmt.constraints[0]
+        assert fk.kind is ConstraintKind.FOREIGN_KEY
+        assert fk.ref_table == "parent"
+        assert fk.ref_columns == ("id",)
+
+    def test_inline_references(self):
+        stmt = parse_statement("CREATE TABLE t (a INT REFERENCES parent (id));")
+        assert stmt.columns[0].name == "a"
+
+    def test_fulltext_key(self):
+        stmt = parse_statement("CREATE TABLE t (a TEXT, FULLTEXT KEY ft (a));")
+        assert stmt.constraints[0].kind is ConstraintKind.FULLTEXT
+
+    def test_check_constraint(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, CHECK (a > 0));")
+        assert stmt.constraints[0].kind is ConstraintKind.CHECK
+
+    def test_engine_options(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT) ENGINE=InnoDB DEFAULT CHARSET=utf8;"
+        )
+        options = dict(stmt.options)
+        assert options.get("ENGINE") == "InnoDB"
+
+    def test_enum_type_args(self):
+        stmt = parse_statement("CREATE TABLE t (a ENUM('x','y','z'));")
+        assert stmt.columns[0].data_type.base == "ENUM"
+        assert stmt.columns[0].data_type.args == ("'x'", "'y'", "'z'")
+
+    def test_decimal_args(self):
+        stmt = parse_statement("CREATE TABLE t (a DECIMAL(10, 2));")
+        assert stmt.columns[0].data_type.args == ("10", "2")
+
+    def test_unsigned_modifier(self):
+        stmt = parse_statement("CREATE TABLE t (a INT UNSIGNED);")
+        assert stmt.columns[0].data_type.unsigned
+
+    def test_keyword_named_columns(self):
+        # Real schemata name columns after keywords all the time.
+        stmt = parse_statement("CREATE TABLE t (`key` INT, `order` INT, `type` INT);")
+        assert [c.name for c in stmt.columns] == ["key", "order", "type"]
+
+    def test_create_table_like_is_ignored(self):
+        stmt = parse_statement("CREATE TABLE t2 LIKE t1;")
+        assert isinstance(stmt, IgnoredStatement)
+
+    def test_create_temporary_table(self):
+        stmt = parse_statement("CREATE TEMPORARY TABLE t (a INT);")
+        assert isinstance(stmt, CreateTable)
+
+    def test_generated_column(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT, b INT GENERATED ALWAYS AS (a + 1) STORED);"
+        )
+        assert [c.name for c in stmt.columns] == ["a", "b"]
+
+
+class TestAlterTable:
+    def test_add_column(self):
+        stmt = parse_statement("ALTER TABLE t ADD COLUMN x INT;")
+        assert isinstance(stmt, AlterTable)
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.ADD_COLUMN
+        assert action.column.name == "x"
+
+    def test_add_column_without_keyword(self):
+        stmt = parse_statement("ALTER TABLE t ADD x INT;")
+        assert stmt.actions[0].kind is AlterKind.ADD_COLUMN
+
+    def test_add_column_with_position(self):
+        stmt = parse_statement("ALTER TABLE t ADD x INT AFTER y;")
+        assert stmt.actions[0].column.name == "x"
+
+    def test_add_column_first(self):
+        stmt = parse_statement("ALTER TABLE t ADD x INT FIRST;")
+        assert stmt.actions[0].column.name == "x"
+
+    def test_drop_column(self):
+        stmt = parse_statement("ALTER TABLE t DROP COLUMN x;")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.DROP_COLUMN
+        assert action.old_name == "x"
+
+    def test_modify_column(self):
+        stmt = parse_statement("ALTER TABLE t MODIFY COLUMN x BIGINT NOT NULL;")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.MODIFY_COLUMN
+        assert action.column.data_type.base == "BIGINT"
+
+    def test_change_column(self):
+        stmt = parse_statement("ALTER TABLE t CHANGE old_name new_name INT;")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.CHANGE_COLUMN
+        assert action.old_name == "old_name"
+        assert action.column.name == "new_name"
+
+    def test_rename_column(self):
+        stmt = parse_statement("ALTER TABLE t RENAME COLUMN a TO b;")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.RENAME_COLUMN
+        assert (action.old_name, action.raw) == ("a", "b")
+
+    def test_multiple_actions(self):
+        stmt = parse_statement("ALTER TABLE t DROP COLUMN a, ADD b INT, MODIFY c TEXT;")
+        assert [a.kind for a in stmt.actions] == [
+            AlterKind.DROP_COLUMN,
+            AlterKind.ADD_COLUMN,
+            AlterKind.MODIFY_COLUMN,
+        ]
+
+    def test_add_primary_key(self):
+        stmt = parse_statement("ALTER TABLE t ADD PRIMARY KEY (a);")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.ADD_CONSTRAINT
+        assert action.constraint.kind is ConstraintKind.PRIMARY_KEY
+
+    def test_drop_primary_key(self):
+        stmt = parse_statement("ALTER TABLE t DROP PRIMARY KEY;")
+        assert stmt.actions[0].kind is AlterKind.DROP_PRIMARY_KEY
+
+    def test_drop_foreign_key(self):
+        stmt = parse_statement("ALTER TABLE t DROP FOREIGN KEY fk_name;")
+        assert stmt.actions[0].kind is AlterKind.DROP_CONSTRAINT
+
+    def test_rename_table_action(self):
+        stmt = parse_statement("ALTER TABLE t RENAME TO t2;")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.RENAME_TABLE
+        assert action.raw == "t2"
+
+    def test_postgres_alter_type(self):
+        stmt = parse_statement("ALTER TABLE t ALTER COLUMN a TYPE BIGINT;")
+        action = stmt.actions[0]
+        assert action.kind is AlterKind.MODIFY_COLUMN
+        assert action.column.data_type.base == "BIGINT"
+
+    def test_alter_set_default_is_other(self):
+        stmt = parse_statement("ALTER TABLE t ALTER COLUMN a SET DEFAULT 5;")
+        assert stmt.actions[0].kind is AlterKind.OTHER
+
+    def test_engine_change_is_other(self):
+        stmt = parse_statement("ALTER TABLE t ENGINE=MyISAM;")
+        assert stmt.actions[0].kind is AlterKind.OTHER
+
+    def test_postgres_only_keyword(self):
+        stmt = parse_statement("ALTER TABLE ONLY t ADD COLUMN x INT;")
+        assert stmt.name == "t"
+
+
+class TestDropAndRename:
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE t;")
+        assert isinstance(stmt, DropTable)
+        assert stmt.names == ("t",)
+        assert not stmt.if_exists
+
+    def test_drop_table_if_exists(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t;")
+        assert stmt.if_exists
+
+    def test_drop_multiple_tables(self):
+        stmt = parse_statement("DROP TABLE a, b, c;")
+        assert stmt.names == ("a", "b", "c")
+
+    def test_rename_table(self):
+        stmt = parse_statement("RENAME TABLE a TO b;")
+        assert isinstance(stmt, RenameTable)
+        assert stmt.renames == (("a", "b"),)
+
+    def test_rename_multiple(self):
+        stmt = parse_statement("RENAME TABLE a TO b, c TO d;")
+        assert stmt.renames == (("a", "b"), ("c", "d"))
+
+
+class TestIgnoredStatements:
+    @pytest.mark.parametrize(
+        "sql,verb",
+        [
+            ("INSERT INTO t VALUES (1);", "INSERT"),
+            ("SET NAMES utf8;", "SET"),
+            ("USE mydb;", "USE"),
+            ("SELECT * FROM t;", "SELECT"),
+            ("CREATE INDEX i ON t (a);", "CREATE"),
+            ("CREATE DATABASE db;", "CREATE"),
+            ("CREATE VIEW v AS SELECT 1;", "CREATE"),
+            ("DROP INDEX i ON t;", "DROP"),
+            ("LOCK TABLES t WRITE;", "LOCK"),
+            ("UPDATE t SET a = 1;", "UPDATE"),
+            ("DELETE FROM t;", "DELETE"),
+            ("GRANT ALL ON *.* TO 'x';", "GRANT"),
+        ],
+    )
+    def test_non_ddl_statements_are_ignored(self, sql, verb):
+        stmt = parse_statement(sql)
+        assert isinstance(stmt, IgnoredStatement)
+        assert stmt.verb == verb
+
+    def test_drop_index_does_not_eat_drop_table(self):
+        statements = parse_script("DROP INDEX i ON t; DROP TABLE t;")
+        assert isinstance(statements[0], IgnoredStatement)
+        assert isinstance(statements[1], DropTable)
+
+
+class TestScriptRobustness:
+    def test_empty_script(self):
+        assert parse_script("") == []
+
+    def test_stray_semicolons(self):
+        assert parse_script(";;;") == []
+
+    def test_garbage_degrades_to_ignored(self):
+        statements = parse_script("&&& what is this;CREATE TABLE t (a INT);")
+        assert isinstance(statements[0], IgnoredStatement)
+        assert isinstance(statements[1], CreateTable)
+
+    def test_broken_create_does_not_kill_script(self):
+        statements = parse_script(
+            "CREATE TABLE broken (;\nCREATE TABLE ok (a INT);"
+        )
+        kinds = [type(s) for s in statements]
+        assert CreateTable in kinds
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_script("CREATE TABLE broken (a INT,,);", strict=True)
+
+    def test_missing_final_semicolon(self):
+        stmt = parse_statement("CREATE TABLE t (a INT)")
+        assert isinstance(stmt, CreateTable)
+
+    def test_parse_statement_rejects_multiple(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE a (x INT); CREATE TABLE b (y INT);")
+
+    def test_insert_values_with_parens_and_semicolons(self):
+        statements = parse_script(
+            "INSERT INTO t VALUES (1, 'a;b', (2)), (3, ')', (4));"
+            "CREATE TABLE t2 (a INT);"
+        )
+        assert isinstance(statements[-1], CreateTable)
+
+    def test_full_mysqldump_fragment(self):
+        text = """
+        -- MySQL dump 10.13  Distrib 5.7.21
+        /*!40101 SET @saved_cs_client = @@character_set_client */;
+        DROP TABLE IF EXISTS `wp_posts`;
+        CREATE TABLE `wp_posts` (
+          `ID` bigint(20) unsigned NOT NULL AUTO_INCREMENT,
+          `post_author` bigint(20) unsigned NOT NULL DEFAULT '0',
+          `post_date` datetime NOT NULL DEFAULT '0000-00-00 00:00:00',
+          `post_content` longtext NOT NULL,
+          PRIMARY KEY (`ID`),
+          KEY `post_author` (`post_author`)
+        ) ENGINE=MyISAM AUTO_INCREMENT=4 DEFAULT CHARSET=utf8;
+        /*!40101 SET character_set_client = @saved_cs_client */;
+        """
+        statements = parse_script(text)
+        creates = [s for s in statements if isinstance(s, CreateTable)]
+        assert len(creates) == 1
+        assert creates[0].name == "wp_posts"
+        assert len(creates[0].columns) == 4
+        assert creates[0].primary_key == ("ID",)
+
+
+class TestMssqlBatches:
+    def test_go_separated_creates(self):
+        statements = parse_script(
+            "CREATE TABLE a (x INT)\nGO\nCREATE TABLE b (y INT)\nGO"
+        )
+        creates = [s for s in statements if isinstance(s, CreateTable)]
+        assert [c.name for c in creates] == ["a", "b"]
+
+    def test_go_after_ignored_statement(self):
+        statements = parse_script(
+            "PRINT 'installing'\nGO\nCREATE TABLE t (a INT)\nGO"
+        )
+        assert any(isinstance(s, CreateTable) for s in statements)
+
+    def test_go_is_not_a_table_name_killer(self):
+        # A column actually named "go" must still parse inside parens.
+        stmt = parse_statement("CREATE TABLE t (`go` INT);")
+        assert stmt.columns[0].name == "go"

@@ -1,0 +1,139 @@
+"""Tests for the planner's internal composition helpers and invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.taxa import Taxon
+from repro.synthesis.archetypes import ARCHETYPES
+from repro.synthesis.plan import _compose_turf, _distribute, plan_project
+from repro.synthesis import archetype_of
+
+
+class TestComposeTurf:
+    def test_exact_composition(self, rng):
+        parts = _compose_turf(rng, count=4, total=20, cap=14)
+        assert len(parts) == 4
+        assert sum(parts) == 20
+        assert all(1 <= p <= 14 for p in parts)
+
+    def test_minimum_total(self, rng):
+        assert _compose_turf(rng, count=3, total=3, cap=14) == [1, 1, 1]
+
+    def test_maximum_total(self, rng):
+        parts = _compose_turf(rng, count=2, total=28, cap=14)
+        assert parts == [14, 14]
+
+    def test_zero_commits_zero_total(self, rng):
+        assert _compose_turf(rng, count=0, total=0, cap=14) == []
+
+    def test_zero_commits_with_total_raises(self, rng):
+        with pytest.raises(ValueError):
+            _compose_turf(rng, count=0, total=5, cap=14)
+
+    def test_infeasible_raises(self, rng):
+        with pytest.raises(ValueError):
+            _compose_turf(rng, count=2, total=29, cap=14)
+        with pytest.raises(ValueError):
+            _compose_turf(rng, count=5, total=4, cap=14)
+
+    @given(
+        count=st.integers(1, 20),
+        seed=st.integers(0, 1000),
+        slack=st.integers(0, 60),
+    )
+    @settings(max_examples=100)
+    def test_composition_property(self, count, seed, slack):
+        cap = 14
+        total = min(count + slack, count * cap)
+        parts = _compose_turf(random.Random(seed), count, total, cap)
+        assert len(parts) == count
+        assert sum(parts) == total
+        assert all(1 <= p <= cap for p in parts)
+
+
+class TestDistribute:
+    def test_respects_caps(self, rng):
+        parts = [1, 1, 1]
+        _distribute(rng, parts, caps=[5, 5, 5], leftover=10)
+        assert sum(parts) == 13
+        assert all(p <= 5 for p in parts)
+
+    def test_unbounded_slot_takes_overflow(self, rng):
+        parts = [1, 1]
+        _distribute(rng, parts, caps=[None, 2], leftover=100)
+        assert sum(parts) == 102
+        assert parts[1] <= 2
+
+    def test_no_capacity_raises(self, rng):
+        with pytest.raises(ValueError):
+            _distribute(rng, [5], caps=[5], leftover=1)
+
+    def test_zero_leftover_noop(self, rng):
+        parts = [3, 4]
+        _distribute(rng, parts, caps=[10, 10], leftover=0)
+        assert parts == [3, 4]
+
+
+class TestArchetypeConsistency:
+    """The five-point anchors must be compatible with the taxon rules —
+    otherwise the planner would clamp systematically and the measured
+    quartiles would drift from the published ones."""
+
+    def test_almost_frozen_activity_within_rule(self):
+        archetype = ARCHETYPES[Taxon.ALMOST_FROZEN]
+        assert archetype.total_activity.maximum <= 10
+        assert archetype.active_commits.maximum <= 3
+
+    def test_fsf_activity_above_rule(self):
+        archetype = ARCHETYPES[Taxon.FOCUSED_SHOT_AND_FROZEN]
+        assert archetype.total_activity.minimum >= 11
+        assert archetype.active_commits.maximum <= 3
+
+    def test_moderate_bounds(self):
+        archetype = ARCHETYPES[Taxon.MODERATE]
+        assert archetype.total_activity.maximum <= 90
+        assert archetype.active_commits.minimum >= 4
+
+    def test_fs_low_bounds(self):
+        archetype = ARCHETYPES[Taxon.FOCUSED_SHOT_AND_LOW]
+        assert 4 <= archetype.active_commits.minimum
+        assert archetype.active_commits.maximum <= 10
+        assert archetype.total_activity.minimum >= 15  # room for a reed
+
+    def test_active_bounds(self):
+        archetype = ARCHETYPES[Taxon.ACTIVE]
+        assert archetype.total_activity.minimum > 90
+        assert archetype.active_commits.minimum >= 7
+
+    def test_populations_sum_to_studied(self):
+        assert sum(a.population for a in ARCHETYPES.values()) == 195
+
+    def test_ddl_shares_in_paper_band(self):
+        for archetype in ARCHETYPES.values():
+            assert 0.04 <= archetype.ddl_commit_share <= 0.06
+
+
+class TestPlanInvariants:
+    @pytest.mark.parametrize("taxon", list(ARCHETYPES))
+    def test_parts_match_commit_plans(self, taxon, rng):
+        plan = plan_project(rng, archetype_of(taxon), "t/p")
+        active_parts = [c.activity for c in plan.commits if c.is_active]
+        assert len(active_parts) == plan.active_commits
+        assert sum(active_parts) == plan.total_activity
+
+    def test_pinned_u_bounds_the_targets(self):
+        archetype = archetype_of(Taxon.ACTIVE)
+        # With u pinned, the draw can only wander within the +-0.12
+        # jitter window around the anchor, whatever the RNG.
+        low = archetype.active_commits.at_int(0.5 - 0.13)
+        high = archetype.active_commits.at_int(0.5 + 0.13)
+        for seed in range(10):
+            plan = plan_project(random.Random(seed), archetype, "x", u=0.5)
+            assert low <= plan.active_commits <= high
+
+    def test_growth_discipline_field_present(self, rng):
+        plan = plan_project(rng, archetype_of(Taxon.MODERATE), "t/p")
+        assert isinstance(plan.growth_discipline, bool)

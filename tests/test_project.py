@@ -1,0 +1,87 @@
+"""Tests for project-level extraction (SUP vs PUP, DDL commit share)."""
+
+import pytest
+
+from repro.core.project import RepoStats, extract_project, repo_stats_of
+from repro.vcs import LinearizationPolicy, Repository
+
+DAY = 86_400
+
+
+def make_repo():
+    repo = Repository("acme/shop")
+    repo.commit({"src/app.py": b"v1"}, "ann", 0, "bootstrap")
+    repo.commit({"db/schema.sql": b"CREATE TABLE a (x INT);"}, "ann", 30 * DAY, "schema")
+    repo.commit({"src/app.py": b"v2"}, "bob", 60 * DAY, "feature")
+    repo.commit(
+        {"db/schema.sql": b"CREATE TABLE a (x INT, y INT);"}, "bob", 90 * DAY, "grow"
+    )
+    repo.commit({"src/app.py": b"v3"}, "ann", 365 * DAY, "more")
+    return repo
+
+
+class TestRepoStats:
+    def test_counts_and_span(self):
+        stats = repo_stats_of(make_repo())
+        assert stats.total_commits == 5
+        assert stats.first_commit_ts == 0
+        assert stats.last_commit_ts == 365 * DAY
+
+    def test_pup_months(self):
+        assert repo_stats_of(make_repo()).pup_months == 12
+
+    def test_empty_repo(self):
+        stats = repo_stats_of(Repository("a/b"))
+        assert stats.total_commits == 0
+        assert stats.pup_months == 1
+
+    def test_pup_floor(self):
+        assert RepoStats(total_commits=2, first_commit_ts=0, last_commit_ts=100).pup_months == 1
+
+
+class TestExtractProject:
+    def test_full_extraction(self):
+        project = extract_project(make_repo(), "db/schema.sql")
+        assert project.history.n_commits == 2
+        assert project.metrics.total_activity == 1
+        assert project.metrics.active_commits == 1
+
+    def test_sup_is_schema_window_not_project_window(self):
+        project = extract_project(make_repo(), "db/schema.sql")
+        assert project.sup_months == 2  # 60 days between schema commits
+        assert project.pup_months == 12  # whole project spans a year
+
+    def test_ddl_commit_share(self):
+        project = extract_project(make_repo(), "db/schema.sql")
+        assert project.ddl_commit_share == pytest.approx(2 / 5)
+
+    def test_missing_ddl_path(self):
+        project = extract_project(make_repo(), "nope.sql")
+        assert project.history.versions == ()
+        assert project.history.is_history_less
+
+    def test_policy_is_forwarded(self):
+        repo = make_repo()
+        repo.branch("side")
+        repo.commit(
+            {"db/schema.sql": b"CREATE TABLE a (x INT, y INT, z INT);"},
+            "cee",
+            100 * DAY,
+            "side work",
+            branch="side",
+        )
+        repo.merge("side", timestamp=101 * DAY)
+        full = extract_project(repo, "db/schema.sql", policy=LinearizationPolicy.FULL)
+        main_only = extract_project(
+            repo, "db/schema.sql", policy=LinearizationPolicy.FIRST_PARENT
+        )
+        assert full.history.n_commits == 3
+        assert main_only.history.n_commits == 2
+
+    def test_domain_carried(self):
+        project = extract_project(make_repo(), "db/schema.sql", domain="CMS")
+        assert project.domain == "CMS"
+
+    def test_zero_commit_repo_share(self):
+        project = extract_project(Repository("a/b"), "x.sql")
+        assert project.ddl_commit_share == 0.0

@@ -1,0 +1,226 @@
+"""Parse realistic schema fragments in the style of popular FOSS projects.
+
+The corpus the paper mines is dominated by a handful of ecosystems
+(WordPress-style CMSes, web stores, wikis).  These fragments exercise
+their characteristic DDL quirks end to end: composite indexes with
+prefix lengths, ENUM/SET columns, zero datetimes as defaults, multiple
+keys per table, unsigned bigints, charset/collate noise, and
+mysqldump's conditional-comment framing.
+"""
+
+import pytest
+
+from repro.core.diff import diff_schemas
+from repro.schema import build_schema
+
+WORDPRESS_POSTS = """
+DROP TABLE IF EXISTS `wp_posts`;
+/*!40101 SET @saved_cs_client     = @@character_set_client */;
+/*!40101 SET character_set_client = utf8 */;
+CREATE TABLE `wp_posts` (
+  `ID` bigint(20) unsigned NOT NULL AUTO_INCREMENT,
+  `post_author` bigint(20) unsigned NOT NULL DEFAULT '0',
+  `post_date` datetime NOT NULL DEFAULT '0000-00-00 00:00:00',
+  `post_date_gmt` datetime NOT NULL DEFAULT '0000-00-00 00:00:00',
+  `post_content` longtext NOT NULL,
+  `post_title` text NOT NULL,
+  `post_excerpt` text NOT NULL,
+  `post_status` varchar(20) NOT NULL DEFAULT 'publish',
+  `comment_status` varchar(20) NOT NULL DEFAULT 'open',
+  `ping_status` varchar(20) NOT NULL DEFAULT 'open',
+  `post_password` varchar(255) NOT NULL DEFAULT '',
+  `post_name` varchar(200) NOT NULL DEFAULT '',
+  `post_modified` datetime NOT NULL DEFAULT '0000-00-00 00:00:00',
+  `post_parent` bigint(20) unsigned NOT NULL DEFAULT '0',
+  `guid` varchar(255) NOT NULL DEFAULT '',
+  `menu_order` int(11) NOT NULL DEFAULT '0',
+  `post_type` varchar(20) NOT NULL DEFAULT 'post',
+  `post_mime_type` varchar(100) NOT NULL DEFAULT '',
+  `comment_count` bigint(20) NOT NULL DEFAULT '0',
+  PRIMARY KEY (`ID`),
+  KEY `post_name` (`post_name`(191)),
+  KEY `type_status_date` (`post_type`,`post_status`,`post_date`,`ID`),
+  KEY `post_parent` (`post_parent`),
+  KEY `post_author` (`post_author`)
+) ENGINE=InnoDB AUTO_INCREMENT=1 DEFAULT CHARSET=utf8mb4 COLLATE=utf8mb4_unicode_520_ci;
+/*!40101 SET character_set_client = @saved_cs_client */;
+"""
+
+MEDIAWIKI_PAGE = """
+CREATE TABLE /*_*/page (
+  page_id int unsigned NOT NULL PRIMARY KEY AUTO_INCREMENT,
+  page_namespace int NOT NULL,
+  page_title varchar(255) binary NOT NULL,
+  page_restrictions tinyblob NOT NULL,
+  page_is_redirect tinyint unsigned NOT NULL default 0,
+  page_is_new tinyint unsigned NOT NULL default 0,
+  page_random real unsigned NOT NULL,
+  page_touched binary(14) NOT NULL default '',
+  page_latest int unsigned NOT NULL,
+  page_len int unsigned NOT NULL
+) /*$wgDBTableOptions*/;
+"""
+
+OPENCART_PRODUCT = """
+CREATE TABLE `oc_product` (
+  `product_id` int(11) NOT NULL AUTO_INCREMENT,
+  `model` varchar(64) NOT NULL,
+  `sku` varchar(64) NOT NULL,
+  `quantity` int(4) NOT NULL DEFAULT '0',
+  `stock_status_id` int(11) NOT NULL,
+  `image` varchar(255) DEFAULT NULL,
+  `price` decimal(15,4) NOT NULL DEFAULT '0.0000',
+  `weight` decimal(15,8) NOT NULL DEFAULT '0.00000000',
+  `status` tinyint(1) NOT NULL DEFAULT '0',
+  `date_added` datetime NOT NULL,
+  `date_modified` datetime NOT NULL,
+  PRIMARY KEY (`product_id`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+
+CREATE TABLE `oc_product_option` (
+  `product_option_id` int(11) NOT NULL AUTO_INCREMENT,
+  `product_id` int(11) NOT NULL,
+  `option_id` int(11) NOT NULL,
+  `value` text NOT NULL,
+  `required` tinyint(1) NOT NULL,
+  PRIMARY KEY (`product_option_id`)
+) ENGINE=MyISAM DEFAULT CHARSET=utf8;
+"""
+
+DRUPAL_USERS = """
+CREATE TABLE users (
+  uid int unsigned NOT NULL AUTO_INCREMENT,
+  name varchar(60) NOT NULL DEFAULT '',
+  pass varchar(128) NOT NULL DEFAULT '',
+  mail varchar(254) DEFAULT '',
+  theme varchar(255) NOT NULL DEFAULT '',
+  signature_format varchar(255) DEFAULT NULL,
+  created int NOT NULL DEFAULT 0,
+  access int NOT NULL DEFAULT 0,
+  login int NOT NULL DEFAULT 0,
+  status tinyint NOT NULL DEFAULT 0,
+  timezone varchar(32) DEFAULT NULL,
+  language varchar(12) NOT NULL DEFAULT '',
+  picture int NOT NULL DEFAULT 0,
+  init varchar(254) DEFAULT '',
+  data longblob,
+  PRIMARY KEY (uid),
+  UNIQUE KEY name (name),
+  KEY access (access),
+  KEY created (created),
+  KEY mail (mail)
+) ENGINE=InnoDB;
+"""
+
+PHPBB_STYLE = """
+CREATE TABLE phpbb_users (
+  user_id mediumint(8) UNSIGNED NOT NULL auto_increment,
+  user_type tinyint(2) NOT NULL DEFAULT '0',
+  group_id mediumint(8) UNSIGNED NOT NULL DEFAULT '3',
+  user_permissions mediumtext NOT NULL,
+  user_ip varchar(40) NOT NULL DEFAULT '',
+  user_regdate int(11) UNSIGNED NOT NULL DEFAULT '0',
+  username varchar(255) NOT NULL DEFAULT '',
+  username_clean varchar(255) NOT NULL DEFAULT '',
+  user_email varchar(100) NOT NULL DEFAULT '',
+  user_avatar_type enum('upload','remote','gallery') DEFAULT NULL,
+  user_options set('a','b','c') DEFAULT NULL,
+  PRIMARY KEY (user_id),
+  KEY user_type (user_type)
+) ENGINE=InnoDB DEFAULT CHARACTER SET utf8 COLLATE utf8_bin;
+"""
+
+
+class TestWordPress:
+    def test_parses_completely(self):
+        schema = build_schema(WORDPRESS_POSTS)
+        table = schema.table("wp_posts")
+        assert table is not None
+        assert len(table) == 19
+        assert table.primary_key == ("ID",)
+
+    def test_unsigned_bigint_normalized(self):
+        schema = build_schema(WORDPRESS_POSTS)
+        attr = schema.table("wp_posts").attribute("ID")
+        assert attr.data_type.base == "BIGINT"
+        assert attr.data_type.unsigned
+        assert attr.data_type.args == ()  # display width dropped
+
+    def test_zero_datetime_default_survives(self):
+        schema = build_schema(WORDPRESS_POSTS)
+        assert schema.table("wp_posts").attribute("post_date").data_type.base == "DATETIME"
+
+    def test_composite_prefix_index_is_sublogical(self):
+        # KEY post_name (post_name(191)) must not affect the logical schema.
+        schema = build_schema(WORDPRESS_POSTS)
+        assert schema.size.tables == 1
+
+
+class TestMediaWiki:
+    def test_inline_comment_table_name(self):
+        # MediaWiki wraps names in /*_*/ prefix comments.
+        schema = build_schema(MEDIAWIKI_PAGE)
+        table = schema.table("page")
+        assert table is not None
+        assert table.primary_key == ("page_id",)
+        assert len(table) == 10
+
+    def test_real_unsigned_type(self):
+        schema = build_schema(MEDIAWIKI_PAGE)
+        attr = schema.table("page").attribute("page_random")
+        assert attr.data_type.base == "DOUBLE"  # REAL normalizes to DOUBLE
+
+
+class TestOpenCart:
+    def test_two_tables(self):
+        schema = build_schema(OPENCART_PRODUCT)
+        assert schema.table_names == ("oc_product", "oc_product_option")
+
+    def test_decimal_precision_kept(self):
+        schema = build_schema(OPENCART_PRODUCT)
+        price = schema.table("oc_product").attribute("price")
+        assert price.data_type.args == ("15", "4")
+
+    def test_tinyint1_becomes_boolean(self):
+        schema = build_schema(OPENCART_PRODUCT)
+        status = schema.table("oc_product").attribute("status")
+        assert status.data_type.base == "BOOLEAN"
+
+    def test_upgrade_transition(self):
+        upgraded = OPENCART_PRODUCT.replace(
+            "`date_modified` datetime NOT NULL,",
+            "`date_modified` datetime NOT NULL,\n  `ean` varchar(14) NOT NULL,",
+        )
+        diff = diff_schemas(build_schema(OPENCART_PRODUCT), build_schema(upgraded))
+        assert diff.attrs_injected == 1
+        assert diff.activity == 1
+
+
+class TestDrupal:
+    def test_unquoted_identifiers(self):
+        schema = build_schema(DRUPAL_USERS)
+        table = schema.table("users")
+        assert table is not None
+        assert len(table) == 15
+        assert table.primary_key == ("uid",)
+
+
+class TestPhpbb:
+    def test_enum_and_set_columns(self):
+        schema = build_schema(PHPBB_STYLE)
+        table = schema.table("phpbb_users")
+        avatar = table.attribute("user_avatar_type")
+        assert avatar.data_type.base == "ENUM"
+        options = table.attribute("user_options")
+        assert options.data_type.base == "SET"
+
+    def test_lowercase_auto_increment(self):
+        schema = build_schema(PHPBB_STYLE)
+        assert schema.table("phpbb_users").primary_key == ("user_id",)
+
+    def test_enum_value_change_is_type_change(self):
+        widened = PHPBB_STYLE.replace(
+            "enum('upload','remote','gallery')", "enum('upload','remote','gallery','oauth')"
+        )
+        diff = diff_schemas(build_schema(PHPBB_STYLE), build_schema(widened))
+        assert diff.attrs_type_changed == 1

@@ -1,0 +1,95 @@
+"""Tests for the rename-aware diff ablation."""
+
+import pytest
+
+from repro.core.renames import detect_table_renames, diff_with_rename_detection
+from repro.schema import build_schema
+
+
+def schema_of(sql):
+    return build_schema(sql)
+
+
+class TestDetection:
+    def test_clean_rename_detected(self):
+        old = schema_of("CREATE TABLE users (id INT, email TEXT, PRIMARY KEY (id));")
+        new = schema_of("CREATE TABLE accounts (id INT, email TEXT, PRIMARY KEY (id));")
+        assert detect_table_renames(old, new) == [("users", "accounts")]
+
+    def test_no_rename_when_content_differs(self):
+        old = schema_of("CREATE TABLE users (id INT, email TEXT);")
+        new = schema_of("CREATE TABLE accounts (id INT, email TEXT, extra INT);")
+        assert detect_table_renames(old, new) == []
+
+    def test_type_change_blocks_detection(self):
+        old = schema_of("CREATE TABLE users (id INT);")
+        new = schema_of("CREATE TABLE accounts (id BIGINT);")
+        assert detect_table_renames(old, new) == []
+
+    def test_pk_change_blocks_detection(self):
+        old = schema_of("CREATE TABLE users (id INT, PRIMARY KEY (id));")
+        new = schema_of("CREATE TABLE accounts (id INT);")
+        assert detect_table_renames(old, new) == []
+
+    def test_ambiguous_pairs_left_alone(self):
+        # Two dropped and two added tables with the same signature: any
+        # pairing would be a guess, so none is made.
+        old = schema_of("CREATE TABLE a (x INT); CREATE TABLE b (x INT);")
+        new = schema_of("CREATE TABLE c (x INT); CREATE TABLE d (x INT);")
+        assert detect_table_renames(old, new) == []
+
+    def test_multiple_distinct_renames(self):
+        old = schema_of(
+            "CREATE TABLE a (x INT); CREATE TABLE b (y TEXT, z INT);"
+        )
+        new = schema_of(
+            "CREATE TABLE a2 (x INT); CREATE TABLE b2 (y TEXT, z INT);"
+        )
+        assert sorted(detect_table_renames(old, new)) == [("a", "a2"), ("b", "b2")]
+
+    def test_unrelated_drop_and_add_ignored(self):
+        old = schema_of("CREATE TABLE gone (x INT, y INT);")
+        new = schema_of("CREATE TABLE fresh (p TEXT);")
+        assert detect_table_renames(old, new) == []
+
+    def test_case_insensitive_signatures(self):
+        old = schema_of("CREATE TABLE users (ID INT, Email TEXT);")
+        new = schema_of("CREATE TABLE members (id INT, email TEXT);")
+        assert detect_table_renames(old, new) == [("users", "members")]
+
+
+class TestAdjustedActivity:
+    def test_rename_inflation_measured(self):
+        old = schema_of("CREATE TABLE users (id INT, email TEXT, bio TEXT);")
+        new = schema_of("CREATE TABLE accounts (id INT, email TEXT, bio TEXT);")
+        result = diff_with_rename_detection(old, new)
+        assert result.base.activity == 6  # 3 deleted + 3 born
+        assert result.renamed_attributes == 6
+        assert result.adjusted_activity == 0
+        assert result.inflation == 6
+
+    def test_mixed_transition(self):
+        old = schema_of(
+            "CREATE TABLE renamed_from (a INT, b INT);"
+            "CREATE TABLE keep (x INT);"
+        )
+        new = schema_of(
+            "CREATE TABLE renamed_to (a INT, b INT);"
+            "CREATE TABLE keep (x INT, y INT);"
+        )
+        result = diff_with_rename_detection(old, new)
+        assert result.base.activity == 5  # 2+2 rename artifact + 1 injection
+        assert result.adjusted_activity == 1  # only the real injection
+
+    def test_no_renames_no_adjustment(self):
+        old = schema_of("CREATE TABLE a (x INT);")
+        new = schema_of("CREATE TABLE a (x INT, y INT);")
+        result = diff_with_rename_detection(old, new)
+        assert result.renames == ()
+        assert result.adjusted_activity == result.base.activity
+
+    def test_adjusted_never_negative_or_above_base(self):
+        old = schema_of("CREATE TABLE m (p INT, q TEXT);")
+        new = schema_of("CREATE TABLE n (p INT, q TEXT); CREATE TABLE o (r INT);")
+        result = diff_with_rename_detection(old, new)
+        assert 0 <= result.adjusted_activity <= result.base.activity

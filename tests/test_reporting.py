@@ -1,0 +1,198 @@
+"""Tests for tables and the experiment harness (uses the session corpus)."""
+
+import pytest
+
+from repro.core.analysis import FIG4_MEASURES
+from repro.core.taxa import NONFROZEN_TAXA, TAXA_ORDER, Taxon
+from repro.reporting import (
+    ExperimentSuite,
+    fig4_rows,
+    fig10_report,
+    fig11_cells,
+    fig12_rows,
+    fig13_report,
+    format_table,
+    funnel_text,
+    overall_tests,
+    rq_summary,
+    table1_populations,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("a")
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159], [2.0], [1e-7]])
+        assert "3.14" in text
+        assert "2" in text
+        assert "e-07" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_right_alignment_of_numbers(self):
+        text = format_table(["m", "v"], [["x", 1], ["y", 100]])
+        lines = text.splitlines()
+        assert lines[2].endswith("  1")
+
+
+class TestTable1Populations:
+    def test_covers_all_taxa(self, analysis):
+        populations = table1_populations(analysis)
+        assert set(populations) == set(TAXA_ORDER)
+        assert all(count > 0 for count in populations.values())
+
+
+class TestFig4:
+    def test_row_count(self, analysis):
+        rows = fig4_rows(analysis)
+        assert len(rows) == 1 + len(FIG4_MEASURES) * 4  # Count + 4 stats each
+
+    def test_count_row_matches_populations(self, analysis):
+        rows = fig4_rows(analysis)
+        counts = rows[0][1:]
+        expected = [analysis.population(t) for t in TAXA_ORDER]
+        assert counts == expected
+
+    def test_frozen_activity_row_is_zero(self, analysis):
+        rows = fig4_rows(analysis)
+        activity_min = next(r for r in rows if r[0] == "TotalActivity [min]")
+        frozen_column = 1 + TAXA_ORDER.index(Taxon.FROZEN)
+        assert activity_min[frozen_column] == 0
+
+
+class TestFig10:
+    def test_points_exclude_frozen(self, analysis):
+        points, chart = fig10_report(analysis)
+        taxa = {p.taxon for p in points}
+        assert Taxon.FROZEN not in taxa
+        assert len(points) == sum(analysis.population(t) for t in NONFROZEN_TAXA)
+        assert "log" in chart
+
+
+class TestFig11:
+    def test_matrix_is_complete(self, analysis):
+        cells = fig11_cells(analysis)
+        n = len(NONFROZEN_TAXA)
+        assert len(cells) == n * (n - 1)
+
+    def test_p_values_in_range(self, analysis):
+        for p in fig11_cells(analysis).values():
+            assert 0.0 <= p <= 1.0
+
+    def test_extreme_pairs_significant(self, analysis):
+        cells = fig11_cells(analysis)
+        # Almost Frozen vs Active must separate on both measures (the
+        # session corpus is small; full-scale significance is asserted
+        # by the benchmarks).
+        assert cells[(Taxon.ACTIVE, Taxon.ALMOST_FROZEN)] < 0.05
+        assert cells[(Taxon.ALMOST_FROZEN, Taxon.ACTIVE)] < 0.05
+
+
+class TestFig12:
+    def test_both_measures_present(self, analysis):
+        rows = fig12_rows(analysis)
+        assert set(rows) == {"active_commits", "total_activity"}
+
+    def test_five_rows_each(self, analysis):
+        for rows in fig12_rows(analysis).values():
+            assert [r[0] for r in rows] == ["MIN", "Q1", "Q2", "Q3", "MAX"]
+
+    def test_quartiles_ordered(self, analysis):
+        for rows in fig12_rows(analysis).values():
+            for column in range(1, len(NONFROZEN_TAXA) + 1):
+                values = [row[column] for row in rows]
+                assert values == sorted(values)
+
+
+class TestFig13:
+    def test_box_per_taxon(self, analysis):
+        plot, sketch = fig13_report(analysis)
+        assert len(plot.boxes) == len(NONFROZEN_TAXA)
+        assert "Active" in sketch
+
+    def test_active_taxon_far_from_rest(self, analysis):
+        # "The active taxon is very far from the rest."
+        plot, _ = fig13_report(analysis)
+        active_box = plot.box_of(Taxon.ACTIVE)
+        for taxon in NONFROZEN_TAXA:
+            if taxon is Taxon.ACTIVE:
+                continue
+            assert not active_box.overlaps(plot.box_of(taxon)), taxon
+
+
+class TestOverallTests:
+    def test_kw_strongly_significant(self, analysis):
+        tests = overall_tests(analysis)
+        # Overwhelming even at the reduced session scale; the paper-grade
+        # p < 2.2e-16 is checked at full scale in the benchmarks.
+        assert tests.kw_activity.p_value < 1e-4
+        assert tests.kw_active_commits.p_value < 1e-4
+
+    def test_df_matches_paper(self, analysis):
+        tests = overall_tests(analysis)
+        assert tests.kw_activity.df == 5  # six taxa, as published
+
+    def test_df_without_frozen(self, analysis):
+        tests = overall_tests(analysis, include_frozen=False)
+        assert tests.kw_activity.df == 4
+
+    def test_activity_not_normal(self, analysis):
+        tests = overall_tests(analysis)
+        assert not tests.shapiro_activity.normal()
+        assert tests.shapiro_activity.w < 0.7
+
+
+class TestRqSummary:
+    def test_keys(self, analysis):
+        summary = rq_summary(analysis)
+        assert "rigidity_share" in summary
+        assert "studied_share_Active" in summary
+
+    def test_studied_shares_sum_to_one(self, analysis):
+        summary = rq_summary(analysis)
+        total = sum(summary[f"studied_share_{t.short}"] for t in TAXA_ORDER)
+        assert total == pytest.approx(1.0)
+
+
+class TestSuiteRendering:
+    def test_funnel_text(self, funnel_report):
+        text = funnel_text(funnel_report)
+        assert "SQL-Collection" in text
+        assert "Schema_Evo_2019" in text
+
+    def test_render_all_sections(self, funnel_report, analysis):
+        text = ExperimentSuite(funnel_report, analysis).render_all()
+        for marker in ("Fig 4", "Fig 10", "Fig 11", "Fig 12", "Fig 13", "Shapiro-Wilk"):
+            assert marker in text
+
+
+class TestFig11EffectSizes:
+    def test_matrix_complete(self, analysis):
+        from repro.reporting import fig11_effect_sizes
+
+        cells = fig11_effect_sizes(analysis)
+        n = len(NONFROZEN_TAXA)
+        assert len(cells) == n * (n - 1)
+
+    def test_deltas_in_range_and_large_for_extremes(self, analysis):
+        from repro.reporting import fig11_effect_sizes
+
+        cells = fig11_effect_sizes(analysis)
+        for result in cells.values():
+            assert -1.0 <= result.delta <= 1.0
+        # Activity of Active vs Almost Frozen is fully separated by rule.
+        extreme = cells[(Taxon.ALMOST_FROZEN, Taxon.ACTIVE)]
+        assert abs(extreme.delta) == 1.0
+        assert extreme.magnitude == "large"

@@ -1,0 +1,144 @@
+"""Failure injection: the pipeline must survive hostile repository content.
+
+Real mining encounters binary junk committed as ``.sql``, truncated
+statements, exotic encodings, and absurdly large literals — none of
+which may crash history extraction or measurement.
+"""
+
+import pytest
+
+from repro.core import classify, compute_metrics
+from repro.core.history import history_from_versions
+from repro.core.project import extract_project
+from repro.schema import build_schema
+from repro.sqlddl import parse_script
+from repro.vcs import Repository
+
+DAY = 86_400
+
+
+class TestHostileScripts:
+    def test_binary_junk(self):
+        junk = bytes(range(256)).decode("latin-1")
+        schema = build_schema(junk)
+        assert schema.size.tables == 0
+
+    def test_truncated_create(self):
+        schema = build_schema("CREATE TABLE t (a INT, b VARC")
+        assert schema.size.tables == 0  # degraded, not crashed
+
+    def test_truncated_mid_constraint(self):
+        schema = build_schema(
+            "CREATE TABLE ok (a INT);\nCREATE TABLE bad (b INT, PRIMARY KEY ("
+        )
+        assert schema.table("ok") is not None
+
+    def test_unicode_identifiers(self):
+        schema = build_schema("CREATE TABLE `таблица` (`größe` INT, `名前` TEXT);")
+        assert schema.size.tables == 1
+        assert schema.tables[0].attribute("größe") is not None
+
+    def test_null_bytes_in_strings(self):
+        schema = build_schema("CREATE TABLE t (a INT DEFAULT 'x\0y');")
+        assert schema.size.tables == 1
+
+    def test_very_long_line(self):
+        columns = ", ".join(f"c{i} INT" for i in range(2000))
+        schema = build_schema(f"CREATE TABLE wide ({columns});")
+        assert schema.size.attributes == 2000
+
+    def test_deeply_nested_parens_in_default(self):
+        nested = "(" * 50 + "1" + ")" * 50
+        schema = build_schema(f"CREATE TABLE t (a INT, CHECK {nested});")
+        assert schema.size.tables == 1
+
+    def test_statement_with_only_semicolons_and_comments(self):
+        assert parse_script(";; -- nothing\n/* still nothing */ ;") == []
+
+    def test_mixed_line_endings(self):
+        schema = build_schema("CREATE TABLE t (\r\n a INT,\r b TEXT\n);")
+        assert schema.size.attributes == 2
+
+    def test_duplicate_column_in_create_is_survivable(self):
+        # Duplicate columns are invalid SQL; the builder must not crash
+        # the whole history over one such statement.
+        schema = build_schema("CREATE TABLE t (a INT, a TEXT); CREATE TABLE u (b INT);")
+        assert schema.table("u") is not None
+
+
+class TestHostileHistories:
+    def test_history_with_junk_version_in_middle(self):
+        repo = Repository("hostile/app")
+        good = b"CREATE TABLE a (x INT);"
+        repo.commit({"s.sql": good}, "a", 0, "ok")
+        repo.commit({"s.sql": b"\xff\xfe garbage \x00\x01"}, "a", DAY, "corrupted")
+        repo.commit({"s.sql": good + b"\nCREATE TABLE b (y INT);"}, "a", 2 * DAY, "recovered")
+        project = extract_project(repo, "s.sql")
+        # The junk version parses to an empty schema: the study observes
+        # a drop-to-zero and a rebuild, which is what the raw data says.
+        assert project.metrics.n_commits == 3
+        assert classify(project.metrics) is not None
+
+    def test_history_where_every_version_is_junk(self):
+        repo = Repository("hostile/all-junk")
+        repo.commit({"s.sql": b"not sql at all"}, "a", 0, "v0")
+        repo.commit({"s.sql": b"still not sql"}, "a", DAY, "v1")
+        project = extract_project(repo, "s.sql")
+        assert project.metrics.total_activity == 0
+        assert project.metrics.tables_at_start == 0
+
+    def test_whitespace_only_versions_are_dropped(self):
+        from repro.vcs.history import FileVersion
+
+        versions = [
+            FileVersion("c0", 0, "a", "m", b"   \n\t  "),
+            FileVersion("c1", DAY, "a", "m", b"CREATE TABLE t (a INT);"),
+        ]
+        history = history_from_versions("p", "s.sql", versions)
+        assert history.n_commits == 1
+
+    def test_enormous_history_is_processed(self):
+        repo = Repository("hostile/huge")
+        columns = ["id INT PRIMARY KEY"]
+        for index in range(300):
+            columns.append(f"c{index} INT")
+            sql = f"CREATE TABLE big ({', '.join(columns)});".encode()
+            repo.commit({"s.sql": sql}, "a", index * 3600, f"v{index}")
+        project = extract_project(repo, "s.sql")
+        assert project.metrics.n_commits == 300
+        assert project.metrics.total_activity == 299  # one injection each
+
+    def test_non_utf8_content_decodes_lossily(self):
+        repo = Repository("hostile/latin1")
+        sql = "CREATE TABLE caf\xe9 (x INT);".encode("latin-1")
+        repo.commit({"s.sql": sql}, "a", 0, "v0")
+        repo.commit({"s.sql": sql + b"\n-- touch"}, "a", DAY, "v1")
+        project = extract_project(repo, "s.sql")
+        assert project.metrics.n_commits == 2
+
+
+class TestDeterministicDigest:
+    def test_pipeline_digest_is_stable(self):
+        """A canary for accidental nondeterminism anywhere in the stack."""
+        import hashlib
+
+        from repro.core import analyze_corpus
+        from repro.synthesis import CorpusSpec, build_corpus
+
+        spec = CorpusSpec(seed=99, scale=0.04, join_rejected=2, not_in_libio=2, path_omitted=3)
+
+        def digest():
+            corpus = build_corpus(spec)
+            report = corpus.run_funnel()
+            analysis = analyze_corpus(report.studied + report.rigid)
+            blob = repr(
+                sorted(
+                    (name, taxon.value, p.metrics.total_activity)
+                    for profile in analysis.profiles.values()
+                    for p in profile.projects
+                    for name, taxon in [(p.name, analysis.assignments[p.name])]
+                )
+            )
+            return hashlib.sha256(blob.encode()).hexdigest()
+
+        assert digest() == digest()

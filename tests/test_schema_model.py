@@ -1,0 +1,124 @@
+"""Tests for the logical schema model."""
+
+import pytest
+
+from repro.schema import Attribute, Schema, Table
+from repro.sqlddl.types import DataType
+
+INT = DataType("INT")
+TEXT = DataType("TEXT")
+
+
+def table(name, *cols, pk=()):
+    return Table(
+        name=name,
+        attributes=tuple(Attribute(c, INT) for c in cols),
+        primary_key=tuple(pk),
+    )
+
+
+class TestAttribute:
+    def test_key_is_case_insensitive(self):
+        assert Attribute("UserId", INT).key == "userid"
+
+    def test_equality(self):
+        assert Attribute("a", INT) == Attribute("a", INT)
+        assert Attribute("a", INT) != Attribute("a", TEXT)
+
+
+class TestTable:
+    def test_len_counts_attributes(self):
+        assert len(table("t", "a", "b", "c")) == 3
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            table("t", "a", "a")
+
+    def test_duplicate_attribute_case_insensitive(self):
+        with pytest.raises(ValueError):
+            table("t", "a", "A")
+
+    def test_attribute_lookup(self):
+        t = table("t", "alpha", "beta")
+        assert t.attribute("BETA").name == "beta"
+        assert t.attribute("gamma") is None
+
+    def test_attribute_names_preserve_order(self):
+        assert table("t", "z", "a", "m").attribute_names == ("z", "a", "m")
+
+    def test_pk_key_sorted_lowercase(self):
+        t = table("t", "B", "A", pk=("B", "A"))
+        assert t.pk_key == ("a", "b")
+
+    def test_key(self):
+        assert table("MyTable", "a").key == "mytable"
+
+
+class TestSchema:
+    def test_empty_schema(self):
+        schema = Schema()
+        assert len(schema) == 0
+        assert schema.size.tables == 0
+        assert schema.size.attributes == 0
+
+    def test_size(self):
+        schema = Schema((table("a", "x", "y"), table("b", "z")))
+        assert schema.size.tables == 2
+        assert schema.size.attributes == 3
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(ValueError):
+            Schema((table("t", "a"), table("T", "b")))
+
+    def test_table_lookup_case_insensitive(self):
+        schema = Schema((table("Users", "id"),))
+        assert schema.table("users").name == "Users"
+        assert schema.table("nothing") is None
+
+    def test_contains(self):
+        schema = Schema((table("users", "id"),))
+        assert "USERS" in schema
+        assert "posts" not in schema
+        assert 42 not in schema
+
+    def test_with_table(self):
+        schema = Schema((table("a", "x"),)).with_table(table("b", "y"))
+        assert schema.table_names == ("a", "b")
+
+    def test_with_table_rejects_duplicate(self):
+        schema = Schema((table("a", "x"),))
+        with pytest.raises(ValueError):
+            schema.with_table(table("A", "y"))
+
+    def test_without_table(self):
+        schema = Schema((table("a", "x"), table("b", "y"))).without_table("A")
+        assert schema.table_names == ("b",)
+
+    def test_without_missing_table_raises(self):
+        with pytest.raises(ValueError):
+            Schema().without_table("ghost")
+
+    def test_replace_table(self):
+        schema = Schema((table("a", "x"),)).replace_table(table("a", "x", "y"))
+        assert len(schema.table("a")) == 2
+
+    def test_replace_missing_table_raises(self):
+        with pytest.raises(ValueError):
+            Schema().replace_table(table("a", "x"))
+
+    def test_replace_preserves_position(self):
+        schema = Schema((table("a", "x"), table("b", "y"), table("c", "z")))
+        replaced = schema.replace_table(table("b", "y", "w"))
+        assert replaced.table_names == ("a", "b", "c")
+
+    def test_by_key(self):
+        schema = Schema((table("Users", "id"),))
+        assert set(schema.by_key()) == {"users"}
+
+    def test_schemas_with_same_content_are_equal(self):
+        assert Schema((table("a", "x"),)) == Schema((table("a", "x"),))
+
+    def test_immutability(self):
+        schema = Schema((table("a", "x"),))
+        schema.with_table(table("b", "y"))
+        assert schema.table_names == ("a",)  # original untouched

@@ -1,0 +1,107 @@
+"""Tests for schema-line shape classification."""
+
+import pytest
+
+from repro.core.shapes import LineShape, classify_line, line_shape_of, shape_shares
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core.metrics import compute_metrics
+from repro.schema import build_schema
+
+DAY = 86_400
+
+
+class TestClassifyLine:
+    def test_flat(self):
+        assert classify_line([3, 3, 3, 3]) is LineShape.FLAT
+
+    def test_single_value(self):
+        assert classify_line([5]) is LineShape.FLAT
+
+    def test_single_step_rise(self):
+        assert classify_line([3, 3, 5, 5, 5]) is LineShape.SINGLE_STEP_RISE
+
+    def test_multi_step_rise(self):
+        assert classify_line([3, 4, 4, 6, 8]) is LineShape.MULTI_STEP_RISE
+
+    def test_massive_drop(self):
+        assert classify_line([10, 10, 3]) is LineShape.DROP
+
+    def test_mild_decline_is_drop(self):
+        assert classify_line([10, 9, 9]) is LineShape.DROP
+
+    def test_turbulent(self):
+        assert classify_line([3, 6, 2, 7, 5]) is LineShape.TURBULENT
+
+    def test_rise_with_small_dip_is_turbulent(self):
+        assert classify_line([3, 5, 4, 8, 9]) is LineShape.TURBULENT
+
+    def test_dip_then_collapse_is_drop(self):
+        assert classify_line([10, 12, 2]) is LineShape.DROP
+
+    def test_threshold_parameter(self):
+        counts = [10, 12, 9]
+        assert classify_line(counts, drop_threshold=0.7) is LineShape.TURBULENT
+        assert classify_line(counts, drop_threshold=0.9) is LineShape.DROP
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            classify_line([])
+
+    def test_is_rise_helper(self):
+        assert LineShape.SINGLE_STEP_RISE.is_rise
+        assert LineShape.MULTI_STEP_RISE.is_rise
+        assert not LineShape.FLAT.is_rise
+        assert not LineShape.TURBULENT.is_rise
+
+
+class TestLineShapeOfMetrics:
+    def metrics_of(self, *sqls):
+        versions = tuple(
+            SchemaVersion(index=i, commit_oid=f"c{i}", timestamp=i * 30 * DAY,
+                          schema=build_schema(sql))
+            for i, sql in enumerate(sqls)
+        )
+        return compute_metrics(SchemaHistory("shape/p", "s.sql", versions))
+
+    def test_flat_project(self):
+        metrics = self.metrics_of(
+            "CREATE TABLE a (x INT);",
+            "CREATE TABLE a (x INT, y INT);",  # attrs change, tables don't
+        )
+        assert line_shape_of(metrics) is LineShape.FLAT
+
+    def test_single_step(self):
+        metrics = self.metrics_of(
+            "CREATE TABLE a (x INT);",
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT);",
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT);\n-- touch",
+        )
+        assert line_shape_of(metrics) is LineShape.SINGLE_STEP_RISE
+
+    def test_history_less_is_flat(self):
+        metrics = self.metrics_of("CREATE TABLE a (x INT);")
+        assert line_shape_of(metrics) is LineShape.FLAT
+
+    def test_shape_shares_sum_to_one(self, funnel_report):
+        shares = shape_shares(funnel_report.studied)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestCorpusShapeClaims:
+    """The Sec IV per-taxon shape percentages, on the session corpus
+    (loose bands — exact shares are asserted at full scale in E20)."""
+
+    def test_almost_frozen_mostly_flat(self, analysis):
+        from repro.core.taxa import Taxon
+
+        shares = shape_shares(analysis.projects_of(Taxon.ALMOST_FROZEN))
+        assert shares.get(LineShape.FLAT, 0) > 0.5
+
+    def test_moderate_mostly_rising(self, analysis):
+        from repro.core.taxa import Taxon
+
+        shares = shape_shares(analysis.projects_of(Taxon.MODERATE))
+        rise = shares.get(LineShape.SINGLE_STEP_RISE, 0) + shares.get(
+            LineShape.MULTI_STEP_RISE, 0
+        )
+        assert rise > 0.4

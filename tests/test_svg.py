@@ -1,0 +1,138 @@
+"""Tests for SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core.metrics import compute_metrics
+from repro.core.taxa import Taxon
+from repro.schema import build_schema
+from repro.stats import double_box_plot
+from repro.viz import (
+    ScatterPoint,
+    boxplot_svg,
+    export_figures,
+    heartbeat_series,
+    heartbeat_svg,
+    scatter_svg,
+    schema_size_series,
+    schema_size_svg,
+)
+
+DAY = 86_400
+
+
+def metrics_of(*specs):
+    versions = tuple(
+        SchemaVersion(index=i, commit_oid=f"c{i}", timestamp=int(d * DAY), schema=build_schema(sql))
+        for i, (d, sql) in enumerate(specs)
+    )
+    return compute_metrics(SchemaHistory("svg/project", "s.sql", versions))
+
+
+GROWING = metrics_of(
+    (0, "CREATE TABLE a (x INT);"),
+    (30, "CREATE TABLE a (x INT, y INT);"),
+    (90, "CREATE TABLE a (x INT, y INT); CREATE TABLE b (p INT);"),
+    (120, "CREATE TABLE a (x BIGINT, y INT); CREATE TABLE b (p INT);"),
+)
+
+
+def assert_valid_svg(text: str) -> ET.Element:
+    root = ET.fromstring(text)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestSchemaSizeSvg:
+    def test_valid_document(self):
+        text = schema_size_svg(schema_size_series(GROWING))
+        root = assert_valid_svg(text)
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        assert len(circles) == 4  # one dot per version
+
+    def test_project_name_present(self):
+        text = schema_size_svg(schema_size_series(GROWING))
+        assert "svg/project" in text
+
+    def test_attribute_axis(self):
+        text = schema_size_svg(schema_size_series(GROWING), attribute_axis=True)
+        assert "#attributes" in text
+
+    def test_empty_history(self):
+        empty = metrics_of((0, "CREATE TABLE a (x INT);"))
+        text = schema_size_svg(schema_size_series(empty))
+        assert_valid_svg(text)
+        assert "empty history" in text
+
+    def test_text_is_escaped(self):
+        metrics = metrics_of((0, "CREATE TABLE a (x INT);"), (1, "CREATE TABLE a (x INT, y INT);"))
+        object.__setattr__(metrics, "project", "a<b>&c")
+        text = schema_size_svg(schema_size_series(metrics))
+        assert "&lt;b&gt;" in text
+        assert_valid_svg(text)
+
+
+class TestHeartbeatSvg:
+    def test_bars_present(self):
+        text = heartbeat_svg(heartbeat_series(GROWING))
+        root = assert_valid_svg(text)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        # background + 3 activity bars (2 expansion, 1 maintenance)
+        assert len(rects) >= 4
+
+    def test_both_colors_used(self):
+        text = heartbeat_svg(heartbeat_series(GROWING))
+        assert "#2563eb" in text  # expansion
+        assert "#dc2626" in text  # maintenance
+
+    def test_empty(self):
+        empty = metrics_of((0, "CREATE TABLE a (x INT);"))
+        text = heartbeat_svg(heartbeat_series(empty))
+        assert "no transitions" in text
+
+
+class TestScatterSvg:
+    def make_points(self):
+        return [
+            ScatterPoint("p1", Taxon.ACTIVE, 200, 30),
+            ScatterPoint("p2", Taxon.MODERATE, 20, 5),
+            ScatterPoint("p3", Taxon.MODERATE, 40, 8),
+        ]
+
+    def test_point_count(self):
+        root = assert_valid_svg(scatter_svg(self.make_points()))
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        # 3 data points + 2 legend markers
+        assert len(circles) == 5
+
+    def test_legend_labels(self):
+        text = scatter_svg(self.make_points())
+        assert "Active" in text
+        assert "Moderate" in text
+
+    def test_empty(self):
+        assert "no points" in scatter_svg([])
+
+
+class TestBoxplotSvg:
+    def test_boxes_rendered(self):
+        plot = double_box_plot(
+            activity={Taxon.MODERATE: [11, 15, 23, 37, 88], Taxon.ACTIVE: [112, 177, 254, 558, 3485]},
+            active_commits={Taxon.MODERATE: [4, 5, 7, 10, 22], Taxon.ACTIVE: [7, 15, 22, 50, 232]},
+        )
+        root = assert_valid_svg(boxplot_svg(plot))
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) >= 3  # background + two boxes
+        text = boxplot_svg(plot)
+        assert "Moderate" in text and "Active" in text
+
+
+class TestExportFigures:
+    def test_exports_for_session_corpus(self, tmp_path, analysis):
+        paths = export_figures(tmp_path, analysis)
+        assert set(paths) == {"scatter", "boxplot", "schema_size", "heartbeat"}
+        for path in paths.values():
+            assert path.exists()
+            assert_valid_svg(path.read_text())

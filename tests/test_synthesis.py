@@ -1,0 +1,239 @@
+"""Tests for the synthetic corpus generator.
+
+The central contract: for every taxon, plans sampled from its archetype
+and realized as actual DDL repositories must — when re-measured by the
+*real* pipeline — recover the planned numbers exactly and classify back
+into the intended taxon.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import classify, classify_metrics
+from repro.core.heartbeat import DEFAULT_REED_LIMIT
+from repro.core.project import extract_project
+from repro.core.taxa import TAXA_ORDER, Taxon
+from repro.synthesis import (
+    ARCHETYPES,
+    FivePoint,
+    NameForge,
+    archetype_of,
+    plan_project,
+    realize_project,
+)
+from repro.synthesis.plan import split_activity
+
+
+class TestFivePoint:
+    def test_points_accessible(self):
+        fp = FivePoint(1, 2, 3, 4, 10)
+        assert fp.points == (1, 2, 3, 4, 10)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ValueError):
+            FivePoint(1, 5, 3, 4, 10)
+
+    def test_inverse_cdf_knots(self):
+        fp = FivePoint(0, 10, 20, 30, 100)
+        assert fp.inverse_cdf(0.0) == 0
+        assert fp.inverse_cdf(0.25) == 10
+        assert fp.inverse_cdf(0.5) == 20
+        assert fp.inverse_cdf(0.75) == 30
+        assert fp.inverse_cdf(1.0) == 100
+
+    def test_inverse_cdf_interpolates(self):
+        fp = FivePoint(0, 10, 20, 30, 100)
+        assert fp.inverse_cdf(0.125) == 5
+        assert fp.inverse_cdf(0.875) == 65
+
+    def test_inverse_cdf_bounds(self):
+        with pytest.raises(ValueError):
+            FivePoint(0, 1, 2, 3, 4).inverse_cdf(1.5)
+
+    def test_degenerate_distribution(self):
+        fp = FivePoint(7, 7, 7, 7, 7)
+        assert fp.sample(random.Random(0)) == 7
+
+    @given(u=st.floats(0, 1))
+    @settings(max_examples=200)
+    def test_inverse_cdf_monotone(self, u):
+        fp = FivePoint(0, 3, 8, 30, 400)
+        assert fp.inverse_cdf(0) <= fp.inverse_cdf(u) <= fp.inverse_cdf(1)
+
+    def test_sample_int_in_range(self):
+        fp = FivePoint(2, 4, 6, 9, 50)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 2 <= fp.sample_int(rng) <= 50
+
+    def test_sample_medians_converge(self):
+        fp = FivePoint(0, 10, 20, 30, 40)
+        rng = random.Random(7)
+        samples = sorted(fp.sample(rng) for _ in range(4001))
+        assert samples[2000] == pytest.approx(20, abs=1.5)
+
+
+class TestNameForge:
+    def test_table_names_unique(self):
+        forge = NameForge(random.Random(3))
+        names = [forge.table_name() for _ in range(300)]
+        assert len(names) == len(set(names))
+
+    def test_column_name_avoids_taken(self):
+        forge = NameForge(random.Random(3))
+        taken = set()
+        for _ in range(150):
+            name = forge.column_name(taken)
+            assert name not in taken
+            taken.add(name)
+
+    def test_project_names_have_owner(self):
+        forge = NameForge(random.Random(3))
+        assert "/" in forge.project_name(set())
+
+    def test_determinism(self):
+        a = NameForge(random.Random(9))
+        b = NameForge(random.Random(9))
+        assert [a.table_name() for _ in range(20)] == [b.table_name() for _ in range(20)]
+
+
+class TestSplitActivity:
+    @pytest.mark.parametrize("taxon", [t for t in TAXA_ORDER if t is not Taxon.FROZEN])
+    def test_parts_sum_to_total(self, taxon, rng):
+        for _ in range(40):
+            archetype = ARCHETYPES[taxon]
+            u = rng.random()
+            active = archetype.active_commits.at_int(u)
+            activity = max(
+                archetype.total_activity.at_int(u),
+                active,
+                31 if taxon is Taxon.FOCUSED_SHOT_AND_LOW else 0,
+                140 if taxon is Taxon.ACTIVE else 0,
+                11 if taxon is Taxon.FOCUSED_SHOT_AND_FROZEN else 0,
+            )
+            if taxon is Taxon.ALMOST_FROZEN:
+                activity = min(activity, 10)
+            parts = split_activity(rng, taxon, active, activity)
+            assert len(parts) == active
+            assert sum(parts) == activity
+            assert all(part >= 1 for part in parts)
+
+    def test_frozen_is_empty(self, rng):
+        assert split_activity(rng, Taxon.FROZEN, 0, 0) == []
+
+    def test_frozen_with_activity_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_activity(rng, Taxon.FROZEN, 2, 5)
+
+    def test_fs_low_has_one_or_two_reeds(self, rng):
+        for _ in range(40):
+            parts = split_activity(rng, Taxon.FOCUSED_SHOT_AND_LOW, 6, 100)
+            reeds = sum(1 for p in parts if p > DEFAULT_REED_LIMIT)
+            assert reeds in (1, 2)
+
+    def test_active_low_heartbeat_gets_three_reeds(self, rng):
+        for _ in range(40):
+            parts = split_activity(rng, Taxon.ACTIVE, 8, 200)
+            reeds = sum(1 for p in parts if p > DEFAULT_REED_LIMIT)
+            assert reeds >= 3  # otherwise it would classify FS&Low
+
+
+class TestPlanProject:
+    @pytest.mark.parametrize("taxon", list(TAXA_ORDER))
+    def test_planned_numbers_classify_into_taxon(self, taxon, rng):
+        archetype = archetype_of(taxon)
+        for _ in range(30):
+            plan = plan_project(rng, archetype, "t/p")
+            assigned = classify_metrics(
+                n_commits=plan.n_commits,
+                active_commits=plan.active_commits,
+                total_activity=plan.total_activity,
+                reeds=plan.planned_reeds,
+            )
+            assert assigned is taxon, (plan.active_commits, plan.total_activity, plan.planned_reeds)
+
+    def test_timestamps_strictly_increasing(self, rng):
+        plan = plan_project(rng, archetype_of(Taxon.ACTIVE), "t/p")
+        times = [plan.v0_timestamp] + [c.timestamp for c in plan.commits]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_pup_at_least_sup(self, rng):
+        for taxon in TAXA_ORDER:
+            plan = plan_project(rng, archetype_of(taxon), "t/p")
+            assert plan.pup_months >= plan.sup_months
+
+    def test_frozen_plan_has_transitions_but_no_activity(self, rng):
+        plan = plan_project(rng, archetype_of(Taxon.FROZEN), "t/p")
+        assert plan.n_commits >= 2
+        assert plan.total_activity == 0
+        assert all(not c.is_active for c in plan.commits)
+
+    def test_project_commits_exceed_ddl_commits(self, rng):
+        plan = plan_project(rng, archetype_of(Taxon.MODERATE), "t/p")
+        assert plan.total_project_commits > plan.n_commits
+
+
+class TestRealizeProject:
+    @pytest.mark.parametrize("taxon", list(TAXA_ORDER))
+    def test_exact_plan_recovery(self, taxon, rng):
+        """Realize a plan, re-measure with the real pipeline, and demand
+        exact agreement — the keystone test of the whole synthesis."""
+        archetype = archetype_of(taxon)
+        for _ in range(6):
+            plan = plan_project(rng, archetype, f"t/{taxon.short}")
+            repo, ddl_path = realize_project(plan, rng)
+            project = extract_project(repo, ddl_path)
+            metrics = project.metrics
+            assert metrics.n_commits == plan.n_commits
+            assert metrics.active_commits == plan.active_commits
+            assert metrics.total_activity == plan.total_activity
+            assert metrics.reeds == plan.planned_reeds
+            assert metrics.tables_at_start == plan.tables_at_start
+            assert classify(metrics) is taxon
+
+    def test_sup_approximately_recovered(self, rng):
+        archetype = archetype_of(Taxon.MODERATE)
+        for _ in range(10):
+            plan = plan_project(rng, archetype, "t/m")
+            repo, ddl_path = realize_project(plan, rng)
+            project = extract_project(repo, ddl_path)
+            if plan.n_commits > 1:
+                assert abs(project.metrics.sup_months - plan.sup_months) <= 1
+
+    def test_total_commit_count_close_to_plan(self, rng):
+        plan = plan_project(rng, archetype_of(Taxon.MODERATE), "t/m")
+        repo, _ = realize_project(plan, rng)
+        # Merges may shift the count by the trailing skip slot.
+        assert abs(repo.commit_count() - plan.total_project_commits) <= 2
+
+    def test_realization_deterministic(self):
+        plan_rng = random.Random(99)
+        plan = plan_project(plan_rng, archetype_of(Taxon.MODERATE), "t/m")
+        repo_a, _ = realize_project(plan, random.Random(5))
+        repo_b, _ = realize_project(plan, random.Random(5))
+        assert repo_a.head() == repo_b.head()
+
+    def test_flat_line_projects_keep_table_count(self, rng):
+        archetype = archetype_of(Taxon.ALMOST_FROZEN)
+        seen_flat = False
+        for _ in range(30):
+            plan = plan_project(rng, archetype, "t/af")
+            if not plan.flat_line:
+                continue
+            seen_flat = True
+            repo, ddl_path = realize_project(plan, rng)
+            project = extract_project(repo, ddl_path)
+            assert project.metrics.tables_at_start == project.metrics.tables_at_end
+        assert seen_flat
+
+    def test_non_active_commits_change_bytes_not_schema(self, rng):
+        plan = plan_project(rng, archetype_of(Taxon.FROZEN), "t/f")
+        repo, ddl_path = realize_project(plan, rng)
+        from repro.vcs import extract_file_history
+
+        versions = extract_file_history(repo, ddl_path)
+        contents = [v.content for v in versions]
+        assert len(set(contents)) == len(contents)  # every commit changed bytes

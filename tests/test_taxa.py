@@ -1,0 +1,211 @@
+"""Tests for the taxa classification tree (Fig 3 / Table I)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.taxa import (
+    DEFAULT_RULES,
+    NONFROZEN_TAXA,
+    TAXA_ORDER,
+    Taxon,
+    TaxonRules,
+    classify_metrics,
+)
+
+
+def classify(n_commits=10, active=0, activity=0, reeds=0, rules=DEFAULT_RULES):
+    return classify_metrics(
+        n_commits=n_commits,
+        active_commits=active,
+        total_activity=activity,
+        reeds=reeds,
+        rules=rules,
+    )
+
+
+class TestTreeBranches:
+    def test_history_less(self):
+        assert classify(n_commits=1) is Taxon.HISTORY_LESS
+        assert classify(n_commits=0) is Taxon.HISTORY_LESS
+
+    def test_frozen(self):
+        assert classify(n_commits=5, active=0, activity=0) is Taxon.FROZEN
+
+    def test_almost_frozen(self):
+        assert classify(active=1, activity=3) is Taxon.ALMOST_FROZEN
+        assert classify(active=3, activity=10) is Taxon.ALMOST_FROZEN
+
+    def test_almost_frozen_boundary_activity(self):
+        assert classify(active=3, activity=10) is Taxon.ALMOST_FROZEN
+        assert classify(active=3, activity=11) is Taxon.FOCUSED_SHOT_AND_FROZEN
+
+    def test_focused_shot_and_frozen(self):
+        assert classify(active=1, activity=100, reeds=1) is Taxon.FOCUSED_SHOT_AND_FROZEN
+        assert classify(active=2, activity=383, reeds=1) is Taxon.FOCUSED_SHOT_AND_FROZEN
+
+    def test_fsf_without_reed(self):
+        # 11-14 attributes in one commit exceed the AF limit but not the
+        # reed limit: still FS&F (paper's FS&F min reeds is 0).
+        assert classify(active=1, activity=12, reeds=0) is Taxon.FOCUSED_SHOT_AND_FROZEN
+
+    def test_active_commit_boundary(self):
+        assert classify(active=3, activity=50) is Taxon.FOCUSED_SHOT_AND_FROZEN
+        assert classify(active=4, activity=50, reeds=1) is Taxon.FOCUSED_SHOT_AND_LOW
+
+    def test_focused_shot_and_low(self):
+        assert classify(active=5, activity=71, reeds=1) is Taxon.FOCUSED_SHOT_AND_LOW
+        assert classify(active=10, activity=315, reeds=2) is Taxon.FOCUSED_SHOT_AND_LOW
+
+    def test_fs_low_needs_a_reed(self):
+        assert classify(active=5, activity=50, reeds=0) is Taxon.MODERATE
+
+    def test_fs_low_reed_cap(self):
+        assert classify(active=5, activity=80, reeds=3) is Taxon.MODERATE
+        assert classify(active=5, activity=120, reeds=3) is Taxon.ACTIVE
+
+    def test_moderate(self):
+        assert classify(active=7, activity=23) is Taxon.MODERATE
+        assert classify(active=22, activity=88, reeds=2) is Taxon.MODERATE
+
+    def test_active(self):
+        assert classify(active=22, activity=254, reeds=5) is Taxon.ACTIVE
+        assert classify(active=232, activity=3485, reeds=31) is Taxon.ACTIVE
+
+    def test_moderate_active_boundary(self):
+        assert classify(active=15, activity=90) is Taxon.MODERATE
+        assert classify(active=15, activity=91) is Taxon.ACTIVE
+
+    def test_high_heartbeat_low_activity_is_moderate(self):
+        assert classify(active=20, activity=25) is Taxon.MODERATE
+
+    def test_fs_low_with_many_commits_goes_moderate_or_active(self):
+        assert classify(active=11, activity=80, reeds=2) is Taxon.MODERATE
+        assert classify(active=11, activity=200, reeds=2) is Taxon.ACTIVE
+
+
+class TestCustomRules:
+    def test_wider_small_activity(self):
+        rules = TaxonRules(small_activity=20)
+        assert classify(active=2, activity=15, rules=rules) is Taxon.ALMOST_FROZEN
+
+    def test_more_few_active_commits(self):
+        rules = TaxonRules(few_active_commits=5)
+        assert classify(active=5, activity=8, rules=rules) is Taxon.ALMOST_FROZEN
+
+    def test_moderate_limit(self):
+        rules = TaxonRules(moderate_activity_limit=50)
+        assert classify(active=12, activity=60, rules=rules) is Taxon.ACTIVE
+
+
+class TestTaxonEnum:
+    def test_order_covers_studied_taxa(self):
+        assert len(TAXA_ORDER) == 6
+        assert Taxon.HISTORY_LESS not in TAXA_ORDER
+
+    def test_nonfrozen_excludes_frozen(self):
+        assert Taxon.FROZEN not in NONFROZEN_TAXA
+        assert len(NONFROZEN_TAXA) == 5
+
+    def test_short_names_unique(self):
+        shorts = [t.short for t in Taxon]
+        assert len(shorts) == len(set(shorts))
+
+    def test_is_studied(self):
+        assert not Taxon.HISTORY_LESS.is_studied
+        assert all(t.is_studied for t in TAXA_ORDER)
+
+
+class TestWellFormedness:
+    """The paper's completeness & disjointness claims (Sec V), verified
+    over the whole integer lattice of plausible measurements."""
+
+    @given(
+        n_commits=st.integers(1, 600),
+        active=st.integers(0, 300),
+        activity=st.integers(0, 4000),
+        reeds=st.integers(0, 40),
+    )
+    @settings(max_examples=500)
+    def test_every_project_gets_exactly_one_taxon(self, n_commits, active, activity, reeds):
+        # Consistency constraints implied by the definitions: active
+        # commits cannot exceed transitions, reeds cannot exceed active
+        # commits, activity >= active (each active commit moves >= 1),
+        # reeds imply activity > limit each.
+        active = min(active, n_commits - 1)
+        reeds = min(reeds, active)
+        activity = max(activity, active + reeds * DEFAULT_RULES.small_activity)
+        if active == 0:
+            activity = 0
+        taxon = classify(n_commits=n_commits, active=active, activity=activity, reeds=reeds)
+        assert isinstance(taxon, Taxon)  # completeness: never falls through
+
+    @given(
+        active=st.integers(1, 300),
+        activity=st.integers(1, 4000),
+        reeds=st.integers(0, 40),
+    )
+    @settings(max_examples=500)
+    def test_frozen_requires_zero_activity(self, active, activity, reeds):
+        taxon = classify(active=active, activity=max(activity, active), reeds=min(reeds, active))
+        assert taxon is not Taxon.FROZEN
+        assert taxon is not Taxon.HISTORY_LESS
+
+    def test_published_medians_classify_into_their_taxon(self):
+        # The median project of each taxon (Fig 4) must classify back
+        # into that taxon — a direct consistency check of tree vs data.
+        medians = {
+            Taxon.FROZEN: dict(active=0, activity=0, reeds=0),
+            Taxon.ALMOST_FROZEN: dict(active=1, activity=3, reeds=0),
+            Taxon.FOCUSED_SHOT_AND_FROZEN: dict(active=2, activity=23, reeds=1),
+            Taxon.MODERATE: dict(active=7, activity=23, reeds=0),
+            Taxon.FOCUSED_SHOT_AND_LOW: dict(active=6, activity=71, reeds=1),
+            Taxon.ACTIVE: dict(active=22, activity=254, reeds=5),
+        }
+        for taxon, args in medians.items():
+            assert classify(n_commits=50, **args) is taxon, taxon
+
+
+class TestMonotonicity:
+    """Order properties of the tree: growing a project along one axis
+    moves it monotonically through a fixed taxon ladder."""
+
+    _ACTIVITY_LADDER = [
+        Taxon.FROZEN,
+        Taxon.ALMOST_FROZEN,
+        Taxon.FOCUSED_SHOT_AND_FROZEN,
+        Taxon.MODERATE,
+        Taxon.FOCUSED_SHOT_AND_LOW,
+        Taxon.ACTIVE,
+    ]
+
+    @given(
+        active=st.integers(1, 40),
+        reeds=st.integers(0, 10),
+        start=st.integers(1, 200),
+        growth=st.integers(0, 4000),
+    )
+    @settings(max_examples=300)
+    def test_activity_growth_never_moves_backward(self, active, reeds, start, growth):
+        reeds = min(reeds, active)
+        floor = active + reeds * DEFAULT_RULES.small_activity
+        before = classify(
+            active=active, activity=max(start, floor), reeds=reeds, n_commits=500
+        )
+        after = classify(
+            active=active,
+            activity=max(start, floor) + growth,
+            reeds=reeds,
+            n_commits=500,
+        )
+        ladder = self._ACTIVITY_LADDER
+        assert ladder.index(after) >= ladder.index(before)
+
+    @given(
+        activity=st.integers(1, 4000),
+        active=st.integers(1, 300),
+    )
+    @settings(max_examples=300)
+    def test_zero_reeds_never_yields_fs_low(self, activity, active):
+        taxon = classify(active=active, activity=max(activity, active), reeds=0)
+        assert taxon is not Taxon.FOCUSED_SHOT_AND_LOW

@@ -1,0 +1,97 @@
+"""Tests for SQL data-type normalization."""
+
+import pytest
+
+from repro.sqlddl.types import DataType, normalize_type
+
+
+class TestSynonyms:
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("INTEGER", "INT"),
+            ("integer", "INT"),
+            ("INT4", "INT"),
+            ("INT8", "BIGINT"),
+            ("INT2", "SMALLINT"),
+            ("DEC", "DECIMAL"),
+            ("NUMERIC", "DECIMAL"),
+            ("CHARACTER", "CHAR"),
+            ("BOOL", "BOOLEAN"),
+            ("REAL", "DOUBLE"),
+            ("FLOAT8", "DOUBLE"),
+            ("SERIAL", "BIGINT"),
+            ("NVARCHAR", "VARCHAR"),
+        ],
+    )
+    def test_alias_resolution(self, alias, canonical):
+        assert normalize_type(alias).base == canonical
+
+    def test_unknown_type_passes_through_uppercased(self):
+        assert normalize_type("geometry").base == "GEOMETRY"
+
+
+class TestDisplayWidths:
+    def test_int_display_width_dropped(self):
+        assert normalize_type("INT", ("11",)) == normalize_type("INT")
+
+    def test_bigint_display_width_dropped(self):
+        assert normalize_type("BIGINT", ("20",)) == normalize_type("bigint")
+
+    def test_int11_equals_integer(self):
+        assert normalize_type("int", ("11",)) == normalize_type("INTEGER")
+
+    def test_tinyint1_is_boolean(self):
+        assert normalize_type("TINYINT", ("1",)) == DataType("BOOLEAN")
+
+    def test_tinyint4_is_not_boolean(self):
+        assert normalize_type("TINYINT", ("4",)).base == "TINYINT"
+
+    def test_unsigned_survives_width_drop(self):
+        normalized = normalize_type("INT", ("10",), unsigned=True)
+        assert normalized.unsigned
+
+
+class TestSignificantArgs:
+    def test_varchar_length_significant(self):
+        assert normalize_type("VARCHAR", ("255",)) != normalize_type("VARCHAR", ("64",))
+
+    def test_decimal_precision_significant(self):
+        assert normalize_type("DECIMAL", ("10", "2")) != normalize_type("DECIMAL", ("8", "2"))
+
+    def test_args_are_stripped(self):
+        assert normalize_type("VARCHAR", (" 255 ",)).args == ("255",)
+
+    def test_enum_values_kept(self):
+        normalized = normalize_type("ENUM", ("'a'", "'b'"))
+        assert normalized.args == ("'a'", "'b'")
+
+
+class TestRender:
+    def test_bare(self):
+        assert DataType("INT").render() == "INT"
+
+    def test_with_args(self):
+        assert DataType("VARCHAR", ("255",)).render() == "VARCHAR(255)"
+
+    def test_with_unsigned(self):
+        assert DataType("INT", (), True).render() == "INT UNSIGNED"
+
+    def test_str_matches_render(self):
+        data_type = DataType("DECIMAL", ("10", "2"))
+        assert str(data_type) == data_type.render()
+
+    def test_render_roundtrips_through_normalize(self):
+        for data_type in (
+            DataType("INT"),
+            DataType("VARCHAR", ("64",)),
+            DataType("DECIMAL", ("10", "2")),
+            DataType("BOOLEAN"),
+            DataType("BIGINT", (), True),
+        ):
+            rendered = data_type.render()
+            base = rendered.split("(")[0].split(" ")[0]
+            args = ()
+            if "(" in rendered:
+                args = tuple(rendered[rendered.index("(") + 1 : rendered.index(")")].split(","))
+            assert normalize_type(base, args, "UNSIGNED" in rendered) == data_type

@@ -1,0 +1,236 @@
+"""Tests for the VCS substrate: objects, repository, history extraction."""
+
+import pytest
+
+from repro.vcs import (
+    Blob,
+    LinearizationPolicy,
+    Repository,
+    VcsError,
+    extract_file_history,
+    first_parent_walk,
+    hash_content,
+    topological_order,
+)
+
+
+def linear_repo():
+    repo = Repository("acme/app")
+    repo.commit({"schema.sql": b"v0"}, "ann", 100, "init")
+    repo.commit({"schema.sql": b"v1", "readme": b"hi"}, "bob", 200, "grow")
+    repo.commit({"readme": b"hi2"}, "ann", 300, "docs")
+    repo.commit({"schema.sql": b"v2"}, "cee", 400, "more")
+    return repo
+
+
+class TestObjects:
+    def test_blob_oid_is_content_addressed(self):
+        assert Blob(b"same").oid == Blob(b"same").oid
+        assert Blob(b"a").oid != Blob(b"b").oid
+
+    def test_hash_content_includes_kind(self):
+        assert hash_content("blob", b"x") != hash_content("commit", b"x")
+
+    def test_blob_text_decoding(self):
+        assert Blob("héllo".encode()).text == "héllo"
+
+    def test_blob_text_survives_bad_bytes(self):
+        assert "�" in Blob(b"\xff\xfe").text
+
+
+class TestRepository:
+    def test_empty_repo(self):
+        repo = Repository("x/y")
+        assert repo.head() is None
+        assert repo.commit_count() == 0
+        assert repo.ancestry() == []
+
+    def test_commit_advances_head(self):
+        repo = Repository("x/y")
+        first = repo.commit({"f": b"1"}, "a", 1, "m")
+        assert repo.head() == first
+        second = repo.commit({"f": b"2"}, "a", 2, "m")
+        assert repo.head() == second
+
+    def test_parents_chain(self):
+        repo = linear_repo()
+        commits = topological_order(repo)
+        assert commits[0].parents == ()
+        for earlier, later in zip(commits, commits[1:]):
+            assert later.parents == (earlier.oid,)
+
+    def test_read_file_at_commit(self):
+        repo = linear_repo()
+        commits = topological_order(repo)
+        assert repo.read_file(commits[0].oid, "schema.sql").content == b"v0"
+        assert repo.read_file(commits[-1].oid, "schema.sql").content == b"v2"
+
+    def test_read_missing_file(self):
+        repo = linear_repo()
+        assert repo.read_file(repo.head(), "nope.txt") is None
+
+    def test_deletion_removes_from_tree(self):
+        repo = linear_repo()
+        repo.commit({"schema.sql": None}, "ann", 500, "drop schema")
+        assert repo.read_file(repo.head(), "schema.sql") is None
+        assert repo.read_file(repo.head(), "readme") is not None
+
+    def test_tree_at(self):
+        repo = linear_repo()
+        tree = repo.tree_at(repo.head())
+        assert set(tree) == {"schema.sql", "readme"}
+
+    def test_unknown_commit_raises(self):
+        with pytest.raises(VcsError):
+            linear_repo().get_commit("beef" * 10)
+
+    def test_paths_ever_touched(self):
+        repo = linear_repo()
+        repo.commit({"old.txt": None}, "ann", 999, "remove never-added file")
+        assert "old.txt" in repo.paths_ever_touched()
+
+    def test_duplicate_content_commits_get_distinct_oids(self):
+        repo = Repository("x/y")
+        # Two identical root-less snapshots on different branches could
+        # collide; the repo must still produce unique ids.
+        a = repo.commit({"f": b"1"}, "a", 1, "m")
+        repo.branch("side", at=a)
+        b = repo.commit({"f": b"2"}, "a", 2, "m")
+        c = repo.commit({"f": b"2"}, "a", 2, "m", branch="side")
+        assert b != c
+
+    def test_long_history_tree_reconstruction(self):
+        # Regression guard: tree_at must not recurse (deep chains).
+        repo = Repository("x/y")
+        for index in range(3000):
+            repo.commit({"f": str(index).encode()}, "a", index, "m")
+        assert repo.read_file(repo.head(), "f").content == b"2999"
+
+
+class TestBranchesAndMerges:
+    def make_merged(self):
+        repo = Repository("x/y")
+        base = repo.commit({"f": b"base", "schema.sql": b"s0"}, "a", 10, "base")
+        repo.branch("feature")
+        repo.commit({"f": b"feature"}, "b", 20, "feature work", branch="feature")
+        repo.commit({"f": b"main"}, "a", 30, "main work")
+        merge_oid = repo.merge("feature", files={"f": b"merged"}, timestamp=40)
+        return repo, base, merge_oid
+
+    def test_merge_commit_has_two_parents(self):
+        repo, _, merge_oid = self.make_merged()
+        assert repo.get_commit(merge_oid).is_merge
+
+    def test_merge_resolution_wins(self):
+        repo, _, merge_oid = self.make_merged()
+        assert repo.read_file(merge_oid, "f").content == b"merged"
+
+    def test_branch_from_specific_commit(self):
+        repo, base, _ = self.make_merged()
+        repo.branch("hotfix", at=base)
+        assert repo.head("hotfix") == base
+
+    def test_duplicate_branch_rejected(self):
+        repo, *_ = self.make_merged()
+        with pytest.raises(VcsError):
+            repo.branch("feature")
+
+    def test_merge_unknown_branch_rejected(self):
+        repo = Repository("x/y")
+        repo.commit({"f": b"1"}, "a", 1, "m")
+        with pytest.raises(VcsError):
+            repo.merge("ghost")
+
+    def test_branch_on_empty_repo_rejected(self):
+        with pytest.raises(VcsError):
+            Repository("x/y").branch("b")
+
+
+class TestTopologicalOrder:
+    def test_linear_order_is_time_order(self):
+        repo = linear_repo()
+        order = topological_order(repo)
+        assert [c.timestamp for c in order] == [100, 200, 300, 400]
+
+    def test_parents_always_precede_children(self):
+        repo, *_ = TestBranchesAndMerges().make_merged(), None
+        repo = repo[0]
+        order = topological_order(repo)
+        positions = {c.oid: i for i, c in enumerate(order)}
+        for commit in order:
+            for parent in commit.parents:
+                assert positions[parent] < positions[commit.oid]
+
+    def test_empty_repo(self):
+        assert topological_order(Repository("x/y")) == []
+
+    def test_order_is_deterministic(self):
+        repo = TestBranchesAndMerges().make_merged()[0]
+        assert [c.oid for c in topological_order(repo)] == [
+            c.oid for c in topological_order(repo)
+        ]
+
+
+class TestFirstParentWalk:
+    def test_skips_side_branch(self):
+        repo = TestBranchesAndMerges().make_merged()[0]
+        walk = first_parent_walk(repo)
+        messages = [c.message for c in walk]
+        assert "feature work" not in messages
+        assert messages[0] == "base"
+        assert walk[-1].is_merge
+
+    def test_linear_equals_topological(self):
+        repo = linear_repo()
+        assert [c.oid for c in first_parent_walk(repo)] == [
+            c.oid for c in topological_order(repo)
+        ]
+
+
+class TestExtractFileHistory:
+    def test_versions_in_order(self):
+        repo = linear_repo()
+        history = extract_file_history(repo, "schema.sql")
+        assert [v.content for v in history] == [b"v0", b"v1", b"v2"]
+
+    def test_untouched_commits_not_included(self):
+        repo = linear_repo()
+        history = extract_file_history(repo, "schema.sql")
+        assert len(history) == 3  # the docs commit is absent
+
+    def test_deletions_excluded_by_default(self):
+        repo = linear_repo()
+        repo.commit({"schema.sql": None}, "ann", 500, "drop")
+        history = extract_file_history(repo, "schema.sql")
+        assert all(not v.is_deletion for v in history)
+
+    def test_deletions_included_on_request(self):
+        repo = linear_repo()
+        repo.commit({"schema.sql": None}, "ann", 500, "drop")
+        history = extract_file_history(repo, "schema.sql", include_deletions=True)
+        assert history[-1].is_deletion
+        assert history[-1].text == ""
+
+    def test_missing_path_gives_empty_history(self):
+        assert extract_file_history(linear_repo(), "nope.sql") == []
+
+    def test_side_branch_edit_visible_in_full_policy(self):
+        repo = Repository("x/y")
+        repo.commit({"schema.sql": b"s0"}, "a", 10, "init")
+        repo.branch("side")
+        repo.commit({"schema.sql": b"s-side"}, "b", 20, "side edit", branch="side")
+        repo.commit({"other": b"x"}, "a", 30, "main")
+        repo.merge("side", timestamp=40)
+        full = extract_file_history(repo, "schema.sql", policy=LinearizationPolicy.FULL)
+        first_parent = extract_file_history(
+            repo, "schema.sql", policy=LinearizationPolicy.FIRST_PARENT
+        )
+        assert [v.content for v in full] == [b"s0", b"s-side"]
+        assert [v.content for v in first_parent] == [b"s0"]
+
+    def test_metadata_carried(self):
+        repo = linear_repo()
+        version = extract_file_history(repo, "schema.sql")[1]
+        assert version.author == "bob"
+        assert version.timestamp == 200
+        assert version.message == "grow"

@@ -1,0 +1,128 @@
+"""Stateful property testing of the VCS substrate.
+
+A hypothesis rule-based state machine drives a Repository through
+random commits, branches and merges while maintaining a reference model
+(a plain dict of branch -> {path: content}); invariants are checked
+after every step:
+
+- reading any path at a branch head matches the model;
+- topological order always places parents before children;
+- per-file history (FULL policy) contains every content the file ever
+  had on any branch, in a parents-before-children order.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.vcs import Repository, extract_file_history, topological_order
+
+_PATHS = ("schema.sql", "src/app.py", "README.md")
+
+
+class RepositoryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.repo = Repository("stateful/repo")
+        self.clock = 1_000_000
+        self.counter = 0
+        self.model: dict[str, dict[str, bytes]] = {"master": {}}
+        self.file_writes: dict[str, list[bytes]] = {path: [] for path in _PATHS}
+
+    branches = Bundle("branches")
+
+    @rule(target=branches)
+    def master(self):
+        return "master"
+
+    @rule(
+        branch=branches,
+        path=st.sampled_from(_PATHS),
+        delete=st.booleans(),
+    )
+    def commit(self, branch, path, delete):
+        if branch not in self.model:
+            return
+        self.clock += 60
+        self.counter += 1
+        if delete and path in self.model[branch]:
+            content = None
+            del self.model[branch][path]
+        else:
+            content = f"rev {self.counter}".encode()
+            self.model[branch][path] = content
+            self.file_writes[path].append(content)
+        self.repo.commit(
+            {path: content},
+            author="machine",
+            timestamp=self.clock,
+            message=f"step {self.counter}",
+            branch=branch,
+        )
+
+    @rule(target=branches, source=branches)
+    def branch_off(self, source):
+        if source not in self.model or self.repo.head(source) is None:
+            return source
+        name = f"b{len(self.model)}"
+        if name in self.repo.branches:
+            return source
+        self.repo.branch(name, at=self.repo.head(source))
+        self.model[name] = dict(self.model[source])
+        return name
+
+    @rule(source=branches, target_branch=branches)
+    def merge(self, source, target_branch):
+        if source == target_branch:
+            return
+        if self.repo.head(source) is None or self.repo.head(target_branch) is None:
+            return
+        self.clock += 60
+        # Resolution: target wins entirely (the merge commit changes no
+        # files), matching our model where the target dict is unchanged.
+        self.repo.merge(
+            source, target_branch, timestamp=self.clock, author="machine"
+        )
+
+    @invariant()
+    def heads_match_model(self):
+        for branch, files in self.model.items():
+            head = self.repo.head(branch)
+            if head is None:
+                assert not files
+                continue
+            for path in _PATHS:
+                blob = self.repo.read_file(head, path)
+                if path in files:
+                    assert blob is not None
+                    assert blob.content == files[path]
+                else:
+                    assert blob is None
+
+    @invariant()
+    def topological_order_is_consistent(self):
+        order = topological_order(self.repo)
+        positions = {c.oid: i for i, c in enumerate(order)}
+        for commit in order:
+            for parent in commit.parents:
+                if parent in positions:
+                    assert positions[parent] < positions[commit.oid]
+
+    @invariant()
+    def file_history_covers_all_writes(self):
+        head = self.repo.head("master")
+        if head is None:
+            return
+        # Every content ever written to schema.sql on any branch that is
+        # an ancestor of master must appear in the extracted history.
+        history = extract_file_history(self.repo, "schema.sql")
+        contents = {v.content for v in history}
+        reachable = {c.oid for c in self.repo.ancestry(head)}
+        for commit in self.repo.all_commits():
+            if commit.oid not in reachable:
+                continue
+            for change in commit.changes:
+                if change.path == "schema.sql" and change.blob_oid is not None:
+                    assert self.repo.get_blob(change.blob_oid).content in contents
+
+
+TestRepositoryMachine = RepositoryMachine.TestCase

@@ -1,0 +1,210 @@
+"""Tests for chart series extraction and ASCII rendering."""
+
+import pytest
+
+from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core.metrics import compute_metrics
+from repro.core.project import ProjectHistory, RepoStats
+from repro.core.taxa import Taxon
+from repro.schema import build_schema
+from repro.stats import double_box_plot
+from repro.viz import (
+    ScatterPoint,
+    bar_chart,
+    box_plot_sketch,
+    heartbeat_chart,
+    heartbeat_series,
+    line_chart,
+    monthly_heartbeat,
+    scatter_chart,
+    scatter_points,
+    schema_size_series,
+)
+
+DAY = 86_400
+
+
+def metrics_of(*specs):
+    versions = tuple(
+        SchemaVersion(index=i, commit_oid=f"c{i}", timestamp=int(d * DAY), schema=build_schema(sql))
+        for i, (d, sql) in enumerate(specs)
+    )
+    return compute_metrics(SchemaHistory("viz/project", "s.sql", versions))
+
+
+GROWING = metrics_of(
+    (0, "CREATE TABLE a (x INT);"),
+    (30, "CREATE TABLE a (x INT, y INT);"),
+    (90, "CREATE TABLE a (x INT, y INT); CREATE TABLE b (p INT);"),
+    (120, "CREATE TABLE a (x INT, y INT);"),
+)
+
+
+class TestSchemaSizeSeries:
+    def test_lengths(self):
+        series = schema_size_series(GROWING)
+        assert len(series.timestamps) == 4
+        assert series.tables == (1, 1, 2, 1)
+        assert series.attributes == (1, 2, 3, 2)
+
+    def test_flat_detection(self):
+        flat = metrics_of(
+            (0, "CREATE TABLE a (x INT);"),
+            (10, "CREATE TABLE a (x INT, y INT);"),
+        )
+        assert schema_size_series(flat).is_flat
+        assert not schema_size_series(GROWING).is_flat
+
+    def test_monotone_rise(self):
+        rising = metrics_of(
+            (0, "CREATE TABLE a (x INT);"),
+            (10, "CREATE TABLE a (x INT); CREATE TABLE b (y INT);"),
+        )
+        assert schema_size_series(rising).is_monotone_rise
+        assert not schema_size_series(GROWING).is_monotone_rise
+
+    def test_step_count(self):
+        assert schema_size_series(GROWING).step_count() == 1
+
+    def test_empty_history(self):
+        empty = metrics_of((0, "CREATE TABLE a (x INT);"))
+        series = schema_size_series(empty)
+        assert series.timestamps == ()
+
+
+class TestHeartbeatSeries:
+    def test_bars(self):
+        series = heartbeat_series(GROWING)
+        assert series.transition_ids == (1, 2, 3)
+        assert series.expansion == (1, 1, 0)
+        assert series.maintenance == (0, 0, 1)
+
+    def test_peak(self):
+        assert heartbeat_series(GROWING).peak_activity == 1
+
+    def test_monthly_aggregation(self):
+        series = monthly_heartbeat(GROWING)
+        assert series.transition_ids == (1, 3, 4)
+        assert sum(series.expansion) == GROWING.total_expansion
+        assert sum(series.maintenance) == GROWING.total_maintenance
+
+
+class TestScatterPoints:
+    def make_projects(self):
+        projects, assignments = [], {}
+        for name, taxon in [
+            ("p1", Taxon.ACTIVE),
+            ("p2", Taxon.FROZEN),
+            ("p3", Taxon.MODERATE),
+        ]:
+            project = ProjectHistory(
+                name=name,
+                ddl_path="s.sql",
+                history=SchemaHistory(name, "s.sql", ()),
+                metrics=GROWING,
+                repo_stats=RepoStats(10, 0, 1000),
+            )
+            projects.append(project)
+            assignments[name] = taxon
+        return projects, assignments
+
+    def test_frozen_excluded(self):
+        projects, assignments = self.make_projects()
+        points = scatter_points(projects, assignments)
+        assert {p.project for p in points} == {"p1", "p3"}
+
+    def test_point_values(self):
+        projects, assignments = self.make_projects()
+        point = scatter_points(projects, assignments)[0]
+        assert point.activity == GROWING.total_activity
+        assert point.active_commits == GROWING.active_commits
+
+
+class TestAsciiCharts:
+    def test_line_chart_contains_project_name(self):
+        text = line_chart(schema_size_series(GROWING))
+        assert "viz/project" in text
+        assert "*" in text
+
+    def test_line_chart_empty(self):
+        empty = metrics_of((0, "CREATE TABLE a (x INT);"))
+        assert "empty" in line_chart(schema_size_series(empty))
+
+    def test_line_chart_attribute_axis(self):
+        text = line_chart(schema_size_series(GROWING), attribute_axis=True)
+        assert "#attributes" in text
+
+    def test_heartbeat_chart_axes(self):
+        text = heartbeat_chart(heartbeat_series(GROWING))
+        assert "=" in text  # the axis
+        assert "#" in text  # at least one bar
+
+    def test_heartbeat_chart_empty(self):
+        empty = metrics_of((0, "CREATE TABLE a (x INT);"))
+        assert "no transitions" in heartbeat_chart(heartbeat_series(empty))
+
+    def test_heartbeat_chart_buckets_long_series(self):
+        entries = heartbeat_series(GROWING)
+        wide = heartbeat_chart(entries, max_width=2)
+        assert len(wide.splitlines()[2]) <= 3  # '|' + 2 columns
+
+    def test_bar_chart(self):
+        text = bar_chart(["a", "bb"], [1, 2])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], []) == "(empty)"
+
+    def test_scatter_chart_legend(self):
+        points = [
+            ScatterPoint("p1", Taxon.ACTIVE, 200, 30),
+            ScatterPoint("p2", Taxon.MODERATE, 20, 5),
+        ]
+        text = scatter_chart(points)
+        assert "Active" in text
+        assert "Moderate" in text
+
+    def test_scatter_chart_empty(self):
+        assert scatter_chart([]) == "(no points)"
+
+    def test_box_plot_sketch(self):
+        plot = double_box_plot(
+            activity={Taxon.MODERATE: [11, 15, 23, 37, 88]},
+            active_commits={Taxon.MODERATE: [4, 5, 7, 10, 22]},
+        )
+        text = box_plot_sketch(plot)
+        assert "Moderate" in text
+        assert "|7|" in text  # the median marker
+
+
+class TestClassificationTree:
+    def test_default_tree_mentions_all_taxa(self):
+        from repro.viz import classification_tree_text
+
+        text = classification_tree_text()
+        for label in (
+            "History-less", "Frozen", "Almost Frozen",
+            "Focused Shot & Frozen", "Focused Shot & Low", "Moderate", "Active",
+        ):
+            assert label in text
+
+    def test_tree_reflects_custom_rules(self):
+        from repro.core.taxa import TaxonRules
+        from repro.viz import classification_tree_text
+
+        text = classification_tree_text(TaxonRules(moderate_activity_limit=50))
+        assert "<= 50 attributes" in text
+
+    def test_default_thresholds_shown(self):
+        from repro.viz import classification_tree_text
+
+        text = classification_tree_text()
+        assert "<= 10 attributes" in text
+        assert "4-10 active commits" in text
+        assert "<= 90 attributes" in text
