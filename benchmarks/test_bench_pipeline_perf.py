@@ -5,15 +5,46 @@ ships: lexer/parser throughput on a mysqldump-style workload, schema
 diffing, history measurement, and classification, so regressions in the
 hot loops (the study re-parses every version of every history) show up
 immediately.
+
+The staged-pipeline benchmarks at the bottom (cold vs warm cache,
+serial vs parallel) additionally append one trajectory entry to
+``BENCH_pipeline.json`` at the repository root, so the numbers travel
+with the history and perf regressions surface in review.
 """
 
+import json
 import random
+import time
+from pathlib import Path
+
+import pytest
 
 from repro.core import classify, compute_metrics
 from repro.core.diff import diff_schemas
 from repro.core.history import SchemaHistory, SchemaVersion
+from repro.pipeline import SchemaCache
 from repro.schema import build_schema
 from repro.sqlddl import parse_script, tokenize
+
+#: Collected by the pipeline benchmarks; flushed to BENCH_pipeline.json.
+_TRAJECTORY: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Append this run's pipeline numbers to the trajectory file."""
+    yield
+    if not _TRAJECTORY:
+        return
+    path = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("trajectory", [])
+        except (json.JSONDecodeError, OSError):
+            history = []  # a torn file starts a fresh trajectory
+    history.append({"unix_time": int(time.time()), "results": dict(_TRAJECTORY)})
+    path.write_text(json.dumps({"trajectory": history}, indent=2) + "\n")
 
 
 def _dump_text(n_tables: int, seed: int = 7) -> str:
@@ -92,3 +123,68 @@ def test_bench_classification(benchmark, full_report):
 
     taxa = benchmark(classify_all)
     assert len(taxa) == len(metrics)
+
+
+# -- staged-pipeline benchmarks (cache + concurrency) ---------------------
+
+
+def test_bench_schema_cache_hit(benchmark):
+    """A warm cache lookup vs. the full parse test_bench_schema_build pays."""
+    cache = SchemaCache()
+    cache.schema_for(DUMP)  # warm
+    schema = benchmark(cache.schema_for, DUMP)
+    assert len(schema) == 40
+    assert cache.counters.schema_misses == 1  # every benchmark round hit
+
+
+def test_bench_funnel_cold_vs_warm_cache(full_corpus):
+    """A warm re-run of the same corpus must skip every build_schema call."""
+    cache = SchemaCache()
+    started = time.perf_counter()
+    cold = full_corpus.run_funnel(cache=cache)
+    cold_seconds = time.perf_counter() - started
+    cold_parses = cache.counters.schema_misses
+    assert cold_parses > 0
+
+    started = time.perf_counter()
+    warm = full_corpus.run_funnel(cache=cache)
+    warm_seconds = time.perf_counter() - started
+    assert cache.counters.schema_misses == cold_parses  # zero new parses
+    assert [p.name for p in warm.studied] == [p.name for p in cold.studied]
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    _TRAJECTORY["funnel_cache"] = {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 2),
+        "build_schema_calls_cold": cold_parses,
+        "build_schema_calls_warm": 0,
+    }
+    print(
+        f"\nfunnel cold {cold_seconds:.2f}s ({cold_parses} parses), "
+        f"warm {warm_seconds:.2f}s (0 parses): {speedup:.1f}x"
+    )
+
+
+def test_bench_funnel_serial_vs_parallel(full_corpus):
+    """jobs=1 vs jobs=4 over the paper-scale corpus, identical output."""
+    timings = {}
+    reports = {}
+    for jobs in (1, 4):
+        started = time.perf_counter()
+        reports[jobs] = full_corpus.run_funnel(jobs=jobs)  # fresh cache each
+        timings[jobs] = time.perf_counter() - started
+    assert [p.name for p in reports[1].studied] == [p.name for p in reports[4].studied]
+    assert reports[1].stage_rows() == reports[4].stage_rows()
+
+    speedup = timings[1] / timings[4] if timings[4] > 0 else float("inf")
+    _TRAJECTORY["funnel_jobs"] = {
+        "serial_seconds": round(timings[1], 4),
+        "parallel_seconds": round(timings[4], 4),
+        "jobs": 4,
+        "speedup": round(speedup, 2),
+    }
+    print(
+        f"\nfunnel serial {timings[1]:.2f}s, jobs=4 {timings[4]:.2f}s "
+        f"({speedup:.2f}x; identical output)"
+    )

@@ -23,6 +23,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent per-project measurement")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent parse/diff cache directory")
     args = parser.parse_args()
 
     started = time.time()
@@ -31,8 +35,9 @@ def main() -> None:
           f"({len(corpus.repos)} repositories)")
 
     started = time.time()
-    report = corpus.run_funnel()
-    print(f"funnel completed in {time.time() - started:.1f}s\n")
+    report = corpus.run_funnel(jobs=args.jobs, cache_dir=args.cache_dir)
+    print(f"funnel completed in {time.time() - started:.1f}s "
+          f"({report.stats.cache.build_schema_calls} schema parses)\n")
 
     analysis = analyze_corpus(report.studied + report.rigid)
     print(ExperimentSuite(report, analysis).render_all())

@@ -12,6 +12,11 @@ Commands
 ``project``     show one synthetic project's charts (Fig 2 style);
 ``export``      run the study and write projects.csv / transitions.csv /
                 funnel.json / taxa.json / fig4.json to a directory.
+
+Every corpus-running command (and ``classify``) takes the pipeline
+knobs ``--jobs N`` (concurrent per-project measurement — output is
+identical for any N), ``--cache-dir DIR`` (persistent content-hash
+parse/diff cache) and ``--stats`` (stage timings and cache counters).
 """
 
 from __future__ import annotations
@@ -20,10 +25,8 @@ import argparse
 import sys
 import time
 
-from repro.core import analyze_corpus, classify, compute_metrics
-from repro.core.history import SchemaHistory, SchemaVersion
+from repro.core import analyze_corpus, classify
 from repro.reporting import ExperimentSuite, funnel_text
-from repro.schema import build_schema
 from repro.synthesis import CorpusSpec, build_corpus
 from repro.viz import heartbeat_chart, heartbeat_series, line_chart, schema_size_series
 
@@ -33,21 +36,44 @@ def _corpus_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0, help="population scale factor (1.0 = paper size)"
     )
+    _pipeline_args(parser)
+
+
+def _pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="measure N projects concurrently (results are identical for any N)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the parse/diff cache under DIR; re-runs skip all parsing",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print pipeline stage timings and cache hit/miss counters",
+    )
 
 
 def _build(args: argparse.Namespace):
     spec = CorpusSpec(seed=args.seed, scale=args.scale)
     started = time.time()
     corpus = build_corpus(spec)
-    report = corpus.run_funnel()
+    report = corpus.run_funnel(jobs=args.jobs, cache_dir=args.cache_dir)
     elapsed = time.time() - started
     print(f"# corpus seed={args.seed} scale={args.scale} built+mined in {elapsed:.1f}s\n")
     return corpus, report
 
 
+def _print_stats(args: argparse.Namespace, report) -> None:
+    if getattr(args, "stats", False) and report.stats is not None:
+        print()
+        print(report.stats.summary())
+
+
 def _cmd_funnel(args: argparse.Namespace) -> int:
     _, report = _build(args)
     print(funnel_text(report))
+    _print_stats(args, report)
     return 0
 
 
@@ -55,25 +81,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _, report = _build(args)
     analysis = analyze_corpus(report.studied + report.rigid)
     print(ExperimentSuite(report, analysis).render_all())
+    _print_stats(args, report)
     return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    versions = []
+    from repro.pipeline import MeasurementPipeline, PipelineConfig
+
+    pipeline = MeasurementPipeline(
+        provider=lambda _: None,
+        config=PipelineConfig(cache_dir=args.cache_dir),
+    )
+    raw_versions = []
     for index, path in enumerate(args.files):
         with open(path, encoding="utf-8", errors="replace") as handle:
-            text = handle.read()
-        schema = build_schema(text)
-        versions.append(
-            SchemaVersion(
-                index=index,
-                commit_oid=path,
-                timestamp=index * 86_400,  # file order stands in for time
-                schema=schema,
-            )
+            # File order stands in for time; identical consecutive files
+            # hit the schema cache instead of re-parsing.
+            raw_versions.append((path, index * 86_400, handle.read()))
+    ctx = pipeline.measure_versions(args.name, args.files[0], raw_versions)
+    if ctx.failure is not None:
+        print(
+            f"error: {ctx.failure.stage} stage failed: {ctx.failure.message}",
+            file=sys.stderr,
         )
-    history = SchemaHistory(project=args.name, ddl_path=args.files[0], versions=tuple(versions))
-    metrics = compute_metrics(history)
+        return 1
+    metrics = ctx.metrics
+    if metrics is None:
+        from repro.pipeline import Outcome
+
+        reason = {
+            Outcome.ZERO_VERSIONS: "every given file is empty",
+            Outcome.NO_CREATE: "no version ever declares a CREATE TABLE",
+        }.get(ctx.outcome, "no measurable schema history")
+        print(f"error: {reason}", file=sys.stderr)
+        return 1
     taxon = classify(metrics)
     print(f"project:        {args.name}")
     print(f"versions:       {metrics.n_commits}")
@@ -82,6 +123,9 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     print(f"reeds / turf:   {metrics.reeds} / {metrics.turf_commits}")
     print(f"tables:         {metrics.tables_at_start} -> {metrics.tables_at_end}")
     print(f"taxon:          {taxon.value}")
+    if args.stats:
+        print()
+        print(pipeline.stats.summary())
     return 0
 
 
@@ -106,9 +150,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     _, report = _build(args)
     analysis = analyze_corpus(report.studied + report.rigid)
-    paths = export_study(args.out, report, analysis)
+    paths = export_study(args.out, report, analysis, stats=args.stats)
     for kind, path in paths.items():
         print(f"wrote {kind:<12} {path}")
+    _print_stats(args, report)
     return 0
 
 
@@ -127,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
     classify_cmd = sub.add_parser("classify", help="classify a DDL version history")
     classify_cmd.add_argument("files", nargs="+", help=".sql files, oldest first")
     classify_cmd.add_argument("--name", default="local/project", help="project label")
+    _pipeline_args(classify_cmd)
     classify_cmd.set_defaults(func=_cmd_classify)
 
     project = sub.add_parser("project", help="chart one synthetic project")

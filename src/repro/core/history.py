@@ -7,6 +7,7 @@ file of a database schema, ordered over time." (Sec III.B)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.schema.builder import build_schema
 from repro.schema.model import Schema
@@ -100,18 +101,24 @@ def history_from_versions(
     ddl_path: str,
     file_versions: list[FileVersion],
     lenient: bool = True,
+    schema_factory: Callable[..., Schema] | None = None,
 ) -> SchemaHistory:
     """Parse a VCS file history into a :class:`SchemaHistory`.
 
     Deleted versions (commits that removed the file) are skipped: the
     paper removes "commits with empty files" at collection time, and a
     deletion leaves nothing to parse.
+
+    ``schema_factory`` substitutes for :func:`build_schema` — the staged
+    pipeline passes its content-hash cache here so identical blobs parse
+    once per corpus instead of once per version.
     """
+    factory = schema_factory if schema_factory is not None else build_schema
     versions: list[SchemaVersion] = []
     for file_version in file_versions:
         if file_version.is_deletion or not file_version.text.strip():
             continue
-        schema = build_schema(file_version.text, lenient=lenient)
+        schema = factory(file_version.text, lenient=lenient)
         versions.append(
             SchemaVersion(
                 index=len(versions),

@@ -10,11 +10,12 @@ measures of Fig 4: total activity, #commits, #active commits, #reeds,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.diff import TransitionDiff, diff_schemas
 from repro.core.heartbeat import DEFAULT_REED_LIMIT, Heartbeat, HeartbeatEntry
 from repro.core.history import SchemaHistory
-from repro.schema.model import SchemaSize
+from repro.schema.model import Schema, SchemaSize
 
 _SECONDS_PER_DAY = 86_400.0
 _DAYS_PER_MONTH = 30.4375  # mean Gregorian month
@@ -149,14 +150,24 @@ class ProjectMetrics:
             raise KeyError(f"unknown measure {name!r}; one of {sorted(mapping)}") from None
 
 
-def compute_metrics(history: SchemaHistory, reed_limit: int = DEFAULT_REED_LIMIT) -> ProjectMetrics:
+def compute_metrics(
+    history: SchemaHistory,
+    reed_limit: int = DEFAULT_REED_LIMIT,
+    differ: Callable[[Schema, Schema], TransitionDiff] | None = None,
+) -> ProjectMetrics:
     """Run the full Hecate measurement pass over one schema history.
 
     An empty history (a path that never parsed to any version) yields
     all-zero metrics rather than an error: the funnel counts such
     projects as zero-version extractions but callers may still probe
     them directly.
+
+    ``differ`` substitutes for :func:`diff_schemas` — the staged
+    pipeline injects its memoized diff here so a version pair seen
+    before (same content hashes) costs a dictionary lookup.
     """
+    if differ is None:
+        differ = diff_schemas
     if not history.versions:
         return ProjectMetrics(
             project=history.project,
@@ -183,7 +194,7 @@ def compute_metrics(history: SchemaHistory, reed_limit: int = DEFAULT_REED_LIMIT
                 running_year=int(days // 365.25) + 1,
                 old_size=older.schema.size,
                 new_size=newer.schema.size,
-                diff=diff_schemas(older.schema, newer.schema),
+                diff=differ(older.schema, newer.schema),
             )
         )
     heartbeat = Heartbeat(entries=tuple(t.heartbeat_entry() for t in transitions))

@@ -81,11 +81,20 @@ def extract_project(
     policy: LinearizationPolicy = LinearizationPolicy.FULL,
     reed_limit: int = DEFAULT_REED_LIMIT,
     domain: str = "",
+    schema_factory=None,
+    differ=None,
 ) -> ProjectHistory:
-    """Clone-equivalent: extract and measure one project end to end."""
+    """Clone-equivalent: extract and measure one project end to end.
+
+    ``schema_factory`` and ``differ`` are the pipeline cache's injection
+    points (see :mod:`repro.pipeline.cache`); both default to the plain
+    uncached functions.
+    """
     file_versions = extract_file_history(repo, ddl_path, policy=policy)
-    history = history_from_versions(repo.name, ddl_path, file_versions)
-    metrics = compute_metrics(history, reed_limit=reed_limit)
+    history = history_from_versions(
+        repo.name, ddl_path, file_versions, schema_factory=schema_factory
+    )
+    metrics = compute_metrics(history, reed_limit=reed_limit, differ=differ)
     return ProjectHistory(
         name=repo.name,
         ddl_path=ddl_path,

@@ -10,17 +10,20 @@ from repro.io.export import (
     export_study,
     funnel_payload,
     project_rows,
+    stats_payload,
     transition_rows,
     write_csv,
     write_json,
 )
 from repro.io.load import load_project_rows, load_study_summary
-from repro.io.corpus_io import dump_corpus_histories, load_corpus_histories
+from repro.io.corpus_io import CorpusDumpReport, dump_corpus_histories, load_corpus_histories
 
 __all__ = [
+    "CorpusDumpReport",
     "dump_corpus_histories",
     "export_study",
     "funnel_payload",
+    "stats_payload",
     "load_corpus_histories",
     "load_project_rows",
     "load_study_summary",

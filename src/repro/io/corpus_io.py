@@ -12,6 +12,8 @@ schema-level measure re-derives identically.
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.project import RepoStats, repo_stats_of
@@ -19,9 +21,27 @@ from repro.vcs.history import extract_file_history
 from repro.vcs.repository import Repository
 
 
+@dataclass
+class CorpusDumpReport:
+    """What a dump wrote — and, crucially, what it could not.
+
+    ``skipped`` maps project name to the reason it was left out, so a
+    caller releasing a corpus can assert the dump is consistent with the
+    funnel (every skip should correspond to a funnel removal) instead of
+    discovering silently missing projects downstream.
+    """
+
+    directory: Path
+    written: list[str] = field(default_factory=list)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    def __fspath__(self) -> str:  # a dump report still works as a path
+        return os.fspath(self.directory)
+
+
 def dump_corpus_histories(
     directory: str | Path, repos: dict[str, Repository | None], ddl_paths: dict[str, str]
-) -> Path:
+) -> CorpusDumpReport:
     """Write every project's schema history under *directory*.
 
     Layout::
@@ -29,20 +49,26 @@ def dump_corpus_histories(
         <directory>/<owner>__<name>/v0000.sql, v0001.sql, ...
         <directory>/<owner>__<name>/versions.json
 
-    Returns the directory path.  Projects without a repository (removed
-    from GitHub) or without the DDL path are skipped — exactly the ones
-    the funnel removes before measuring.
+    Returns a :class:`CorpusDumpReport`.  Projects without a repository
+    (removed from GitHub), without a recorded DDL path, or whose DDL
+    path has no history are not written — exactly the ones the funnel
+    removes before measuring — and are reported per name in
+    ``report.skipped`` rather than silently dropped.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    report = CorpusDumpReport(directory=directory)
     for name, repo in sorted(repos.items()):
         if repo is None:
+            report.skipped[name] = "repository missing (removed from GitHub)"
             continue
         ddl_path = ddl_paths.get(name)
         if ddl_path is None:
+            report.skipped[name] = "no DDL path recorded"
             continue
         versions = extract_file_history(repo, ddl_path)
         if not versions:
+            report.skipped[name] = f"no history for DDL path {ddl_path!r}"
             continue
         slug = name.replace("/", "__")
         project_dir = directory / slug
@@ -67,7 +93,8 @@ def dump_corpus_histories(
             )
         with open(project_dir / "versions.json", "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
-    return directory
+        report.written.append(name)
+    return report
 
 
 def _stats_payload(repo: Repository) -> dict:

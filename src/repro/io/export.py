@@ -131,14 +131,30 @@ def transition_rows(project: ProjectHistory) -> list[dict]:
 
 
 def funnel_payload(report: FunnelReport) -> dict:
-    """The funnel as a JSON-friendly dict."""
+    """The funnel as a JSON-friendly dict.
+
+    Pipeline failures ride along (sorted by project for determinism) so
+    an exported study is auditable: every project that crashed a stage
+    is on record next to the counts it was excluded from.
+    """
     return {
         "stages": dict(report.stage_rows()),
         "omitted_by_paths": {
             verdict.name: count for verdict, count in report.omitted_by_paths.items()
         },
         "rigid_share": report.rigid_share,
+        "failures": [
+            failure.payload()
+            for failure in sorted(report.failures, key=lambda f: f.project)
+        ],
     }
+
+
+def stats_payload(report: FunnelReport) -> dict:
+    """The pipeline stats as a JSON-friendly dict (empty if stats are off)."""
+    if report.stats is None:
+        return {}
+    return report.stats.payload()
 
 
 def write_csv(path: str | Path, rows: list[dict], fields: tuple[str, ...]) -> None:
@@ -160,15 +176,22 @@ def export_study(
     report: FunnelReport,
     analysis: CorpusAnalysis,
     figures: bool = True,
+    stats: bool = False,
 ) -> dict[str, Path]:
     """Write the full artifact set into *directory*; returns the paths.
 
     Artifacts: ``projects.csv`` (per-project measures + taxon),
     ``transitions.csv`` (per-transition deltas over all projects),
-    ``funnel.json``, ``taxa.json`` (populations & shares), ``fig4.json``
+    ``funnel.json`` (stage counts + pipeline failure records),
+    ``taxa.json`` (populations & shares), ``fig4.json``
     (the per-taxon min/med/max/avg table), ``experiments.md`` (the
     generated paper-vs-measured report), and — unless ``figures=False``
     — SVG charts under ``figures/``.
+
+    With ``stats=True`` a ``pipeline_stats.json`` (stage wall times and
+    cache counters) is written as well.  It is off by default because
+    timings vary run to run, and the default artifact set is expected
+    to be byte-identical across runs and ``--jobs`` settings.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -213,6 +236,9 @@ def export_study(
             for measure, summary in profile.measures.items()
         }
     write_json(paths["fig4"], fig4)
+    if stats and report.stats is not None:
+        paths["stats"] = directory / "pipeline_stats.json"
+        write_json(paths["stats"], stats_payload(report))
     from repro.reporting.markdown import render_experiments_markdown
 
     paths["experiments"].write_text(

@@ -17,10 +17,12 @@ from repro.mining.path_filters import (
     is_excluded_path,
 )
 from repro.mining.funnel import FunnelReport, RepoProvider, run_funnel
+from repro.pipeline.stages import ProjectFailure
 
 __all__ = [
     "FileChoice",
     "FunnelReport",
+    "ProjectFailure",
     "GithubActivityDataset",
     "LibrariesIoDataset",
     "LibrariesIoRecord",

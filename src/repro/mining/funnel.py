@@ -11,6 +11,13 @@ Reproduces the paper's counting stages:
       -> cloned & usable                   327
       -> rigid (single version)            132  (40%)
       -> Schema_Evo_2019 (studied)         195
+
+The per-project extract/parse/diff/measure/classify chain is delegated
+to :class:`repro.pipeline.MeasurementPipeline`: projects run
+concurrently under ``jobs=N``, identical SQL blobs parse once through
+the content-hash cache, and a project whose measurement crashes is
+demoted to a :class:`~repro.pipeline.ProjectFailure` carried in the
+report instead of aborting the corpus.
 """
 
 from __future__ import annotations
@@ -19,14 +26,16 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.heartbeat import DEFAULT_REED_LIMIT
-from repro.core.project import ProjectHistory, extract_project
+from repro.core.project import ProjectHistory
 from repro.mining.github_activity import GithubActivityDataset
 from repro.mining.librariesio import LibrariesIoDataset
 from repro.mining.path_filters import MultiFileVerdict, choose_ddl_file
 from repro.mining.selection import SelectionCriteria, select_lib_io
-from repro.sqlddl.ast import CreateTable
-from repro.sqlddl.parser import parse_script
-from repro.vcs.history import LinearizationPolicy, extract_file_history
+from repro.pipeline.cache import SchemaCache
+from repro.pipeline.pipeline import MeasurementPipeline, PipelineConfig
+from repro.pipeline.stages import Outcome, ProjectFailure, ProjectTask
+from repro.pipeline.stats import PipelineStats
+from repro.vcs.history import LinearizationPolicy
 from repro.vcs.repository import Repository
 
 #: Maps a repository name to its cloned Repository, or None when the
@@ -47,6 +56,8 @@ class FunnelReport:
     cloned_usable: int = 0  # the 327
     rigid: list[ProjectHistory] = field(default_factory=list)  # the 132
     studied: list[ProjectHistory] = field(default_factory=list)  # the 195
+    failures: list[ProjectFailure] = field(default_factory=list)
+    stats: PipelineStats | None = None
 
     @property
     def rigid_count(self) -> int:
@@ -57,6 +68,10 @@ class FunnelReport:
         return len(self.studied)
 
     @property
+    def failed_count(self) -> int:
+        return len(self.failures)
+
+    @property
     def rigid_share(self) -> float:
         """The headline 40%: rigid projects over cloned & usable."""
         if self.cloned_usable == 0:
@@ -65,23 +80,21 @@ class FunnelReport:
 
     def stage_rows(self) -> list[tuple[str, int]]:
         """The funnel as printable (stage, count) rows."""
-        return [
+        rows = [
             ("SQL-Collection repositories", self.sql_collection_repos),
             ("joined with Libraries.io + quality filters", self.joined_and_filtered),
             ("Lib-io dataset (single DDL file identified)", self.lib_io_projects),
             ("removed: zero-version extraction", self.removed_zero_versions),
             ("removed: empty / no CREATE TABLE", self.removed_no_create),
+        ]
+        if self.failures:
+            rows.append(("removed: failed measurement", self.failed_count))
+        rows += [
             ("cloned & usable repositories", self.cloned_usable),
             ("rigid (single schema version)", self.rigid_count),
             ("Schema_Evo_2019 (studied)", self.studied_count),
         ]
-
-
-def _has_create_table(text: str) -> bool:
-    """True if the script declares at least one table."""
-    if "create" not in text.lower():
-        return False
-    return any(isinstance(s, CreateTable) for s in parse_script(text))
+        return rows
 
 
 def run_funnel(
@@ -91,14 +104,25 @@ def run_funnel(
     criteria: SelectionCriteria = SelectionCriteria(),
     policy: LinearizationPolicy = LinearizationPolicy.FULL,
     reed_limit: int = DEFAULT_REED_LIMIT,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache: SchemaCache | None = None,
+    pipeline: MeasurementPipeline | None = None,
 ) -> FunnelReport:
-    """Run the whole collection funnel and return its report."""
+    """Run the whole collection funnel and return its report.
+
+    ``jobs`` sets the pipeline's worker count (results are input-ordered,
+    so any job count yields identical reports); ``cache_dir`` enables the
+    on-disk parse/diff cache; ``cache`` shares an in-memory cache across
+    runs; ``pipeline`` substitutes a fully custom pipeline (it wins over
+    the other three knobs).
+    """
     report = FunnelReport()
     report.sql_collection_repos = activity.repository_count()
     selected = select_lib_io(activity, lib_io, criteria)
     report.joined_and_filtered = len(selected)
 
-    chosen: list[tuple[str, str, str]] = []  # (repo, ddl path, domain)
+    tasks: list[ProjectTask] = []
     for project in selected:
         choice = choose_ddl_file(list(project.sql_files))
         if not choice.accepted:
@@ -107,28 +131,33 @@ def run_funnel(
             )
             continue
         assert choice.chosen is not None
-        chosen.append((project.repo_name, choice.chosen.path, project.metadata.domain))
-    report.lib_io_projects = len(chosen)
-
-    for repo_name, ddl_path, domain in chosen:
-        repo = provider(repo_name)
-        if repo is None:
-            report.removed_zero_versions += 1
-            continue
-        versions = extract_file_history(repo, ddl_path, policy=policy)
-        non_empty = [v for v in versions if not v.is_deletion and v.text.strip()]
-        if not non_empty:
-            report.removed_zero_versions += 1
-            continue
-        if not any(_has_create_table(v.text) for v in non_empty):
-            report.removed_no_create += 1
-            continue
-        project = extract_project(
-            repo, ddl_path, policy=policy, reed_limit=reed_limit, domain=domain
+        tasks.append(
+            ProjectTask(project.repo_name, choice.chosen.path, project.metadata.domain)
         )
-        if project.history.is_history_less:
-            report.rigid.append(project)
+    report.lib_io_projects = len(tasks)
+
+    if pipeline is None:
+        pipeline = MeasurementPipeline(
+            provider,
+            PipelineConfig(
+                policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir
+            ),
+            cache=cache,
+        )
+    for ctx in pipeline.run(tasks):
+        if ctx.outcome is Outcome.ZERO_VERSIONS:
+            report.removed_zero_versions += 1
+        elif ctx.outcome is Outcome.NO_CREATE:
+            report.removed_no_create += 1
+        elif ctx.outcome is Outcome.FAILED:
+            assert ctx.failure is not None
+            report.failures.append(ctx.failure)
+        elif ctx.outcome is Outcome.RIGID:
+            assert ctx.project is not None
+            report.rigid.append(ctx.project)
         else:
-            report.studied.append(project)
+            assert ctx.outcome is Outcome.STUDIED and ctx.project is not None
+            report.studied.append(ctx.project)
     report.cloned_usable = report.rigid_count + report.studied_count
+    report.stats = pipeline.stats
     return report

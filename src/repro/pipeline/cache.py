@@ -1,0 +1,226 @@
+"""Content-hash memoization of the pipeline's expensive pure functions.
+
+Parsing a DDL blob and diffing two schema versions are pure functions of
+their inputs, so both memoize safely under content hashes:
+
+- ``sha256(blob) -> Schema`` for :func:`repro.schema.build_schema`;
+- ``sha256(blob) -> bool`` for the has-CREATE-TABLE collection scan;
+- ``(schema key, schema key) -> TransitionDiff`` for
+  :func:`repro.core.diff.diff_schemas`, where a schema's key is the
+  hash of its canonical form (stable across processes).
+
+Identical blobs are rampant in real histories — a commit touching the
+DDL file without changing it, vendor files copied across projects, and
+whole corpora re-run after an unrelated code change — so the cache turns
+the dominant cost of a re-run into dictionary lookups.
+
+An optional on-disk layer (``cache_dir``) persists both maps as pickles
+keyed by content hash; a warm re-run of the same corpus then performs
+zero ``build_schema`` calls, which the :class:`CacheCounters` expose for
+verification.  All methods are thread-safe: the parallel pipeline shares
+one cache across workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.diff import TransitionDiff, diff_schemas
+from repro.schema.builder import build_schema
+from repro.schema.model import Schema
+from repro.sqlddl.ast import CreateTable
+from repro.sqlddl.parser import parse_script
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss counters, split per cached function and per layer."""
+
+    schema_hits: int = 0
+    schema_misses: int = 0
+    schema_disk_hits: int = 0  # subset of schema_hits served from disk
+    diff_hits: int = 0
+    diff_misses: int = 0
+    diff_disk_hits: int = 0
+    scan_hits: int = 0
+    scan_misses: int = 0
+
+    @property
+    def build_schema_calls(self) -> int:
+        """How many times the cache actually invoked ``build_schema``."""
+        return self.schema_misses
+
+    def payload(self) -> dict:
+        return {
+            "schema_hits": self.schema_hits,
+            "schema_misses": self.schema_misses,
+            "schema_disk_hits": self.schema_disk_hits,
+            "diff_hits": self.diff_hits,
+            "diff_misses": self.diff_misses,
+            "diff_disk_hits": self.diff_disk_hits,
+            "scan_hits": self.scan_hits,
+            "scan_misses": self.scan_misses,
+        }
+
+
+def text_key(text: str, lenient: bool = True) -> str:
+    """Content hash of one DDL blob (plus the parse mode)."""
+    digest = hashlib.sha256(text.encode("utf-8", errors="replace")).hexdigest()
+    return digest if lenient else f"strict-{digest}"
+
+
+def schema_key(schema: Schema) -> str:
+    """Content hash of a parsed schema, stable across processes."""
+    return hashlib.sha256(repr(schema.canonical()).encode()).hexdigest()
+
+
+class SchemaCache:
+    """Memoizes parsing, collection scans, and diffing by content hash.
+
+    With ``cache_dir`` set, every miss is also persisted to disk
+    (``<dir>/schemas/<key>.pkl`` and ``<dir>/diffs/<key>.pkl``) and
+    future processes warm-start from there.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self._lock = threading.Lock()
+        self._schemas: dict[str, Schema] = {}
+        self._scans: dict[str, bool] = {}
+        self._diffs: dict[tuple[str, str], TransitionDiff] = {}
+        self._schema_keys: dict[int, str] = {}  # id(schema) -> canonical key
+        self.counters = CacheCounters()
+        self._dir = Path(cache_dir) if cache_dir is not None else None
+        if self._dir is not None:
+            (self._dir / "schemas").mkdir(parents=True, exist_ok=True)
+            (self._dir / "diffs").mkdir(parents=True, exist_ok=True)
+            (self._dir / "scans").mkdir(parents=True, exist_ok=True)
+
+    # -- parsing ----------------------------------------------------------
+
+    def schema_for(self, text: str, lenient: bool = True) -> Schema:
+        """The parsed schema of *text*, from memory, disk, or a parse."""
+        key = text_key(text, lenient)
+        with self._lock:
+            schema = self._schemas.get(key)
+            if schema is not None:
+                self.counters.schema_hits += 1
+                return schema
+        schema = self._load_pickle("schemas", key)
+        if schema is None:
+            schema = build_schema(text, lenient=lenient)
+            self._store_pickle("schemas", key, schema)
+            disk_hit = False
+        else:
+            disk_hit = True
+        with self._lock:
+            # Another worker may have raced us; keep the first object so
+            # identical blobs share one Schema instance.
+            schema = self._schemas.setdefault(key, schema)
+            self._schema_keys[id(schema)] = schema_key(schema)
+            if disk_hit:
+                self.counters.schema_hits += 1
+                self.counters.schema_disk_hits += 1
+            else:
+                self.counters.schema_misses += 1
+        return schema
+
+    def has_create_table(self, text: str) -> bool:
+        """Memoized collection-stage scan: does *text* declare a table?"""
+        if "create" not in text.lower():
+            return False
+        key = text_key(text)
+        with self._lock:
+            if key in self._scans:
+                self.counters.scan_hits += 1
+                return self._scans[key]
+        verdict = self._load_pickle("scans", key)
+        disk_hit = verdict is not None
+        if not disk_hit:
+            verdict = any(isinstance(s, CreateTable) for s in parse_script(text))
+            self._store_pickle("scans", key, verdict)
+        with self._lock:
+            self._scans[key] = verdict
+            if disk_hit:
+                self.counters.scan_hits += 1
+            else:
+                self.counters.scan_misses += 1
+        return verdict
+
+    # -- diffing ----------------------------------------------------------
+
+    def _key_of(self, schema: Schema) -> str:
+        with self._lock:
+            cached = self._schema_keys.get(id(schema))
+            if cached is not None:
+                return cached
+        key = schema_key(schema)
+        with self._lock:
+            # Hold a reference so the id stays valid for the memo's lifetime.
+            self._schemas.setdefault(f"canon-{key}", schema)
+            self._schema_keys[id(schema)] = key
+        return key
+
+    def diff_for(self, old: Schema, new: Schema) -> TransitionDiff:
+        """The transition diff of two schema versions, memoized."""
+        pair = (self._key_of(old), self._key_of(new))
+        with self._lock:
+            diff = self._diffs.get(pair)
+            if diff is not None:
+                self.counters.diff_hits += 1
+                return diff
+        diff = self._load_pickle("diffs", f"{pair[0][:32]}__{pair[1][:32]}")
+        if diff is None:
+            diff = diff_schemas(old, new)
+            self._store_pickle("diffs", f"{pair[0][:32]}__{pair[1][:32]}", diff)
+            disk_hit = False
+        else:
+            disk_hit = True
+        with self._lock:
+            self._diffs.setdefault(pair, diff)
+            if disk_hit:
+                self.counters.diff_hits += 1
+                self.counters.diff_disk_hits += 1
+            else:
+                self.counters.diff_misses += 1
+        return diff
+
+    @property
+    def differ(self) -> Callable[[Schema, Schema], TransitionDiff]:
+        """A drop-in for ``diff_schemas`` that consults this cache."""
+        return self.diff_for
+
+    @property
+    def schema_factory(self) -> Callable[..., Schema]:
+        """A drop-in for ``build_schema`` that consults this cache."""
+        return self.schema_for
+
+    # -- the on-disk layer ------------------------------------------------
+
+    def _load_pickle(self, kind: str, key: str):
+        if self._dir is None:
+            return None
+        path = self._dir / kind / f"{key}.pkl"
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None  # a torn or stale entry is just a miss
+
+    def _store_pickle(self, kind: str, key: str, value) -> None:
+        if self._dir is None:
+            return
+        path = self._dir / kind / f"{key}.pkl"
+        tmp = path.with_suffix(f".{threading.get_ident()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic under concurrent writers
+        except OSError:
+            tmp.unlink(missing_ok=True)

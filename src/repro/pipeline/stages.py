@@ -1,0 +1,198 @@
+"""The five pipeline stages and the records flowing between them.
+
+Each stage is a small object with a ``name`` and a ``run(ctx)`` method
+mutating one :class:`ProjectContext`.  A stage either advances the
+context, or finishes it by setting a terminal :class:`Outcome` (the
+funnel's removal categories are terminal outcomes, not exceptions).
+Anything a stage *raises* is caught by the pipeline and demoted to a
+structured :class:`ProjectFailure` — one malformed project must never
+abort the other 194.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.heartbeat import DEFAULT_REED_LIMIT
+from repro.core.history import SchemaHistory, history_from_versions
+from repro.core.metrics import ProjectMetrics, compute_metrics
+from repro.core.project import ProjectHistory, repo_stats_of
+from repro.core.taxa import Taxon, classify
+from repro.pipeline.cache import SchemaCache
+from repro.vcs.history import FileVersion, LinearizationPolicy, extract_file_history
+from repro.vcs.repository import Repository
+
+
+class Outcome(enum.Enum):
+    """Where a project ended up; mirrors the funnel's removal stages."""
+
+    ZERO_VERSIONS = "zero-versions"  # gone from GitHub, or stale path
+    NO_CREATE = "no-create-table"  # .sql file never declares a table
+    RIGID = "rigid"  # single schema version, set aside
+    STUDIED = "studied"  # measured and classified
+    FAILED = "failed"  # demoted to a ProjectFailure
+
+
+@dataclass(frozen=True)
+class ProjectTask:
+    """One unit of pipeline input: a repository and its chosen DDL file."""
+
+    repo_name: str
+    ddl_path: str
+    domain: str = ""
+
+
+@dataclass(frozen=True)
+class ProjectFailure:
+    """A project-stage crash, demoted to data.
+
+    Carried in the :class:`~repro.mining.funnel.FunnelReport` so a run
+    over a malformed corpus still yields every healthy project plus an
+    auditable record of what broke where.
+    """
+
+    project: str
+    stage: str
+    error: str  # exception class name
+    message: str
+
+    def payload(self) -> dict:
+        return {
+            "project": self.project,
+            "stage": self.stage,
+            "error": self.error,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ProjectContext:
+    """The state one project accumulates while flowing through stages."""
+
+    task: ProjectTask
+    repo: Repository | None = None
+    file_versions: list[FileVersion] = field(default_factory=list)
+    history: SchemaHistory | None = None
+    metrics: ProjectMetrics | None = None
+    project: ProjectHistory | None = None
+    taxon: Taxon | None = None
+    outcome: Outcome | None = None
+    failure: ProjectFailure | None = None
+
+    @property
+    def name(self) -> str:
+        return self.task.repo_name
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.outcome is not None
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of the measurement chain."""
+
+    name: str
+
+    def run(self, ctx: ProjectContext) -> None:
+        """Advance *ctx*; set ``ctx.outcome`` to finish it."""
+        ...  # pragma: no cover - protocol
+
+
+class ExtractStage:
+    """Clone-equivalent: resolve the repository, linearize the file history."""
+
+    name = "extract"
+
+    def __init__(self, provider, policy: LinearizationPolicy = LinearizationPolicy.FULL):
+        self._provider = provider
+        self._policy = policy
+
+    def run(self, ctx: ProjectContext) -> None:
+        repo = self._provider(ctx.task.repo_name)
+        if repo is None:
+            ctx.outcome = Outcome.ZERO_VERSIONS
+            return
+        ctx.repo = repo
+        versions = extract_file_history(repo, ctx.task.ddl_path, policy=self._policy)
+        ctx.file_versions = [
+            v for v in versions if not v.is_deletion and v.text.strip()
+        ]
+        if not ctx.file_versions:
+            ctx.outcome = Outcome.ZERO_VERSIONS
+
+
+class ParseStage:
+    """Scan for CREATE TABLE, then parse every version through the cache."""
+
+    name = "parse"
+
+    def __init__(self, cache: SchemaCache, lenient: bool = True):
+        self._cache = cache
+        self._lenient = lenient
+
+    def run(self, ctx: ProjectContext) -> None:
+        if not any(self._cache.has_create_table(v.text) for v in ctx.file_versions):
+            ctx.outcome = Outcome.NO_CREATE
+            return
+        ctx.history = history_from_versions(
+            ctx.task.repo_name,
+            ctx.task.ddl_path,
+            ctx.file_versions,
+            lenient=self._lenient,
+            schema_factory=self._cache.schema_for,
+        )
+
+
+class DiffStage:
+    """Diff every consecutive version pair (memoized by content hash)."""
+
+    name = "diff"
+
+    def __init__(self, cache: SchemaCache):
+        self._cache = cache
+
+    def run(self, ctx: ProjectContext) -> None:
+        assert ctx.history is not None
+        for older, newer in ctx.history.transitions():
+            self._cache.diff_for(older.schema, newer.schema)
+
+
+class MeasureStage:
+    """The Hecate pass: per-transition and per-project measures."""
+
+    name = "measure"
+
+    def __init__(self, cache: SchemaCache, reed_limit: int = DEFAULT_REED_LIMIT):
+        self._cache = cache
+        self._reed_limit = reed_limit
+
+    def run(self, ctx: ProjectContext) -> None:
+        assert ctx.history is not None and ctx.repo is not None
+        ctx.metrics = compute_metrics(
+            ctx.history, reed_limit=self._reed_limit, differ=self._cache.diff_for
+        )
+        ctx.project = ProjectHistory(
+            name=ctx.task.repo_name,
+            ddl_path=ctx.task.ddl_path,
+            history=ctx.history,
+            metrics=ctx.metrics,
+            repo_stats=repo_stats_of(ctx.repo),
+            domain=ctx.task.domain,
+        )
+
+
+class ClassifyStage:
+    """Assign the taxon; split rigid from studied."""
+
+    name = "classify"
+
+    def run(self, ctx: ProjectContext) -> None:
+        assert ctx.project is not None and ctx.metrics is not None
+        ctx.taxon = classify(ctx.metrics)
+        if ctx.project.history.is_history_less:
+            ctx.outcome = Outcome.RIGID
+        else:
+            ctx.outcome = Outcome.STUDIED

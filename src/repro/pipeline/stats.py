@@ -1,0 +1,82 @@
+"""Observability of one pipeline run: stage timings and cache effect.
+
+The ROADMAP's scaling work (sharding, incremental re-measure, larger
+corpora) needs to see where the time goes before and after each change;
+:class:`PipelineStats` is that instrument.  It accumulates per-stage
+wall time and per-stage project counts thread-safely (the parallel
+executor reports from many workers) and carries the shared cache's
+hit/miss counters, so a warm-cache run can be *proven* warm:
+``stats.cache.build_schema_calls == 0``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.pipeline.cache import CacheCounters
+
+
+@dataclass
+class PipelineStats:
+    """Counters and timings of one :class:`MeasurementPipeline` run."""
+
+    jobs: int = 1
+    projects: int = 0  # tasks that entered the pipeline
+    completed: int = 0  # tasks that ran to a terminal outcome
+    failures: int = 0  # tasks demoted to a ProjectFailure
+    wall_seconds: float = 0.0  # end-to-end, includes scheduling
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_projects: dict[str, int] = field(default_factory=dict)
+    cache: CacheCounters = field(default_factory=CacheCounters)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def note_stage(self, stage: str, seconds: float) -> None:
+        """Record one project passing through *stage* (thread-safe)."""
+        with self._lock:
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+            self.stage_projects[stage] = self.stage_projects.get(stage, 0) + 1
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Summed per-stage time across all workers."""
+        return sum(self.stage_seconds.values())
+
+    def payload(self) -> dict:
+        """A JSON-friendly dump (used by ``--stats`` and the exporter)."""
+        return {
+            "jobs": self.jobs,
+            "projects": self.projects,
+            "completed": self.completed,
+            "failures": self.failures,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(self.stage_seconds.items())
+            },
+            "stage_projects": dict(sorted(self.stage_projects.items())),
+            "cache": self.cache.payload(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable block for the CLI's ``--stats`` flag."""
+        lines = [
+            f"pipeline: {self.projects} projects, jobs={self.jobs}, "
+            f"{self.failures} failed",
+            f"wall {self.wall_seconds:.3f}s, cpu {self.cpu_seconds:.3f}s",
+        ]
+        for stage, seconds in sorted(self.stage_seconds.items()):
+            count = self.stage_projects.get(stage, 0)
+            lines.append(f"  stage {stage:<10} {seconds:8.3f}s over {count} projects")
+        c = self.cache
+        lines.append(
+            f"  cache schema {c.schema_hits} hits / {c.schema_misses} misses "
+            f"({c.schema_disk_hits} from disk), "
+            f"diff {c.diff_hits} hits / {c.diff_misses} misses, "
+            f"scan {c.scan_hits} hits / {c.scan_misses} misses"
+        )
+        lines.append(f"  build_schema calls: {c.build_schema_calls}")
+        return "\n".join(lines)

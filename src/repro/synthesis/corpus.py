@@ -78,9 +78,28 @@ class SyntheticCorpus:
         """The clone step: returns None for repos gone from GitHub."""
         return self.repos.get(repo_name)
 
-    def run_funnel(self, **kwargs) -> FunnelReport:
-        """Run the full mining funnel over this corpus."""
-        return run_funnel(self.activity, self.lib_io, self.provider, **kwargs)
+    def run_funnel(
+        self,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        cache=None,
+        **kwargs,
+    ) -> FunnelReport:
+        """Run the full mining funnel over this corpus.
+
+        ``jobs``, ``cache_dir`` and ``cache`` forward to the staged
+        measurement pipeline (see :mod:`repro.pipeline`); any other
+        keyword reaches :func:`repro.mining.funnel.run_funnel` verbatim.
+        """
+        return run_funnel(
+            self.activity,
+            self.lib_io,
+            self.provider,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache=cache,
+            **kwargs,
+        )
 
     @property
     def studied_names(self) -> list[str]:
