@@ -1,0 +1,162 @@
+"""Benchmarks of the corpus store and serving layer.
+
+Two numbers the ROADMAP cares about, appended as one trajectory entry
+to ``BENCH_serve.json`` at the repository root:
+
+- **Ingest wall-time, cold vs warm.**  The incremental fingerprint
+  delta should turn a re-ingest of an unchanged corpus into a no-op;
+  the entry records both times and the measured-project counts (warm
+  must be 0).
+- **Serve throughput.**  Requests/second against a live
+  ``ThreadingHTTPServer`` over the warm store, for a paginated
+  ``/projects`` page, a single-project ``/heartbeat``, and ``304``
+  revalidation hits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve import start_server
+from repro.store import CorpusStore, ingest_corpus
+from repro.synthesis import CorpusSpec, build_corpus
+
+#: Collected below; flushed to BENCH_serve.json once per module.
+_TRAJECTORY: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def serve_trajectory():
+    """Append this run's store/serve numbers to the trajectory file."""
+    yield
+    if not _TRAJECTORY:
+        return
+    path = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text()).get("trajectory", [])
+        except (json.JSONDecodeError, OSError):
+            history = []  # a torn file starts a fresh trajectory
+    history.append({"unix_time": int(time.time()), "results": dict(_TRAJECTORY)})
+    path.write_text(json.dumps({"trajectory": history}, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def bench_corpus():
+    """A mid-scale corpus: big enough to time, small enough for CI."""
+    return build_corpus(CorpusSpec(seed=2019, scale=0.25))
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory, bench_corpus):
+    """A store holding the measured corpus, plus its ingest timings."""
+    store = CorpusStore(tmp_path_factory.mktemp("bench") / "corpus.db")
+    started = time.perf_counter()
+    cold = ingest_corpus(
+        store, bench_corpus.activity, bench_corpus.lib_io, bench_corpus.provider
+    )
+    cold_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = ingest_corpus(
+        store, bench_corpus.activity, bench_corpus.lib_io, bench_corpus.provider
+    )
+    warm_seconds = time.perf_counter() - started
+    _TRAJECTORY["ingest"] = {
+        "projects": cold.tasks,
+        "cold_seconds": round(cold_seconds, 3),
+        "cold_measured": cold.measured,
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_measured": warm.measured,
+        "speedup": round(cold_seconds / warm_seconds, 1) if warm_seconds else None,
+    }
+    yield store, cold, warm
+    store.close()
+
+
+def test_bench_ingest_cold_vs_warm(warm_store):
+    _, cold, warm = warm_store
+    assert cold.measured > 0
+    assert warm.measured == 0, "warm re-ingest must measure zero projects"
+    assert warm.stats.projects == 0
+    entry = _TRAJECTORY["ingest"]
+    print(
+        f"\ningest: cold {entry['cold_seconds']}s ({entry['cold_measured']} measured) "
+        f"-> warm {entry['warm_seconds']}s ({entry['warm_measured']} measured), "
+        f"{entry['speedup']}x"
+    )
+    assert entry["warm_seconds"] < entry["cold_seconds"]
+
+
+def _hammer(url: str, requests_total: int, workers: int, headers=None) -> float:
+    """Fire *requests_total* GETs from *workers* threads; returns req/s."""
+    headers = headers or {}
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(workers + 1)
+
+    def worker(count: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(count):
+                req = urllib.request.Request(url, headers=headers)
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    resp.read()
+        except urllib.error.HTTPError as error:
+            if error.code != 304:
+                errors.append(error)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    share = requests_total // workers
+    threads = [
+        threading.Thread(target=worker, args=(share,)) for _ in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors[:3]
+    return (share * workers) / elapsed
+
+
+def test_bench_serve_throughput(warm_store):
+    store, _, _ = warm_store
+    server, thread = start_server(store, port=0)
+    try:
+        results = {}
+        results["projects_page"] = _hammer(
+            f"{server.url}/projects?limit=50", requests_total=300, workers=4
+        )
+        results["heartbeat"] = _hammer(
+            f"{server.url}/projects/1/heartbeat", requests_total=300, workers=4
+        )
+        # Revalidation: ask once for the ETag, then hammer with it.
+        with urllib.request.urlopen(f"{server.url}/projects?limit=50") as resp:
+            etag = resp.headers["ETag"]
+        results["revalidation_304"] = _hammer(
+            f"{server.url}/projects?limit=50",
+            requests_total=400,
+            workers=4,
+            headers={"If-None-Match": etag},
+        )
+        _TRAJECTORY["serve"] = {
+            key: round(value, 1) for key, value in results.items()
+        }
+        print("\nserve throughput (req/s):")
+        for key, value in results.items():
+            print(f"  {key:<16} {value:8.1f}")
+        for key, value in results.items():
+            assert value > 10, f"{key} throughput collapsed: {value:.1f} req/s"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

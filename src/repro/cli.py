@@ -11,7 +11,16 @@ Commands
                 the taxon (the "bring your own history" entry point);
 ``project``     show one synthetic project's charts (Fig 2 style);
 ``export``      run the study and write projects.csv / transitions.csv /
-                funnel.json / taxa.json / fig4.json to a directory.
+                funnel.json / taxa.json / fig4.json to a directory —
+                or, with ``--from-store DB``, re-export the same
+                artifacts from an ingested corpus store without
+                re-running the funnel;
+``ingest``      run the funnel and persist the measured corpus into a
+                sqlite corpus store (incremental: an unchanged corpus
+                re-measures zero projects);
+``serve``       serve an ingested store as a read-only JSON HTTP API
+                (/projects, /projects/{id}/heartbeat, /taxa, /stats,
+                /metrics) with ETag revalidation and gzip.
 
 Every corpus-running command (and ``classify``) takes the pipeline
 knobs ``--jobs N`` (concurrent per-project measurement — output is
@@ -78,6 +87,19 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.from_store is not None:
+        from repro.store import CorpusStore
+
+        with CorpusStore(args.from_store) as store:
+            if store.project_count() == 0:
+                print(
+                    f"error: store {args.from_store} is empty; "
+                    "run `repro ingest` first",
+                    file=sys.stderr,
+                )
+                return 1
+            print(ExperimentSuite.from_store(store).render_all())
+        return 0
     _, report = _build(args)
     analysis = analyze_corpus(report.studied + report.rigid)
     print(ExperimentSuite(report, analysis).render_all())
@@ -146,14 +168,73 @@ def _cmd_project(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from repro.io import export_study
+    from repro.io import export_from_store, export_study
 
+    if args.from_store is not None:
+        from repro.store import CorpusStore
+
+        with CorpusStore(args.from_store) as store:
+            if store.project_count() == 0:
+                print(
+                    f"error: store {args.from_store} is empty; "
+                    "run `repro ingest` first",
+                    file=sys.stderr,
+                )
+                return 1
+            paths = export_from_store(args.out, store)
+        for kind, path in paths.items():
+            print(f"wrote {kind:<12} {path}")
+        return 0
     _, report = _build(args)
     analysis = analyze_corpus(report.studied + report.rigid)
     paths = export_study(args.out, report, analysis, stats=args.stats)
     for kind, path in paths.items():
         print(f"wrote {kind:<12} {path}")
     _print_stats(args, report)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.store import CorpusStore, ingest_corpus
+
+    spec = CorpusSpec(seed=args.seed, scale=args.scale)
+    started = time.time()
+    corpus = build_corpus(spec)
+    with CorpusStore(args.db) as store:
+        report = ingest_corpus(
+            store,
+            corpus.activity,
+            corpus.lib_io,
+            corpus.provider,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+        print(f"# corpus seed={args.seed} scale={args.scale} built in {time.time() - started:.1f}s")
+        print(report.summary())
+        print(f"store: {args.db} ({store.project_count()} projects, "
+              f"content hash {store.content_hash()[:16]})")
+    if args.stats and report.stats is not None:
+        print()
+        print(report.stats.summary())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_forever
+    from repro.store import CorpusStore
+
+    with CorpusStore(args.db) as store:
+        if store.project_count() == 0:
+            print(
+                f"error: store {args.db} is empty; run `repro ingest` first",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serving {store.project_count()} projects from {args.db} "
+            f"on http://{args.host}:{args.port} (Ctrl-C to stop)"
+        )
+        serve_forever(store, host=args.host, port=args.port, verbose=not args.quiet)
     return 0
 
 
@@ -167,6 +248,10 @@ def main(argv: list[str] | None = None) -> int:
 
     report = sub.add_parser("report", help="run every experiment")
     _corpus_args(report)
+    report.add_argument(
+        "--from-store", default=None, metavar="DB",
+        help="render the report from an ingested corpus store instead of re-measuring",
+    )
     report.set_defaults(func=_cmd_report)
 
     classify_cmd = sub.add_parser("classify", help="classify a DDL version history")
@@ -183,7 +268,33 @@ def main(argv: list[str] | None = None) -> int:
     export = sub.add_parser("export", help="export study artifacts (CSV/JSON)")
     _corpus_args(export)
     export.add_argument("--out", default="study-export", help="output directory")
+    export.add_argument(
+        "--from-store", default=None, metavar="DB",
+        help="re-export from an ingested corpus store instead of re-running the funnel",
+    )
     export.set_defaults(func=_cmd_export)
+
+    ingest = sub.add_parser(
+        "ingest", help="run the funnel and persist the corpus into a sqlite store"
+    )
+    _corpus_args(ingest)
+    ingest.add_argument(
+        "--db", default="corpus.db", metavar="PATH", help="corpus store path"
+    )
+    ingest.set_defaults(func=_cmd_ingest)
+
+    serve = sub.add_parser(
+        "serve", help="serve an ingested corpus store as a read-only JSON API"
+    )
+    serve.add_argument(
+        "--db", default="corpus.db", metavar="PATH", help="corpus store path"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port")
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

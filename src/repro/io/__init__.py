@@ -7,6 +7,7 @@ in any stack, and read them back losslessly for the measures.
 """
 
 from repro.io.export import (
+    export_from_store,
     export_study,
     funnel_payload,
     project_rows,
@@ -21,6 +22,7 @@ from repro.io.corpus_io import CorpusDumpReport, dump_corpus_histories, load_cor
 __all__ = [
     "CorpusDumpReport",
     "dump_corpus_histories",
+    "export_from_store",
     "export_study",
     "funnel_payload",
     "stats_payload",

@@ -171,6 +171,26 @@ def write_json(path: str | Path, payload: object) -> None:
         handle.write("\n")
 
 
+def export_from_store(
+    directory: str | Path,
+    store,
+    figures: bool = True,
+) -> dict[str, Path]:
+    """Re-export the full artifact set from an ingested corpus store.
+
+    Reads the persisted :class:`~repro.core.project.ProjectHistory`
+    records and funnel counts back out of a
+    :class:`~repro.store.CorpusStore` — no measurement re-runs — and
+    produces byte-identical artifacts to :func:`export_study` over the
+    equivalent direct funnel run.
+    """
+    from repro.core.analysis import analyze_corpus
+
+    report = store.funnel_report()
+    analysis = analyze_corpus(report.studied + report.rigid)
+    return export_study(directory, report, analysis, figures=figures)
+
+
 def export_study(
     directory: str | Path,
     report: FunnelReport,

@@ -101,6 +101,13 @@ class Stage(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def usable_versions(versions: list[FileVersion]) -> list[FileVersion]:
+    """The versions that count as schema history: no deletions, no
+    blank files.  Shared by :class:`ExtractStage` and the store's
+    incremental ingest, so both fingerprint the same version list."""
+    return [v for v in versions if not v.is_deletion and v.text.strip()]
+
+
 class ExtractStage:
     """Clone-equivalent: resolve the repository, linearize the file history."""
 
@@ -117,9 +124,7 @@ class ExtractStage:
             return
         ctx.repo = repo
         versions = extract_file_history(repo, ctx.task.ddl_path, policy=self._policy)
-        ctx.file_versions = [
-            v for v in versions if not v.is_deletion and v.text.strip()
-        ]
+        ctx.file_versions = usable_versions(versions)
         if not ctx.file_versions:
             ctx.outcome = Outcome.ZERO_VERSIONS
 

@@ -180,6 +180,17 @@ class ExperimentSuite:
         self.report = report
         self.analysis = analysis
 
+    @classmethod
+    def from_store(cls, store) -> "ExperimentSuite":
+        """Build the suite from an ingested
+        :class:`~repro.store.CorpusStore` instead of a fresh funnel run
+        — every figure and table renders without re-measuring."""
+        from repro.core.analysis import analyze_corpus
+
+        report = store.funnel_report()
+        analysis = analyze_corpus(report.studied + report.rigid)
+        return cls(report, analysis)
+
     def render_fig4(self) -> str:
         headers = ["measure"] + [t.short for t in TAXA_ORDER]
         return format_table(headers, fig4_rows(self.analysis), title="Fig 4: measurements per taxon")

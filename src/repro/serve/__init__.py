@@ -1,0 +1,46 @@
+"""The read-only corpus serving layer (``repro serve``).
+
+A stdlib ``ThreadingHTTPServer`` over one :class:`~repro.store.CorpusStore`:
+
+====================================  =========================================
+``GET /projects``                     paginated projects; ``taxon=``,
+                                      ``outcome=``, ``min_<metric>=`` /
+                                      ``max_<metric>=``, ``offset=``, ``limit=``
+``GET /projects/{id}``                one project + its schema-version ledger
+``GET /projects/{id}/heartbeat``      the per-commit heartbeat rows
+``GET /taxa``                         per-taxon populations and shares
+``GET /stats``                        corpus aggregates + funnel counts
+``GET /metrics``                      per-endpoint request/latency counters
+====================================  =========================================
+
+``{id}`` is a numeric store id or a URL-encoded project name.  All
+cacheable responses carry a deterministic ``ETag`` derived from the
+store's content hash; ``If-None-Match`` revalidation answers ``304``.
+"""
+
+from repro.serve.metrics import EndpointCounters, ServiceMetrics
+from repro.serve.server import (
+    CorpusServer,
+    GZIP_THRESHOLD,
+    serve_forever,
+    start_server,
+)
+from repro.serve.service import (
+    CorpusService,
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+    ServiceResponse,
+)
+
+__all__ = [
+    "CorpusServer",
+    "CorpusService",
+    "DEFAULT_PAGE_LIMIT",
+    "EndpointCounters",
+    "GZIP_THRESHOLD",
+    "MAX_PAGE_LIMIT",
+    "ServiceMetrics",
+    "ServiceResponse",
+    "serve_forever",
+    "start_server",
+]

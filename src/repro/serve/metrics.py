@@ -1,0 +1,72 @@
+"""Per-endpoint request/latency counters for the serving layer.
+
+The ROADMAP's "heavy traffic" north star starts with being able to see
+the traffic: every request increments its endpoint's counters (count,
+per-status split, latency sum/min/max) behind one lock, and ``/metrics``
+serves the whole table as JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EndpointCounters:
+    """Counters of one route pattern."""
+
+    requests: int = 0
+    by_status: dict[int, int] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+    bytes_sent: int = 0
+
+    def observe(self, status: int, seconds: float, body_bytes: int) -> None:
+        self.requests += 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+        self.bytes_sent += body_bytes
+
+    def payload(self) -> dict:
+        avg = self.total_seconds / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "by_status": {str(code): n for code, n in sorted(self.by_status.items())},
+            "latency_ms": {
+                "avg": round(avg * 1000, 3),
+                "min": round(self.min_seconds * 1000, 3) if self.requests else 0.0,
+                "max": round(self.max_seconds * 1000, 3),
+            },
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe registry of per-endpoint counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointCounters] = {}
+
+    def observe(
+        self, endpoint: str, status: int, seconds: float, body_bytes: int = 0
+    ) -> None:
+        with self._lock:
+            counters = self._endpoints.setdefault(endpoint, EndpointCounters())
+            counters.observe(status, seconds, body_bytes)
+
+    def payload(self) -> dict:
+        with self._lock:
+            return {
+                "endpoints": {
+                    endpoint: counters.payload()
+                    for endpoint, counters in sorted(self._endpoints.items())
+                },
+                "total_requests": sum(
+                    counters.requests for counters in self._endpoints.values()
+                ),
+            }

@@ -1,0 +1,163 @@
+"""The HTTP front: stdlib ``ThreadingHTTPServer`` around the service.
+
+Read-only JSON over GET, with the properties a corpus API needs to sit
+behind heavy traffic:
+
+- **Deterministic revalidation.**  Every cacheable response carries an
+  ``ETag`` derived from the store's content hash plus the canonical
+  request, so an unchanged store answers repeat queries with ``304 Not
+  Modified`` and an empty body.
+- **Compression.**  Bodies above a small threshold are gzipped when the
+  client advertises ``Accept-Encoding: gzip`` (with ``mtime=0`` so the
+  bytes are reproducible).
+- **Observability.**  ``/metrics`` exposes the per-endpoint request and
+  latency counters of :class:`~repro.serve.metrics.ServiceMetrics`.
+- **Graceful shutdown.**  ``serve_forever`` installs SIGINT/SIGTERM
+  handlers that drain the threaded server instead of killing sockets.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import CorpusService, ServiceResponse
+from repro.store.store import CorpusStore
+
+#: Responses smaller than this are not worth compressing.
+GZIP_THRESHOLD = 256
+
+
+class CorpusRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP to :class:`CorpusService` calls."""
+
+    server: "CorpusServer"
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
+        self.do_GET(head_only=True)
+
+    def do_GET(self, head_only: bool = False) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        params = dict(parse_qsl(split.query))
+        if split.path in ("/metrics", "/metrics/"):
+            result = ServiceResponse(
+                status=200,
+                payload=self.server.metrics.payload(),
+                endpoint="/metrics",
+                cacheable=False,
+            )
+        else:
+            result = self.server.service.handle(split.path, params)
+        status, body, headers = self._materialize(result, split.path, split.query)
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body and not head_only:
+            self.wfile.write(body)
+        self.server.metrics.observe(
+            result.endpoint, status, time.perf_counter() - started, len(body)
+        )
+
+    def _materialize(
+        self, result: ServiceResponse, path: str, query: str
+    ) -> tuple[int, bytes, dict[str, str]]:
+        headers = {"Content-Type": "application/json; charset=utf-8"}
+        etag = None
+        if result.cacheable and result.status == 200:
+            etag = self.server.etag_for(path, query)
+            headers["ETag"] = etag
+            headers["Cache-Control"] = "max-age=0, must-revalidate"
+            if self._etag_matches(etag):
+                return 304, b"", headers
+        body = json.dumps(result.payload, sort_keys=True).encode("utf-8")
+        if (
+            len(body) >= GZIP_THRESHOLD
+            and "gzip" in self.headers.get("Accept-Encoding", "")
+        ):
+            body = gzip.compress(body, mtime=0)
+            headers["Content-Encoding"] = "gzip"
+        return result.status, body, headers
+
+    def _etag_matches(self, etag: str) -> bool:
+        candidates = self.headers.get("If-None-Match", "")
+        return etag in [value.strip() for value in candidates.split(",")]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class CorpusServer(ThreadingHTTPServer):
+    """A read-only corpus API bound to one :class:`CorpusStore`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: CorpusStore,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        verbose: bool = False,
+    ) -> None:
+        self.store = store
+        self.service = CorpusService(store)
+        self.metrics = ServiceMetrics()
+        self.verbose = verbose
+        super().__init__((host, port), CorpusRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def etag_for(self, path: str, query: str) -> str:
+        """A strong validator: store content hash x canonical request."""
+        request_digest = hashlib.sha256(f"{path}?{query}".encode()).hexdigest()
+        return f'"{self.store.content_hash()[:20]}-{request_digest[:12]}"'
+
+
+def start_server(
+    store: CorpusStore, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> tuple[CorpusServer, threading.Thread]:
+    """Start a server on a background thread (port 0 = ephemeral)."""
+    server = CorpusServer(store, host=host, port=port, verbose=verbose)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve_forever(
+    store: CorpusStore, host: str = "127.0.0.1", port: int = 8765, verbose: bool = True
+) -> None:
+    """Run until SIGINT/SIGTERM, then drain in-flight requests."""
+    server = CorpusServer(store, host=host, port=port, verbose=verbose)
+
+    def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _shutdown)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

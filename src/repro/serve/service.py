@@ -1,0 +1,161 @@
+"""The read-only query service behind the HTTP front.
+
+:class:`CorpusService` maps a (path, query) pair to a JSON payload and
+status code — no sockets, no headers — so every route is unit-testable
+without a running server, and the HTTP layer stays a thin translation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from urllib.parse import unquote
+
+from repro.store.store import (
+    METRIC_COLUMNS,
+    CorpusStore,
+    MetricRange,
+    StoreError,
+)
+
+#: Hard ceiling on one page of /projects.
+MAX_PAGE_LIMIT = 500
+DEFAULT_PAGE_LIMIT = 50
+
+_HEARTBEAT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)/heartbeat$")
+_PROJECT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)$")
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One routed result: HTTP status, JSON payload, cacheability."""
+
+    status: int
+    payload: dict
+    endpoint: str  # the route pattern, for metrics
+    cacheable: bool = True  # False: never ETag-revalidated (/metrics)
+
+
+def _error(status: int, message: str, endpoint: str) -> ServiceResponse:
+    return ServiceResponse(
+        status=status, payload={"error": message}, endpoint=endpoint, cacheable=False
+    )
+
+
+def _int_param(params: dict[str, str], key: str, default: int) -> int:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise StoreError(f"{key} must be an integer, got {raw!r}")
+
+
+def _resolve_ref(raw: str) -> int | str:
+    """A path segment is a numeric store id or a URL-encoded name."""
+    decoded = unquote(raw)
+    return int(decoded) if decoded.isdigit() else decoded
+
+
+class CorpusService:
+    """Routes read-only queries against one :class:`CorpusStore`."""
+
+    def __init__(self, store: CorpusStore) -> None:
+        self.store = store
+
+    def handle(self, path: str, params: dict[str, str]) -> ServiceResponse:
+        """Dispatch one GET request; never raises for bad input."""
+        try:
+            if path in ("/projects", "/projects/"):
+                return self._projects(params)
+            match = _HEARTBEAT_RE.match(path)
+            if match:
+                return self._heartbeat(_resolve_ref(match.group("ref")))
+            match = _PROJECT_RE.match(path)
+            if match:
+                return self._project(_resolve_ref(match.group("ref")))
+            if path in ("/taxa", "/taxa/"):
+                return self._taxa()
+            if path in ("/stats", "/stats/"):
+                return self._stats()
+            return _error(404, f"no such route: {path}", "unknown")
+        except StoreError as exc:
+            return _error(400, str(exc), path)
+
+    # -- routes -----------------------------------------------------------
+
+    def _projects(self, params: dict[str, str]) -> ServiceResponse:
+        offset = _int_param(params, "offset", 0)
+        limit = _int_param(params, "limit", DEFAULT_PAGE_LIMIT)
+        if not 1 <= limit <= MAX_PAGE_LIMIT:
+            raise StoreError(f"limit must be in 1..{MAX_PAGE_LIMIT}, got {limit}")
+        ranges = []
+        for key, value in params.items():
+            if key.startswith(("min_", "max_")):
+                bound, metric = key.split("_", 1)
+                if metric not in METRIC_COLUMNS:
+                    raise StoreError(f"unknown metric filter {key!r}")
+                try:
+                    number = float(value)
+                except ValueError:
+                    raise StoreError(f"{key} must be numeric, got {value!r}")
+                ranges.append(
+                    MetricRange(
+                        metric,
+                        minimum=number if bound == "min" else None,
+                        maximum=number if bound == "max" else None,
+                    )
+                )
+        page = self.store.query_projects(
+            taxon=params.get("taxon"),
+            outcome=params.get("outcome"),
+            ranges=ranges,
+            offset=offset,
+            limit=limit,
+        )
+        return ServiceResponse(
+            status=200,
+            payload={
+                "total": page.total,
+                "offset": page.offset,
+                "limit": page.limit,
+                "projects": [project.payload() for project in page.projects],
+            },
+            endpoint="/projects",
+        )
+
+    def _project(self, ref: int | str) -> ServiceResponse:
+        stored = self.store.get_project(ref)
+        if stored is None:
+            return _error(404, f"unknown project: {ref}", "/projects/{id}")
+        payload = stored.payload()
+        payload["versions"] = self.store.version_rows(ref)
+        return ServiceResponse(status=200, payload=payload, endpoint="/projects/{id}")
+
+    def _heartbeat(self, ref: int | str) -> ServiceResponse:
+        stored = self.store.get_project(ref)
+        if stored is None:
+            return _error(404, f"unknown project: {ref}", "/projects/{id}/heartbeat")
+        rows = self.store.heartbeat_rows(ref) or []
+        return ServiceResponse(
+            status=200,
+            payload={
+                "id": stored.id,
+                "project": stored.name,
+                "taxon": stored.taxon,
+                "transitions": len(rows),
+                "heartbeat": rows,
+            },
+            endpoint="/projects/{id}/heartbeat",
+        )
+
+    def _taxa(self) -> ServiceResponse:
+        return ServiceResponse(
+            status=200, payload={"taxa": self.store.taxa_summary()}, endpoint="/taxa"
+        )
+
+    def _stats(self) -> ServiceResponse:
+        payload = self.store.aggregates()
+        payload["content_hash"] = self.store.content_hash()
+        return ServiceResponse(status=200, payload=payload, endpoint="/stats")

@@ -1,0 +1,37 @@
+"""The persistent corpus store.
+
+``repro ingest`` runs the collection funnel and persists the measured
+corpus into a sqlite-backed :class:`CorpusStore`; every later consumer
+(`repro export --from-store`, `repro serve`, reporting) reads from the
+store instead of re-measuring.  Ingest is incremental: project rows
+carry the content fingerprint of their DDL histories, so re-ingesting
+an unchanged corpus measures zero projects.
+"""
+
+from repro.store.ingest import (
+    IngestReport,
+    MISSING_REPO_FINGERPRINT,
+    history_fingerprint,
+    ingest_corpus,
+)
+from repro.store.store import (
+    METRIC_COLUMNS,
+    CorpusStore,
+    MetricRange,
+    ProjectPage,
+    StoreError,
+    StoredProject,
+)
+
+__all__ = [
+    "CorpusStore",
+    "IngestReport",
+    "METRIC_COLUMNS",
+    "MISSING_REPO_FINGERPRINT",
+    "MetricRange",
+    "ProjectPage",
+    "StoreError",
+    "StoredProject",
+    "history_fingerprint",
+    "ingest_corpus",
+]

@@ -1,0 +1,252 @@
+"""Incremental ingest: funnel -> :class:`CorpusStore`, measuring only
+what changed.
+
+A project's identity is the content fingerprint of its DDL history —
+the ``text_key`` of every usable version (the pipeline cache's key
+scheme) chained with commit oids, timestamps, the chosen DDL path,
+whole-repo commit stats, and the measurement configuration.  Ingest
+extracts each candidate history once, fingerprints it, and only pushes
+projects whose fingerprint is new or changed through the measurement
+pipeline; everything else is proven unchanged without a single parse,
+diff, or measure.  Re-ingesting an unchanged corpus therefore performs
+**zero** measurement-stage executions, which the attached
+:class:`~repro.pipeline.stats.PipelineStats` make verifiable:
+``report.stats.projects == 0``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro.core.heartbeat import DEFAULT_REED_LIMIT
+from repro.mining.github_activity import GithubActivityDataset
+from repro.mining.librariesio import LibrariesIoDataset
+from repro.mining.path_filters import MultiFileVerdict, choose_ddl_file
+from repro.mining.selection import SelectionCriteria, select_lib_io
+from repro.pipeline.cache import SchemaCache, text_key
+from repro.pipeline.pipeline import MeasurementPipeline, PipelineConfig
+from repro.pipeline.stages import (
+    ClassifyStage,
+    DiffStage,
+    MeasureStage,
+    Outcome,
+    ParseStage,
+    ProjectContext,
+    ProjectTask,
+    usable_versions,
+)
+from repro.pipeline.stats import PipelineStats
+from repro.store.store import CorpusStore
+from repro.vcs.history import FileVersion, LinearizationPolicy, extract_file_history
+from repro.vcs.repository import Repository
+
+#: Fingerprint of a repository the provider no longer resolves.
+MISSING_REPO_FINGERPRINT = "missing-repo"
+
+
+@dataclass
+class IngestReport:
+    """What one ingest run did to the store."""
+
+    selected: int = 0  # joined + filtered projects
+    tasks: int = 0  # single-DDL-file candidates
+    omitted_by_paths: dict[MultiFileVerdict, int] = field(default_factory=dict)
+    measured: int = 0  # pushed through the pipeline
+    skipped_unchanged: int = 0  # fingerprint matched the store
+    pruned: int = 0  # dropped: no longer in the corpus
+    zero_versions: int = 0
+    no_create: int = 0
+    rigid: int = 0
+    studied: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    stats: PipelineStats | None = None
+
+    def summary(self) -> str:
+        lines = [
+            f"ingested {self.tasks} candidate projects in {self.wall_seconds:.2f}s",
+            f"  measured:          {self.measured}",
+            f"  unchanged:         {self.skipped_unchanged}",
+            f"  pruned:            {self.pruned}",
+            "  store outcomes:    "
+            f"studied={self.studied} rigid={self.rigid} "
+            f"zero-versions={self.zero_versions} no-create={self.no_create} "
+            f"failed={self.failed}",
+        ]
+        return "\n".join(lines)
+
+
+def history_fingerprint(
+    task: ProjectTask,
+    repo: Repository | None,
+    versions: list[FileVersion],
+    config: PipelineConfig,
+) -> str:
+    """The content identity of one project's measurable input.
+
+    Built on the pipeline cache's :func:`text_key` so the same blob
+    hashing underpins both caching and incremental ingest.  Whole-repo
+    commit stats participate because PUP months and the DDL-commit
+    share are measured from them.
+    """
+    if repo is None:
+        return MISSING_REPO_FINGERPRINT
+    digest = hashlib.sha256()
+    digest.update(
+        f"{task.ddl_path}|{config.policy.name}|{config.reed_limit}"
+        f"|{int(config.lenient)}".encode()
+    )
+    from repro.core.project import repo_stats_of
+
+    stats = repo_stats_of(repo)
+    digest.update(
+        f"|repo:{stats.total_commits}"
+        f":{stats.first_commit_ts}:{stats.last_commit_ts}".encode()
+    )
+    for version in versions:
+        digest.update(
+            f"|{version.commit_oid}:{version.timestamp}"
+            f":{text_key(version.text, config.lenient)}".encode()
+        )
+    return digest.hexdigest()
+
+
+class _SeededExtract:
+    """An extract stage fed from the fingerprinting pass, so changed
+    projects do not walk their histories twice."""
+
+    name = "extract"
+
+    def __init__(self, seeds: dict[str, tuple[Repository | None, list[FileVersion]]]):
+        self._seeds = seeds
+
+    def run(self, ctx: ProjectContext) -> None:
+        repo, versions = self._seeds[ctx.task.repo_name]
+        if repo is None:
+            ctx.outcome = Outcome.ZERO_VERSIONS
+            return
+        ctx.repo = repo
+        ctx.file_versions = versions
+        if not versions:
+            ctx.outcome = Outcome.ZERO_VERSIONS
+
+
+def ingest_corpus(
+    store: CorpusStore,
+    activity: GithubActivityDataset,
+    lib_io: LibrariesIoDataset,
+    provider,
+    criteria: SelectionCriteria = SelectionCriteria(),
+    policy: LinearizationPolicy = LinearizationPolicy.FULL,
+    reed_limit: int = DEFAULT_REED_LIMIT,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache: SchemaCache | None = None,
+    prune: bool = True,
+) -> IngestReport:
+    """Run the funnel front, measure the changed delta, persist it all.
+
+    The front half mirrors :func:`repro.mining.funnel.run_funnel`
+    (selection, path post-processing); the back half replaces blanket
+    re-measurement with the fingerprint delta.  Projects whose history
+    cannot even be extracted (a crashing provider) are handed to the
+    ordinary pipeline so the failure is recorded uniformly as a
+    :class:`~repro.pipeline.stages.ProjectFailure`.
+    """
+    started = time.perf_counter()
+    report = IngestReport()
+    config = PipelineConfig(
+        policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir
+    )
+
+    selected = select_lib_io(activity, lib_io, criteria)
+    report.selected = len(selected)
+    tasks: list[ProjectTask] = []
+    for project in selected:
+        choice = choose_ddl_file(list(project.sql_files))
+        if not choice.accepted:
+            report.omitted_by_paths[choice.verdict] = (
+                report.omitted_by_paths.get(choice.verdict, 0) + 1
+            )
+            continue
+        assert choice.chosen is not None
+        tasks.append(
+            ProjectTask(project.repo_name, choice.chosen.path, project.metadata.domain)
+        )
+    report.tasks = len(tasks)
+    store.record_funnel_front(
+        sql_collection_repos=activity.repository_count(),
+        joined_and_filtered=report.selected,
+        lib_io_projects=report.tasks,
+        omitted_by_paths=report.omitted_by_paths,
+    )
+
+    # -- fingerprint pass: prove projects unchanged without measuring ----
+    known = store.fingerprints()
+    seeds: dict[str, tuple[Repository | None, list[FileVersion]]] = {}
+    fingerprints: dict[str, str] = {}
+    changed: list[ProjectTask] = []
+    unextractable: list[ProjectTask] = []
+    for task in tasks:
+        try:
+            repo = provider(task.repo_name)
+            versions = (
+                usable_versions(
+                    extract_file_history(repo, task.ddl_path, policy=policy)
+                )
+                if repo is not None
+                else []
+            )
+            fingerprint = history_fingerprint(task, repo, versions, config)
+        except Exception:
+            # Reproduce the crash inside the pipeline so it is isolated
+            # and recorded as a ProjectFailure like any other.
+            unextractable.append(task)
+            fingerprints[task.repo_name] = MISSING_REPO_FINGERPRINT
+            continue
+        fingerprints[task.repo_name] = fingerprint
+        if known.get(task.repo_name) == fingerprint:
+            report.skipped_unchanged += 1
+            continue
+        seeds[task.repo_name] = (repo, versions)
+        changed.append(task)
+
+    # -- measurement pass: only the delta enters the pipeline ------------
+    shared_cache = cache if cache is not None else SchemaCache(config.cache_dir)
+    pipeline = MeasurementPipeline(
+        provider=lambda name: seeds.get(name, (None, []))[0],
+        config=config,
+        cache=shared_cache,
+        stages=(
+            _SeededExtract(seeds),
+            ParseStage(shared_cache, lenient=config.lenient),
+            DiffStage(shared_cache),
+            MeasureStage(shared_cache, reed_limit=config.reed_limit),
+            ClassifyStage(),
+        ),
+    )
+    contexts = list(pipeline.run(changed))
+    if unextractable:
+        crash_pipeline = MeasurementPipeline(
+            provider=provider, config=config, cache=shared_cache
+        )
+        crash_pipeline.stats = pipeline.stats
+        contexts.extend(crash_pipeline.run(unextractable))
+    report.measured = len(contexts)
+    for ctx in contexts:
+        store.persist_context(ctx, fingerprints[ctx.task.repo_name])
+
+    if prune:
+        report.pruned = store.prune_missing(fingerprints)
+
+    outcomes = store.aggregates()["by_outcome"]
+    report.zero_versions = outcomes.get(Outcome.ZERO_VERSIONS.value, 0)
+    report.no_create = outcomes.get(Outcome.NO_CREATE.value, 0)
+    report.rigid = outcomes.get(Outcome.RIGID.value, 0)
+    report.studied = outcomes.get(Outcome.STUDIED.value, 0)
+    report.failed = outcomes.get(Outcome.FAILED.value, 0)
+    report.stats = pipeline.stats
+    report.wall_seconds = time.perf_counter() - started
+    return report

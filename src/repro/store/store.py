@@ -1,0 +1,764 @@
+"""The persistent corpus store: a sqlite3-backed measurement archive.
+
+The paper's deliverable is a *measured corpus* — per-project heartbeats,
+funnel metrics, taxa — yet re-running the measurement chain for every
+consumer makes results expensive to reuse.  :class:`CorpusStore` is the
+durable backend: one sqlite file holding every project's outcome,
+Fig 4 measures, schema-version ledger, per-commit heartbeat rows and
+failure records, next to the funnel's front-stage counts.
+
+Two properties make it more than a dump:
+
+- **Incremental identity.**  Every project row carries the content
+  fingerprint of its DDL history (built from the pipeline cache's
+  ``text_key`` scheme), so ingest can prove a project unchanged without
+  re-measuring it — see :mod:`repro.store.ingest`.
+- **Typed queries.**  ``by_taxon``, metric-range filters, pagination
+  and corpus aggregates read straight from SQL; reporting and export
+  reconstruct full :class:`~repro.core.project.ProjectHistory` objects
+  (pickled alongside the flat columns) so a store-backed export is
+  byte-identical to a direct funnel export.
+
+Readers are thread-safe: every thread gets its own connection (the
+read-only serving layer leans on this), and multi-statement reads run
+inside one transaction so concurrent ingests cannot tear a snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import sqlite3
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.project import ProjectHistory
+from repro.core.taxa import TAXA_ORDER, Taxon
+from repro.mining.funnel import FunnelReport
+from repro.mining.path_filters import MultiFileVerdict
+from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
+
+#: Bump when the table layout changes; a mismatched store refuses to open.
+STORE_SCHEMA_VERSION = 1
+
+#: The numeric per-project columns a metric-range filter may target.
+METRIC_COLUMNS: tuple[str, ...] = (
+    "n_commits",
+    "active_commits",
+    "total_activity",
+    "expansion",
+    "maintenance",
+    "reeds",
+    "turf_commits",
+    "table_insertions",
+    "table_deletions",
+    "tables_at_start",
+    "tables_at_end",
+    "attributes_at_start",
+    "attributes_at_end",
+    "sup_months",
+    "pup_months",
+    "total_repo_commits",
+    "ddl_commit_share",
+)
+
+_PROJECT_COLUMNS = (
+    "id",
+    "name",
+    "ddl_path",
+    "domain",
+    "history_hash",
+    "outcome",
+    "taxon",
+) + METRIC_COLUMNS
+
+_HEARTBEAT_COLUMNS = (
+    "transition_id",
+    "timestamp",
+    "days_since_v0",
+    "running_month",
+    "running_year",
+    "old_tables",
+    "old_attributes",
+    "new_tables",
+    "new_attributes",
+    "attrs_born",
+    "attrs_injected",
+    "attrs_deleted",
+    "attrs_ejected",
+    "attrs_type_changed",
+    "attrs_pk_changed",
+    "expansion",
+    "maintenance",
+    "activity",
+    "is_active",
+)
+
+_DDL = f"""
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS funnel (
+    id                    INTEGER PRIMARY KEY CHECK (id = 1),
+    sql_collection_repos  INTEGER NOT NULL DEFAULT 0,
+    joined_and_filtered   INTEGER NOT NULL DEFAULT 0,
+    lib_io_projects       INTEGER NOT NULL DEFAULT 0,
+    omitted_by_paths      TEXT NOT NULL DEFAULT '{{}}'
+);
+CREATE TABLE IF NOT EXISTS projects (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    name                TEXT NOT NULL UNIQUE,
+    ddl_path            TEXT NOT NULL,
+    domain              TEXT NOT NULL DEFAULT '',
+    history_hash        TEXT NOT NULL,
+    outcome             TEXT NOT NULL,
+    taxon               TEXT,
+    {" INTEGER, ".join(c for c in METRIC_COLUMNS if c != "ddl_commit_share")} INTEGER,
+    ddl_commit_share    REAL,
+    payload             BLOB
+);
+CREATE INDEX IF NOT EXISTS idx_projects_taxon ON projects(taxon);
+CREATE INDEX IF NOT EXISTS idx_projects_outcome ON projects(outcome);
+CREATE TABLE IF NOT EXISTS versions (
+    project_id INTEGER NOT NULL REFERENCES projects(id) ON DELETE CASCADE,
+    ordinal    INTEGER NOT NULL,
+    commit_oid TEXT NOT NULL,
+    timestamp  INTEGER NOT NULL,
+    tables     INTEGER NOT NULL,
+    attributes INTEGER NOT NULL,
+    PRIMARY KEY (project_id, ordinal)
+);
+CREATE TABLE IF NOT EXISTS heartbeat (
+    project_id INTEGER NOT NULL REFERENCES projects(id) ON DELETE CASCADE,
+    {" INTEGER, ".join(c for c in _HEARTBEAT_COLUMNS if c != "days_since_v0")} INTEGER,
+    days_since_v0 REAL,
+    PRIMARY KEY (project_id, transition_id)
+);
+CREATE TABLE IF NOT EXISTS failures (
+    project TEXT PRIMARY KEY,
+    stage   TEXT NOT NULL,
+    error   TEXT NOT NULL,
+    message TEXT NOT NULL
+);
+"""
+
+
+class StoreError(RuntimeError):
+    """A store-layer failure (bad filter, incompatible schema, ...)."""
+
+
+@dataclass(frozen=True)
+class StoredProject:
+    """One projects-table row, minus the pickled payload."""
+
+    id: int
+    name: str
+    ddl_path: str
+    domain: str
+    history_hash: str
+    outcome: str
+    taxon: str | None
+    metrics: dict[str, float | int | None] = field(default_factory=dict)
+
+    @classmethod
+    def from_row(cls, row: sqlite3.Row) -> "StoredProject":
+        return cls(
+            id=row["id"],
+            name=row["name"],
+            ddl_path=row["ddl_path"],
+            domain=row["domain"],
+            history_hash=row["history_hash"],
+            outcome=row["outcome"],
+            taxon=row["taxon"],
+            metrics={column: row[column] for column in METRIC_COLUMNS},
+        )
+
+    def payload(self) -> dict:
+        """A JSON-friendly dict (the serving layer's project record)."""
+        out: dict = {
+            "id": self.id,
+            "project": self.name,
+            "ddl_path": self.ddl_path,
+            "domain": self.domain,
+            "history_hash": self.history_hash,
+            "outcome": self.outcome,
+            "taxon": self.taxon,
+        }
+        out.update(self.metrics)
+        return out
+
+
+@dataclass(frozen=True)
+class MetricRange:
+    """A half-open or closed numeric filter over one metric column."""
+
+    metric: str
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRIC_COLUMNS:
+            raise StoreError(
+                f"unknown metric {self.metric!r}; "
+                f"expected one of {', '.join(METRIC_COLUMNS)}"
+            )
+
+
+@dataclass(frozen=True)
+class ProjectPage:
+    """One page of a filtered projects query."""
+
+    total: int
+    offset: int
+    limit: int
+    projects: tuple[StoredProject, ...]
+
+
+def _taxon_from(value: str) -> Taxon:
+    """Resolve a taxon given as enum value ('active') or short name."""
+    for taxon in Taxon:
+        if value in (taxon.value, taxon.short, taxon.name.lower()):
+            return taxon
+    raise StoreError(f"unknown taxon {value!r}")
+
+
+class CorpusStore:
+    """Durable, queryable archive of one measured corpus.
+
+    ``path`` may be a filesystem path (thread-local connections, WAL
+    journal) or ``":memory:"`` (one shared connection behind a lock —
+    handy in unit tests).  Use as a context manager or call
+    :meth:`close` when done.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._memory = self.path == ":memory:"
+        self._local = threading.local()
+        self._write_lock = threading.RLock()
+        self._shared: sqlite3.Connection | None = None
+        self._etag: str | None = None
+        with self._write_lock:
+            conn = self._connection()
+            conn.executescript(_DDL)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+                conn.commit()
+            elif int(row["value"]) != STORE_SCHEMA_VERSION:
+                raise StoreError(
+                    f"store at {self.path} has schema version {row['value']}, "
+                    f"this build expects {STORE_SCHEMA_VERSION}"
+                )
+
+    # -- connection plumbing ----------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._memory:
+            if self._shared is None:
+                self._shared = sqlite3.connect(":memory:", check_same_thread=False)
+                self._shared.row_factory = sqlite3.Row
+                self._shared.execute("PRAGMA foreign_keys = ON")
+            return self._shared
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path)
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA foreign_keys = ON")
+            conn.execute("PRAGMA busy_timeout = 10000")
+            self._local.conn = conn
+            connections = getattr(self, "_all_connections", None)
+            if connections is None:
+                connections = self._all_connections = []
+            with self._write_lock:
+                connections.append(conn)
+        return conn
+
+    @contextmanager
+    def _read_tx(self) -> Iterator[sqlite3.Connection]:
+        """A multi-statement read inside one snapshot."""
+        conn = self._connection()
+        if self._memory:
+            # The single shared connection serializes behind the lock.
+            with self._write_lock:
+                yield conn
+            return
+        conn.execute("BEGIN")
+        try:
+            yield conn
+        finally:
+            conn.commit()
+
+    @contextmanager
+    def _write_tx(self) -> Iterator[sqlite3.Connection]:
+        with self._write_lock:
+            conn = self._connection()
+            conn.execute("BEGIN IMMEDIATE" if not self._memory else "BEGIN")
+            try:
+                yield conn
+            except BaseException:
+                conn.rollback()
+                raise
+            else:
+                conn.commit()
+                self._etag = None
+
+    def close(self) -> None:
+        if self._memory:
+            if self._shared is not None:
+                self._shared.close()
+                self._shared = None
+            return
+        for conn in getattr(self, "_all_connections", []):
+            try:
+                conn.close()
+            except sqlite3.ProgrammingError:
+                pass  # closed by its owning thread already
+        self._all_connections = []
+        self._local = threading.local()
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writes (the ingest side) -----------------------------------------
+
+    def record_funnel_front(
+        self,
+        sql_collection_repos: int,
+        joined_and_filtered: int,
+        lib_io_projects: int,
+        omitted_by_paths: dict[MultiFileVerdict, int],
+    ) -> None:
+        """Persist the funnel's pre-clone stage counts."""
+        omitted = json.dumps(
+            {verdict.name: count for verdict, count in omitted_by_paths.items()},
+            sort_keys=True,
+        )
+        with self._write_tx() as conn:
+            conn.execute(
+                "INSERT INTO funnel (id, sql_collection_repos, joined_and_filtered,"
+                " lib_io_projects, omitted_by_paths) VALUES (1, ?, ?, ?, ?)"
+                " ON CONFLICT(id) DO UPDATE SET"
+                " sql_collection_repos = excluded.sql_collection_repos,"
+                " joined_and_filtered = excluded.joined_and_filtered,"
+                " lib_io_projects = excluded.lib_io_projects,"
+                " omitted_by_paths = excluded.omitted_by_paths",
+                (sql_collection_repos, joined_and_filtered, lib_io_projects, omitted),
+            )
+
+    def fingerprints(self) -> dict[str, str]:
+        """name -> stored history fingerprint, for the ingest delta."""
+        with self._read_tx() as conn:
+            rows = conn.execute("SELECT name, history_hash FROM projects").fetchall()
+        return {row["name"]: row["history_hash"] for row in rows}
+
+    def persist_context(self, ctx: ProjectContext, history_hash: str) -> None:
+        """Upsert one measured pipeline context under its fingerprint."""
+        task = ctx.task
+        columns = dict.fromkeys(METRIC_COLUMNS)
+        taxon = ctx.taxon.value if ctx.taxon is not None else None
+        blob = None
+        project = ctx.project
+        if project is not None:
+            metrics = project.metrics
+            for column in METRIC_COLUMNS:
+                if column == "pup_months":
+                    columns[column] = project.pup_months
+                elif column == "total_repo_commits":
+                    columns[column] = project.repo_stats.total_commits
+                elif column == "ddl_commit_share":
+                    columns[column] = project.ddl_commit_share
+                elif column in ("expansion", "maintenance"):
+                    columns[column] = getattr(metrics, f"total_{column}")
+                else:
+                    columns[column] = getattr(metrics, column)
+            blob = pickle.dumps(project, protocol=pickle.HIGHEST_PROTOCOL)
+        outcome = ctx.outcome.value if ctx.outcome is not None else Outcome.FAILED.value
+        with self._write_tx() as conn:
+            conn.execute(
+                "INSERT INTO projects (name, ddl_path, domain, history_hash,"
+                f" outcome, taxon, {', '.join(METRIC_COLUMNS)}, payload)"
+                f" VALUES ({', '.join('?' * (6 + len(METRIC_COLUMNS) + 1))})"
+                " ON CONFLICT(name) DO UPDATE SET"
+                " ddl_path = excluded.ddl_path, domain = excluded.domain,"
+                " history_hash = excluded.history_hash,"
+                " outcome = excluded.outcome, taxon = excluded.taxon,"
+                + "".join(f" {c} = excluded.{c}," for c in METRIC_COLUMNS)
+                + " payload = excluded.payload",
+                (
+                    task.repo_name,
+                    task.ddl_path,
+                    task.domain,
+                    history_hash,
+                    outcome,
+                    taxon,
+                    *[columns[c] for c in METRIC_COLUMNS],
+                    blob,
+                ),
+            )
+            project_id = conn.execute(
+                "SELECT id FROM projects WHERE name = ?", (task.repo_name,)
+            ).fetchone()["id"]
+            conn.execute("DELETE FROM versions WHERE project_id = ?", (project_id,))
+            conn.execute("DELETE FROM heartbeat WHERE project_id = ?", (project_id,))
+            conn.execute("DELETE FROM failures WHERE project = ?", (task.repo_name,))
+            if project is not None:
+                conn.executemany(
+                    "INSERT INTO versions (project_id, ordinal, commit_oid,"
+                    " timestamp, tables, attributes) VALUES (?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            project_id,
+                            version.index,
+                            version.commit_oid,
+                            version.timestamp,
+                            version.schema.size.tables,
+                            version.schema.size.attributes,
+                        )
+                        for version in project.history.versions
+                    ],
+                )
+                conn.executemany(
+                    "INSERT INTO heartbeat (project_id, "
+                    + ", ".join(_HEARTBEAT_COLUMNS)
+                    + ") VALUES ("
+                    + ", ".join("?" * (1 + len(_HEARTBEAT_COLUMNS)))
+                    + ")",
+                    [
+                        (
+                            project_id,
+                            t.transition_id,
+                            t.timestamp,
+                            round(t.days_since_v0, 6),
+                            t.running_month,
+                            t.running_year,
+                            t.old_size.tables,
+                            t.old_size.attributes,
+                            t.new_size.tables,
+                            t.new_size.attributes,
+                            t.diff.attrs_born,
+                            t.diff.attrs_injected,
+                            t.diff.attrs_deleted,
+                            t.diff.attrs_ejected,
+                            t.diff.attrs_type_changed,
+                            t.diff.attrs_pk_changed,
+                            t.expansion,
+                            t.maintenance,
+                            t.activity,
+                            int(t.is_active),
+                        )
+                        for t in project.metrics.transitions
+                    ],
+                )
+            if ctx.failure is not None:
+                conn.execute(
+                    "INSERT INTO failures (project, stage, error, message)"
+                    " VALUES (?, ?, ?, ?) ON CONFLICT(project) DO UPDATE SET"
+                    " stage = excluded.stage, error = excluded.error,"
+                    " message = excluded.message",
+                    (
+                        ctx.failure.project,
+                        ctx.failure.stage,
+                        ctx.failure.error,
+                        ctx.failure.message,
+                    ),
+                )
+
+    def prune_missing(self, keep: Iterable[str]) -> int:
+        """Drop projects that left the corpus; returns how many went."""
+        names = set(keep)
+        with self._read_tx() as conn:
+            stored = [
+                row["name"] for row in conn.execute("SELECT name FROM projects")
+            ]
+        stale = [name for name in stored if name not in names]
+        if stale:
+            with self._write_tx() as conn:
+                conn.executemany(
+                    "DELETE FROM projects WHERE name = ?", [(n,) for n in stale]
+                )
+                conn.executemany(
+                    "DELETE FROM failures WHERE project = ?", [(n,) for n in stale]
+                )
+        return len(stale)
+
+    # -- typed queries (the read side) -------------------------------------
+
+    def project_count(self) -> int:
+        with self._read_tx() as conn:
+            return conn.execute("SELECT COUNT(*) AS n FROM projects").fetchone()["n"]
+
+    def get_project(self, ref: int | str) -> StoredProject | None:
+        """Look up by numeric store id or by project name."""
+        clause = "id = ?" if isinstance(ref, int) else "name = ?"
+        with self._read_tx() as conn:
+            row = conn.execute(
+                f"SELECT {', '.join(_PROJECT_COLUMNS)} FROM projects WHERE {clause}",
+                (ref,),
+            ).fetchone()
+        return StoredProject.from_row(row) if row is not None else None
+
+    def query_projects(
+        self,
+        taxon: Taxon | str | None = None,
+        outcome: Outcome | str | None = None,
+        ranges: Sequence[MetricRange] = (),
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> ProjectPage:
+        """Filtered, paginated projects in stable (ingest) order."""
+        where: list[str] = []
+        params: list[object] = []
+        if taxon is not None:
+            resolved = taxon if isinstance(taxon, Taxon) else _taxon_from(taxon)
+            where.append("taxon = ?")
+            params.append(resolved.value)
+        if outcome is not None:
+            where.append("outcome = ?")
+            params.append(outcome.value if isinstance(outcome, Outcome) else outcome)
+        for bound in ranges:
+            if bound.minimum is not None:
+                where.append(f"{bound.metric} >= ?")
+                params.append(bound.minimum)
+            if bound.maximum is not None:
+                where.append(f"{bound.metric} <= ?")
+                params.append(bound.maximum)
+        clause = (" WHERE " + " AND ".join(where)) if where else ""
+        if offset < 0:
+            raise StoreError("offset must be >= 0")
+        if limit is not None and limit < 1:
+            raise StoreError("limit must be >= 1")
+        with self._read_tx() as conn:
+            total = conn.execute(
+                f"SELECT COUNT(*) AS n FROM projects{clause}", params
+            ).fetchone()["n"]
+            sql = (
+                f"SELECT {', '.join(_PROJECT_COLUMNS)} FROM projects{clause}"
+                " ORDER BY id LIMIT ? OFFSET ?"
+            )
+            rows = conn.execute(sql, [*params, limit if limit else -1, offset]).fetchall()
+        return ProjectPage(
+            total=total,
+            offset=offset,
+            limit=limit if limit is not None else total,
+            projects=tuple(StoredProject.from_row(row) for row in rows),
+        )
+
+    def by_taxon(self, taxon: Taxon | str) -> tuple[StoredProject, ...]:
+        """All projects of one taxon, in stable order."""
+        return self.query_projects(taxon=taxon).projects
+
+    def heartbeat_rows(self, ref: int | str) -> list[dict] | None:
+        """The per-commit heartbeat of one project (None if unknown)."""
+        stored = self.get_project(ref)
+        if stored is None:
+            return None
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                f"SELECT {', '.join(_HEARTBEAT_COLUMNS)} FROM heartbeat"
+                " WHERE project_id = ? ORDER BY transition_id",
+                (stored.id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def version_rows(self, ref: int | str) -> list[dict] | None:
+        """The schema-version ledger of one project (None if unknown)."""
+        stored = self.get_project(ref)
+        if stored is None:
+            return None
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT ordinal, commit_oid, timestamp, tables, attributes"
+                " FROM versions WHERE project_id = ? ORDER BY ordinal",
+                (stored.id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def failures(self) -> list[ProjectFailure]:
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT project, stage, error, message FROM failures ORDER BY project"
+            ).fetchall()
+        return [
+            ProjectFailure(
+                project=row["project"],
+                stage=row["stage"],
+                error=row["error"],
+                message=row["message"],
+            )
+            for row in rows
+        ]
+
+    def taxa_summary(self) -> dict[str, dict]:
+        """Population and share-of-studied per taxon (the /taxa payload)."""
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT taxon, COUNT(*) AS n FROM projects"
+                " WHERE outcome = ? GROUP BY taxon",
+                (Outcome.STUDIED.value,),
+            ).fetchall()
+        counts = {row["taxon"]: row["n"] for row in rows}
+        studied = sum(counts.values())
+        return {
+            taxon.value: {
+                "count": counts.get(taxon.value, 0),
+                "share_of_studied": (
+                    counts.get(taxon.value, 0) / studied if studied else 0.0
+                ),
+            }
+            for taxon in TAXA_ORDER
+        }
+
+    def aggregates(self) -> dict:
+        """Corpus-level aggregates (the /stats payload)."""
+        with self._read_tx() as conn:
+            outcome_rows = conn.execute(
+                "SELECT outcome, COUNT(*) AS n FROM projects GROUP BY outcome"
+            ).fetchall()
+            sums = conn.execute(
+                "SELECT COUNT(*) AS measured,"
+                " COALESCE(SUM(total_activity), 0) AS total_activity,"
+                " COALESCE(SUM(n_commits), 0) AS n_commits,"
+                " COALESCE(SUM(active_commits), 0) AS active_commits,"
+                " COALESCE(SUM(expansion), 0) AS expansion,"
+                " COALESCE(SUM(maintenance), 0) AS maintenance,"
+                " COALESCE(AVG(sup_months), 0) AS avg_sup_months"
+                " FROM projects WHERE outcome IN (?, ?)",
+                (Outcome.STUDIED.value, Outcome.RIGID.value),
+            ).fetchone()
+            heartbeat_total = conn.execute(
+                "SELECT COUNT(*) AS n FROM heartbeat"
+            ).fetchone()["n"]
+            funnel = conn.execute(
+                "SELECT sql_collection_repos, joined_and_filtered, lib_io_projects,"
+                " omitted_by_paths FROM funnel WHERE id = 1"
+            ).fetchone()
+        by_outcome = {row["outcome"]: row["n"] for row in outcome_rows}
+        cloned = by_outcome.get(Outcome.STUDIED.value, 0) + by_outcome.get(
+            Outcome.RIGID.value, 0
+        )
+        rigid = by_outcome.get(Outcome.RIGID.value, 0)
+        out = {
+            "projects": sum(by_outcome.values()),
+            "by_outcome": by_outcome,
+            "cloned_usable": cloned,
+            "rigid_share": (rigid / cloned) if cloned else 0.0,
+            "heartbeat_rows": heartbeat_total,
+            "measured": {
+                "projects": sums["measured"],
+                "total_activity": sums["total_activity"],
+                "n_commits": sums["n_commits"],
+                "active_commits": sums["active_commits"],
+                "expansion": sums["expansion"],
+                "maintenance": sums["maintenance"],
+                "avg_sup_months": round(sums["avg_sup_months"], 3),
+            },
+        }
+        if funnel is not None:
+            out["funnel"] = {
+                "sql_collection_repos": funnel["sql_collection_repos"],
+                "joined_and_filtered": funnel["joined_and_filtered"],
+                "lib_io_projects": funnel["lib_io_projects"],
+                "omitted_by_paths": json.loads(funnel["omitted_by_paths"]),
+            }
+        return out
+
+    # -- full-fidelity reconstruction --------------------------------------
+
+    def project_history(self, ref: int | str) -> ProjectHistory | None:
+        """The full pickled :class:`ProjectHistory` (measured rows only)."""
+        clause = "id = ?" if isinstance(ref, int) else "name = ?"
+        with self._read_tx() as conn:
+            row = conn.execute(
+                f"SELECT payload FROM projects WHERE {clause}", (ref,)
+            ).fetchone()
+        if row is None or row["payload"] is None:
+            return None
+        return pickle.loads(row["payload"])
+
+    def _histories(self, outcome: Outcome) -> list[ProjectHistory]:
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT payload FROM projects WHERE outcome = ? ORDER BY id",
+                (outcome.value,),
+            ).fetchall()
+        return [pickle.loads(row["payload"]) for row in rows if row["payload"]]
+
+    def funnel_report(self) -> FunnelReport:
+        """Reconstruct the :class:`FunnelReport` of the ingested corpus.
+
+        Rigid/studied lists come back in ingest order, so a store-backed
+        export is byte-identical to the direct funnel export.
+        """
+        report = FunnelReport()
+        with self._read_tx() as conn:
+            funnel = conn.execute(
+                "SELECT sql_collection_repos, joined_and_filtered, lib_io_projects,"
+                " omitted_by_paths FROM funnel WHERE id = 1"
+            ).fetchone()
+            outcome_rows = conn.execute(
+                "SELECT outcome, COUNT(*) AS n FROM projects GROUP BY outcome"
+            ).fetchall()
+        if funnel is not None:
+            report.sql_collection_repos = funnel["sql_collection_repos"]
+            report.joined_and_filtered = funnel["joined_and_filtered"]
+            report.lib_io_projects = funnel["lib_io_projects"]
+            report.omitted_by_paths = {
+                MultiFileVerdict[name]: count
+                for name, count in json.loads(funnel["omitted_by_paths"]).items()
+            }
+        counts = {row["outcome"]: row["n"] for row in outcome_rows}
+        report.removed_zero_versions = counts.get(Outcome.ZERO_VERSIONS.value, 0)
+        report.removed_no_create = counts.get(Outcome.NO_CREATE.value, 0)
+        report.rigid = self._histories(Outcome.RIGID)
+        report.studied = self._histories(Outcome.STUDIED)
+        report.failures = self.failures()
+        report.cloned_usable = report.rigid_count + report.studied_count
+        return report
+
+    # -- identity -----------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """A deterministic digest of the whole store's logical content.
+
+        Derived from every project's history fingerprint plus the funnel
+        counts — the serving layer's ETags revalidate against this.
+        """
+        if self._etag is not None:
+            return self._etag
+        digest = hashlib.sha256()
+        with self._read_tx() as conn:
+            funnel = conn.execute(
+                "SELECT sql_collection_repos, joined_and_filtered, lib_io_projects,"
+                " omitted_by_paths FROM funnel WHERE id = 1"
+            ).fetchone()
+            rows = conn.execute(
+                "SELECT name, history_hash, outcome, COALESCE(taxon, '') AS taxon"
+                " FROM projects ORDER BY name"
+            ).fetchall()
+        if funnel is not None:
+            digest.update(
+                f"{funnel['sql_collection_repos']}|{funnel['joined_and_filtered']}"
+                f"|{funnel['lib_io_projects']}|{funnel['omitted_by_paths']}".encode()
+            )
+        for row in rows:
+            digest.update(
+                f"|{row['name']}:{row['history_hash']}"
+                f":{row['outcome']}:{row['taxon']}".encode()
+            )
+        self._etag = digest.hexdigest()
+        return self._etag

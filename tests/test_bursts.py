@@ -118,6 +118,7 @@ class TestBurstProfile:
         assert profile.months_observed == 0
         assert profile.n_bursts == 0
 
+    @pytest.mark.slow
     def test_corpus_calmness_dominates(self, funnel_report):
         """[13]'s claim on our corpus: calm periods dominate active ones
         for projects with long schema lives."""

@@ -180,6 +180,7 @@ class TestForeignKeyProfile:
 
 
 class TestCorpusFkUsage:
+    @pytest.mark.slow
     def test_some_projects_use_fks_and_some_do_not(self, corpus, funnel_report):
         """The synthetic corpus reproduces the related-work finding that
         integrity constraints are missing in several places."""

@@ -135,6 +135,7 @@ class TestExperimentsMarkdown:
 
 
 class TestCorpusPersistence:
+    @pytest.mark.slow
     def test_dump_and_reload_round_trip(self, tmp_path, corpus, funnel_report):
         from repro.core.history import history_from_versions
         from repro.core.metrics import compute_metrics

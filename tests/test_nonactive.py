@@ -73,6 +73,7 @@ class TestBreakdown:
         assert nonactive_breakdown([]) == {}
         assert nonactive_breakdown([BASE]) == {}
 
+    @pytest.mark.slow
     def test_corpus_nonactive_commits_explainable(self, corpus, funnel_report):
         """Every non-active commit the synthesizer produced falls into a
         paper category (the realizer only writes comments, seed rows,

@@ -140,6 +140,7 @@ class TestFaultIsolation:
         assert [p.name for p in report.studied] == ["ok/alpha"]
 
 
+@pytest.mark.slow
 class TestParallelDeterminism:
     def test_reports_identical_across_job_counts(self, corpus):
         serial = corpus.run_funnel(jobs=1)

@@ -118,6 +118,7 @@ class TestHostileHistories:
 
 
 class TestDeterministicDigest:
+    @pytest.mark.slow
     def test_pipeline_digest_is_stable(self):
         """A canary for accidental nondeterminism anywhere in the stack."""
         import hashlib

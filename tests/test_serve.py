@@ -1,0 +1,207 @@
+"""Endpoint smoke tests of the read-only corpus serving layer.
+
+A real ``ThreadingHTTPServer`` on an ephemeral port over a seeded
+store: pagination bounds, unknown project -> 404, ``If-None-Match`` ->
+304, gzip negotiation, and ``/metrics`` counter increments — plus
+socket-free unit tests of the routing service.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import CorpusService, start_server
+from repro.store import CorpusStore, ingest_corpus
+from tests.test_store import small_corpus
+
+
+@pytest.fixture(scope="module")
+def seeded_store(tmp_path_factory):
+    activity, lib_io, repos = small_corpus(with_bad_project=True)
+    store = CorpusStore(tmp_path_factory.mktemp("serve") / "corpus.db")
+    ingest_corpus(store, activity, lib_io, repos.get)
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def server(seeded_store):
+    server, thread = start_server(seeded_store, port=0)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def request(server, path, headers=None):
+    """GET against the live server; returns (status, headers, json|None)."""
+    req = urllib.request.Request(server.url + path, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            raw = resp.read()
+            status, resp_headers = resp.status, dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status, resp_headers = error.code, dict(error.headers)
+    if resp_headers.get("Content-Encoding") == "gzip":
+        raw = gzip.decompress(raw)
+    payload = json.loads(raw) if raw else None
+    return status, resp_headers, payload
+
+
+class TestProjects:
+    def test_lists_every_ingested_project(self, server, seeded_store):
+        status, _, payload = request(server, "/projects")
+        assert status == 200
+        assert payload["total"] == seeded_store.project_count()
+        assert [p["project"] for p in payload["projects"]] == [
+            p.name for p in seeded_store.query_projects().projects
+        ]
+        record = payload["projects"][0]
+        for key in ("id", "project", "outcome", "taxon", "n_commits"):
+            assert key in record
+
+    def test_pagination_bounds(self, server):
+        status, _, first = request(server, "/projects?limit=2&offset=0")
+        assert status == 200 and len(first["projects"]) == 2
+        status, _, rest = request(server, "/projects?limit=2&offset=2")
+        assert status == 200
+        assert not {p["id"] for p in first["projects"]} & {
+            p["id"] for p in rest["projects"]
+        }
+        status, _, beyond = request(server, "/projects?offset=999")
+        assert status == 200 and beyond["projects"] == []
+        assert beyond["total"] == first["total"]
+        status, _, error = request(server, "/projects?limit=0")
+        assert status == 400 and "limit" in error["error"]
+        status, _, error = request(server, "/projects?limit=501")
+        assert status == 400
+        status, _, error = request(server, "/projects?offset=nope")
+        assert status == 400
+
+    def test_taxon_and_metric_filters(self, server):
+        status, _, payload = request(server, "/projects?taxon=history-less")
+        assert status == 200
+        assert [p["project"] for p in payload["projects"]] == ["ok/rigid"]
+        status, _, payload = request(server, "/projects?min_n_commits=3")
+        assert status == 200
+        assert [p["project"] for p in payload["projects"]] == ["ok/beta"]
+        status, _, error = request(server, "/projects?min_bogus=1")
+        assert status == 400 and "min_bogus" in error["error"]
+        status, _, error = request(server, "/projects?taxon=bogus")
+        assert status == 400
+
+    def test_project_detail_carries_the_version_ledger(self, server):
+        status, _, payload = request(server, "/projects/ok%2Fbeta")
+        assert status == 200
+        assert payload["project"] == "ok/beta"
+        assert [v["ordinal"] for v in payload["versions"]] == [0, 1, 2]
+        # Numeric ids resolve to the same record.
+        status2, _, by_id = request(server, f"/projects/{payload['id']}")
+        assert status2 == 200 and by_id["project"] == "ok/beta"
+
+
+class TestHeartbeat:
+    def test_heartbeat_rows(self, server):
+        status, _, payload = request(server, "/projects/ok%2Fbeta/heartbeat")
+        assert status == 200
+        assert payload["project"] == "ok/beta"
+        assert payload["transitions"] == 2
+        assert [row["transition_id"] for row in payload["heartbeat"]] == [1, 2]
+
+    def test_unknown_project_is_404(self, server):
+        status, _, payload = request(server, "/projects/999/heartbeat")
+        assert status == 404 and "unknown project" in payload["error"]
+        status, _, _ = request(server, "/projects/no%2Fsuch/heartbeat")
+        assert status == 404
+
+    def test_unknown_route_is_404(self, server):
+        status, _, _ = request(server, "/nothing/here")
+        assert status == 404
+
+
+class TestCaching:
+    def test_if_none_match_revalidates_to_304(self, server):
+        status, headers, _ = request(server, "/taxa")
+        assert status == 200
+        etag = headers["ETag"]
+        status, headers2, payload = request(
+            server, "/taxa", {"If-None-Match": etag}
+        )
+        assert status == 304
+        assert payload is None
+        assert headers2["ETag"] == etag
+
+    def test_etag_is_per_request_and_deterministic(self, server):
+        _, first, _ = request(server, "/projects?limit=2")
+        _, again, _ = request(server, "/projects?limit=2")
+        _, other, _ = request(server, "/projects?limit=3")
+        assert first["ETag"] == again["ETag"]
+        assert first["ETag"] != other["ETag"]
+
+    def test_mismatched_etag_returns_fresh_body(self, server):
+        status, _, payload = request(server, "/stats", {"If-None-Match": '"stale"'})
+        assert status == 200 and payload is not None
+
+    def test_gzip_negotiation(self, server):
+        req = urllib.request.Request(
+            server.url + "/projects", headers={"Accept-Encoding": "gzip"}
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.headers.get("Content-Encoding") == "gzip"
+            body = gzip.decompress(resp.read())
+        assert json.loads(body)["total"] > 0
+        # Without the header the body comes back identity-encoded.
+        status, headers, _ = request(server, "/projects")
+        assert status == 200 and "Content-Encoding" not in headers
+
+
+class TestStatsAndTaxa:
+    def test_stats_schema(self, server, seeded_store):
+        status, _, payload = request(server, "/stats")
+        assert status == 200
+        assert payload["content_hash"] == seeded_store.content_hash()
+        assert payload["cloned_usable"] == 3
+        assert payload["funnel"]["lib_io_projects"] == seeded_store.project_count()
+
+    def test_taxa_schema(self, server):
+        status, _, payload = request(server, "/taxa")
+        assert status == 200
+        taxa = payload["taxa"]
+        assert set(taxa) >= {"frozen", "active", "almost frozen"}
+        for entry in taxa.values():
+            assert set(entry) == {"count", "share_of_studied"}
+
+
+class TestMetrics:
+    def test_counters_increment(self, server):
+        _, _, before = request(server, "/metrics")
+        request(server, "/taxa")
+        request(server, "/taxa")
+        request(server, "/projects/999/heartbeat")
+        _, _, after = request(server, "/metrics")
+        assert after["total_requests"] >= before["total_requests"] + 3
+        taxa_before = before["endpoints"].get("/taxa", {"requests": 0})["requests"]
+        taxa_after = after["endpoints"]["/taxa"]["requests"]
+        assert taxa_after >= taxa_before + 2
+        heartbeat = after["endpoints"]["/projects/{id}/heartbeat"]
+        assert heartbeat["by_status"].get("404", 0) >= 1
+        assert heartbeat["latency_ms"]["max"] >= heartbeat["latency_ms"]["min"] >= 0
+
+
+class TestServiceWithoutSockets:
+    def test_routes_directly(self, seeded_store):
+        service = CorpusService(seeded_store)
+        ok = service.handle("/projects", {"limit": "2"})
+        assert ok.status == 200 and len(ok.payload["projects"]) == 2
+        missing = service.handle("/projects/does-not-exist", {})
+        assert missing.status == 404
+        bad = service.handle("/projects", {"limit": "-3"})
+        assert bad.status == 400
+        taxa = service.handle("/taxa", {})
+        assert taxa.status == 200 and taxa.cacheable

@@ -177,6 +177,7 @@ class TestPlanProject:
 
 
 class TestRealizeProject:
+    @pytest.mark.slow
     @pytest.mark.parametrize("taxon", list(TAXA_ORDER))
     def test_exact_plan_recovery(self, taxon, rng):
         """Realize a plan, re-measure with the real pipeline, and demand
