@@ -11,6 +11,12 @@ The package rebuilds the paper's full pipeline from scratch:
   funnel;
 - :mod:`repro.core` — Hecate-equivalent diffing, metrics, heartbeat,
   and the taxa classification tree;
+- :mod:`repro.pipeline` — the staged measurement pipeline (parallel
+  execution, content-hash caching, fault isolation);
+- :mod:`repro.store` / :mod:`repro.serve` — the persistent corpus
+  store and its read-only HTTP serving layer;
+- :mod:`repro.obs` — the unified observability layer (span tracing,
+  metrics registry, profiling hooks);
 - :mod:`repro.stats` — Kruskal-Wallis (from scratch), Shapiro-Wilk,
   quartiles, box-plot geometry;
 - :mod:`repro.synthesis` — taxon-calibrated synthetic corpus generator
@@ -18,15 +24,67 @@ The package rebuilds the paper's full pipeline from scratch:
 - :mod:`repro.viz` / :mod:`repro.reporting` — chart series, ASCII
   rendering, and the per-figure experiment harness.
 
+The stable public API is re-exported here — one front door — while
+every deep-module import keeps working unchanged.  Exports resolve
+lazily (PEP 562), so ``import repro`` stays cheap and does not drag the
+whole pipeline in.
+
 Quickstart
 ----------
->>> from repro.synthesis import build_corpus, CorpusSpec
->>> from repro.core import analyze_corpus
+>>> from repro import CorpusSpec, analyze_corpus, build_corpus
 >>> corpus = build_corpus(CorpusSpec(seed=2019, scale=0.1))
 >>> report = corpus.run_funnel()
 >>> analysis = analyze_corpus(report.studied + report.rigid)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: The curated public API: exported name -> providing module.
+_EXPORTS = {
+    # synthesis: build the (synthetic) corpus
+    "CorpusSpec": "repro.synthesis",
+    "build_corpus": "repro.synthesis",
+    # mining: the collection funnel
+    "FunnelReport": "repro.mining.funnel",
+    "run_funnel": "repro.mining.funnel",
+    # core: analysis + taxa
+    "analyze_corpus": "repro.core",
+    "classify": "repro.core",
+    # pipeline: the staged measurement engine
+    "MeasurementPipeline": "repro.pipeline",
+    "PipelineConfig": "repro.pipeline",
+    "PipelineStats": "repro.pipeline",
+    "SchemaCache": "repro.pipeline",
+    # store: persistence + incremental ingest
+    "CorpusStore": "repro.store",
+    "IngestReport": "repro.store",
+    "ingest_corpus": "repro.store",
+    # serve: the read-only HTTP API
+    "create_server": "repro.serve",
+    "serve_forever": "repro.serve",
+    # obs: tracing + metrics + profiling
+    "MetricsRegistry": "repro.obs",
+    "TraceRecorder": "repro.obs",
+    "metrics_registry": "repro.obs",
+    "profiled": "repro.obs",
+    "recording": "repro.obs",
+    "trace": "repro.obs",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Resolve the curated exports lazily (PEP 562)."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

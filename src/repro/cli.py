@@ -22,10 +22,12 @@ Commands
                 (/projects, /projects/{id}/heartbeat, /taxa, /stats,
                 /metrics) with ETag revalidation and gzip.
 
-Every corpus-running command (and ``classify``) takes the pipeline
-knobs ``--jobs N`` (concurrent per-project measurement — output is
-identical for any N), ``--cache-dir DIR`` (persistent content-hash
-parse/diff cache) and ``--stats`` (stage timings and cache counters).
+Every corpus-running command (and ``classify``) shares one option set,
+declared once on :class:`RunOptions`: the pipeline knobs ``--jobs N``,
+``--cache-dir DIR`` and ``--stats``, plus the observability knobs
+``--trace FILE`` (write the run's span trace as JSONL) and
+``--profile`` (wrap the run in ``cProfile``, writing ``.pstats`` next
+to the trace).  ``repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -33,48 +35,101 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
 
+from repro import __version__
 from repro.core import analyze_corpus, classify
+from repro.obs import (
+    TraceRecorder,
+    install_recorder,
+    profile_path_for,
+    profiled,
+    trace,
+    uninstall_recorder,
+)
 from repro.reporting import ExperimentSuite, funnel_text
 from repro.synthesis import CorpusSpec, build_corpus
 from repro.viz import heartbeat_chart, heartbeat_series, line_chart, schema_size_series
 
 
-def _corpus_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=2019, help="corpus seed")
-    parser.add_argument(
-        "--scale", type=float, default=1.0, help="population scale factor (1.0 = paper size)"
-    )
-    _pipeline_args(parser)
+@dataclass(frozen=True)
+class RunOptions:
+    """The shared option set of every corpus-running command.
 
+    One declaration replaces the old per-command ``_corpus_args`` /
+    ``_pipeline_args`` wiring: new flags are added here once and every
+    subcommand (``funnel``, ``report``, ``classify``, ``project``,
+    ``export``, ``ingest``) picks them up uniformly.
+    """
 
-def _pipeline_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="measure N projects concurrently (results are identical for any N)",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persist the parse/diff cache under DIR; re-runs skip all parsing",
-    )
-    parser.add_argument(
-        "--stats", action="store_true",
-        help="print pipeline stage timings and cache hit/miss counters",
-    )
+    seed: int = 2019
+    scale: float = 1.0
+    jobs: int = 1
+    cache_dir: str | None = None
+    stats: bool = False
+    trace: str | None = None
+    profile: bool = False
+
+    @classmethod
+    def add_to_parser(
+        cls, parser: argparse.ArgumentParser, corpus: bool = True
+    ) -> None:
+        """Declare the shared flags on *parser* (``corpus=False`` skips
+        the synthetic-corpus knobs for bring-your-own-history commands)."""
+        if corpus:
+            parser.add_argument("--seed", type=int, default=2019, help="corpus seed")
+            parser.add_argument(
+                "--scale", type=float, default=1.0,
+                help="population scale factor (1.0 = paper size)",
+            )
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="measure N projects concurrently (results are identical for any N)",
+        )
+        parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="persist the parse/diff cache under DIR; re-runs skip all parsing",
+        )
+        parser.add_argument(
+            "--stats", action="store_true",
+            help="print pipeline stage timings and cache hit/miss counters",
+        )
+        parser.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="write the run's span trace to FILE as JSONL",
+        )
+        parser.add_argument(
+            "--profile", action="store_true",
+            help="profile the run with cProfile; writes .pstats next to the trace",
+        )
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "RunOptions":
+        """Collect the shared options (absent flags keep their defaults,
+        so commands without the full set — ``serve`` — parse too)."""
+        return cls(
+            **{
+                f.name: getattr(args, f.name, f.default)
+                for f in fields(cls)
+            }
+        )
 
 
 def _build(args: argparse.Namespace):
-    spec = CorpusSpec(seed=args.seed, scale=args.scale)
+    opts: RunOptions = args.options
+    spec = CorpusSpec(seed=opts.seed, scale=opts.scale)
     started = time.time()
-    corpus = build_corpus(spec)
-    report = corpus.run_funnel(jobs=args.jobs, cache_dir=args.cache_dir)
+    with trace("corpus.build", seed=opts.seed, scale=opts.scale):
+        corpus = build_corpus(spec)
+    report = corpus.run_funnel(jobs=opts.jobs, cache_dir=opts.cache_dir)
     elapsed = time.time() - started
-    print(f"# corpus seed={args.seed} scale={args.scale} built+mined in {elapsed:.1f}s\n")
+    print(f"# corpus seed={opts.seed} scale={opts.scale} built+mined in {elapsed:.1f}s\n")
     return corpus, report
 
 
 def _print_stats(args: argparse.Namespace, report) -> None:
-    if getattr(args, "stats", False) and report.stats is not None:
+    if args.options.stats and report.stats is not None:
         print()
         print(report.stats.summary())
 
@@ -110,9 +165,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.pipeline import MeasurementPipeline, PipelineConfig
 
+    opts: RunOptions = args.options
     pipeline = MeasurementPipeline(
         provider=lambda _: None,
-        config=PipelineConfig(cache_dir=args.cache_dir),
+        config=PipelineConfig(cache_dir=opts.cache_dir, jobs=opts.jobs),
     )
     raw_versions = []
     for index, path in enumerate(args.files):
@@ -145,7 +201,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     print(f"reeds / turf:   {metrics.reeds} / {metrics.turf_commits}")
     print(f"tables:         {metrics.tables_at_start} -> {metrics.tables_at_end}")
     print(f"taxon:          {taxon.value}")
-    if args.stats:
+    if opts.stats:
         print()
         print(pipeline.stats.summary())
     return 0
@@ -187,7 +243,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         return 0
     _, report = _build(args)
     analysis = analyze_corpus(report.studied + report.rigid)
-    paths = export_study(args.out, report, analysis, stats=args.stats)
+    paths = export_study(args.out, report, analysis, stats=args.options.stats)
     for kind, path in paths.items():
         print(f"wrote {kind:<12} {path}")
     _print_stats(args, report)
@@ -197,23 +253,25 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.store import CorpusStore, ingest_corpus
 
-    spec = CorpusSpec(seed=args.seed, scale=args.scale)
+    opts: RunOptions = args.options
+    spec = CorpusSpec(seed=opts.seed, scale=opts.scale)
     started = time.time()
-    corpus = build_corpus(spec)
+    with trace("corpus.build", seed=opts.seed, scale=opts.scale):
+        corpus = build_corpus(spec)
     with CorpusStore(args.db) as store:
         report = ingest_corpus(
             store,
             corpus.activity,
             corpus.lib_io,
             corpus.provider,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
+            jobs=opts.jobs,
+            cache_dir=opts.cache_dir,
         )
-        print(f"# corpus seed={args.seed} scale={args.scale} built in {time.time() - started:.1f}s")
+        print(f"# corpus seed={opts.seed} scale={opts.scale} built in {time.time() - started:.1f}s")
         print(report.summary())
         print(f"store: {args.db} ({store.project_count()} projects, "
               f"content hash {store.content_hash()[:16]})")
-    if args.stats and report.stats is not None:
+    if opts.stats and report.stats is not None:
         print()
         print(report.stats.summary())
     return 0
@@ -238,16 +296,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _observed(options: RunOptions, command: str):
+    """Arm the run's observability: trace recorder and/or profiler.
+
+    The trace JSONL is written (and announced on stderr) after the
+    command returns, so the file always holds the complete span set.
+    """
+    recorder = TraceRecorder() if options.trace else None
+    if recorder is not None:
+        install_recorder(recorder)
+    profile_path = profile_path_for(options.trace, command) if options.profile else None
+    try:
+        with profiled(profile_path):
+            with trace(f"cli.{command}"):
+                yield
+    finally:
+        if recorder is not None:
+            uninstall_recorder()
+            recorder.write(options.trace)
+            print(
+                f"wrote trace {options.trace} ({len(recorder)} spans)",
+                file=sys.stderr,
+            )
+        if profile_path is not None:
+            print(f"wrote profile {profile_path}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     funnel = sub.add_parser("funnel", help="run the collection funnel")
-    _corpus_args(funnel)
+    RunOptions.add_to_parser(funnel)
     funnel.set_defaults(func=_cmd_funnel)
 
     report = sub.add_parser("report", help="run every experiment")
-    _corpus_args(report)
+    RunOptions.add_to_parser(report)
     report.add_argument(
         "--from-store", default=None, metavar="DB",
         help="render the report from an ingested corpus store instead of re-measuring",
@@ -257,16 +345,16 @@ def main(argv: list[str] | None = None) -> int:
     classify_cmd = sub.add_parser("classify", help="classify a DDL version history")
     classify_cmd.add_argument("files", nargs="+", help=".sql files, oldest first")
     classify_cmd.add_argument("--name", default="local/project", help="project label")
-    _pipeline_args(classify_cmd)
+    RunOptions.add_to_parser(classify_cmd, corpus=False)
     classify_cmd.set_defaults(func=_cmd_classify)
 
     project = sub.add_parser("project", help="chart one synthetic project")
-    _corpus_args(project)
+    RunOptions.add_to_parser(project)
     project.add_argument("--taxon", default="active", help="taxon to pick from")
     project.set_defaults(func=_cmd_project)
 
     export = sub.add_parser("export", help="export study artifacts (CSV/JSON)")
-    _corpus_args(export)
+    RunOptions.add_to_parser(export)
     export.add_argument("--out", default="study-export", help="output directory")
     export.add_argument(
         "--from-store", default=None, metavar="DB",
@@ -277,7 +365,7 @@ def main(argv: list[str] | None = None) -> int:
     ingest = sub.add_parser(
         "ingest", help="run the funnel and persist the corpus into a sqlite store"
     )
-    _corpus_args(ingest)
+    RunOptions.add_to_parser(ingest)
     ingest.add_argument(
         "--db", default="corpus.db", metavar="PATH", help="corpus store path"
     )
@@ -297,7 +385,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    args.options = RunOptions.from_args(args)
+    with _observed(args.options, args.command):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

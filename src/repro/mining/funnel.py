@@ -31,6 +31,7 @@ from repro.mining.github_activity import GithubActivityDataset
 from repro.mining.librariesio import LibrariesIoDataset
 from repro.mining.path_filters import MultiFileVerdict, choose_ddl_file
 from repro.mining.selection import SelectionCriteria, select_lib_io
+from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache
 from repro.pipeline.pipeline import MeasurementPipeline, PipelineConfig
 from repro.pipeline.stages import Outcome, ProjectFailure, ProjectTask
@@ -119,21 +120,25 @@ def run_funnel(
     """
     report = FunnelReport()
     report.sql_collection_repos = activity.repository_count()
-    selected = select_lib_io(activity, lib_io, criteria)
+    with trace("funnel.select"):
+        selected = select_lib_io(activity, lib_io, criteria)
     report.joined_and_filtered = len(selected)
 
     tasks: list[ProjectTask] = []
-    for project in selected:
-        choice = choose_ddl_file(list(project.sql_files))
-        if not choice.accepted:
-            report.omitted_by_paths[choice.verdict] = (
-                report.omitted_by_paths.get(choice.verdict, 0) + 1
+    with trace("funnel.choose_paths", candidates=len(selected)):
+        for project in selected:
+            choice = choose_ddl_file(list(project.sql_files))
+            if not choice.accepted:
+                report.omitted_by_paths[choice.verdict] = (
+                    report.omitted_by_paths.get(choice.verdict, 0) + 1
+                )
+                continue
+            assert choice.chosen is not None
+            tasks.append(
+                ProjectTask(
+                    project.repo_name, choice.chosen.path, project.metadata.domain
+                )
             )
-            continue
-        assert choice.chosen is not None
-        tasks.append(
-            ProjectTask(project.repo_name, choice.chosen.path, project.metadata.domain)
-        )
     report.lib_io_projects = len(tasks)
 
     if pipeline is None:

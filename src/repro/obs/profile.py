@@ -1,0 +1,38 @@
+"""cProfile hooks: wrap a run, drop ``.pstats`` next to the trace.
+
+The CLI's ``--profile`` flag uses :func:`profiled` to wrap the whole
+command; the resulting file loads straight into ``pstats`` or
+``snakeviz``-style viewers:
+
+    >>> import pstats
+    >>> stats = pstats.Stats("trace.pstats")  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+@contextmanager
+def profiled(path: str | Path | None) -> Iterator[cProfile.Profile | None]:
+    """Profile the block and dump ``.pstats`` to *path* (no-op on None)."""
+    if path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))
+
+
+def profile_path_for(trace_path: str | None, command: str) -> Path:
+    """Where ``--profile`` writes: next to the trace, or a default."""
+    if trace_path:
+        return Path(trace_path).with_suffix(".pstats")
+    return Path(f"repro-{command}.pstats")

@@ -26,29 +26,88 @@ from __future__ import annotations
 import hashlib
 import pickle
 import threading
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 from repro.core.diff import TransitionDiff, diff_schemas
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace
 from repro.schema.builder import build_schema
 from repro.schema.model import Schema
 from repro.sqlddl.ast import CreateTable
 from repro.sqlddl.parser import parse_script
 
+#: The cached functions the counters are split by.
+CACHE_KINDS = ("schema", "diff", "scan")
 
-@dataclass
+
 class CacheCounters:
-    """Hit/miss counters, split per cached function and per layer."""
+    """Hit/miss counters, split per cached function and per layer.
 
-    schema_hits: int = 0
-    schema_misses: int = 0
-    schema_disk_hits: int = 0  # subset of schema_hits served from disk
-    diff_hits: int = 0
-    diff_misses: int = 0
-    diff_disk_hits: int = 0
-    scan_hits: int = 0
-    scan_misses: int = 0
+    Every count lives in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``repro_cache_hits_total{kind=...}`` and friends); the classic
+    attribute names (``schema_hits`` etc.) are read-only views over the
+    registry, so one ``registry.snapshot()`` carries the same truth the
+    pipeline stats and the ``--stats`` flag report.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = {
+            kind: self.registry.counter("repro_cache_hits_total", kind=kind)
+            for kind in CACHE_KINDS
+        }
+        self._misses = {
+            kind: self.registry.counter("repro_cache_misses_total", kind=kind)
+            for kind in CACHE_KINDS
+        }
+        self._disk_hits = {
+            kind: self.registry.counter("repro_cache_disk_hits_total", kind=kind)
+            for kind in ("schema", "diff")
+        }
+
+    def hit(self, kind: str, disk: bool = False) -> None:
+        self._hits[kind].inc()
+        if disk:
+            self._disk_hits[kind].inc()
+
+    def miss(self, kind: str) -> None:
+        self._misses[kind].inc()
+
+    # -- the classic read API, now registry-backed ------------------------
+
+    @property
+    def schema_hits(self) -> int:
+        return self._hits["schema"].value
+
+    @property
+    def schema_misses(self) -> int:
+        return self._misses["schema"].value
+
+    @property
+    def schema_disk_hits(self) -> int:
+        """Subset of ``schema_hits`` served from disk."""
+        return self._disk_hits["schema"].value
+
+    @property
+    def diff_hits(self) -> int:
+        return self._hits["diff"].value
+
+    @property
+    def diff_misses(self) -> int:
+        return self._misses["diff"].value
+
+    @property
+    def diff_disk_hits(self) -> int:
+        return self._disk_hits["diff"].value
+
+    @property
+    def scan_hits(self) -> int:
+        return self._hits["scan"].value
+
+    @property
+    def scan_misses(self) -> int:
+        return self._misses["scan"].value
 
     @property
     def build_schema_calls(self) -> int:
@@ -87,13 +146,17 @@ class SchemaCache:
     future processes warm-start from there.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._schemas: dict[str, Schema] = {}
         self._scans: dict[str, bool] = {}
         self._diffs: dict[tuple[str, str], TransitionDiff] = {}
         self._schema_keys: dict[int, str] = {}  # id(schema) -> canonical key
-        self.counters = CacheCounters()
+        self.counters = CacheCounters(registry)
         self._dir = Path(cache_dir) if cache_dir is not None else None
         if self._dir is not None:
             (self._dir / "schemas").mkdir(parents=True, exist_ok=True)
@@ -108,11 +171,14 @@ class SchemaCache:
         with self._lock:
             schema = self._schemas.get(key)
             if schema is not None:
-                self.counters.schema_hits += 1
+                self.counters.hit("schema")
                 return schema
         schema = self._load_pickle("schemas", key)
         if schema is None:
-            schema = build_schema(text, lenient=lenient)
+            # The span makes warm runs provable from the trace alone:
+            # zero `build_schema` spans == zero parses happened.
+            with trace("build_schema", key=key[:12]):
+                schema = build_schema(text, lenient=lenient)
             self._store_pickle("schemas", key, schema)
             disk_hit = False
         else:
@@ -123,10 +189,9 @@ class SchemaCache:
             schema = self._schemas.setdefault(key, schema)
             self._schema_keys[id(schema)] = schema_key(schema)
             if disk_hit:
-                self.counters.schema_hits += 1
-                self.counters.schema_disk_hits += 1
+                self.counters.hit("schema", disk=True)
             else:
-                self.counters.schema_misses += 1
+                self.counters.miss("schema")
         return schema
 
     def has_create_table(self, text: str) -> bool:
@@ -136,19 +201,20 @@ class SchemaCache:
         key = text_key(text)
         with self._lock:
             if key in self._scans:
-                self.counters.scan_hits += 1
+                self.counters.hit("scan")
                 return self._scans[key]
         verdict = self._load_pickle("scans", key)
         disk_hit = verdict is not None
         if not disk_hit:
-            verdict = any(isinstance(s, CreateTable) for s in parse_script(text))
+            with trace("scan_create_table", key=key[:12]):
+                verdict = any(isinstance(s, CreateTable) for s in parse_script(text))
             self._store_pickle("scans", key, verdict)
         with self._lock:
             self._scans[key] = verdict
             if disk_hit:
-                self.counters.scan_hits += 1
+                self.counters.hit("scan")
             else:
-                self.counters.scan_misses += 1
+                self.counters.miss("scan")
         return verdict
 
     # -- diffing ----------------------------------------------------------
@@ -171,11 +237,12 @@ class SchemaCache:
         with self._lock:
             diff = self._diffs.get(pair)
             if diff is not None:
-                self.counters.diff_hits += 1
+                self.counters.hit("diff")
                 return diff
         diff = self._load_pickle("diffs", f"{pair[0][:32]}__{pair[1][:32]}")
         if diff is None:
-            diff = diff_schemas(old, new)
+            with trace("diff_schemas"):
+                diff = diff_schemas(old, new)
             self._store_pickle("diffs", f"{pair[0][:32]}__{pair[1][:32]}", diff)
             disk_hit = False
         else:
@@ -183,10 +250,9 @@ class SchemaCache:
         with self._lock:
             self._diffs.setdefault(pair, diff)
             if disk_hit:
-                self.counters.diff_hits += 1
-                self.counters.diff_disk_hits += 1
+                self.counters.hit("diff", disk=True)
             else:
-                self.counters.diff_misses += 1
+                self.counters.miss("diff")
         return diff
 
     @property

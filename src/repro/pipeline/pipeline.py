@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.heartbeat import DEFAULT_REED_LIMIT
+from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache
 from repro.pipeline.stages import (
     ClassifyStage,
@@ -84,7 +85,10 @@ class MeasurementPipeline:
                 break
             started = time.perf_counter()
             try:
-                stage.run(ctx)
+                with trace(f"stage.{stage.name}", project=task.repo_name) as span:
+                    stage.run(ctx)
+                    if span is not None and ctx.outcome is not None:
+                        span.attrs["outcome"] = ctx.outcome.value
             except Exception as exc:  # fault isolation: demote, don't abort
                 ctx.outcome = Outcome.FAILED
                 ctx.failure = ProjectFailure(
@@ -105,18 +109,18 @@ class MeasurementPipeline:
         task_list = list(tasks)
         started = time.perf_counter()
         jobs = max(1, self.config.jobs)
-        if jobs == 1 or len(task_list) <= 1:
-            results = [self.run_project(task) for task in task_list]
-        else:
-            with ThreadPoolExecutor(max_workers=jobs) as executor:
-                results = list(executor.map(self.run_project, task_list))
-        self.stats.wall_seconds += time.perf_counter() - started
-        self.stats.projects += len(task_list)
-        self.stats.completed += sum(
-            1 for ctx in results if ctx.outcome is not Outcome.FAILED
-        )
-        self.stats.failures += sum(
-            1 for ctx in results if ctx.outcome is Outcome.FAILED
+        with trace("pipeline.run", projects=len(task_list), jobs=jobs):
+            if jobs == 1 or len(task_list) <= 1:
+                results = [self.run_project(task) for task in task_list]
+            else:
+                with ThreadPoolExecutor(max_workers=jobs) as executor:
+                    results = list(executor.map(self.run_project, task_list))
+        failed = sum(1 for ctx in results if ctx.outcome is Outcome.FAILED)
+        self.stats.note_run(
+            projects=len(task_list),
+            completed=len(results) - failed,
+            failures=failed,
+            wall_seconds=time.perf_counter() - started,
         )
         return results
 

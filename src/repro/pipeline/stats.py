@@ -2,50 +2,138 @@
 
 The ROADMAP's scaling work (sharding, incremental re-measure, larger
 corpora) needs to see where the time goes before and after each change;
-:class:`PipelineStats` is that instrument.  It accumulates per-stage
-wall time and per-stage project counts thread-safely (the parallel
-executor reports from many workers) and carries the shared cache's
-hit/miss counters, so a warm-cache run can be *proven* warm:
+:class:`PipelineStats` is that instrument.  Since the unified
+observability layer (:mod:`repro.obs`) it is a *view* over one
+:class:`~repro.obs.metrics.MetricsRegistry` — the same registry the
+schema cache's counters publish into — so ``--stats``,
+``pipeline_stats.json``, and any ``/metrics``-style exposition all read
+one source of truth.  The classic attributes (``projects``,
+``stage_seconds``, ``cache.build_schema_calls``) remain as properties,
+and a warm-cache run can still be *proven* warm:
 ``stats.cache.build_schema_calls == 0``.
+
+Registry series owned by this class::
+
+    repro_pipeline_jobs                              gauge
+    repro_pipeline_projects_total                    counter
+    repro_pipeline_completed_total                   counter
+    repro_pipeline_failures_total                    counter
+    repro_pipeline_wall_seconds_total                counter
+    repro_pipeline_stage_seconds_total{stage=...}    counter
+    repro_pipeline_stage_projects_total{stage=...}   counter
+    repro_pipeline_stage_duration_seconds{stage=...} histogram
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import CacheCounters
 
 
-@dataclass
 class PipelineStats:
-    """Counters and timings of one :class:`MeasurementPipeline` run."""
+    """Counters and timings of one :class:`MeasurementPipeline` run.
 
-    jobs: int = 1
-    projects: int = 0  # tasks that entered the pipeline
-    completed: int = 0  # tasks that ran to a terminal outcome
-    failures: int = 0  # tasks demoted to a ProjectFailure
-    wall_seconds: float = 0.0  # end-to-end, includes scheduling
-    stage_seconds: dict[str, float] = field(default_factory=dict)
-    stage_projects: dict[str, int] = field(default_factory=dict)
-    cache: CacheCounters = field(default_factory=CacheCounters)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    Adopts the registry of the *cache* counters it is handed (the cache
+    is created first and shared across workers), so one registry holds
+    the whole run; a standalone instance creates its own registry.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: CacheCounters | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if registry is None:
+            registry = cache.registry if cache is not None else MetricsRegistry()
+        self.registry = registry
+        self.cache = cache if cache is not None else CacheCounters(registry)
+        self._jobs = registry.gauge("repro_pipeline_jobs")
+        self._jobs.set(jobs)
+        self._projects = registry.counter("repro_pipeline_projects_total")
+        self._completed = registry.counter("repro_pipeline_completed_total")
+        self._failures = registry.counter("repro_pipeline_failures_total")
+        self._wall = registry.counter("repro_pipeline_wall_seconds_total")
+
+    # -- writers ----------------------------------------------------------
 
     def note_stage(self, stage: str, seconds: float) -> None:
         """Record one project passing through *stage* (thread-safe)."""
-        with self._lock:
-            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
-            self.stage_projects[stage] = self.stage_projects.get(stage, 0) + 1
+        self.registry.counter(
+            "repro_pipeline_stage_seconds_total", stage=stage
+        ).inc(seconds)
+        self.registry.counter(
+            "repro_pipeline_stage_projects_total", stage=stage
+        ).inc()
+        self.registry.histogram(
+            "repro_pipeline_stage_duration_seconds", stage=stage
+        ).observe(seconds)
+
+    def note_run(
+        self, projects: int, completed: int, failures: int, wall_seconds: float
+    ) -> None:
+        """Account one ``pipeline.run()`` batch."""
+        self._projects.inc(projects)
+        self._completed.inc(completed)
+        self._failures.inc(failures)
+        self._wall.inc(wall_seconds)
+
+    # -- the classic read API, now registry-backed ------------------------
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs.value
+
+    @property
+    def projects(self) -> int:
+        """Tasks that entered the pipeline."""
+        return self._projects.value
+
+    @property
+    def completed(self) -> int:
+        """Tasks that ran to a terminal outcome."""
+        return self._completed.value
+
+    @property
+    def failures(self) -> int:
+        """Tasks demoted to a ProjectFailure."""
+        return self._failures.value
+
+    @property
+    def wall_seconds(self) -> float:
+        """End-to-end, includes scheduling."""
+        return self._wall.value
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        return self.registry.label_values(
+            "repro_pipeline_stage_seconds_total", "stage"
+        )
+
+    @property
+    def stage_projects(self) -> dict[str, int]:
+        return self.registry.label_values(
+            "repro_pipeline_stage_projects_total", "stage"
+        )
 
     @property
     def cpu_seconds(self) -> float:
         """Summed per-stage time across all workers."""
         return sum(self.stage_seconds.values())
 
+    # -- rendering --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The run's whole registry, in the unified snapshot shape."""
+        return self.registry.snapshot()
+
     def payload(self) -> dict:
-        """A JSON-friendly dump (used by ``--stats`` and the exporter)."""
+        """A JSON-friendly dump (used by ``--stats`` and the exporter).
+
+        The classic shape, assembled from the registry, plus the raw
+        ``registry`` snapshot so downstream tooling can consume one
+        format across pipeline, ingest, and serve.
+        """
         return {
             "jobs": self.jobs,
             "projects": self.projects,
@@ -59,6 +147,7 @@ class PipelineStats:
             },
             "stage_projects": dict(sorted(self.stage_projects.items())),
             "cache": self.cache.payload(),
+            "registry": self.snapshot(),
         }
 
     def summary(self) -> str:

@@ -10,7 +10,8 @@ A stdlib ``ThreadingHTTPServer`` over one :class:`~repro.store.CorpusStore`:
 ``GET /projects/{id}/heartbeat``      the per-commit heartbeat rows
 ``GET /taxa``                         per-taxon populations and shares
 ``GET /stats``                        corpus aggregates + funnel counts
-``GET /metrics``                      per-endpoint request/latency counters
+``GET /metrics``                      the metrics registry: JSON, or
+                                      Prometheus text via ``Accept``
 ====================================  =========================================
 
 ``{id}`` is a numeric store id or a URL-encoded project name.  All
@@ -18,10 +19,12 @@ cacheable responses carry a deterministic ``ETag`` derived from the
 store's content hash; ``If-None-Match`` revalidation answers ``304``.
 """
 
-from repro.serve.metrics import EndpointCounters, ServiceMetrics
+from repro.serve.metrics import LATENCY_BUCKETS, ServiceMetrics
 from repro.serve.server import (
     CorpusServer,
     GZIP_THRESHOLD,
+    PROMETHEUS_CONTENT_TYPE,
+    create_server,
     serve_forever,
     start_server,
 )
@@ -36,11 +39,13 @@ __all__ = [
     "CorpusServer",
     "CorpusService",
     "DEFAULT_PAGE_LIMIT",
-    "EndpointCounters",
     "GZIP_THRESHOLD",
+    "LATENCY_BUCKETS",
     "MAX_PAGE_LIMIT",
+    "PROMETHEUS_CONTENT_TYPE",
     "ServiceMetrics",
     "ServiceResponse",
+    "create_server",
     "serve_forever",
     "start_server",
 ]

@@ -1,72 +1,82 @@
-"""Per-endpoint request/latency counters for the serving layer.
+"""Per-endpoint request/latency metrics for the serving layer.
 
 The ROADMAP's "heavy traffic" north star starts with being able to see
-the traffic: every request increments its endpoint's counters (count,
-per-status split, latency sum/min/max) behind one lock, and ``/metrics``
-serves the whole table as JSON.
+the traffic.  Every request publishes into one
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+    repro_http_requests_total{endpoint=...,status=...}   counter
+    repro_http_request_seconds{endpoint=...}             histogram
+    repro_http_response_bytes_total{endpoint=...}        counter
+
+``/metrics`` serves the registry as JSON by default (the classic
+per-endpoint table plus the raw ``registry`` snapshot) and as
+Prometheus text exposition under content negotiation
+(``Accept: text/plain`` — see :mod:`repro.serve.server`).
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from repro.obs.metrics import Histogram, MetricsRegistry
 
-
-@dataclass
-class EndpointCounters:
-    """Counters of one route pattern."""
-
-    requests: int = 0
-    by_status: dict[int, int] = field(default_factory=dict)
-    total_seconds: float = 0.0
-    min_seconds: float = float("inf")
-    max_seconds: float = 0.0
-    bytes_sent: int = 0
-
-    def observe(self, status: int, seconds: float, body_bytes: int) -> None:
-        self.requests += 1
-        self.by_status[status] = self.by_status.get(status, 0) + 1
-        self.total_seconds += seconds
-        self.min_seconds = min(self.min_seconds, seconds)
-        self.max_seconds = max(self.max_seconds, seconds)
-        self.bytes_sent += body_bytes
-
-    def payload(self) -> dict:
-        avg = self.total_seconds / self.requests if self.requests else 0.0
-        return {
-            "requests": self.requests,
-            "by_status": {str(code): n for code, n in sorted(self.by_status.items())},
-            "latency_ms": {
-                "avg": round(avg * 1000, 3),
-                "min": round(self.min_seconds * 1000, 3) if self.requests else 0.0,
-                "max": round(self.max_seconds * 1000, 3),
-            },
-            "bytes_sent": self.bytes_sent,
-        }
+#: Latency buckets (seconds) sized for a local read-only JSON API.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
 
 
 class ServiceMetrics:
-    """Thread-safe registry of per-endpoint counters."""
+    """Registry-backed request accounting, one series set per endpoint."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: dict[str, EndpointCounters] = {}
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def observe(
         self, endpoint: str, status: int, seconds: float, body_bytes: int = 0
     ) -> None:
-        with self._lock:
-            counters = self._endpoints.setdefault(endpoint, EndpointCounters())
-            counters.observe(status, seconds, body_bytes)
+        self.registry.counter(
+            "repro_http_requests_total", endpoint=endpoint, status=str(status)
+        ).inc()
+        self.registry.histogram(
+            "repro_http_request_seconds", buckets=LATENCY_BUCKETS, endpoint=endpoint
+        ).observe(seconds)
+        self.registry.counter(
+            "repro_http_response_bytes_total", endpoint=endpoint
+        ).inc(body_bytes)
+
+    def prometheus_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return self.registry.prometheus_text()
 
     def payload(self) -> dict:
-        with self._lock:
-            return {
-                "endpoints": {
-                    endpoint: counters.payload()
-                    for endpoint, counters in sorted(self._endpoints.items())
-                },
-                "total_requests": sum(
-                    counters.requests for counters in self._endpoints.values()
-                ),
+        """The JSON ``/metrics`` body: per-endpoint table + raw snapshot."""
+        by_endpoint: dict[str, dict] = {}
+        for labels, metric in self.registry.series("repro_http_requests_total"):
+            entry = by_endpoint.setdefault(
+                labels["endpoint"], {"requests": 0, "by_status": {}}
+            )
+            entry["requests"] += metric.value
+            entry["by_status"][labels["status"]] = metric.value
+        for labels, metric in self.registry.series("repro_http_request_seconds"):
+            assert isinstance(metric, Histogram)
+            entry = by_endpoint.setdefault(
+                labels["endpoint"], {"requests": 0, "by_status": {}}
+            )
+            avg = metric.sum / metric.count if metric.count else 0.0
+            entry["latency_ms"] = {
+                "avg": round(avg * 1000, 3),
+                "min": round(metric.minimum * 1000, 3),
+                "max": round(metric.maximum * 1000, 3),
             }
+        for endpoint, entry in by_endpoint.items():
+            entry.setdefault("latency_ms", {"avg": 0.0, "min": 0.0, "max": 0.0})
+            entry["by_status"] = dict(sorted(entry["by_status"].items()))
+            entry["bytes_sent"] = self.registry.value(
+                "repro_http_response_bytes_total", endpoint=endpoint
+            )
+        return {
+            "endpoints": dict(sorted(by_endpoint.items())),
+            "total_requests": sum(
+                entry["requests"] for entry in by_endpoint.values()
+            ),
+            "registry": self.registry.snapshot(),
+        }

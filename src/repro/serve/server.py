@@ -10,8 +10,11 @@ behind heavy traffic:
 - **Compression.**  Bodies above a small threshold are gzipped when the
   client advertises ``Accept-Encoding: gzip`` (with ``mtime=0`` so the
   bytes are reproducible).
-- **Observability.**  ``/metrics`` exposes the per-endpoint request and
-  latency counters of :class:`~repro.serve.metrics.ServiceMetrics`.
+- **Observability.**  ``/metrics`` exposes the server's
+  :class:`~repro.obs.metrics.MetricsRegistry` — JSON by default,
+  Prometheus text exposition (``text/plain; version=0.0.4``) when the
+  client's ``Accept`` header asks for it — and every request runs under
+  an ``http.request`` span when a trace recorder is installed.
 - **Graceful shutdown.**  ``serve_forever`` installs SIGINT/SIGTERM
   handlers that drain the threaded server instead of killing sockets.
 """
@@ -27,12 +30,17 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.service import CorpusService, ServiceResponse
 from repro.store.store import CorpusStore
 
 #: Responses smaller than this are not worth compressing.
 GZIP_THRESHOLD = 256
+
+#: The Content-Type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class CorpusRequestHandler(BaseHTTPRequestHandler):
@@ -49,16 +57,41 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         split = urlsplit(self.path)
         params = dict(parse_qsl(split.query))
-        if split.path in ("/metrics", "/metrics/"):
-            result = ServiceResponse(
-                status=200,
-                payload=self.server.metrics.payload(),
-                endpoint="/metrics",
-                cacheable=False,
-            )
-        else:
-            result = self.server.service.handle(split.path, params)
-        status, body, headers = self._materialize(result, split.path, split.query)
+        with trace("http.request", method="GET", path=split.path) as span:
+            if split.path in ("/metrics", "/metrics/"):
+                if self._wants_prometheus():
+                    body = self.server.metrics.prometheus_text().encode("utf-8")
+                    self._send(200, body, {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+                               head_only)
+                    if span is not None:
+                        span.attrs.update(endpoint="/metrics", status=200)
+                    self.server.metrics.observe(
+                        "/metrics", 200, time.perf_counter() - started, len(body)
+                    )
+                    return
+                result = ServiceResponse(
+                    status=200,
+                    payload=self.server.metrics.payload(),
+                    endpoint="/metrics",
+                    cacheable=False,
+                )
+            else:
+                result = self.server.service.handle(split.path, params)
+            status, body, headers = self._materialize(result, split.path, split.query)
+            self._send(status, body, headers, head_only)
+            if span is not None:
+                span.attrs.update(endpoint=result.endpoint, status=status)
+        self.server.metrics.observe(
+            result.endpoint, status, time.perf_counter() - started, len(body)
+        )
+
+    def _wants_prometheus(self) -> bool:
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
+    def _send(
+        self, status: int, body: bytes, headers: dict[str, str], head_only: bool
+    ) -> None:
         self.send_response(status)
         for name, value in headers.items():
             self.send_header(name, value)
@@ -66,9 +99,6 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         if body and not head_only:
             self.wfile.write(body)
-        self.server.metrics.observe(
-            result.endpoint, status, time.perf_counter() - started, len(body)
-        )
 
     def _materialize(
         self, result: ServiceResponse, path: str, query: str
@@ -110,10 +140,11 @@ class CorpusServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 8765,
         verbose: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.store = store
         self.service = CorpusService(store)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(registry)
         self.verbose = verbose
         super().__init__((host, port), CorpusRequestHandler)
 
@@ -128,11 +159,28 @@ class CorpusServer(ThreadingHTTPServer):
         return f'"{self.store.content_hash()[:20]}-{request_digest[:12]}"'
 
 
+def create_server(
+    store: CorpusStore,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    verbose: bool = False,
+    registry: MetricsRegistry | None = None,
+) -> CorpusServer:
+    """The public constructor: a bound-but-not-running corpus server.
+
+    Callers own the lifecycle (``serve_forever()`` / ``shutdown()``);
+    pass ``port=0`` for an ephemeral port and *registry* to publish the
+    HTTP metrics into an existing :class:`MetricsRegistry`.
+    """
+    return CorpusServer(store, host=host, port=port, verbose=verbose,
+                        registry=registry)
+
+
 def start_server(
     store: CorpusStore, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
 ) -> tuple[CorpusServer, threading.Thread]:
     """Start a server on a background thread (port 0 = ephemeral)."""
-    server = CorpusServer(store, host=host, port=port, verbose=verbose)
+    server = create_server(store, host=host, port=port, verbose=verbose)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread
@@ -142,7 +190,7 @@ def serve_forever(
     store: CorpusStore, host: str = "127.0.0.1", port: int = 8765, verbose: bool = True
 ) -> None:
     """Run until SIGINT/SIGTERM, then drain in-flight requests."""
-    server = CorpusServer(store, host=host, port=port, verbose=verbose)
+    server = create_server(store, host=host, port=port, verbose=verbose)
 
     def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path
         threading.Thread(target=server.shutdown, daemon=True).start()

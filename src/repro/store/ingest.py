@@ -25,6 +25,7 @@ from repro.mining.github_activity import GithubActivityDataset
 from repro.mining.librariesio import LibrariesIoDataset
 from repro.mining.path_filters import MultiFileVerdict, choose_ddl_file
 from repro.mining.selection import SelectionCriteria, select_lib_io
+from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache, text_key
 from repro.pipeline.pipeline import MeasurementPipeline, PipelineConfig
 from repro.pipeline.stages import (
@@ -161,27 +162,30 @@ def ingest_corpus(
         policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir
     )
 
-    selected = select_lib_io(activity, lib_io, criteria)
-    report.selected = len(selected)
-    tasks: list[ProjectTask] = []
-    for project in selected:
-        choice = choose_ddl_file(list(project.sql_files))
-        if not choice.accepted:
-            report.omitted_by_paths[choice.verdict] = (
-                report.omitted_by_paths.get(choice.verdict, 0) + 1
+    with trace("ingest.select"):
+        selected = select_lib_io(activity, lib_io, criteria)
+        report.selected = len(selected)
+        tasks: list[ProjectTask] = []
+        for project in selected:
+            choice = choose_ddl_file(list(project.sql_files))
+            if not choice.accepted:
+                report.omitted_by_paths[choice.verdict] = (
+                    report.omitted_by_paths.get(choice.verdict, 0) + 1
+                )
+                continue
+            assert choice.chosen is not None
+            tasks.append(
+                ProjectTask(
+                    project.repo_name, choice.chosen.path, project.metadata.domain
+                )
             )
-            continue
-        assert choice.chosen is not None
-        tasks.append(
-            ProjectTask(project.repo_name, choice.chosen.path, project.metadata.domain)
+        report.tasks = len(tasks)
+        store.record_funnel_front(
+            sql_collection_repos=activity.repository_count(),
+            joined_and_filtered=report.selected,
+            lib_io_projects=report.tasks,
+            omitted_by_paths=report.omitted_by_paths,
         )
-    report.tasks = len(tasks)
-    store.record_funnel_front(
-        sql_collection_repos=activity.repository_count(),
-        joined_and_filtered=report.selected,
-        lib_io_projects=report.tasks,
-        omitted_by_paths=report.omitted_by_paths,
-    )
 
     # -- fingerprint pass: prove projects unchanged without measuring ----
     known = store.fingerprints()
@@ -189,29 +193,33 @@ def ingest_corpus(
     fingerprints: dict[str, str] = {}
     changed: list[ProjectTask] = []
     unextractable: list[ProjectTask] = []
-    for task in tasks:
-        try:
-            repo = provider(task.repo_name)
-            versions = (
-                usable_versions(
-                    extract_file_history(repo, task.ddl_path, policy=policy)
+    with trace("ingest.fingerprint", tasks=len(tasks)) as fp_span:
+        for task in tasks:
+            try:
+                repo = provider(task.repo_name)
+                versions = (
+                    usable_versions(
+                        extract_file_history(repo, task.ddl_path, policy=policy)
+                    )
+                    if repo is not None
+                    else []
                 )
-                if repo is not None
-                else []
-            )
-            fingerprint = history_fingerprint(task, repo, versions, config)
-        except Exception:
-            # Reproduce the crash inside the pipeline so it is isolated
-            # and recorded as a ProjectFailure like any other.
-            unextractable.append(task)
-            fingerprints[task.repo_name] = MISSING_REPO_FINGERPRINT
-            continue
-        fingerprints[task.repo_name] = fingerprint
-        if known.get(task.repo_name) == fingerprint:
-            report.skipped_unchanged += 1
-            continue
-        seeds[task.repo_name] = (repo, versions)
-        changed.append(task)
+                fingerprint = history_fingerprint(task, repo, versions, config)
+            except Exception:
+                # Reproduce the crash inside the pipeline so it is isolated
+                # and recorded as a ProjectFailure like any other.
+                unextractable.append(task)
+                fingerprints[task.repo_name] = MISSING_REPO_FINGERPRINT
+                continue
+            fingerprints[task.repo_name] = fingerprint
+            if known.get(task.repo_name) == fingerprint:
+                report.skipped_unchanged += 1
+                continue
+            seeds[task.repo_name] = (repo, versions)
+            changed.append(task)
+        if fp_span is not None:
+            fp_span.attrs["unchanged"] = report.skipped_unchanged
+            fp_span.attrs["changed"] = len(changed)
 
     # -- measurement pass: only the delta enters the pipeline ------------
     shared_cache = cache if cache is not None else SchemaCache(config.cache_dir)
@@ -227,19 +235,22 @@ def ingest_corpus(
             ClassifyStage(),
         ),
     )
-    contexts = list(pipeline.run(changed))
-    if unextractable:
-        crash_pipeline = MeasurementPipeline(
-            provider=provider, config=config, cache=shared_cache
-        )
-        crash_pipeline.stats = pipeline.stats
-        contexts.extend(crash_pipeline.run(unextractable))
+    with trace("ingest.measure", changed=len(changed)):
+        contexts = list(pipeline.run(changed))
+        if unextractable:
+            crash_pipeline = MeasurementPipeline(
+                provider=provider, config=config, cache=shared_cache
+            )
+            crash_pipeline.stats = pipeline.stats
+            contexts.extend(crash_pipeline.run(unextractable))
     report.measured = len(contexts)
-    for ctx in contexts:
-        store.persist_context(ctx, fingerprints[ctx.task.repo_name])
+    with trace("ingest.persist", contexts=len(contexts)):
+        for ctx in contexts:
+            store.persist_context(ctx, fingerprints[ctx.task.repo_name])
 
     if prune:
-        report.pruned = store.prune_missing(fingerprints)
+        with trace("ingest.prune"):
+            report.pruned = store.prune_missing(fingerprints)
 
     outcomes = store.aggregates()["by_outcome"]
     report.zero_versions = outcomes.get(Outcome.ZERO_VERSIONS.value, 0)

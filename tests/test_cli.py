@@ -1,8 +1,26 @@
-"""Tests for the command line interface."""
+"""Tests for the command line interface.
+
+Includes the CLI contract: every subcommand parses ``--help``, the
+shared :class:`~repro.cli.RunOptions` flags are accepted uniformly,
+``--version`` prints the package version, and the ``--trace`` /
+``--stats`` payloads validate against their documented schemas.
+"""
+
+import json
 
 import pytest
 
-from repro.cli import main
+import repro
+from repro.cli import RunOptions, main
+
+SUBCOMMANDS = ("funnel", "report", "classify", "project", "export", "ingest", "serve")
+
+#: Documented schema of ``--stats`` / ``pipeline_stats.json`` payloads
+#: (see docs/API.md, "Observability").
+STATS_PAYLOAD_KEYS = {
+    "jobs", "projects", "completed", "failures", "wall_seconds",
+    "cpu_seconds", "stage_seconds", "stage_projects", "cache", "registry",
+}
 
 
 class TestClassify:
@@ -65,3 +83,69 @@ class TestArgParsing:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["transmogrify"])
+
+
+class TestCliContract:
+    @pytest.mark.parametrize("command", SUBCOMMANDS)
+    def test_every_subcommand_parses_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "command", ("funnel", "report", "classify", "project", "export", "ingest")
+    )
+    def test_shared_flags_are_uniform(self, command, capsys):
+        """Every RunOptions flag appears in every pipeline command's help."""
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--jobs", "--cache-dir", "--stats", "--trace", "--profile"):
+            assert flag in out, f"{command} lacks {flag}"
+        if command != "classify":  # bring-your-own-history: no corpus knobs
+            assert "--seed" in out and "--scale" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_run_options_defaults_survive_commands_without_the_flags(self):
+        import argparse
+
+        options = RunOptions.from_args(argparse.Namespace(db="x.db"))
+        assert options == RunOptions()
+
+    def test_trace_payload_validates_against_schema(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        trace_file = tmp_path / "trace.jsonl"
+        assert main(
+            ["funnel", "--scale", "0.02", "--seed", "3", "--trace", str(trace_file)]
+        ) == 0
+        rows = read_trace(trace_file)  # validates every line
+        names = {row["name"] for row in rows}
+        for stage in ("extract", "parse", "diff", "measure", "classify"):
+            assert f"stage.{stage}" in names
+        assert "cli.funnel" in names
+
+    def test_stats_payload_validates_against_schema(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(
+            ["export", "--scale", "0.02", "--seed", "3", "--stats", "--out", str(out)]
+        ) == 0
+        payload = json.loads((out / "pipeline_stats.json").read_text())
+        assert set(payload) == STATS_PAYLOAD_KEYS
+        assert set(payload["registry"]) == {"counters", "gauges", "histograms"}
+
+    def test_profile_writes_pstats_next_to_the_trace(self, tmp_path, capsys):
+        import pstats
+
+        trace_file = tmp_path / "run.jsonl"
+        assert main(
+            ["funnel", "--scale", "0.02", "--seed", "3",
+             "--trace", str(trace_file), "--profile"]
+        ) == 0
+        assert pstats.Stats(str(tmp_path / "run.pstats")).total_calls > 0

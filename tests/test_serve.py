@@ -193,6 +193,50 @@ class TestMetrics:
         assert heartbeat["by_status"].get("404", 0) >= 1
         assert heartbeat["latency_ms"]["max"] >= heartbeat["latency_ms"]["min"] >= 0
 
+    def test_json_payload_carries_the_registry_snapshot(self, server):
+        request(server, "/taxa")
+        _, _, payload = request(server, "/metrics")
+        assert set(payload["registry"]) == {"counters", "gauges", "histograms"}
+        counters = payload["registry"]["counters"]
+        assert counters['repro_http_requests_total{endpoint="/taxa",status="200"}'] >= 1
+
+    def test_prometheus_exposition_under_content_negotiation(self, server):
+        from tests.test_obs import assert_prometheus_parses
+
+        request(server, "/taxa")
+        req = urllib.request.Request(
+            server.url + "/metrics", headers={"Accept": "text/plain; version=0.0.4"}
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            text = resp.read().decode("utf-8")
+        samples = assert_prometheus_parses(text)
+        assert any(
+            line.startswith('repro_http_requests_total{endpoint="/taxa"')
+            for line in samples
+        )
+        assert any(
+            line.startswith("repro_http_request_seconds_bucket") for line in samples
+        )
+
+    def test_requests_are_traced_as_spans(self, server):
+        import time
+
+        from repro.obs import recording
+
+        with recording() as recorder:
+            request(server, "/taxa")
+            # The handler thread closes its span just after the client
+            # has the body; give it a beat to land in the recorder.
+            for _ in range(200):
+                if recorder.count("http.request"):
+                    break
+                time.sleep(0.01)
+        spans = recorder.spans("http.request")
+        assert spans and spans[0].attrs["endpoint"] == "/taxa"
+        assert spans[0].attrs["status"] == 200
+
 
 class TestServiceWithoutSockets:
     def test_routes_directly(self, seeded_store):
