@@ -17,6 +17,9 @@ The package rebuilds the paper's full pipeline from scratch:
   store and its read-only HTTP serving layer;
 - :mod:`repro.obs` — the unified observability layer (span tracing,
   metrics registry, profiling hooks);
+- :mod:`repro.resilience` — the policy kernel (retries, deadlines,
+  circuit breaking, deterministic fault injection) every execution
+  layer shares;
 - :mod:`repro.stats` — Kruskal-Wallis (from scratch), Shapiro-Wilk,
   quartiles, box-plot geometry;
 - :mod:`repro.synthesis` — taxon-calibrated synthetic corpus generator
@@ -37,7 +40,7 @@ Quickstart
 >>> analysis = analyze_corpus(report.studied + report.rigid)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The curated public API: exported name -> providing module.
 _EXPORTS = {
@@ -62,6 +65,11 @@ _EXPORTS = {
     # serve: the read-only HTTP API
     "create_server": "repro.serve",
     "serve_forever": "repro.serve",
+    # resilience: the shared policy kernel
+    "CircuitBreaker": "repro.resilience",
+    "Deadline": "repro.resilience",
+    "FaultInjector": "repro.resilience",
+    "RetryPolicy": "repro.resilience",
     # obs: tracing + metrics + profiling
     "MetricsRegistry": "repro.obs",
     "TraceRecorder": "repro.obs",

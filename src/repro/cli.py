@@ -19,20 +19,31 @@ Commands
                 sqlite corpus store (incremental: an unchanged corpus
                 re-measures zero projects);
 ``serve``       serve an ingested store as a read-only JSON HTTP API
-                (/projects, /projects/{id}/heartbeat, /taxa, /stats,
-                /metrics) with ETag revalidation and gzip.
+                (versioned under /v1: projects, heartbeat, taxa, stats,
+                failures, metrics) with ETag revalidation, gzip,
+                request timeouts and circuit-breaker degradation; the
+                legacy unversioned routes answer with a Deprecation
+                header.
 
 Every corpus-running command (and ``classify``) shares one option set,
 declared once on :class:`RunOptions`: the pipeline knobs ``--jobs N``,
-``--cache-dir DIR`` and ``--stats``, plus the observability knobs
+``--cache-dir DIR`` and ``--stats``, the observability knobs
 ``--trace FILE`` (write the run's span trace as JSONL) and
 ``--profile`` (wrap the run in ``cProfile``, writing ``.pstats`` next
-to the trace).  ``repro --version`` prints the package version.
+to the trace), the resilience knobs ``--retries N`` (bounded
+per-project retries), ``--deadline SECONDS`` (per-project wall budget),
+``--inject-faults RATE`` + ``--fault-seed N`` (seeded, reproducible
+chaos), and ``--json`` (machine-readable success output on stdout and,
+on failure, the structured error envelope ``{"error": {"code",
+"message", "detail"}}`` on stderr with a nonzero exit code — the same
+envelope the ``/v1`` HTTP surface answers with).  ``repro --version``
+prints the package version.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from contextlib import contextmanager
@@ -70,6 +81,26 @@ class RunOptions:
     stats: bool = False
     trace: str | None = None
     profile: bool = False
+    json: bool = False
+    retries: int = 1
+    deadline: float | None = None
+    fault_rate: float = 0.0
+    fault_seed: int = 2019
+
+    def injector(self, sites: tuple[str, ...] = ("parse", "persist")):
+        """The seeded chaos injector these options describe (or None)."""
+        if self.fault_rate <= 0:
+            return None
+        from repro.resilience import FaultInjector
+
+        return FaultInjector(seed=self.fault_seed, rate=self.fault_rate, sites=sites)
+
+    def retry_policy(self):
+        from repro.resilience import NO_RETRY, RetryPolicy
+
+        if self.retries <= 1:
+            return NO_RETRY
+        return RetryPolicy(max_attempts=self.retries, base_delay=0.01, max_delay=0.5)
 
     @classmethod
     def add_to_parser(
@@ -103,6 +134,31 @@ class RunOptions:
             "--profile", action="store_true",
             help="profile the run with cProfile; writes .pstats next to the trace",
         )
+        parser.add_argument(
+            "--json", action="store_true",
+            help="machine-readable output: JSON results on stdout, the"
+                 " structured error envelope on stderr",
+        )
+        parser.add_argument(
+            "--retries", type=int, default=1, metavar="N",
+            help="attempts per project (1 = no retries); failed projects"
+                 " re-run with deterministic backoff",
+        )
+        parser.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget per project; exceeding it records a"
+                 " ProjectFailure instead of hanging the run",
+        )
+        parser.add_argument(
+            "--inject-faults", type=float, default=0.0, dest="fault_rate",
+            metavar="RATE",
+            help="chaos mode: deterministically fail RATE of projects at the"
+                 " parse/persist sites (seeded by --fault-seed)",
+        )
+        parser.add_argument(
+            "--fault-seed", type=int, default=2019, metavar="N",
+            help="seed of the fault injector; equal seeds inject equal faults",
+        )
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "RunOptions":
@@ -116,15 +172,48 @@ class RunOptions:
         )
 
 
+class CliError(RuntimeError):
+    """A command failure carrying the structured error envelope.
+
+    ``main`` renders it as ``error: <message>`` on stderr — or, under
+    ``--json``, as the same ``{"error": {"code", "message", "detail"}}``
+    envelope the ``/v1`` HTTP surface answers with — and exits nonzero.
+    """
+
+    def __init__(
+        self, code: str, message: str, detail: str | None = None, exit_code: int = 1
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail
+        self.exit_code = exit_code
+
+    def envelope(self) -> dict:
+        return {
+            "error": {"code": self.code, "message": self.message, "detail": self.detail}
+        }
+
+
 def _build(args: argparse.Namespace):
     opts: RunOptions = args.options
     spec = CorpusSpec(seed=opts.seed, scale=opts.scale)
     started = time.time()
     with trace("corpus.build", seed=opts.seed, scale=opts.scale):
         corpus = build_corpus(spec)
-    report = corpus.run_funnel(jobs=opts.jobs, cache_dir=opts.cache_dir)
+    report = corpus.run_funnel(
+        jobs=opts.jobs,
+        cache_dir=opts.cache_dir,
+        retry=opts.retry_policy(),
+        project_deadline=opts.deadline,
+        injector=opts.injector(),
+    )
     elapsed = time.time() - started
-    print(f"# corpus seed={opts.seed} scale={opts.scale} built+mined in {elapsed:.1f}s\n")
+    if not opts.json:
+        print(
+            f"# corpus seed={opts.seed} scale={opts.scale} "
+            f"built+mined in {elapsed:.1f}s\n"
+        )
     return corpus, report
 
 
@@ -136,6 +225,19 @@ def _print_stats(args: argparse.Namespace, report) -> None:
 
 def _cmd_funnel(args: argparse.Namespace) -> int:
     _, report = _build(args)
+    if args.options.json:
+        payload = {
+            "funnel": dict(report.stage_rows()),
+            "rigid_share": round(report.rigid_share, 6),
+            "failures": [
+                failure.payload()
+                for failure in sorted(report.failures, key=lambda f: f.project)
+            ],
+        }
+        if args.options.stats and report.stats is not None:
+            payload["stats"] = report.stats.payload()
+        print(json.dumps(payload, sort_keys=True))
+        return 0
     print(funnel_text(report))
     _print_stats(args, report)
     return 0
@@ -147,12 +249,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
         with CorpusStore(args.from_store) as store:
             if store.project_count() == 0:
-                print(
-                    f"error: store {args.from_store} is empty; "
-                    "run `repro ingest` first",
-                    file=sys.stderr,
+                raise CliError(
+                    "empty_store",
+                    f"store {args.from_store} is empty; run `repro ingest` first",
                 )
-                return 1
             print(ExperimentSuite.from_store(store).render_all())
         return 0
     _, report = _build(args)
@@ -178,11 +278,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             raw_versions.append((path, index * 86_400, handle.read()))
     ctx = pipeline.measure_versions(args.name, args.files[0], raw_versions)
     if ctx.failure is not None:
-        print(
-            f"error: {ctx.failure.stage} stage failed: {ctx.failure.message}",
-            file=sys.stderr,
+        raise CliError(
+            "measurement_failed",
+            f"{ctx.failure.stage} stage failed: {ctx.failure.message}",
         )
-        return 1
     metrics = ctx.metrics
     if metrics is None:
         from repro.pipeline import Outcome
@@ -191,8 +290,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             Outcome.ZERO_VERSIONS: "every given file is empty",
             Outcome.NO_CREATE: "no version ever declares a CREATE TABLE",
         }.get(ctx.outcome, "no measurable schema history")
-        print(f"error: {reason}", file=sys.stderr)
-        return 1
+        raise CliError("unmeasurable", reason)
     taxon = classify(metrics)
     print(f"project:        {args.name}")
     print(f"versions:       {metrics.n_commits}")
@@ -214,8 +312,9 @@ def _cmd_project(args: argparse.Namespace) -> int:
         pool = [p for p in pool if corpus.expected_taxa.get(p.name, None) is not None
                 and corpus.expected_taxa[p.name].value == args.taxon]
     if not pool:
-        print(f"no project found for taxon {args.taxon!r}", file=sys.stderr)
-        return 1
+        raise CliError(
+            "no_such_taxon", f"no project found for taxon {args.taxon!r}"
+        )
     project = max(pool, key=lambda p: p.metrics.total_activity)
     print(line_chart(schema_size_series(project.metrics)))
     print()
@@ -231,12 +330,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
         with CorpusStore(args.from_store) as store:
             if store.project_count() == 0:
-                print(
-                    f"error: store {args.from_store} is empty; "
-                    "run `repro ingest` first",
-                    file=sys.stderr,
+                raise CliError(
+                    "empty_store",
+                    f"store {args.from_store} is empty; run `repro ingest` first",
                 )
-                return 1
             paths = export_from_store(args.out, store)
         for kind, path in paths.items():
             print(f"wrote {kind:<12} {path}")
@@ -266,7 +363,23 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             corpus.provider,
             jobs=opts.jobs,
             cache_dir=opts.cache_dir,
+            retry=opts.retry_policy(),
+            project_deadline=opts.deadline,
+            injector=opts.injector(),
         )
+        if opts.json:
+            payload = {
+                "ingest": report.payload(),
+                "store": {
+                    "path": args.db,
+                    "projects": store.project_count(),
+                    "content_hash": store.content_hash(),
+                },
+            }
+            if opts.stats and report.stats is not None:
+                payload["stats"] = report.stats.payload()
+            print(json.dumps(payload, sort_keys=True))
+            return 0
         print(f"# corpus seed={opts.seed} scale={opts.scale} built in {time.time() - started:.1f}s")
         print(report.summary())
         print(f"store: {args.db} ({store.project_count()} projects, "
@@ -283,16 +396,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     with CorpusStore(args.db) as store:
         if store.project_count() == 0:
-            print(
-                f"error: store {args.db} is empty; run `repro ingest` first",
-                file=sys.stderr,
+            raise CliError(
+                "empty_store",
+                f"store {args.db} is empty; run `repro ingest` first",
             )
-            return 1
         print(
             f"serving {store.project_count()} projects from {args.db} "
             f"on http://{args.host}:{args.port} (Ctrl-C to stop)"
         )
-        serve_forever(store, host=args.host, port=args.port, verbose=not args.quiet)
+        timeout = args.timeout if args.timeout and args.timeout > 0 else None
+        serve_forever(
+            store,
+            host=args.host,
+            port=args.port,
+            verbose=not args.quiet,
+            request_timeout=timeout,
+        )
     return 0
 
 
@@ -382,12 +501,27 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
+    serve.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-request store deadline before degrading (<= 0 disables)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="on failure, print the structured error envelope on stderr",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     args.options = RunOptions.from_args(args)
-    with _observed(args.options, args.command):
-        return args.func(args)
+    try:
+        with _observed(args.options, args.command):
+            return args.func(args)
+    except CliError as exc:
+        if args.options.json:
+            print(json.dumps(exc.envelope(), sort_keys=True), file=sys.stderr)
+        else:
+            print(f"error: {exc.message}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

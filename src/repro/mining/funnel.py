@@ -36,6 +36,8 @@ from repro.pipeline.cache import SchemaCache
 from repro.pipeline.pipeline import MeasurementPipeline, PipelineConfig
 from repro.pipeline.stages import Outcome, ProjectFailure, ProjectTask
 from repro.pipeline.stats import PipelineStats
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policy import NO_RETRY, RetryPolicy
 from repro.vcs.history import LinearizationPolicy
 from repro.vcs.repository import Repository
 
@@ -109,6 +111,9 @@ def run_funnel(
     cache_dir: str | None = None,
     cache: SchemaCache | None = None,
     pipeline: MeasurementPipeline | None = None,
+    retry: RetryPolicy = NO_RETRY,
+    project_deadline: float | None = None,
+    injector: FaultInjector | None = None,
 ) -> FunnelReport:
     """Run the whole collection funnel and return its report.
 
@@ -116,7 +121,9 @@ def run_funnel(
     so any job count yields identical reports); ``cache_dir`` enables the
     on-disk parse/diff cache; ``cache`` shares an in-memory cache across
     runs; ``pipeline`` substitutes a fully custom pipeline (it wins over
-    the other three knobs).
+    the other knobs).  ``retry``/``project_deadline``/``injector`` are
+    the resilience knobs (see :mod:`repro.resilience`): bounded retries
+    per project, a wall-clock budget per project, and seeded chaos.
     """
     report = FunnelReport()
     report.sql_collection_repos = activity.repository_count()
@@ -145,7 +152,8 @@ def run_funnel(
         pipeline = MeasurementPipeline(
             provider,
             PipelineConfig(
-                policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir
+                policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir,
+                retry=retry, project_deadline=project_deadline, injector=injector,
             ),
             cache=cache,
         )

@@ -7,18 +7,28 @@ cache lookups, and results are assembled strictly in input order, so a
 parallel run is byte-identical to a serial one.  A stage that raises
 demotes its project to a :class:`ProjectFailure`; the rest of the corpus
 is unaffected.
+
+Resilience (opt-in via :class:`PipelineConfig`): a ``retry`` policy
+re-runs a failed project from a *fresh* context with deterministic
+backoff, ``project_deadline`` bounds each project's total wall time
+(checked before every stage; :class:`~repro.resilience.DeadlineExceeded`
+is never retried), and an ``injector`` arms seeded chaos at every stage
+boundary.  Attempts are recorded on the surviving context/failure and
+published to the run's metrics registry.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 from repro.core.heartbeat import DEFAULT_REED_LIMIT
 from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache
+from repro.resilience.faults import FaultInjector, InjectedFault
+from repro.resilience.policy import NO_RETRY, Deadline, DeadlineExceeded, RetryPolicy
 from repro.pipeline.stages import (
     ClassifyStage,
     DiffStage,
@@ -48,6 +58,9 @@ class PipelineConfig:
     jobs: int = 1
     cache_dir: str | None = None
     lenient: bool = True
+    retry: RetryPolicy = field(default=NO_RETRY)
+    project_deadline: float | None = None  # wall-second budget per project
+    injector: FaultInjector | None = None  # seeded chaos, off by default
 
 
 class MeasurementPipeline:
@@ -78,18 +91,64 @@ class MeasurementPipeline:
     # -- single project ---------------------------------------------------
 
     def run_project(self, task: ProjectTask) -> ProjectContext:
-        """Push one task through the chain; never raises for a bad project."""
+        """Push one task through the chain; never raises for a bad project.
+
+        A failing project is retried from a fresh context under the
+        config's :class:`~repro.resilience.RetryPolicy` (default: one
+        attempt, i.e. no retries).  The surviving context carries the
+        attempt count, and an exhausted retry budget stamps it onto the
+        :class:`ProjectFailure` record.
+        """
+        retry = self.config.retry
+        deadline = Deadline(self.config.project_deadline)
         ctx = ProjectContext(task=task)
+        attempt = 1
+        for attempt in range(1, retry.max_attempts + 1):
+            ctx, caught = self._attempt(task, attempt, deadline)
+            if ctx.outcome is not Outcome.FAILED:
+                if attempt > 1:
+                    self.stats.note_recovered()
+                break
+            retryable = (
+                attempt < retry.max_attempts
+                and not isinstance(caught, DeadlineExceeded)
+                and not deadline.expired
+            )
+            if not retryable:
+                break
+            assert ctx.failure is not None
+            self.stats.note_retry(ctx.failure.stage)
+            delay = deadline.bound(retry.delay_for(attempt, key=task.repo_name))
+            if delay > 0:
+                time.sleep(delay)
+        ctx.attempts = attempt
+        if ctx.failure is not None:
+            ctx.failure = replace(ctx.failure, attempts=attempt)
+        return ctx
+
+    def _attempt(
+        self, task: ProjectTask, attempt: int, deadline: Deadline
+    ) -> tuple[ProjectContext, Exception | None]:
+        """One pass through the stage chain on a fresh context."""
+        ctx = ProjectContext(task=task)
+        injector = self.config.injector
+        caught: Exception | None = None
         for stage in self.stages:
             if ctx.is_terminal:
                 break
             started = time.perf_counter()
             try:
                 with trace(f"stage.{stage.name}", project=task.repo_name) as span:
+                    if span is not None and attempt > 1:
+                        span.attrs["attempt"] = attempt
+                    deadline.check(stage.name)
+                    if injector is not None:
+                        injector.check(stage.name, task.repo_name, attempt)
                     stage.run(ctx)
                     if span is not None and ctx.outcome is not None:
                         span.attrs["outcome"] = ctx.outcome.value
             except Exception as exc:  # fault isolation: demote, don't abort
+                caught = exc
                 ctx.outcome = Outcome.FAILED
                 ctx.failure = ProjectFailure(
                     project=task.repo_name,
@@ -97,9 +156,13 @@ class MeasurementPipeline:
                     error=type(exc).__name__,
                     message=str(exc),
                 )
+                if isinstance(exc, InjectedFault):
+                    self.stats.note_fault_injected(stage.name)
+                if isinstance(exc, DeadlineExceeded):
+                    self.stats.note_deadline_exceeded(stage.name)
             finally:
                 self.stats.note_stage(stage.name, time.perf_counter() - started)
-        return ctx
+        return ctx, caught
 
     # -- the whole corpus -------------------------------------------------
 

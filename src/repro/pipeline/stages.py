@@ -57,6 +57,7 @@ class ProjectFailure:
     stage: str
     error: str  # exception class name
     message: str
+    attempts: int = 1  # tries consumed before the project was demoted
 
     def payload(self) -> dict:
         return {
@@ -64,6 +65,7 @@ class ProjectFailure:
             "stage": self.stage,
             "error": self.error,
             "message": self.message,
+            "attempts": self.attempts,
         }
 
 
@@ -80,6 +82,7 @@ class ProjectContext:
     taxon: Taxon | None = None
     outcome: Outcome | None = None
     failure: ProjectFailure | None = None
+    attempts: int = 1  # pipeline tries this context consumed
 
     @property
     def name(self) -> str:

@@ -22,6 +22,10 @@ Registry series owned by this class::
     repro_pipeline_stage_seconds_total{stage=...}    counter
     repro_pipeline_stage_projects_total{stage=...}   counter
     repro_pipeline_stage_duration_seconds{stage=...} histogram
+    repro_pipeline_retries_total{stage=...}          counter
+    repro_pipeline_recovered_total                   counter
+    repro_pipeline_faults_injected_total{stage=...}  counter
+    repro_pipeline_deadline_exceeded_total{stage=...} counter
 """
 
 from __future__ import annotations
@@ -68,6 +72,26 @@ class PipelineStats:
         self.registry.histogram(
             "repro_pipeline_stage_duration_seconds", stage=stage
         ).observe(seconds)
+
+    def note_retry(self, stage: str) -> None:
+        """One failed attempt that will be retried (stage it died in)."""
+        self.registry.counter("repro_pipeline_retries_total", stage=stage).inc()
+
+    def note_recovered(self) -> None:
+        """A project that failed at least once and then succeeded."""
+        self.registry.counter("repro_pipeline_recovered_total").inc()
+
+    def note_fault_injected(self, stage: str) -> None:
+        """A seeded chaos fault fired at *stage*."""
+        self.registry.counter(
+            "repro_pipeline_faults_injected_total", stage=stage
+        ).inc()
+
+    def note_deadline_exceeded(self, stage: str) -> None:
+        """A project's time budget ran out before *stage*."""
+        self.registry.counter(
+            "repro_pipeline_deadline_exceeded_total", stage=stage
+        ).inc()
 
     def note_run(
         self, projects: int, completed: int, failures: int, wall_seconds: float
@@ -121,6 +145,29 @@ class PipelineStats:
         """Summed per-stage time across all workers."""
         return sum(self.stage_seconds.values())
 
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were retried, summed over stages."""
+        return sum(
+            self.registry.label_values(
+                "repro_pipeline_retries_total", "stage"
+            ).values()
+        )
+
+    @property
+    def recovered(self) -> int:
+        """Projects that succeeded only after at least one retry."""
+        return self.registry.value("repro_pipeline_recovered_total")
+
+    @property
+    def faults_injected(self) -> int:
+        """Seeded chaos faults that fired during the run."""
+        return sum(
+            self.registry.label_values(
+                "repro_pipeline_faults_injected_total", "stage"
+            ).values()
+        )
+
     # -- rendering --------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -168,4 +215,10 @@ class PipelineStats:
             f"scan {c.scan_hits} hits / {c.scan_misses} misses"
         )
         lines.append(f"  build_schema calls: {c.build_schema_calls}")
+        if self.retries or self.faults_injected:
+            lines.append(
+                f"  resilience: {self.retries} retries, "
+                f"{self.recovered} recovered, "
+                f"{self.faults_injected} faults injected"
+            )
         return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""repro.resilience — the reusable policy kernel behind every layer.
+
+One small, stdlib-only package supplies the failure-handling policies
+the pipeline (bounded per-project retries + deadlines), the ingest
+(checkpointed phases, persist retries), and the serving layer (request
+timeouts, store circuit breaker, degraded responses) all share:
+
+=====================  ==================================================
+:class:`RetryPolicy`   exponential backoff, deterministic derived jitter
+:class:`Deadline`      monotonic time budgets, ``DeadlineExceeded``
+:class:`CircuitBreaker` closed/open/half-open guard with registry gauges
+:class:`FaultInjector` seeded, replayable chaos (``InjectedFault``)
+=====================  ==================================================
+
+Determinism is the design constraint throughout: jitter and injection
+decisions are *hashed*, never sampled, so a chaos run is a pure
+function of its seed and CI failures replay locally bit-for-bit.
+"""
+
+from repro.resilience.faults import FaultInjector, InjectedFault
+from repro.resilience.policy import (
+    NO_RETRY,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceError,
+    RetryPolicy,
+    call_with_timeout,
+    stable_fraction,
+)
+
+__all__ = [
+    "NO_RETRY",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "InjectedFault",
+    "ResilienceError",
+    "RetryPolicy",
+    "call_with_timeout",
+    "stable_fraction",
+]

@@ -1,0 +1,72 @@
+"""Deterministic fault injection for reproducible chaos runs.
+
+Chaos testing of a 100k-repository mining run is only useful when the
+chaos is *replayable*: a failure found in CI must fail the same way on
+a laptop.  :class:`FaultInjector` therefore derives every decision from
+``sha256(seed | site | key)`` — no RNG state, no ordering sensitivity —
+so the set of injected faults is a pure function of the seed, and two
+runs with the same seed produce byte-identical failure records.
+
+A *site* names a code location that opted into injection (a pipeline
+stage name like ``"parse"``, the ingest ``"persist"`` step, the serve
+``"store"`` call); the *key* is the unit of work (a project name).
+``fail_attempts`` bounds how many attempts of one unit fail, which is
+how tests prove a retry policy actually recovers: inject one failing
+attempt, watch attempt two succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.policy import ResilienceError, stable_fraction
+
+
+class InjectedFault(ResilienceError):
+    """The synthetic failure an armed :class:`FaultInjector` raises."""
+
+    def __init__(self, site: str, key: str) -> None:
+        super().__init__(f"injected {site} fault for {key!r}")
+        self.site = site
+        self.key = key
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Seeded, deterministic chaos: the same seed injects the same faults.
+
+    ``rate`` is the target share of keys that fail per site; ``sites``
+    restricts injection to the named sites (empty = all participating
+    sites); ``fail_attempts=None`` makes a targeted key fail on every
+    attempt, ``fail_attempts=n`` only on the first *n* (so retries
+    recover).
+    """
+
+    seed: int
+    rate: float = 0.1
+    sites: tuple[str, ...] = ()
+    fail_attempts: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate <= 1:
+            raise ValueError(f"rate must be in 0..1, got {self.rate}")
+        if self.fail_attempts is not None and self.fail_attempts < 1:
+            raise ValueError(
+                f"fail_attempts must be >= 1 or None, got {self.fail_attempts}"
+            )
+
+    def targets(self, site: str, key: str) -> bool:
+        """Would this injector ever fail (site, key)?  Pure, replayable."""
+        if self.sites and site not in self.sites:
+            return False
+        return stable_fraction(f"{self.seed}|{site}|{key}") < self.rate
+
+    def should_fail(self, site: str, key: str, attempt: int = 1) -> bool:
+        if not self.targets(site, key):
+            return False
+        return self.fail_attempts is None or attempt <= self.fail_attempts
+
+    def check(self, site: str, key: str, attempt: int = 1) -> None:
+        """Raise :class:`InjectedFault` when (site, key, attempt) is hit."""
+        if self.should_fail(site, key, attempt):
+            raise InjectedFault(site, key)

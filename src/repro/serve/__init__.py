@@ -1,34 +1,49 @@
 """The read-only corpus serving layer (``repro serve``).
 
-A stdlib ``ThreadingHTTPServer`` over one :class:`~repro.store.CorpusStore`:
+A stdlib ``ThreadingHTTPServer`` over one :class:`~repro.store.CorpusStore`.
+The versioned ``/v1`` surface is the current API:
 
 ====================================  =========================================
-``GET /projects``                     paginated projects; ``taxon=``,
+``GET /v1/projects``                  paginated projects; ``taxon=``,
                                       ``outcome=``, ``min_<metric>=`` /
-                                      ``max_<metric>=``, ``offset=``, ``limit=``
-``GET /projects/{id}``                one project + its schema-version ledger
-``GET /projects/{id}/heartbeat``      the per-commit heartbeat rows
-``GET /taxa``                         per-taxon populations and shares
-``GET /stats``                        corpus aggregates + funnel counts
-``GET /metrics``                      the metrics registry: JSON, or
+                                      ``max_<metric>=``, ``offset=``, ``limit=``;
+                                      payload carries ``next``/``total``
+``GET /v1/projects/{id}``             one project + its schema-version ledger
+``GET /v1/projects/{id}/heartbeat``   the per-commit heartbeat rows
+``GET /v1/taxa``                      per-taxon populations and shares
+``GET /v1/stats``                     corpus aggregates + funnel counts
+``GET /v1/failures``                  stored ProjectFailure records with
+                                      retry-attempt counts (paginated)
+``GET /v1/metrics``                   the metrics registry: JSON, or
                                       Prometheus text via ``Accept``
 ====================================  =========================================
+
+v1 errors use the structured envelope ``{"error": {"code", "message",
+"detail"}}``.  The legacy unversioned routes still answer with their
+original shapes but carry ``Deprecation: true`` and a ``Link:
+rel="successor-version"`` header pointing at their ``/v1`` successor.
 
 ``{id}`` is a numeric store id or a URL-encoded project name.  All
 cacheable responses carry a deterministic ``ETag`` derived from the
 store's content hash; ``If-None-Match`` revalidation answers ``304``.
+Requests run bounded by a timeout behind a store-level circuit breaker;
+under a store outage the server degrades to the last ETag-consistent
+snapshot (``Warning``/``Retry-After``) or an honest 503 — never a hang.
 """
 
 from repro.serve.metrics import LATENCY_BUCKETS, ServiceMetrics
 from repro.serve.server import (
     CorpusServer,
+    DEFAULT_REQUEST_TIMEOUT,
     GZIP_THRESHOLD,
     PROMETHEUS_CONTENT_TYPE,
+    RoutedResult,
     create_server,
     serve_forever,
     start_server,
 )
 from repro.serve.service import (
+    API_V1_PREFIX,
     CorpusService,
     DEFAULT_PAGE_LIMIT,
     MAX_PAGE_LIMIT,
@@ -36,13 +51,16 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "API_V1_PREFIX",
     "CorpusServer",
     "CorpusService",
     "DEFAULT_PAGE_LIMIT",
+    "DEFAULT_REQUEST_TIMEOUT",
     "GZIP_THRESHOLD",
     "LATENCY_BUCKETS",
     "MAX_PAGE_LIMIT",
     "PROMETHEUS_CONTENT_TYPE",
+    "RoutedResult",
     "ServiceMetrics",
     "ServiceResponse",
     "create_server",

@@ -10,11 +10,21 @@ behind heavy traffic:
 - **Compression.**  Bodies above a small threshold are gzipped when the
   client advertises ``Accept-Encoding: gzip`` (with ``mtime=0`` so the
   bytes are reproducible).
-- **Observability.**  ``/metrics`` exposes the server's
-  :class:`~repro.obs.metrics.MetricsRegistry` — JSON by default,
-  Prometheus text exposition (``text/plain; version=0.0.4``) when the
-  client's ``Accept`` header asks for it — and every request runs under
-  an ``http.request`` span when a trace recorder is installed.
+- **Resilience.**  Every store-touching request runs bounded by
+  ``request_timeout`` (a hung read cannot pin a handler thread forever)
+  behind a store-level :class:`~repro.resilience.CircuitBreaker`.  When
+  the store fails or the breaker is open the server *degrades* instead
+  of hanging: a request whose response was served before comes back
+  from the last ETag-consistent snapshot with ``Warning: 110`` and
+  ``Retry-After`` headers; anything else gets a 503 envelope with
+  ``Retry-After``.  A half-open probe closes the breaker again once the
+  store recovers.
+- **Observability.**  ``/metrics`` (and ``/v1/metrics``) exposes the
+  server's :class:`~repro.obs.metrics.MetricsRegistry` — JSON by
+  default, Prometheus text exposition (``text/plain; version=0.0.4``)
+  when the client's ``Accept`` header asks for it — and every request
+  runs under an ``http.request`` span when a trace recorder is
+  installed.
 - **Graceful shutdown.**  ``serve_forever`` installs SIGINT/SIGTERM
   handlers that drain the threaded server instead of killing sockets.
 """
@@ -24,16 +34,25 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import math
 import signal
 import threading
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import trace
+from repro.resilience.policy import CircuitBreaker, DeadlineExceeded, call_with_timeout
 from repro.serve.metrics import ServiceMetrics
-from repro.serve.service import CorpusService, ServiceResponse
+from repro.serve.service import (
+    API_V1_PREFIX,
+    CorpusService,
+    ServiceResponse,
+    deprecation_headers,
+)
 from repro.store.store import CorpusStore
 
 #: Responses smaller than this are not worth compressing.
@@ -42,12 +61,30 @@ GZIP_THRESHOLD = 256
 #: The Content-Type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Wall-second budget of one store-touching request (None disables).
+DEFAULT_REQUEST_TIMEOUT = 5.0
+
+#: At most this many (path, query) snapshots are kept for degradation.
+SNAPSHOT_CAPACITY = 1024
+
+_METRICS_PATHS = ("/metrics", "/metrics/")
+
+
+@dataclass(frozen=True)
+class RoutedResult:
+    """What one request resolves to before HTTP materialization."""
+
+    response: ServiceResponse
+    etag: str | None
+    extra_headers: tuple[tuple[str, str], ...] = ()
+    degraded: bool = False  # True: served stale or unavailable
+
 
 class CorpusRequestHandler(BaseHTTPRequestHandler):
     """Translates HTTP to :class:`CorpusService` calls."""
 
     server: "CorpusServer"
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/1.2"
     protocol_version = "HTTP/1.1"
 
     def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
@@ -58,36 +95,68 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         params = dict(parse_qsl(split.query))
         with trace("http.request", method="GET", path=split.path) as span:
-            if split.path in ("/metrics", "/metrics/"):
-                if self._wants_prometheus():
-                    body = self.server.metrics.prometheus_text().encode("utf-8")
-                    self._send(200, body, {"Content-Type": PROMETHEUS_CONTENT_TYPE},
-                               head_only)
-                    if span is not None:
-                        span.attrs.update(endpoint="/metrics", status=200)
-                    self.server.metrics.observe(
-                        "/metrics", 200, time.perf_counter() - started, len(body)
-                    )
-                    return
-                result = ServiceResponse(
-                    status=200,
-                    payload=self.server.metrics.payload(),
-                    endpoint="/metrics",
-                    cacheable=False,
+            routed = self._route_metrics(split.path)
+            if routed is None and self._is_prometheus_metrics(split.path):
+                body = self.server.metrics.prometheus_text().encode("utf-8")
+                headers = {"Content-Type": PROMETHEUS_CONTENT_TYPE}
+                for name, value in self._metrics_extra_headers(split.path):
+                    headers[name] = value
+                self._send(200, body, headers, head_only)
+                if span is not None:
+                    span.attrs.update(endpoint=self._metrics_endpoint(split.path),
+                                      status=200)
+                self.server.metrics.observe(
+                    self._metrics_endpoint(split.path), 200,
+                    time.perf_counter() - started, len(body),
                 )
-            else:
-                result = self.server.service.handle(split.path, params)
-            status, body, headers = self._materialize(result, split.path, split.query)
+                return
+            if routed is None:
+                routed = self.server.guarded_handle(split.path, split.query, params)
+            status, body, headers = self._materialize(routed, head_only)
             self._send(status, body, headers, head_only)
             if span is not None:
-                span.attrs.update(endpoint=result.endpoint, status=status)
+                span.attrs.update(endpoint=routed.response.endpoint, status=status)
+                if routed.degraded:
+                    span.attrs["degraded"] = True
         self.server.metrics.observe(
-            result.endpoint, status, time.perf_counter() - started, len(body)
+            routed.response.endpoint, status, time.perf_counter() - started, len(body)
         )
 
-    def _wants_prometheus(self) -> bool:
+    # -- /metrics routing ---------------------------------------------------
+
+    def _is_metrics_path(self, path: str) -> bool:
+        if path.startswith(API_V1_PREFIX):
+            path = path[len(API_V1_PREFIX):]
+        return path in _METRICS_PATHS
+
+    def _is_prometheus_metrics(self, path: str) -> bool:
+        if not self._is_metrics_path(path):
+            return False
         accept = self.headers.get("Accept", "")
         return "text/plain" in accept or "openmetrics" in accept
+
+    def _metrics_endpoint(self, path: str) -> str:
+        return f"{API_V1_PREFIX}/metrics" if path.startswith(API_V1_PREFIX) else "/metrics"
+
+    def _metrics_extra_headers(self, path: str) -> tuple[tuple[str, str], ...]:
+        if path.startswith(API_V1_PREFIX):
+            return ()
+        return deprecation_headers(path)
+
+    def _route_metrics(self, path: str) -> RoutedResult | None:
+        """/metrics never touches the store: no guard, no ETag."""
+        if not self._is_metrics_path(path) or self._is_prometheus_metrics(path):
+            return None
+        response = ServiceResponse(
+            status=200,
+            payload=self.server.metrics.payload(),
+            endpoint=self._metrics_endpoint(path),
+            cacheable=False,
+            headers=self._metrics_extra_headers(path),
+        )
+        return RoutedResult(response=response, etag=None)
+
+    # -- HTTP materialization ----------------------------------------------
 
     def _send(
         self, status: int, body: bytes, headers: dict[str, str], head_only: bool
@@ -101,15 +170,18 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(body)
 
     def _materialize(
-        self, result: ServiceResponse, path: str, query: str
+        self, routed: RoutedResult, head_only: bool
     ) -> tuple[int, bytes, dict[str, str]]:
+        result = routed.response
         headers = {"Content-Type": "application/json; charset=utf-8"}
-        etag = None
-        if result.cacheable and result.status == 200:
-            etag = self.server.etag_for(path, query)
-            headers["ETag"] = etag
+        for name, value in result.headers:
+            headers[name] = value
+        for name, value in routed.extra_headers:
+            headers[name] = value
+        if routed.etag is not None:
+            headers["ETag"] = routed.etag
             headers["Cache-Control"] = "max-age=0, must-revalidate"
-            if self._etag_matches(etag):
+            if self._etag_matches(routed.etag):
                 return 304, b"", headers
         body = json.dumps(result.payload, sort_keys=True).encode("utf-8")
         if (
@@ -141,11 +213,24 @@ class CorpusServer(ThreadingHTTPServer):
         port: int = 8765,
         verbose: bool = False,
         registry: MetricsRegistry | None = None,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.store = store
         self.service = CorpusService(store)
         self.metrics = ServiceMetrics(registry)
         self.verbose = verbose
+        self.request_timeout = request_timeout
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name="store",
+            failure_threshold=3,
+            reset_timeout=5.0,
+            registry=self.metrics.registry,
+        )
+        self._snapshots: OrderedDict[
+            tuple[str, str], tuple[ServiceResponse, str]
+        ] = OrderedDict()
+        self._snapshot_lock = threading.Lock()
         super().__init__((host, port), CorpusRequestHandler)
 
     @property
@@ -158,6 +243,78 @@ class CorpusServer(ThreadingHTTPServer):
         request_digest = hashlib.sha256(f"{path}?{query}".encode()).hexdigest()
         return f'"{self.store.content_hash()[:20]}-{request_digest[:12]}"'
 
+    # -- the resilient request path ----------------------------------------
+
+    def guarded_handle(self, path: str, query: str, params: dict[str, str]) -> RoutedResult:
+        """Route one request through timeout + circuit breaker.
+
+        Service routing *and* ETag computation (a store read) run on a
+        bounded call; any raise or timeout trips the breaker and falls
+        back to :meth:`_degrade` instead of propagating to the socket.
+        """
+        key = (path, "&".join(sorted(query.split("&"))) if query else "")
+        if not self.breaker.allow():
+            return self._degrade(path, key, "store circuit breaker is open")
+
+        def call() -> tuple[ServiceResponse, str | None]:
+            response = self.service.handle(path, params)
+            etag = (
+                self.etag_for(path, query)
+                if response.cacheable and response.status == 200
+                else None
+            )
+            return response, etag
+
+        try:
+            response, etag = call_with_timeout(call, self.request_timeout)
+        except DeadlineExceeded:
+            self.metrics.registry.counter("repro_http_timeouts_total").inc()
+            self.breaker.record_failure()
+            return self._degrade(
+                path, key,
+                f"request exceeded its {self.request_timeout}s deadline",
+            )
+        except Exception as exc:
+            self.breaker.record_failure()
+            return self._degrade(path, key, f"store failure: {type(exc).__name__}")
+        self.breaker.record_success()
+        if etag is not None:
+            with self._snapshot_lock:
+                self._snapshots[key] = (response, etag)
+                self._snapshots.move_to_end(key)
+                while len(self._snapshots) > SNAPSHOT_CAPACITY:
+                    self._snapshots.popitem(last=False)
+        return RoutedResult(response=response, etag=etag)
+
+    def _degrade(self, path: str, key: tuple[str, str], reason: str) -> RoutedResult:
+        """Serve the last known snapshot, else an honest 503 — never hang."""
+        retry_after = str(max(1, math.ceil(self.breaker.retry_after() or 1.0)))
+        with self._snapshot_lock:
+            snapshot = self._snapshots.get(key)
+        if snapshot is not None:
+            response, etag = snapshot
+            self.metrics.registry.counter(
+                "repro_http_degraded_total", mode="stale"
+            ).inc()
+            return RoutedResult(
+                response=response,
+                etag=etag,
+                extra_headers=(
+                    ("Warning", f'110 repro-serve "{reason}; serving last snapshot"'),
+                    ("Retry-After", retry_after),
+                ),
+                degraded=True,
+            )
+        self.metrics.registry.counter(
+            "repro_http_degraded_total", mode="unavailable"
+        ).inc()
+        return RoutedResult(
+            response=self.service.unavailable(path, reason),
+            etag=None,
+            extra_headers=(("Retry-After", retry_after),),
+            degraded=True,
+        )
+
 
 def create_server(
     store: CorpusStore,
@@ -165,32 +322,49 @@ def create_server(
     port: int = 8765,
     verbose: bool = False,
     registry: MetricsRegistry | None = None,
+    request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+    breaker: CircuitBreaker | None = None,
 ) -> CorpusServer:
     """The public constructor: a bound-but-not-running corpus server.
 
     Callers own the lifecycle (``serve_forever()`` / ``shutdown()``);
-    pass ``port=0`` for an ephemeral port and *registry* to publish the
-    HTTP metrics into an existing :class:`MetricsRegistry`.
+    pass ``port=0`` for an ephemeral port, *registry* to publish the
+    HTTP metrics into an existing :class:`MetricsRegistry`,
+    *request_timeout* (seconds; ``None`` disables) to bound every
+    store-touching request, and *breaker* to tune or share the store
+    circuit breaker.
     """
-    return CorpusServer(store, host=host, port=port, verbose=verbose,
-                        registry=registry)
+    return CorpusServer(
+        store, host=host, port=port, verbose=verbose, registry=registry,
+        request_timeout=request_timeout, breaker=breaker,
+    )
 
 
 def start_server(
-    store: CorpusStore, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    store: CorpusStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    **kwargs,
 ) -> tuple[CorpusServer, threading.Thread]:
     """Start a server on a background thread (port 0 = ephemeral)."""
-    server = create_server(store, host=host, port=port, verbose=verbose)
+    server = create_server(store, host=host, port=port, verbose=verbose, **kwargs)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread
 
 
 def serve_forever(
-    store: CorpusStore, host: str = "127.0.0.1", port: int = 8765, verbose: bool = True
+    store: CorpusStore,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    verbose: bool = True,
+    request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
 ) -> None:
     """Run until SIGINT/SIGTERM, then drain in-flight requests."""
-    server = create_server(store, host=host, port=port, verbose=verbose)
+    server = create_server(
+        store, host=host, port=port, verbose=verbose, request_timeout=request_timeout
+    )
 
     def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path
         threading.Thread(target=server.shutdown, daemon=True).start()

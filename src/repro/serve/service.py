@@ -1,15 +1,25 @@
 """The read-only query service behind the HTTP front.
 
 :class:`CorpusService` maps a (path, query) pair to a JSON payload and
-status code — no sockets, no headers — so every route is unit-testable
-without a running server, and the HTTP layer stays a thin translation.
+status code — no sockets, no headers beyond route-owned ones — so every
+route is unit-testable without a running server, and the HTTP layer
+stays a thin translation.
+
+The surface is versioned.  ``/v1/...`` is the current API: structured
+error envelopes ``{"error": {"code", "message", "detail"}}``, unified
+``limit``/``offset`` pagination whose list payloads carry ``next`` and
+``total``, and the ``/v1/failures`` ledger of stored
+:class:`~repro.pipeline.stages.ProjectFailure` records (with retry
+attempt counts).  The legacy unversioned routes keep answering with
+their original shapes but carry a ``Deprecation`` header plus a
+``Link: <successor>; rel="successor-version"`` pointer.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from urllib.parse import unquote
+from dataclasses import dataclass, replace
+from urllib.parse import unquote, urlencode
 
 from repro.store.store import (
     METRIC_COLUMNS,
@@ -18,9 +28,16 @@ from repro.store.store import (
     StoreError,
 )
 
-#: Hard ceiling on one page of /projects.
+#: Hard ceiling on one page of a list endpoint.
 MAX_PAGE_LIMIT = 500
 DEFAULT_PAGE_LIMIT = 50
+
+#: Integers beyond this are rejected as overflow rather than silently
+#: accepted (2**53: the largest range JSON consumers agree on).
+MAX_INT_PARAM = 2**53
+
+#: The current API version prefix.
+API_V1_PREFIX = "/v1"
 
 _HEARTBEAT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)/heartbeat$")
 _PROJECT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)$")
@@ -28,34 +45,59 @@ _PROJECT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)$")
 
 @dataclass(frozen=True)
 class ServiceResponse:
-    """One routed result: HTTP status, JSON payload, cacheability."""
+    """One routed result: HTTP status, JSON payload, cacheability.
+
+    ``headers`` are route-owned extras (deprecation notices, retry
+    hints) the HTTP layer emits verbatim on top of its own.
+    """
 
     status: int
     payload: dict
     endpoint: str  # the route pattern, for metrics
     cacheable: bool = True  # False: never ETag-revalidated (/metrics)
+    headers: tuple[tuple[str, str], ...] = ()
 
 
-def _error(status: int, message: str, endpoint: str) -> ServiceResponse:
-    return ServiceResponse(
-        status=status, payload={"error": message}, endpoint=endpoint, cacheable=False
-    )
-
-
-def _int_param(params: dict[str, str], key: str, default: int) -> int:
+def _int_param(
+    params: dict[str, str],
+    key: str,
+    default: int,
+    minimum: int = 0,
+    maximum: int = MAX_INT_PARAM,
+) -> int:
+    """Parse one integer query parameter, 400ing negatives and overflow."""
     raw = params.get(key)
     if raw is None:
         return default
     try:
-        return int(raw)
+        value = int(raw)
     except ValueError:
         raise StoreError(f"{key} must be an integer, got {raw!r}")
+    if not minimum <= value <= maximum:
+        raise StoreError(f"{key} must be in {minimum}..{maximum}, got {value}")
+    return value
 
 
 def _resolve_ref(raw: str) -> int | str:
     """A path segment is a numeric store id or a URL-encoded name."""
     decoded = unquote(raw)
     return int(decoded) if decoded.isdigit() else decoded
+
+
+def _error_code_for(status: int) -> str:
+    return {
+        400: "bad_request",
+        404: "not_found",
+        503: "store_unavailable",
+    }.get(status, "error")
+
+
+def deprecation_headers(path: str) -> tuple[tuple[str, str], ...]:
+    """The headers every legacy (unversioned) response carries."""
+    return (
+        ("Deprecation", "true"),
+        ("Link", f'<{API_V1_PREFIX}{path}>; rel="successor-version"'),
+    )
 
 
 class CorpusService:
@@ -66,30 +108,100 @@ class CorpusService:
 
     def handle(self, path: str, params: dict[str, str]) -> ServiceResponse:
         """Dispatch one GET request; never raises for bad input."""
+        v1 = path == API_V1_PREFIX or path.startswith(API_V1_PREFIX + "/")
+        sub = path[len(API_V1_PREFIX):] if v1 else path
         try:
-            if path in ("/projects", "/projects/"):
-                return self._projects(params)
-            match = _HEARTBEAT_RE.match(path)
-            if match:
-                return self._heartbeat(_resolve_ref(match.group("ref")))
-            match = _PROJECT_RE.match(path)
-            if match:
-                return self._project(_resolve_ref(match.group("ref")))
-            if path in ("/taxa", "/taxa/"):
-                return self._taxa()
-            if path in ("/stats", "/stats/"):
-                return self._stats()
-            return _error(404, f"no such route: {path}", "unknown")
+            response = self._route(sub or "/", params, v1)
         except StoreError as exc:
-            return _error(400, str(exc), path)
+            response = self._error(400, str(exc), self._prefix(sub, v1), v1)
+        if not v1:
+            response = replace(
+                response, headers=response.headers + deprecation_headers(path)
+            )
+        return response
 
-    # -- routes -----------------------------------------------------------
+    def unavailable(self, path: str, reason: str) -> ServiceResponse:
+        """The 503 shape the HTTP layer serves when the store is down."""
+        v1 = path == API_V1_PREFIX or path.startswith(API_V1_PREFIX + "/")
+        return self._error(
+            503,
+            "the corpus store is unavailable",
+            self._prefix("unavailable", v1),
+            v1,
+            detail=reason,
+        )
 
-    def _projects(self, params: dict[str, str]) -> ServiceResponse:
-        offset = _int_param(params, "offset", 0)
-        limit = _int_param(params, "limit", DEFAULT_PAGE_LIMIT)
-        if not 1 <= limit <= MAX_PAGE_LIMIT:
-            raise StoreError(f"limit must be in 1..{MAX_PAGE_LIMIT}, got {limit}")
+    def _prefix(self, endpoint: str, v1: bool) -> str:
+        return f"{API_V1_PREFIX}{endpoint}" if v1 else endpoint
+
+    def _route(self, path: str, params: dict[str, str], v1: bool) -> ServiceResponse:
+        if path in ("/projects", "/projects/"):
+            return self._projects(params, v1)
+        match = _HEARTBEAT_RE.match(path)
+        if match:
+            return self._heartbeat(_resolve_ref(match.group("ref")), v1)
+        match = _PROJECT_RE.match(path)
+        if match:
+            return self._project(_resolve_ref(match.group("ref")), v1)
+        if path in ("/taxa", "/taxa/"):
+            return self._taxa(v1)
+        if path in ("/stats", "/stats/"):
+            return self._stats(v1)
+        if v1 and path in ("/failures", "/failures/"):
+            return self._failures(params)
+        shown = path if not v1 else API_V1_PREFIX + path
+        return self._error(404, f"no such route: {shown}", "unknown", v1)
+
+    # -- shapes ------------------------------------------------------------
+
+    def _error(
+        self, status: int, message: str, endpoint: str, v1: bool,
+        detail: str | None = None,
+    ) -> ServiceResponse:
+        """v1 wraps errors in the structured envelope; legacy keeps the
+        original bare ``{"error": message}`` shape."""
+        if v1:
+            payload = {
+                "error": {
+                    "code": _error_code_for(status),
+                    "message": message,
+                    "detail": detail,
+                }
+            }
+        else:
+            payload = {"error": message}
+        return ServiceResponse(
+            status=status, payload=payload, endpoint=endpoint, cacheable=False
+        )
+
+    def _page_params(self, params: dict[str, str]) -> tuple[int, int]:
+        offset = _int_param(params, "offset", 0, minimum=0)
+        limit = _int_param(
+            params, "limit", DEFAULT_PAGE_LIMIT, minimum=1, maximum=MAX_PAGE_LIMIT
+        )
+        return offset, limit
+
+    @staticmethod
+    def _next_link(
+        base: str, params: dict[str, str], offset: int, limit: int, total: int
+    ) -> str | None:
+        """The relative URL of the next page, or None on the last one.
+
+        Filter parameters survive the hop; the query is canonicalized
+        (sorted) so the link — and with it the page's ETag — is
+        deterministic.
+        """
+        if offset + limit >= total:
+            return None
+        query = dict(params)
+        query["offset"] = str(offset + limit)
+        query["limit"] = str(limit)
+        return f"{base}?{urlencode(sorted(query.items()))}"
+
+    # -- routes ------------------------------------------------------------
+
+    def _projects(self, params: dict[str, str], v1: bool) -> ServiceResponse:
+        offset, limit = self._page_params(params)
         ranges = []
         for key, value in params.items():
             if key.startswith(("min_", "max_")):
@@ -114,29 +226,54 @@ class CorpusService:
             offset=offset,
             limit=limit,
         )
+        payload = {
+            "total": page.total,
+            "offset": page.offset,
+            "limit": page.limit,
+            "projects": [project.payload() for project in page.projects],
+        }
+        if v1:
+            payload["next"] = self._next_link(
+                f"{API_V1_PREFIX}/projects", params, offset, limit, page.total
+            )
+        return ServiceResponse(
+            status=200,
+            payload=payload,
+            endpoint=self._prefix("/projects", v1),
+        )
+
+    def _failures(self, params: dict[str, str]) -> ServiceResponse:
+        offset, limit = self._page_params(params)
+        total = self.store.failure_count()
+        rows = self.store.failures(offset=offset, limit=limit)
         return ServiceResponse(
             status=200,
             payload={
-                "total": page.total,
-                "offset": page.offset,
-                "limit": page.limit,
-                "projects": [project.payload() for project in page.projects],
+                "total": total,
+                "offset": offset,
+                "limit": limit,
+                "next": self._next_link(
+                    f"{API_V1_PREFIX}/failures", params, offset, limit, total
+                ),
+                "failures": [failure.payload() for failure in rows],
             },
-            endpoint="/projects",
+            endpoint=f"{API_V1_PREFIX}/failures",
         )
 
-    def _project(self, ref: int | str) -> ServiceResponse:
+    def _project(self, ref: int | str, v1: bool) -> ServiceResponse:
         stored = self.store.get_project(ref)
+        endpoint = self._prefix("/projects/{id}", v1)
         if stored is None:
-            return _error(404, f"unknown project: {ref}", "/projects/{id}")
+            return self._error(404, f"unknown project: {ref}", endpoint, v1)
         payload = stored.payload()
         payload["versions"] = self.store.version_rows(ref)
-        return ServiceResponse(status=200, payload=payload, endpoint="/projects/{id}")
+        return ServiceResponse(status=200, payload=payload, endpoint=endpoint)
 
-    def _heartbeat(self, ref: int | str) -> ServiceResponse:
+    def _heartbeat(self, ref: int | str, v1: bool) -> ServiceResponse:
         stored = self.store.get_project(ref)
+        endpoint = self._prefix("/projects/{id}/heartbeat", v1)
         if stored is None:
-            return _error(404, f"unknown project: {ref}", "/projects/{id}/heartbeat")
+            return self._error(404, f"unknown project: {ref}", endpoint, v1)
         rows = self.store.heartbeat_rows(ref) or []
         return ServiceResponse(
             status=200,
@@ -147,15 +284,19 @@ class CorpusService:
                 "transitions": len(rows),
                 "heartbeat": rows,
             },
-            endpoint="/projects/{id}/heartbeat",
+            endpoint=endpoint,
         )
 
-    def _taxa(self) -> ServiceResponse:
+    def _taxa(self, v1: bool) -> ServiceResponse:
         return ServiceResponse(
-            status=200, payload={"taxa": self.store.taxa_summary()}, endpoint="/taxa"
+            status=200,
+            payload={"taxa": self.store.taxa_summary()},
+            endpoint=self._prefix("/taxa", v1),
         )
 
-    def _stats(self) -> ServiceResponse:
+    def _stats(self, v1: bool) -> ServiceResponse:
         payload = self.store.aggregates()
         payload["content_hash"] = self.store.content_hash()
-        return ServiceResponse(status=200, payload=payload, endpoint="/stats")
+        return ServiceResponse(
+            status=200, payload=payload, endpoint=self._prefix("/stats", v1)
+        )

@@ -9,8 +9,10 @@ an unchanged corpus measures zero projects.
 """
 
 from repro.store.ingest import (
+    INGEST_CHECKPOINT_KEY,
     IngestReport,
     MISSING_REPO_FINGERPRINT,
+    PERSIST_FAILED_FINGERPRINT,
     history_fingerprint,
     ingest_corpus,
 )
@@ -25,9 +27,11 @@ from repro.store.store import (
 
 __all__ = [
     "CorpusStore",
+    "INGEST_CHECKPOINT_KEY",
     "IngestReport",
     "METRIC_COLUMNS",
     "MISSING_REPO_FINGERPRINT",
+    "PERSIST_FAILED_FINGERPRINT",
     "MetricRange",
     "ProjectPage",
     "StoreError",

@@ -12,11 +12,24 @@ diff, or measure.  Re-ingesting an unchanged corpus therefore performs
 **zero** measurement-stage executions, which the attached
 :class:`~repro.pipeline.stats.PipelineStats` make verifiable:
 ``report.stats.projects == 0``.
+
+Durability: ingest is **checkpointed and resumable**.  Each phase
+writes a progress marker into the store's ``meta`` table, and the
+measure phase persists in chunks — a crash mid-ingest loses at most one
+chunk of work, and the re-run's fingerprint pass skips everything the
+crashed run already persisted (``report.resumed_from`` names the phase
+the previous run died in).  Persisting itself runs under the ingest's
+:class:`~repro.resilience.RetryPolicy`; a project whose rows cannot be
+written even after retries is recorded as a ``persist``-stage
+:class:`~repro.pipeline.stages.ProjectFailure` under a sentinel
+fingerprint, so the next ingest re-measures it instead of trusting a
+half-written row.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -35,16 +48,27 @@ from repro.pipeline.stages import (
     Outcome,
     ParseStage,
     ProjectContext,
+    ProjectFailure,
     ProjectTask,
     usable_versions,
 )
 from repro.pipeline.stats import PipelineStats
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policy import NO_RETRY, RetryPolicy
 from repro.store.store import CorpusStore
 from repro.vcs.history import FileVersion, LinearizationPolicy, extract_file_history
 from repro.vcs.repository import Repository
 
 #: Fingerprint of a repository the provider no longer resolves.
 MISSING_REPO_FINGERPRINT = "missing-repo"
+
+#: Fingerprint of a project whose measurement survived but whose rows
+#: could not be written; never matches a real history fingerprint, so
+#: the next ingest re-measures (and re-persists) the project.
+PERSIST_FAILED_FINGERPRINT = "persist-failed"
+
+#: The meta key the phase checkpoint lives under while a run is active.
+INGEST_CHECKPOINT_KEY = "ingest_checkpoint"
 
 
 @dataclass
@@ -64,6 +88,7 @@ class IngestReport:
     failed: int = 0
     wall_seconds: float = 0.0
     stats: PipelineStats | None = None
+    resumed_from: str | None = None  # phase an interrupted run died in
 
     def summary(self) -> str:
         lines = [
@@ -76,7 +101,30 @@ class IngestReport:
             f"zero-versions={self.zero_versions} no-create={self.no_create} "
             f"failed={self.failed}",
         ]
+        if self.resumed_from is not None:
+            lines.insert(
+                1, f"  resumed:           from interrupted {self.resumed_from!r} phase"
+            )
         return "\n".join(lines)
+
+    def payload(self) -> dict:
+        """A JSON-friendly dump (the CLI's ``--json`` output)."""
+        return {
+            "selected": self.selected,
+            "tasks": self.tasks,
+            "measured": self.measured,
+            "skipped_unchanged": self.skipped_unchanged,
+            "pruned": self.pruned,
+            "resumed_from": self.resumed_from,
+            "outcomes": {
+                "studied": self.studied,
+                "rigid": self.rigid,
+                "zero_versions": self.zero_versions,
+                "no_create": self.no_create,
+                "failed": self.failed,
+            },
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
 
 
 def history_fingerprint(
@@ -134,6 +182,52 @@ class _SeededExtract:
             ctx.outcome = Outcome.ZERO_VERSIONS
 
 
+def _persist_resiliently(
+    store: CorpusStore,
+    ctx: ProjectContext,
+    fingerprint: str,
+    retry: RetryPolicy,
+    injector: FaultInjector | None,
+    stats: PipelineStats,
+) -> None:
+    """Write one context under the ingest's retry policy.
+
+    When every attempt fails, the *measurement* is not thrown away
+    silently: a ``persist``-stage failure context is written under
+    :data:`PERSIST_FAILED_FINGERPRINT` (a write that itself bypasses
+    injection — if the store is truly down it raises, leaving the
+    checkpoint in place for the resumed run).
+    """
+    name = ctx.task.repo_name
+    last: Exception | None = None
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            if injector is not None:
+                injector.check("persist", name, attempt)
+            store.persist_context(ctx, fingerprint)
+            if attempt > 1:
+                stats.registry.counter("repro_ingest_persist_recovered_total").inc()
+            return
+        except Exception as exc:
+            last = exc
+            if attempt >= retry.max_attempts:
+                break
+            stats.registry.counter("repro_ingest_persist_retries_total").inc()
+            delay = retry.delay_for(attempt, key=f"persist|{name}")
+            if delay > 0:
+                time.sleep(delay)
+    assert last is not None
+    failure = ProjectFailure(
+        project=name,
+        stage="persist",
+        error=type(last).__name__,
+        message=str(last),
+        attempts=retry.max_attempts,
+    )
+    fallback = ProjectContext(task=ctx.task, outcome=Outcome.FAILED, failure=failure)
+    store.persist_context(fallback, PERSIST_FAILED_FINGERPRINT)
+
+
 def ingest_corpus(
     store: CorpusStore,
     activity: GithubActivityDataset,
@@ -146,6 +240,10 @@ def ingest_corpus(
     cache_dir: str | None = None,
     cache: SchemaCache | None = None,
     prune: bool = True,
+    retry: RetryPolicy = NO_RETRY,
+    project_deadline: float | None = None,
+    injector: FaultInjector | None = None,
+    chunk_size: int | None = None,
 ) -> IngestReport:
     """Run the funnel front, measure the changed delta, persist it all.
 
@@ -155,12 +253,31 @@ def ingest_corpus(
     cannot even be extracted (a crashing provider) are handed to the
     ordinary pipeline so the failure is recorded uniformly as a
     :class:`~repro.pipeline.stages.ProjectFailure`.
+
+    ``retry``/``project_deadline``/``injector`` parameterize the
+    measurement pipeline exactly as in ``run_funnel``; ``retry`` also
+    governs the persist step.  Measurement and persistence interleave
+    in chunks of ``chunk_size`` (default ``max(8, jobs * 4)``) so a
+    crash loses at most one chunk; the phase checkpoint under the
+    store's :data:`INGEST_CHECKPOINT_KEY` survives the crash and the
+    re-run reports ``resumed_from``.
     """
     started = time.perf_counter()
     report = IngestReport()
     config = PipelineConfig(
-        policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir
+        policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir,
+        retry=retry, project_deadline=project_deadline, injector=injector,
     )
+
+    previous = store.get_meta(INGEST_CHECKPOINT_KEY)
+    if previous is not None:
+        report.resumed_from = json.loads(previous).get("phase")
+
+    def _mark(phase: str, **extra) -> None:
+        store.set_meta(
+            INGEST_CHECKPOINT_KEY,
+            json.dumps({"phase": phase, **extra}, sort_keys=True),
+        )
 
     with trace("ingest.select"):
         selected = select_lib_io(activity, lib_io, criteria)
@@ -186,6 +303,7 @@ def ingest_corpus(
             lib_io_projects=report.tasks,
             omitted_by_paths=report.omitted_by_paths,
         )
+        _mark("select", tasks=report.tasks)
 
     # -- fingerprint pass: prove projects unchanged without measuring ----
     known = store.fingerprints()
@@ -220,6 +338,7 @@ def ingest_corpus(
         if fp_span is not None:
             fp_span.attrs["unchanged"] = report.skipped_unchanged
             fp_span.attrs["changed"] = len(changed)
+    _mark("fingerprint", changed=len(changed), unchanged=report.skipped_unchanged)
 
     # -- measurement pass: only the delta enters the pipeline ------------
     shared_cache = cache if cache is not None else SchemaCache(config.cache_dir)
@@ -235,22 +354,44 @@ def ingest_corpus(
             ClassifyStage(),
         ),
     )
+    # Measure and persist interleave in chunks: each chunk's rows are
+    # durable (and checkpointed) before the next chunk is measured, so
+    # a crash loses at most one chunk and the re-run's fingerprint pass
+    # proves the persisted prefix unchanged.
+    chunk = chunk_size if chunk_size is not None else max(8, config.jobs * 4)
+    persisted = 0
+
+    def _persist_batch(contexts: list[ProjectContext]) -> None:
+        nonlocal persisted
+        with trace("ingest.persist", contexts=len(contexts)):
+            for ctx in contexts:
+                _persist_resiliently(
+                    store,
+                    ctx,
+                    fingerprints[ctx.task.repo_name],
+                    retry,
+                    injector,
+                    pipeline.stats,
+                )
+        persisted += len(contexts)
+        _mark("measure", persisted=persisted, changed=len(changed))
+
     with trace("ingest.measure", changed=len(changed)):
-        contexts = list(pipeline.run(changed))
+        for start in range(0, len(changed), chunk):
+            _persist_batch(pipeline.run(changed[start:start + chunk]))
         if unextractable:
             crash_pipeline = MeasurementPipeline(
                 provider=provider, config=config, cache=shared_cache
             )
             crash_pipeline.stats = pipeline.stats
-            contexts.extend(crash_pipeline.run(unextractable))
-    report.measured = len(contexts)
-    with trace("ingest.persist", contexts=len(contexts)):
-        for ctx in contexts:
-            store.persist_context(ctx, fingerprints[ctx.task.repo_name])
+            _persist_batch(crash_pipeline.run(unextractable))
+    report.measured = persisted
 
     if prune:
         with trace("ingest.prune"):
             report.pruned = store.prune_missing(fingerprints)
+
+    store.delete_meta(INGEST_CHECKPOINT_KEY)  # the run completed; no resume needed
 
     outcomes = store.aggregates()["by_outcome"]
     report.zero_versions = outcomes.get(Outcome.ZERO_VERSIONS.value, 0)

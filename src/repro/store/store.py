@@ -42,8 +42,9 @@ from repro.mining.funnel import FunnelReport
 from repro.mining.path_filters import MultiFileVerdict
 from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
 
-#: Bump when the table layout changes; a mismatched store refuses to open.
-STORE_SCHEMA_VERSION = 1
+#: Bump when the table layout changes; older stores are migrated in
+#: place when possible, newer ones refuse to open.
+STORE_SCHEMA_VERSION = 2
 
 #: The numeric per-project columns a metric-range filter may target.
 METRIC_COLUMNS: tuple[str, ...] = (
@@ -140,12 +141,18 @@ CREATE TABLE IF NOT EXISTS heartbeat (
     PRIMARY KEY (project_id, transition_id)
 );
 CREATE TABLE IF NOT EXISTS failures (
-    project TEXT PRIMARY KEY,
-    stage   TEXT NOT NULL,
-    error   TEXT NOT NULL,
-    message TEXT NOT NULL
+    project  TEXT PRIMARY KEY,
+    stage    TEXT NOT NULL,
+    error    TEXT NOT NULL,
+    message  TEXT NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 1
 );
 """
+
+#: In-place migrations: schema version -> DDL lifting it one version up.
+_MIGRATIONS: dict[int, str] = {
+    1: "ALTER TABLE failures ADD COLUMN attempts INTEGER NOT NULL DEFAULT 1",
+}
 
 
 class StoreError(RuntimeError):
@@ -255,11 +262,21 @@ class CorpusStore:
                     (str(STORE_SCHEMA_VERSION),),
                 )
                 conn.commit()
-            elif int(row["value"]) != STORE_SCHEMA_VERSION:
-                raise StoreError(
-                    f"store at {self.path} has schema version {row['value']}, "
-                    f"this build expects {STORE_SCHEMA_VERSION}"
-                )
+            else:
+                version = int(row["value"])
+                while version in _MIGRATIONS and version < STORE_SCHEMA_VERSION:
+                    conn.executescript(_MIGRATIONS[version])
+                    version += 1
+                    conn.execute(
+                        "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                        (str(version),),
+                    )
+                    conn.commit()
+                if version != STORE_SCHEMA_VERSION:
+                    raise StoreError(
+                        f"store at {self.path} has schema version {row['value']}, "
+                        f"this build expects {STORE_SCHEMA_VERSION}"
+                    )
 
     # -- connection plumbing ----------------------------------------------
 
@@ -359,6 +376,30 @@ class CorpusStore:
                 " omitted_by_paths = excluded.omitted_by_paths",
                 (sql_collection_repos, joined_and_filtered, lib_io_projects, omitted),
             )
+
+    def get_meta(self, key: str, default: str | None = None) -> str | None:
+        """Read one durable key/value pair (ingest checkpoints live here)."""
+        with self._read_tx() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+        return row["value"] if row is not None else default
+
+    def set_meta(self, key: str, value: str) -> None:
+        if key == "schema_version":
+            raise StoreError("schema_version is managed by the store itself")
+        with self._write_tx() as conn:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+
+    def delete_meta(self, key: str) -> None:
+        if key == "schema_version":
+            raise StoreError("schema_version is managed by the store itself")
+        with self._write_tx() as conn:
+            conn.execute("DELETE FROM meta WHERE key = ?", (key,))
 
     def fingerprints(self) -> dict[str, str]:
         """name -> stored history fingerprint, for the ingest delta."""
@@ -466,15 +507,16 @@ class CorpusStore:
                 )
             if ctx.failure is not None:
                 conn.execute(
-                    "INSERT INTO failures (project, stage, error, message)"
-                    " VALUES (?, ?, ?, ?) ON CONFLICT(project) DO UPDATE SET"
+                    "INSERT INTO failures (project, stage, error, message, attempts)"
+                    " VALUES (?, ?, ?, ?, ?) ON CONFLICT(project) DO UPDATE SET"
                     " stage = excluded.stage, error = excluded.error,"
-                    " message = excluded.message",
+                    " message = excluded.message, attempts = excluded.attempts",
                     (
                         ctx.failure.project,
                         ctx.failure.stage,
                         ctx.failure.error,
                         ctx.failure.message,
+                        ctx.failure.attempts,
                     ),
                 )
 
@@ -588,10 +630,19 @@ class CorpusStore:
             ).fetchall()
         return [dict(row) for row in rows]
 
-    def failures(self) -> list[ProjectFailure]:
+    def failures(
+        self, offset: int = 0, limit: int | None = None
+    ) -> list[ProjectFailure]:
+        """Stored failure records in project order (optionally one page)."""
+        if offset < 0:
+            raise StoreError("offset must be >= 0")
+        if limit is not None and limit < 1:
+            raise StoreError("limit must be >= 1")
         with self._read_tx() as conn:
             rows = conn.execute(
-                "SELECT project, stage, error, message FROM failures ORDER BY project"
+                "SELECT project, stage, error, message, attempts FROM failures"
+                " ORDER BY project LIMIT ? OFFSET ?",
+                (limit if limit else -1, offset),
             ).fetchall()
         return [
             ProjectFailure(
@@ -599,9 +650,14 @@ class CorpusStore:
                 stage=row["stage"],
                 error=row["error"],
                 message=row["message"],
+                attempts=row["attempts"],
             )
             for row in rows
         ]
+
+    def failure_count(self) -> int:
+        with self._read_tx() as conn:
+            return conn.execute("SELECT COUNT(*) AS n FROM failures").fetchone()["n"]
 
     def taxa_summary(self) -> dict[str, dict]:
         """Population and share-of-studied per taxon (the /taxa payload)."""

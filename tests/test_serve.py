@@ -3,18 +3,23 @@
 A real ``ThreadingHTTPServer`` on an ephemeral port over a seeded
 store: pagination bounds, unknown project -> 404, ``If-None-Match`` ->
 304, gzip negotiation, and ``/metrics`` counter increments — plus
-socket-free unit tests of the routing service.
+socket-free unit tests of the routing service, the versioned ``/v1``
+surface (error envelopes, ``next`` links, ``/v1/failures``, legacy
+``Deprecation`` headers), degraded serving under store outage, and
+subprocess-level SIGINT/SIGTERM graceful shutdown.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
+from repro.resilience import CircuitBreaker
 from repro.serve import CorpusService, start_server
 from repro.store import CorpusStore, ingest_corpus
 from tests.test_store import small_corpus
@@ -249,3 +254,237 @@ class TestServiceWithoutSockets:
         assert bad.status == 400
         taxa = service.handle("/taxa", {})
         assert taxa.status == 200 and taxa.cacheable
+
+
+class TestV1Api:
+    def test_v1_routes_answer_the_legacy_payloads(self, server):
+        for path in ("/projects", "/taxa", "/stats", "/projects/ok%2Fbeta"):
+            legacy_status, _, legacy = request(server, path)
+            v1_status, _, v1 = request(server, "/v1" + path)
+            assert (legacy_status, v1_status) == (200, 200)
+            legacy.pop("next", None), v1.pop("next", None)
+            assert legacy == v1
+
+    def test_v1_error_envelope(self, server):
+        status, _, payload = request(server, "/v1/projects?limit=0")
+        assert status == 400
+        error = payload["error"]
+        assert error["code"] == "bad_request"
+        assert "limit" in error["message"]
+        assert set(error) == {"code", "message", "detail"}
+        status, _, payload = request(server, "/v1/projects?offset=-1")
+        assert status == 400 and payload["error"]["code"] == "bad_request"
+        overflow = str(2**54)
+        status, _, payload = request(server, f"/v1/projects?offset={overflow}")
+        assert status == 400 and "offset" in payload["error"]["message"]
+        status, _, payload = request(server, "/v1/nothing/here")
+        assert status == 404 and payload["error"]["code"] == "not_found"
+
+    def test_v1_pagination_carries_next_and_total(self, server, seeded_store):
+        status, _, page = request(server, "/v1/projects?limit=2")
+        assert status == 200
+        assert page["total"] == seeded_store.project_count()
+        assert page["next"] == "/v1/projects?limit=2&offset=2"
+        seen = {p["id"] for p in page["projects"]}
+        while page["next"] is not None:
+            status, _, page = request(server, page["next"])
+            assert status == 200
+            ids = {p["id"] for p in page["projects"]}
+            assert not ids & seen  # pages never overlap
+            seen |= ids
+        assert len(seen) == page["total"]
+
+    def test_next_link_preserves_filters(self, server):
+        status, _, page = request(server, "/v1/projects?limit=1&outcome=studied")
+        assert status == 200
+        if page["next"] is not None:
+            assert "outcome=studied" in page["next"]
+
+    def test_v1_failures_ledger_carries_attempts(self, server, seeded_store):
+        status, _, payload = request(server, "/v1/failures")
+        assert status == 200
+        assert payload["total"] == seeded_store.failure_count() >= 1
+        assert payload["next"] is None
+        for failure in payload["failures"]:
+            assert set(failure) == {
+                "project", "stage", "error", "message", "attempts"
+            }
+            assert failure["attempts"] >= 1
+        # The failures ledger is v1-only: the legacy path 404s.
+        status, _, _ = request(server, "/failures")
+        assert status == 404
+
+    def test_legacy_routes_carry_deprecation_headers(self, server):
+        status, headers, _ = request(server, "/projects")
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+        assert "</v1/projects>" in headers["Link"]
+        assert 'rel="successor-version"' in headers["Link"]
+        status, headers, _ = request(server, "/metrics")
+        assert status == 200 and headers["Deprecation"] == "true"
+
+    def test_v1_routes_do_not_carry_deprecation_headers(self, server):
+        for path in ("/v1/projects", "/v1/taxa", "/v1/metrics"):
+            status, headers, _ = request(server, path)
+            assert status == 200
+            assert "Deprecation" not in headers
+
+    def test_v1_etag_revalidation(self, server):
+        status, headers, _ = request(server, "/v1/taxa")
+        assert status == 200
+        etag = headers["ETag"]
+        status, headers2, payload = request(
+            server, "/v1/taxa", {"If-None-Match": etag}
+        )
+        assert status == 304 and payload is None
+        assert headers2["ETag"] == etag
+        # v1 and legacy cache entries are distinct requests.
+        _, legacy_headers, _ = request(server, "/taxa")
+        assert legacy_headers["ETag"] != etag
+
+    def test_v1_metrics_payload(self, server):
+        request(server, "/v1/taxa")
+        status, _, payload = request(server, "/v1/metrics")
+        assert status == 200
+        assert set(payload["registry"]) == {"counters", "gauges", "histograms"}
+        assert any(
+            key.startswith('repro_http_requests_total{endpoint="/v1/taxa"')
+            for key in payload["registry"]["counters"]
+        )
+
+
+@pytest.fixture
+def fragile_server(seeded_store):
+    """A function-scoped server with a hair-trigger breaker, so outage
+    tests cannot leak open-circuit state into the shared module server."""
+    breaker = CircuitBreaker(name="store", failure_threshold=1, reset_timeout=0.4)
+    server, thread = start_server(
+        seeded_store, port=0, request_timeout=0.5, breaker=breaker
+    )
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _break_service(server, exc=None):
+    """Make every store-touching route raise (default) or hang."""
+    def broken(path, params):
+        raise exc if exc is not None else RuntimeError("store exploded")
+
+    server.service.handle = broken
+
+
+def _heal_service(server):
+    del server.service.handle
+
+
+class TestDegradedServing:
+    def test_store_outage_serves_the_last_snapshot(self, fragile_server):
+        status, headers, warm = request(fragile_server, "/v1/taxa")
+        assert status == 200
+        etag = headers["ETag"]
+
+        _break_service(fragile_server)
+        status, headers, stale = request(fragile_server, "/v1/taxa")
+        assert status == 200
+        assert stale == warm  # byte-for-byte the ETag-consistent snapshot
+        assert headers["ETag"] == etag
+        assert headers["Warning"].startswith("110 repro-serve")
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_uncached_route_gets_an_honest_503(self, fragile_server):
+        _break_service(fragile_server)
+        status, headers, payload = request(fragile_server, "/v1/stats")
+        assert status == 503
+        assert payload["error"]["code"] == "store_unavailable"
+        assert payload["error"]["detail"] is not None
+        assert int(headers["Retry-After"]) >= 1
+        # Legacy routes degrade with the legacy error shape.
+        status, headers, payload = request(fragile_server, "/stats")
+        assert status == 503 and isinstance(payload["error"], str)
+
+    def test_breaker_closes_again_once_the_store_recovers(self, fragile_server):
+        request(fragile_server, "/v1/taxa")
+        _break_service(fragile_server)
+        status, _, _ = request(fragile_server, "/v1/taxa")
+        assert status == 200  # stale
+        assert fragile_server.breaker.state == fragile_server.breaker.OPEN
+        _heal_service(fragile_server)
+        time.sleep(0.45)  # past reset_timeout: the next call is the probe
+        status, headers, _ = request(fragile_server, "/v1/taxa")
+        assert status == 200
+        assert "Warning" not in headers
+        assert fragile_server.breaker.state == fragile_server.breaker.CLOSED
+
+    def test_hung_store_times_out_instead_of_hanging(self, fragile_server):
+        def hang(path, params):
+            time.sleep(30)
+
+        fragile_server.service.handle = hang
+        started = time.perf_counter()
+        status, headers, payload = request(fragile_server, "/v1/stats")
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0  # bounded by request_timeout, not the hang
+        assert status == 503
+        assert "deadline" in payload["error"]["detail"]
+        assert int(headers["Retry-After"]) >= 1
+        _, _, metrics = request(fragile_server, "/v1/metrics")
+        counters = metrics["registry"]["counters"]
+        assert counters.get("repro_http_timeouts_total", 0) >= 1
+        assert any(
+            key.startswith("repro_http_degraded_total") for key in counters
+        )
+
+
+class TestGracefulShutdown:
+    @pytest.mark.parametrize("signame", ["SIGINT", "SIGTERM"])
+    def test_signal_drains_and_exits_zero(self, tmp_path, signame):
+        import os
+        import signal as signal_module
+        import socket
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        activity, lib_io, repos = small_corpus()
+        db = tmp_path / "corpus.db"
+        with CorpusStore(db) as store:
+            ingest_corpus(store, activity, lib_io, repos.get)
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--db", str(db), "--port", str(port), "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            url = f"http://127.0.0.1:{port}/v1/stats"
+            deadline = time.perf_counter() + 20
+            while True:
+                try:
+                    with urllib.request.urlopen(url, timeout=2) as resp:
+                        assert resp.status == 200
+                    break
+                except OSError:
+                    if time.perf_counter() > deadline:
+                        raise AssertionError("server never came up")
+                    time.sleep(0.1)
+            proc.send_signal(getattr(signal_module, signame))
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
