@@ -14,7 +14,11 @@ The package rebuilds the paper's full pipeline from scratch:
 - :mod:`repro.pipeline` — the staged measurement pipeline (parallel
   execution, content-hash caching, fault isolation);
 - :mod:`repro.store` / :mod:`repro.serve` — the persistent corpus
-  store and its read-only HTTP serving layer;
+  store and its read-only HTTP serving layer (with a hot-path
+  rendered-response cache);
+- :mod:`repro.loadgen` — deterministic load generation and SLO
+  benchmarking against the serving layer (seeded workloads, closed- and
+  open-loop drivers, exact percentiles, a declarative SLO gate);
 - :mod:`repro.obs` — the unified observability layer (span tracing,
   metrics registry, profiling hooks);
 - :mod:`repro.resilience` — the policy kernel (retries, deadlines,
@@ -40,7 +44,7 @@ Quickstart
 >>> analysis = analyze_corpus(report.studied + report.rigid)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: The curated public API: exported name -> providing module.
 _EXPORTS = {
@@ -65,6 +69,12 @@ _EXPORTS = {
     # serve: the read-only HTTP API
     "create_server": "repro.serve",
     "serve_forever": "repro.serve",
+    # loadgen: seeded load generation + the SLO gate
+    "LoadConfig": "repro.loadgen",
+    "SloSpec": "repro.loadgen",
+    "WorkloadModel": "repro.loadgen",
+    "load_slo": "repro.loadgen",
+    "run_load": "repro.loadgen",
     # resilience: the shared policy kernel
     "CircuitBreaker": "repro.resilience",
     "Deadline": "repro.resilience",

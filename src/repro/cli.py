@@ -23,7 +23,14 @@ Commands
                 failures, metrics) with ETag revalidation, gzip,
                 request timeouts and circuit-breaker degradation; the
                 legacy unversioned routes answer with a Deprecation
-                header.
+                header; ``--response-cache N`` sizes the hot-path
+                rendered-response cache (0 disables);
+``loadgen``     replay a seeded, store-derived workload against a
+                corpus API (self-hosted against ``--db`` or an external
+                ``--url``), closed-loop (``--concurrency``) or
+                open-loop (``--rate``, coordinated-omission-corrected
+                latencies), and gate the report on a JSON SLO spec
+                (``--slo FILE``; violations exit with code 3).
 
 Every corpus-running command (and ``classify``) shares one option set,
 declared once on :class:`RunOptions`: the pipeline knobs ``--jobs N``,
@@ -411,6 +418,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             verbose=not args.quiet,
             request_timeout=timeout,
+            response_cache=args.response_cache,
+        )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import LoadConfig, append_trajectory, load_slo, run_load
+    from repro.store import CorpusStore
+
+    opts: RunOptions = args.options
+    config = LoadConfig(
+        seed=opts.seed,
+        requests=args.requests,
+        mode="open" if args.rate is not None else "closed",
+        concurrency=args.concurrency,
+        rate=args.rate if args.rate is not None else 50.0,
+        think_time=args.think_time,
+        duration=args.duration,
+        etag_reuse=args.etag_reuse,
+        warmup=not args.no_warmup,
+    )
+    slo = None
+    if args.slo is not None:
+        try:
+            slo = load_slo(args.slo)
+        except (OSError, ValueError) as exc:
+            raise CliError("bad_slo_spec", f"cannot load SLO spec {args.slo}: {exc}")
+    with CorpusStore(args.db) as store:
+        if store.project_count() == 0:
+            raise CliError(
+                "empty_store",
+                f"store {args.db} is empty; run `repro ingest` first",
+            )
+        report = run_load(
+            store,
+            config,
+            base_url=args.url,
+            slo=slo,
+            injector=opts.injector(sites=("request",)),
+            response_cache=args.response_cache,
+        )
+    if args.out is not None:
+        append_trajectory(args.out, report)
+    if opts.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        executed = report["executed"]
+        target = (
+            f" of target {executed['target_rate']:g}"
+            if executed["target_rate"] is not None
+            else ""
+        )
+        print(
+            f"# loadgen seed={opts.seed} mode={config.mode} "
+            f"plan={report['workload']['digest'][:16]}"
+        )
+        print(
+            f"requests: {executed['requests']} ok, {executed['errors']} errors, "
+            f"{executed['degraded']} degraded in {executed['wall_seconds']:.2f}s "
+            f"({executed['achieved_rps']:g} req/s{target})"
+        )
+        print(f"statuses: {report['statuses']}")
+        latency = report["overall"].get(
+            "corrected_latency_ms", report["overall"]["latency_ms"]
+        )
+        print(
+            f"latency:  p50={latency['p50']}ms p90={latency['p90']}ms "
+            f"p99={latency['p99']}ms max={latency['max']}ms"
+        )
+        if slo is not None:
+            for check in report["slo"]["checks"]:
+                verdict = "ok" if check["passed"] else "VIOLATED"
+                print(
+                    f"slo:      {check['name']} observed {check['observed']:g} "
+                    f"vs limit {check['limit']:g} [{verdict}]"
+                )
+    if slo is not None and not report["slo"]["passed"]:
+        failed = [c["name"] for c in report["slo"]["checks"] if not c["passed"]]
+        raise CliError(
+            "slo_violated",
+            f"SLO gate failed: {', '.join(failed)}",
+            detail=json.dumps(report["slo"]),
+            exit_code=3,
         )
     return 0
 
@@ -506,10 +596,71 @@ def main(argv: list[str] | None = None) -> int:
         help="per-request store deadline before degrading (<= 0 disables)",
     )
     serve.add_argument(
+        "--response-cache", type=int, default=256, metavar="N",
+        help="rendered-response cache entries for cacheable routes (0 disables)",
+    )
+    serve.add_argument(
         "--json", action="store_true",
         help="on failure, print the structured error envelope on stderr",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a seeded workload against a corpus API and gate it on SLOs",
+    )
+    loadgen.add_argument(
+        "--db", default="corpus.db", metavar="PATH",
+        help="corpus store the workload model derives from (and, without"
+             " --url, the store a server is self-hosted against)",
+    )
+    loadgen.add_argument(
+        "--url", default=None, metavar="URL",
+        help="target an already-running server instead of self-hosting one",
+    )
+    loadgen.add_argument("--seed", type=int, default=2019, help="workload seed")
+    loadgen.add_argument(
+        "--requests", type=int, default=500, metavar="N",
+        help="planned request count (same seed + store = same sequence)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="closed-loop wall cap; the run stops early when it expires",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="open-loop target request rate (switches from closed-loop mode;"
+             " latencies are coordinated-omission corrected)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, metavar="N", help="worker threads"
+    )
+    loadgen.add_argument(
+        "--think-time", type=float, default=0.0, metavar="SECONDS",
+        help="closed-loop pause between a worker's requests (seeded jitter)",
+    )
+    loadgen.add_argument(
+        "--etag-reuse", type=float, default=0.3, metavar="FRACTION",
+        help="share of requests revalidating with If-None-Match",
+    )
+    loadgen.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip the unique-path prefetch that makes 304 counts deterministic",
+    )
+    loadgen.add_argument(
+        "--slo", default=None, metavar="FILE",
+        help="gate the run on a JSON SLO spec; violations exit with code 3",
+    )
+    loadgen.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="append the report to a trajectory JSON file",
+    )
+    loadgen.add_argument(
+        "--response-cache", type=int, default=None, metavar="N",
+        help="cache size of the self-hosted server (ignored with --url)",
+    )
+    RunOptions.add_to_parser(loadgen, corpus=False)
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     args = parser.parse_args(argv)
     args.options = RunOptions.from_args(args)

@@ -1,0 +1,72 @@
+"""repro.loadgen — deterministic load generation and SLO benchmarking.
+
+The subsystem that turns the serving layer's performance into a
+replayable, gateable measurement:
+
+- :mod:`repro.loadgen.workload` — seeded request mixes derived from a
+  real :class:`~repro.store.CorpusStore` (same seed + same store =
+  byte-identical request sequence, provable via :func:`plan_digest`);
+- :mod:`repro.loadgen.drivers` — closed-loop (N workers) and open-loop
+  (target req/s, coordinated-omission-corrected) drivers over a
+  keep-alive HTTP transport with optional seeded client-side faults;
+- :mod:`repro.loadgen.record` — per-family latency/status/degraded
+  accounting on the shared metrics registry, with exact percentiles;
+- :mod:`repro.loadgen.slo` — declarative SLO specs and the gate that
+  turns a report into pass/fail;
+- :mod:`repro.loadgen.runner` — the orchestration the CLI, tests and
+  benchmarks share (:func:`run_load`), including in-process
+  self-hosting of a real server on an ephemeral port.
+"""
+
+from repro.loadgen.drivers import (
+    ClosedLoopDriver,
+    DriveResult,
+    EtagTable,
+    HttpTransport,
+    OpenLoopDriver,
+    TransportResult,
+)
+from repro.loadgen.record import LatencyRecorder, exact_percentiles
+from repro.loadgen.runner import (
+    LoadConfig,
+    append_trajectory,
+    comparable_fields,
+    hosted_server,
+    run_load,
+)
+from repro.loadgen.slo import SloCheck, SloSpec, SloVerdict, evaluate, load_slo
+from repro.loadgen.workload import (
+    DEFAULT_ETAG_REUSE,
+    DEFAULT_WEIGHTS,
+    PlannedRequest,
+    StoreCatalog,
+    WorkloadModel,
+    plan_digest,
+)
+
+__all__ = [
+    "ClosedLoopDriver",
+    "DEFAULT_ETAG_REUSE",
+    "DEFAULT_WEIGHTS",
+    "DriveResult",
+    "EtagTable",
+    "HttpTransport",
+    "LatencyRecorder",
+    "LoadConfig",
+    "OpenLoopDriver",
+    "PlannedRequest",
+    "SloCheck",
+    "SloSpec",
+    "SloVerdict",
+    "StoreCatalog",
+    "TransportResult",
+    "WorkloadModel",
+    "append_trajectory",
+    "comparable_fields",
+    "evaluate",
+    "exact_percentiles",
+    "hosted_server",
+    "load_slo",
+    "plan_digest",
+    "run_load",
+]

@@ -1,0 +1,329 @@
+"""Load drivers: closed-loop (concurrency-bound) and open-loop (rate-bound).
+
+Two classic shapes of load:
+
+- :class:`ClosedLoopDriver` — N worker threads, each issuing the next
+  planned request as soon as the previous one (plus an optional think
+  time) finishes.  Throughput floats with server latency; this is the
+  "N busy clients" model and the right tool for cache cold/warm
+  comparisons.
+- :class:`OpenLoopDriver` — a target request rate with a deterministic
+  arrival schedule (request *i* is due at ``i / rate``).  Workers take
+  the schedule in a fixed modulo partition; when the server (or the
+  client) falls behind, the lateness is *kept* in the corrected latency
+  series instead of silently delaying the schedule — the standard
+  coordinated-omission correction.  The achieved rate is reported next
+  to the target so saturation is visible.
+
+Both drivers consume the same :class:`~repro.loadgen.workload.PlannedRequest`
+sequence, share :class:`HttpTransport` (thread-local keep-alive
+connections), honour an optional seeded
+:class:`~repro.resilience.faults.FaultInjector` at the ``request`` site
+(client-side chaos that replays byte-identically), and reuse known
+``ETag`` values for requests the workload marked ``revalidate``.
+
+Think-time and schedule jitter derive from
+:func:`repro.resilience.policy.stable_fraction`, never from a shared
+RNG, so timing noise cannot perturb the request sequence.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+from urllib.parse import urlsplit
+
+from repro.loadgen.record import DEGRADED_WARNING_CODE, LatencyRecorder
+from repro.loadgen.workload import PlannedRequest
+from repro.resilience.faults import FaultInjector
+from repro.resilience.policy import stable_fraction
+
+#: Per-request socket timeout of the bundled transport.
+DEFAULT_TRANSPORT_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class TransportResult:
+    """What one wire-level request came back with."""
+
+    status: int = 0
+    etag: str | None = None
+    degraded: bool = False  # Warning: 110 — a stale-snapshot answer
+    body_bytes: int = 0
+    error: str | None = None  # transport-level failure class name
+
+
+class EtagTable:
+    """Thread-safe ``path -> last ETag`` memory for revalidation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._etags: dict[str, str] = {}
+
+    def get(self, path: str) -> str | None:
+        with self._lock:
+            return self._etags.get(path)
+
+    def put(self, path: str, etag: str | None) -> None:
+        if etag is None:
+            return
+        with self._lock:
+            self._etags[path] = etag
+
+
+class HttpTransport:
+    """Keep-alive GET transport, one ``HTTPConnection`` per thread."""
+
+    def __init__(
+        self, base_url: str, timeout: float = DEFAULT_TRANSPORT_TIMEOUT
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"only http targets are supported, got {base_url!r}")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._timeout = timeout
+        self._local = threading.local()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _reset(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+        self._local.conn = None
+
+    def send(self, path: str, headers: dict[str, str]) -> TransportResult:
+        """One GET; reconnects once on a dropped keep-alive connection."""
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request("GET", path, headers=headers)
+                response = conn.getresponse()
+                body = response.read()
+            except (http.client.HTTPException, OSError) as exc:
+                self._reset()
+                if attempt == 2:
+                    return TransportResult(error=type(exc).__name__)
+                continue
+            warning = response.getheader("Warning", "")
+            return TransportResult(
+                status=response.status,
+                etag=response.getheader("ETag"),
+                degraded=warning.startswith(DEGRADED_WARNING_CODE),
+                body_bytes=len(body),
+            )
+        return TransportResult(error="unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        self._reset()
+
+
+@dataclass
+class DriveResult:
+    """What one driver run produced (the recorder holds the latencies)."""
+
+    executed: int = 0
+    wall_seconds: float = 0.0
+    target_rate: float | None = None
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+#: Observer hook: called with (planned request, transport result) after
+#: every completed request — test instrumentation, not a public API.
+Observer = Callable[[PlannedRequest, TransportResult], None]
+
+
+def _headers_for(
+    request: PlannedRequest, etags: EtagTable
+) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    if request.revalidate:
+        etag = etags.get(request.path)
+        if etag is not None:
+            headers["If-None-Match"] = etag
+    return headers
+
+
+def _execute(
+    request: PlannedRequest,
+    transport: HttpTransport,
+    recorder: LatencyRecorder,
+    etags: EtagTable,
+    injector: FaultInjector | None,
+    scheduled_at: float | None = None,
+    observer: Observer | None = None,
+) -> None:
+    """Send one planned request and record whatever came of it."""
+    if injector is not None and injector.should_fail(
+        "request", f"{request.index}:{request.path}"
+    ):
+        recorder.error(request.family, "InjectedFault")
+        if observer is not None:
+            observer(request, TransportResult(error="InjectedFault"))
+        return
+    headers = _headers_for(request, etags)
+    started = time.perf_counter()
+    result = transport.send(request.path, headers)
+    finished = time.perf_counter()
+    if result.error is not None:
+        recorder.error(request.family, result.error)
+    else:
+        etags.put(request.path, result.etag)
+        corrected = None
+        if scheduled_at is not None:
+            corrected = max(finished - scheduled_at, finished - started)
+        recorder.observe(
+            request.family,
+            result.status,
+            finished - started,
+            corrected_seconds=corrected,
+            degraded=result.degraded,
+        )
+    if observer is not None:
+        observer(request, result)
+
+
+@dataclass(frozen=True)
+class ClosedLoopDriver:
+    """N workers in lock-step with the server: issue, wait, think, repeat."""
+
+    workers: int = 4
+    think_time: float = 0.0
+    duration: float | None = None  # wall cap; None = run the whole plan
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {self.think_time}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def run(
+        self,
+        plan: list[PlannedRequest],
+        transport: HttpTransport,
+        recorder: LatencyRecorder,
+        etags: EtagTable | None = None,
+        injector: FaultInjector | None = None,
+        observer: Observer | None = None,
+    ) -> DriveResult:
+        etags = etags if etags is not None else EtagTable()
+        cursor = {"next": 0}
+        lock = threading.Lock()
+        started = time.perf_counter()
+        deadline = (
+            started + self.duration if self.duration is not None else None
+        )
+        executed = [0] * self.workers
+
+        def worker(slot: int) -> None:
+            while True:
+                if deadline is not None and time.perf_counter() >= deadline:
+                    return
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(plan):
+                        return
+                    cursor["next"] = index + 1
+                request = plan[index]
+                _execute(
+                    request, transport, recorder, etags, injector,
+                    observer=observer,
+                )
+                executed[slot] += 1
+                if self.think_time > 0:
+                    # Derived jitter (±50%) desynchronizes workers without
+                    # perturbing the request sequence.
+                    spread = stable_fraction(f"{self.seed}|think|{request.index}")
+                    time.sleep(self.think_time * (0.5 + spread))
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,), daemon=True)
+            for slot in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        return DriveResult(executed=sum(executed), wall_seconds=wall)
+
+
+@dataclass(frozen=True)
+class OpenLoopDriver:
+    """A target arrival rate with a deterministic schedule.
+
+    Request *i* is due ``i / rate`` seconds after the run starts; the
+    corrected latency series measures from that due time, so client-side
+    queueing counts against the server's tail instead of vanishing.
+    """
+
+    rate: float = 50.0
+    workers: int = 8
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def arrival_offsets(self, count: int) -> list[float]:
+        """Seconds after start each of the first *count* requests is due."""
+        return [index / self.rate for index in range(count)]
+
+    def run(
+        self,
+        plan: list[PlannedRequest],
+        transport: HttpTransport,
+        recorder: LatencyRecorder,
+        etags: EtagTable | None = None,
+        injector: FaultInjector | None = None,
+        observer: Observer | None = None,
+    ) -> DriveResult:
+        etags = etags if etags is not None else EtagTable()
+        offsets = self.arrival_offsets(len(plan))
+        started = time.perf_counter()
+        executed = [0] * self.workers
+
+        def worker(slot: int) -> None:
+            # Fixed modulo partition: worker w owns requests w, w+W, ...
+            for index in range(slot, len(plan), self.workers):
+                due = started + offsets[index]
+                now = time.perf_counter()
+                if due > now:
+                    time.sleep(due - now)
+                _execute(
+                    plan[index], transport, recorder, etags, injector,
+                    scheduled_at=due, observer=observer,
+                )
+                executed[slot] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,), daemon=True)
+            for slot in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        return DriveResult(
+            executed=sum(executed), wall_seconds=wall, target_rate=self.rate
+        )

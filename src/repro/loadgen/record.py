@@ -1,0 +1,207 @@
+"""Latency and outcome accounting for load runs.
+
+:class:`LatencyRecorder` is the drivers' single sink.  Every request
+publishes into a :class:`~repro.obs.metrics.MetricsRegistry` (the same
+substrate the pipeline and the serving layer use)::
+
+    repro_loadgen_requests_total{family=...,status=...}   counter
+    repro_loadgen_request_seconds{family=...}             histogram
+    repro_loadgen_degraded_total{family=...}              counter
+    repro_loadgen_errors_total{family=...,kind=...}       counter
+
+and, because fixed histogram buckets cannot answer "what exactly is
+p99", each family additionally keeps an exact-value reservoir (bounded;
+beyond the cap a deterministic every-other decimation keeps the tail
+representative without unbounded memory).  Percentiles are computed
+from the sorted reservoir — exact for runs under the cap, which covers
+every CI-sized run.
+
+Open-loop drivers record two series per request: the *service* latency
+(send to last byte) and the *corrected* latency measured from the
+request's scheduled arrival time, which includes any queueing delay the
+client itself introduced — the standard coordinated-omission
+correction, so a saturated server cannot hide behind a slow client.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.metrics import LATENCY_BUCKETS
+
+#: Exact samples kept per (family, series); CI runs stay far under it.
+RESERVOIR_CAP = 100_000
+
+#: The Warning header code marking a degraded (stale-snapshot) answer.
+DEGRADED_WARNING_CODE = "110"
+
+
+def exact_percentiles(samples: list[float]) -> dict[str, float]:
+    """p50/p90/p99/max (milliseconds) from raw second-valued samples."""
+    if not samples:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(samples)
+    out = {}
+    for label, quantile in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+        rank = max(0, math.ceil(quantile * len(ordered)) - 1)
+        out[label] = round(ordered[rank] * 1000, 3)
+    out["max"] = round(ordered[-1] * 1000, 3)
+    return out
+
+
+class _Reservoir:
+    """Bounded exact-sample store with deterministic decimation."""
+
+    __slots__ = ("samples", "stride", "_skip")
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+        self.stride = 1
+        self._skip = 0
+
+    def add(self, value: float) -> None:
+        self._skip += 1
+        if self._skip < self.stride:
+            return
+        self._skip = 0
+        self.samples.append(value)
+        if len(self.samples) >= RESERVOIR_CAP:
+            # Halve deterministically; future samples thin out too.
+            self.samples = self.samples[::2]
+            self.stride *= 2
+
+
+class LatencyRecorder:
+    """Thread-safe per-family request accounting for one load run."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._latencies: dict[str, _Reservoir] = {}
+        self._corrected: dict[str, _Reservoir] = {}
+        self._statuses: dict[str, dict[str, int]] = {}
+        self._degraded: dict[str, int] = {}
+        self._errors: dict[tuple[str, str], int] = {}
+
+    # -- writing ------------------------------------------------------------
+
+    def observe(
+        self,
+        family: str,
+        status: int,
+        seconds: float,
+        corrected_seconds: float | None = None,
+        degraded: bool = False,
+    ) -> None:
+        """Record one completed request."""
+        key = str(status)
+        self.registry.counter(
+            "repro_loadgen_requests_total", family=family, status=key
+        ).inc()
+        self.registry.histogram(
+            "repro_loadgen_request_seconds", buckets=LATENCY_BUCKETS, family=family
+        ).observe(seconds)
+        if degraded:
+            self.registry.counter(
+                "repro_loadgen_degraded_total", family=family
+            ).inc()
+        with self._lock:
+            per_family = self._statuses.setdefault(family, {})
+            per_family[key] = per_family.get(key, 0) + 1
+            self._latencies.setdefault(family, _Reservoir()).add(seconds)
+            if corrected_seconds is not None:
+                self._corrected.setdefault(family, _Reservoir()).add(
+                    corrected_seconds
+                )
+            if degraded:
+                self._degraded[family] = self._degraded.get(family, 0) + 1
+
+    def error(self, family: str, kind: str) -> None:
+        """Record one request that never produced an HTTP status."""
+        self.registry.counter(
+            "repro_loadgen_errors_total", family=family, kind=kind
+        ).inc()
+        with self._lock:
+            self._errors[(family, kind)] = self._errors.get((family, kind), 0) + 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return sum(
+                count
+                for statuses in self._statuses.values()
+                for count in statuses.values()
+            )
+
+    @property
+    def error_count(self) -> int:
+        with self._lock:
+            return sum(self._errors.values())
+
+    @property
+    def degraded_count(self) -> int:
+        with self._lock:
+            return sum(self._degraded.values())
+
+    def status_counts(self) -> dict[str, int]:
+        """Total requests per HTTP status, over every family."""
+        totals: dict[str, int] = {}
+        with self._lock:
+            for statuses in self._statuses.values():
+                for status, count in statuses.items():
+                    totals[status] = totals.get(status, 0) + count
+        return dict(sorted(totals.items()))
+
+    def payload(self) -> dict:
+        """The JSON-friendly per-family + overall summary of the run.
+
+        Latency percentiles are the only wall-clock-dependent fields;
+        everything else (counts, statuses, degraded, errors) is a pure
+        function of the request sequence and the server's behaviour.
+        """
+        with self._lock:
+            families = sorted(
+                set(self._statuses) | set(self._errors_families_locked())
+            )
+            out: dict[str, dict] = {}
+            all_latencies: list[float] = []
+            all_corrected: list[float] = []
+            for family in families:
+                reservoir = self._latencies.get(family)
+                samples = reservoir.samples if reservoir else []
+                all_latencies.extend(samples)
+                entry = {
+                    "requests": sum(self._statuses.get(family, {}).values()),
+                    "statuses": dict(sorted(self._statuses.get(family, {}).items())),
+                    "degraded": self._degraded.get(family, 0),
+                    "errors": sum(
+                        count
+                        for (f, _), count in self._errors.items()
+                        if f == family
+                    ),
+                    "latency_ms": exact_percentiles(samples),
+                }
+                corrected = self._corrected.get(family)
+                if corrected is not None:
+                    all_corrected.extend(corrected.samples)
+                    entry["corrected_latency_ms"] = exact_percentiles(
+                        corrected.samples
+                    )
+                out[family] = entry
+            overall = {
+                "latency_ms": exact_percentiles(all_latencies),
+                "errors": {
+                    f"{family}:{kind}": count
+                    for (family, kind), count in sorted(self._errors.items())
+                },
+            }
+            if all_corrected:
+                overall["corrected_latency_ms"] = exact_percentiles(all_corrected)
+        return {"families": out, "overall": overall}
+
+    def _errors_families_locked(self) -> set[str]:
+        return {family for family, _ in self._errors}

@@ -1,0 +1,197 @@
+"""Declarative SLO specs and the gate that evaluates a load report.
+
+An :class:`SloSpec` states the service-level objectives a load run must
+meet — tail latency ceilings, a throughput floor, error and degraded
+budgets — and :func:`evaluate` turns a finished report payload into a
+list of :class:`SloCheck` verdicts plus an overall pass/fail.  Specs
+load from small JSON files (:func:`load_slo`) so CI jobs and humans
+share one artifact::
+
+    {
+        "max_p99_ms": 250,
+        "max_p50_ms": 50,
+        "min_rps": 20,
+        "max_error_rate": 0.01,
+        "max_degraded_rate": 0.05,
+        "families": {"projects_hot": {"max_p99_ms": 100}}
+    }
+
+Every bound is optional; an empty spec passes vacuously.  Per-family
+entries currently support latency ceilings (``max_p99_ms`` /
+``max_p50_ms``) checked against that family's series.  When the report
+carries a coordinated-omission-corrected series, latency checks use it
+— the corrected tail is the honest one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The keys a per-family override may set.
+_FAMILY_BOUNDS = ("max_p99_ms", "max_p50_ms")
+
+
+@dataclass(frozen=True)
+class SloCheck:
+    """One evaluated objective: what was required, what was observed."""
+
+    name: str
+    limit: float
+    observed: float
+    passed: bool
+
+    def describe(self) -> str:
+        verdict = "ok" if self.passed else "VIOLATED"
+        return f"{self.name}: observed {self.observed:g} vs limit {self.limit:g} [{verdict}]"
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """The gate's outcome over one report."""
+
+    passed: bool
+    checks: tuple[SloCheck, ...]
+
+    @property
+    def violations(self) -> tuple[SloCheck, ...]:
+        return tuple(check for check in self.checks if not check.passed)
+
+    def payload(self) -> dict:
+        return {
+            "passed": self.passed,
+            "checks": [
+                {
+                    "name": check.name,
+                    "limit": check.limit,
+                    "observed": check.observed,
+                    "passed": check.passed,
+                }
+                for check in self.checks
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Objectives a load run is gated on.  ``None`` = unbounded."""
+
+    max_p99_ms: float | None = None
+    max_p50_ms: float | None = None
+    min_rps: float | None = None
+    max_error_rate: float | None = None
+    max_degraded_rate: float | None = None
+    families: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("max_p99_ms", "max_p50_ms", "min_rps"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        for name in ("max_error_rate", "max_degraded_rate"):
+            value = getattr(self, name)
+            if value is not None and not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in 0..1, got {value}")
+        for family, bounds in self.families.items():
+            unknown = set(bounds) - set(_FAMILY_BOUNDS)
+            if unknown:
+                raise ValueError(
+                    f"family {family!r}: unsupported bounds "
+                    f"{', '.join(sorted(unknown))}"
+                )
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SloSpec":
+        known = {
+            "max_p99_ms", "max_p50_ms", "min_rps",
+            "max_error_rate", "max_degraded_rate", "families",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SLO spec keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            max_p99_ms=raw.get("max_p99_ms"),
+            max_p50_ms=raw.get("max_p50_ms"),
+            min_rps=raw.get("min_rps"),
+            max_error_rate=raw.get("max_error_rate"),
+            max_degraded_rate=raw.get("max_degraded_rate"),
+            families={
+                str(family): dict(bounds)
+                for family, bounds in raw.get("families", {}).items()
+            },
+        )
+
+
+def load_slo(path: str | Path) -> SloSpec:
+    """Read an :class:`SloSpec` from a JSON file."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict):
+        raise ValueError(f"SLO spec must be a JSON object, got {type(raw).__name__}")
+    return SloSpec.from_dict(raw)
+
+
+def _latency_series(entry: dict) -> dict:
+    """Prefer the corrected series when present — it is the honest tail."""
+    return entry.get("corrected_latency_ms") or entry.get("latency_ms", {})
+
+
+def evaluate(spec: SloSpec, report: dict) -> SloVerdict:
+    """Gate one report payload (the ``results`` object a run emits)."""
+    checks: list[SloCheck] = []
+    overall = _latency_series(report.get("overall", {}))
+    executed = report.get("executed", {})
+    requests = executed.get("requests", 0)
+    errors = executed.get("errors", 0)
+    degraded = executed.get("degraded", 0)
+    attempted = requests + errors
+
+    if spec.max_p99_ms is not None:
+        observed = overall.get("p99", 0.0)
+        checks.append(SloCheck(
+            "overall.p99_ms", spec.max_p99_ms, observed,
+            observed <= spec.max_p99_ms,
+        ))
+    if spec.max_p50_ms is not None:
+        observed = overall.get("p50", 0.0)
+        checks.append(SloCheck(
+            "overall.p50_ms", spec.max_p50_ms, observed,
+            observed <= spec.max_p50_ms,
+        ))
+    if spec.min_rps is not None:
+        observed = executed.get("achieved_rps", 0.0)
+        checks.append(SloCheck(
+            "overall.achieved_rps", spec.min_rps, observed,
+            observed >= spec.min_rps,
+        ))
+    if spec.max_error_rate is not None:
+        observed = errors / attempted if attempted else 0.0
+        checks.append(SloCheck(
+            "overall.error_rate", spec.max_error_rate, round(observed, 6),
+            observed <= spec.max_error_rate,
+        ))
+    if spec.max_degraded_rate is not None:
+        observed = degraded / requests if requests else 0.0
+        checks.append(SloCheck(
+            "overall.degraded_rate", spec.max_degraded_rate, round(observed, 6),
+            observed <= spec.max_degraded_rate,
+        ))
+
+    families = report.get("families", {})
+    for family in sorted(spec.families):
+        bounds = spec.families[family]
+        series = _latency_series(families.get(family, {}))
+        for bound, quantile in (("max_p99_ms", "p99"), ("max_p50_ms", "p50")):
+            if bound in bounds and bounds[bound] is not None:
+                observed = series.get(quantile, 0.0)
+                checks.append(SloCheck(
+                    f"{family}.{quantile}_ms", bounds[bound], observed,
+                    observed <= bounds[bound],
+                ))
+
+    return SloVerdict(
+        passed=all(check.passed for check in checks),
+        checks=tuple(checks),
+    )

@@ -1,0 +1,226 @@
+"""Seeded workload models: a replayable request mix over a real store.
+
+Braininger et al. showed that reproduction claims rot without seeded,
+replayable measurement harnesses; this module applies that discipline
+to *performance* claims.  A :class:`WorkloadModel` derives its request
+population from the actual contents of a :class:`~repro.store.CorpusStore`
+— project ids, taxa, funnel totals — and :meth:`WorkloadModel.plan`
+expands a seed into a concrete list of :class:`PlannedRequest`\\ s.  Two
+calls with the same seed over the same store produce byte-identical
+request sequences (:func:`plan_digest` proves it), so every throughput
+or latency number the drivers report can be replayed exactly.
+
+The mix models how the ``/v1`` API is actually read:
+
+- ``projects_hot`` — the landing page, ``/v1/projects?limit=50`` with
+  no offset: the hottest single path;
+- ``projects_page`` — a pagination walk: successive offsets at a stable
+  page size, wrapping at the store's total;
+- ``projects_filtered`` — taxon and ``min_<metric>`` filtered queries;
+- ``project_detail`` / ``heartbeat`` — per-project reads with a skewed
+  (hot-head) id distribution, the way real traffic concentrates;
+- ``taxa`` / ``stats`` / ``failures`` — the small summary endpoints.
+
+A fraction of requests (``etag_reuse``) are marked ``revalidate``: the
+driver replays the last known ``ETag`` for that path as
+``If-None-Match``, exercising the 304 path the way polling dashboards
+do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from urllib.parse import urlencode
+
+from repro.store.store import CorpusStore
+
+#: Default share of requests that revalidate with If-None-Match.
+DEFAULT_ETAG_REUSE = 0.3
+
+#: Default per-family weights (relative, need not sum to anything).
+DEFAULT_WEIGHTS: dict[str, int] = {
+    "projects_hot": 25,
+    "projects_page": 15,
+    "projects_filtered": 10,
+    "project_detail": 20,
+    "heartbeat": 15,
+    "taxa": 5,
+    "stats": 5,
+    "failures": 5,
+}
+
+#: Page sizes the pagination walk cycles through.
+_PAGE_LIMITS = (10, 25, 50)
+
+#: Metric filters the filtered family draws from (all metric columns
+#: exist on every stored project, so these always parse server-side).
+_METRIC_FILTERS = ("n_commits", "total_activity", "active_commits")
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One deterministic request of a planned workload.
+
+    ``path`` is the full request target (path + canonical sorted query).
+    ``revalidate`` asks the driver to attach the last seen ``ETag`` for
+    this path as ``If-None-Match``.
+    """
+
+    index: int
+    family: str
+    path: str
+    revalidate: bool = False
+
+    def line(self) -> str:
+        """The canonical one-line form digests and replays are built on."""
+        return f"{self.index} {self.family} GET {self.path} reval={int(self.revalidate)}"
+
+
+def plan_digest(requests: list[PlannedRequest]) -> str:
+    """sha256 over the canonical request lines: the sequence's identity."""
+    digest = hashlib.sha256()
+    for request in requests:
+        digest.update(request.line().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreCatalog:
+    """The store facts a workload derives from (sorted, deterministic)."""
+
+    project_ids: tuple[int, ...]
+    taxa: tuple[str, ...]
+    total_projects: int
+    content_hash: str
+
+    @classmethod
+    def from_store(cls, store: CorpusStore) -> "StoreCatalog":
+        page = store.query_projects()
+        ids = tuple(sorted(project.id for project in page.projects))
+        taxa = tuple(sorted(store.taxa_summary()))
+        return cls(
+            project_ids=ids,
+            taxa=taxa,
+            total_projects=page.total,
+            content_hash=store.content_hash(),
+        )
+
+
+def _query(params: dict[str, object]) -> str:
+    """A canonical (sorted) query string, matching the serve layer's keys."""
+    return urlencode(sorted((k, str(v)) for k, v in params.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """A seeded, store-derived request mix.
+
+    Everything that feeds :meth:`plan` is a pure function of
+    ``(catalog, seed, weights, etag_reuse)`` — no wall clock, no global
+    RNG — so equal inputs plan equal sequences.
+    """
+
+    catalog: StoreCatalog
+    seed: int = 2019
+    weights: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+    etag_reuse: float = DEFAULT_ETAG_REUSE
+
+    def __post_init__(self) -> None:
+        if not self.catalog.project_ids:
+            raise ValueError("cannot model a workload over an empty store")
+        if not 0 <= self.etag_reuse <= 1:
+            raise ValueError(f"etag_reuse must be in 0..1, got {self.etag_reuse}")
+        unknown = set(self.weights) - set(DEFAULT_WEIGHTS)
+        if unknown:
+            raise ValueError(
+                f"unknown workload families: {', '.join(sorted(unknown))}"
+            )
+        if not any(weight > 0 for weight in self.weights.values()):
+            raise ValueError("at least one family weight must be positive")
+
+    @classmethod
+    def from_store(
+        cls,
+        store: CorpusStore,
+        seed: int = 2019,
+        weights: dict[str, int] | None = None,
+        etag_reuse: float = DEFAULT_ETAG_REUSE,
+    ) -> "WorkloadModel":
+        return cls(
+            catalog=StoreCatalog.from_store(store),
+            seed=seed,
+            weights=dict(weights) if weights is not None else dict(DEFAULT_WEIGHTS),
+            etag_reuse=etag_reuse,
+        )
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, count: int) -> list[PlannedRequest]:
+        """The first *count* requests of this workload, deterministically."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        # A str seed hashes via sha512 inside Random, so the stream is
+        # stable across processes (tuple seeds would go through hash(),
+        # which PYTHONHASHSEED salts).
+        rng = random.Random(f"{self.seed}|{self.catalog.content_hash}")
+        families = [f for f, w in sorted(self.weights.items()) if w > 0]
+        weights = [self.weights[f] for f in families]
+        ids = self.catalog.project_ids
+        walk_offset = 0
+        requests: list[PlannedRequest] = []
+        for index in range(count):
+            family = rng.choices(families, weights=weights)[0]
+            if family == "projects_hot":
+                path = "/v1/projects?" + _query({"limit": 50})
+            elif family == "projects_page":
+                limit = rng.choice(_PAGE_LIMITS)
+                path = "/v1/projects?" + _query(
+                    {"limit": limit, "offset": walk_offset}
+                )
+                walk_offset += limit
+                if walk_offset >= self.catalog.total_projects:
+                    walk_offset = 0
+            elif family == "projects_filtered":
+                if self.catalog.taxa and rng.random() < 0.5:
+                    path = "/v1/projects?" + _query(
+                        {"taxon": rng.choice(self.catalog.taxa)}
+                    )
+                else:
+                    metric = rng.choice(_METRIC_FILTERS)
+                    path = "/v1/projects?" + _query(
+                        {f"min_{metric}": rng.choice((1, 2, 3, 5))}
+                    )
+            elif family == "project_detail":
+                path = f"/v1/projects/{self._pick_id(rng, ids)}"
+            elif family == "heartbeat":
+                path = f"/v1/projects/{self._pick_id(rng, ids)}/heartbeat"
+            elif family == "taxa":
+                path = "/v1/taxa"
+            elif family == "stats":
+                path = "/v1/stats"
+            else:  # failures
+                path = "/v1/failures"
+            revalidate = rng.random() < self.etag_reuse
+            requests.append(
+                PlannedRequest(
+                    index=index, family=family, path=path, revalidate=revalidate
+                )
+            )
+        return requests
+
+    @staticmethod
+    def _pick_id(rng: random.Random, ids: tuple[int, ...]) -> int:
+        """Hot-head skew: 80% of picks land on the first ~10% of ids."""
+        if rng.random() < 0.8:
+            head = max(1, len(ids) // 10)
+            return ids[rng.randrange(head)]
+        return ids[rng.randrange(len(ids))]
+
+    def family_counts(self, requests: list[PlannedRequest]) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for request in requests:
+            counts[request.family] = counts.get(request.family, 0) + 1
+        return dict(sorted(counts.items()))

@@ -31,6 +31,9 @@ _INCREMENTAL_HINTS = re.compile(
     r"(upgrade|migrat|patch|update|delta|changelog|_v\d|-v\d|\bv\d+[._]\d)", re.IGNORECASE
 )
 
+#: Stems that mark "the schema file" among noise (last-resort choice).
+_PREFERRED_STEMS = ("schema", "install", "database", "db", "structure", "create")
+
 _LANGUAGE_HINTS = re.compile(
     r"(^|[/_.-])(en|fr|de|es|it|pt|ru|zh|ja|nl|pl|cs|tr|el)([/_.-]|$)", re.IGNORECASE
 )
@@ -115,7 +118,9 @@ def choose_ddl_file(files: list[SqlFileRecord]) -> FileChoice:
             return FileChoice(MultiFileVerdict.VENDOR_CHOICE, mysql_files[0])
         if not mysql_files:
             return FileChoice(MultiFileVerdict.AMBIGUOUS, None)
-        candidates = mysql_files  # several MySQL files: fall through
+        # Several MySQL files: fall through in sorted-path order so the
+        # eventual choice is independent of the input file order.
+        candidates = sorted(mysql_files, key=lambda f: f.path)
         paths = [f.path for f in candidates]
 
     if _looks_incremental(paths):
@@ -126,7 +131,12 @@ def choose_ddl_file(files: list[SqlFileRecord]) -> FileChoice:
         return FileChoice(MultiFileVerdict.VENDOR_CHOICE, candidates[0])
 
     # Last resort: a clearly-named schema/install file among noise.
-    preferred = [f for f in candidates if _stem(f.path).lower() in ("schema", "install", "database", "db", "structure", "create")]
-    if len(preferred) == 1:
+    # Ties between several preferred stems break on sorted path, so the
+    # verdict is a pure function of the path *set*, not its order.
+    preferred = sorted(
+        (f for f in candidates if _stem(f.path).lower() in _PREFERRED_STEMS),
+        key=lambda f: f.path,
+    )
+    if preferred:
         return FileChoice(MultiFileVerdict.SINGLE_FILE, preferred[0])
     return FileChoice(MultiFileVerdict.AMBIGUOUS, None)

@@ -26,6 +26,10 @@ rel="successor-version"`` header pointing at their ``/v1`` successor.
 ``{id}`` is a numeric store id or a URL-encoded project name.  All
 cacheable responses carry a deterministic ``ETag`` derived from the
 store's content hash; ``If-None-Match`` revalidation answers ``304``.
+Hot ``/v1`` responses come from an LRU :class:`ResponseCache` keyed on
+``(path, canonical query)`` and validated against the store's content
+hash, so repeat queries of an unchanged store skip the store read and
+the JSON render entirely (hit/miss counters on ``/metrics``).
 Requests run bounded by a timeout behind a store-level circuit breaker;
 under a store outage the server degrades to the last ETag-consistent
 snapshot (``Warning``/``Retry-After``) or an honest 503 — never a hang.
@@ -45,8 +49,11 @@ from repro.serve.server import (
 from repro.serve.service import (
     API_V1_PREFIX,
     CorpusService,
+    DEFAULT_CACHE_CAPACITY,
     DEFAULT_PAGE_LIMIT,
     MAX_PAGE_LIMIT,
+    RenderedResponse,
+    ResponseCache,
     ServiceResponse,
 )
 
@@ -54,12 +61,15 @@ __all__ = [
     "API_V1_PREFIX",
     "CorpusServer",
     "CorpusService",
+    "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_PAGE_LIMIT",
     "DEFAULT_REQUEST_TIMEOUT",
     "GZIP_THRESHOLD",
     "LATENCY_BUCKETS",
     "MAX_PAGE_LIMIT",
     "PROMETHEUS_CONTENT_TYPE",
+    "RenderedResponse",
+    "ResponseCache",
     "RoutedResult",
     "ServiceMetrics",
     "ServiceResponse",

@@ -10,6 +10,10 @@ behind heavy traffic:
 - **Compression.**  Bodies above a small threshold are gzipped when the
   client advertises ``Accept-Encoding: gzip`` (with ``mtime=0`` so the
   bytes are reproducible).
+- **Hot-path caching.**  Rendered ``/v1`` responses come from the
+  service's :class:`~repro.serve.service.ResponseCache`: a hit skips
+  the store query and the JSON render, and is invalidated implicitly
+  when the store's content hash moves (see ``response_cache``).
 - **Resilience.**  Every store-touching request runs bounded by
   ``request_timeout`` (a hung read cannot pin a handler thread forever)
   behind a store-level :class:`~repro.resilience.CircuitBreaker`.  When
@@ -33,7 +37,6 @@ from __future__ import annotations
 
 import gzip
 import hashlib
-import json
 import math
 import signal
 import threading
@@ -49,9 +52,11 @@ from repro.resilience.policy import CircuitBreaker, DeadlineExceeded, call_with_
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.service import (
     API_V1_PREFIX,
+    DEFAULT_CACHE_CAPACITY,
     CorpusService,
     ServiceResponse,
     deprecation_headers,
+    render_body,
 )
 from repro.store.store import CorpusStore
 
@@ -72,20 +77,30 @@ _METRICS_PATHS = ("/metrics", "/metrics/")
 
 @dataclass(frozen=True)
 class RoutedResult:
-    """What one request resolves to before HTTP materialization."""
+    """What one request resolves to before HTTP materialization.
+
+    ``body`` carries the canonical JSON bytes when the service already
+    rendered (or cached) them; ``None`` falls back to rendering from
+    ``response.payload`` at send time.
+    """
 
     response: ServiceResponse
     etag: str | None
     extra_headers: tuple[tuple[str, str], ...] = ()
     degraded: bool = False  # True: served stale or unavailable
+    body: bytes | None = None
 
 
 class CorpusRequestHandler(BaseHTTPRequestHandler):
     """Translates HTTP to :class:`CorpusService` calls."""
 
     server: "CorpusServer"
-    server_version = "repro-serve/1.2"
+    server_version = "repro-serve/1.3"
     protocol_version = "HTTP/1.1"
+    # Headers and body flush as separate segments; without TCP_NODELAY,
+    # Nagle + the peer's delayed ACK add ~40ms to every keep-alive
+    # response, drowning any server-side latency signal.
+    disable_nagle_algorithm = True
 
     def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
         self.do_GET(head_only=True)
@@ -183,7 +198,7 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
             headers["Cache-Control"] = "max-age=0, must-revalidate"
             if self._etag_matches(routed.etag):
                 return 304, b"", headers
-        body = json.dumps(result.payload, sort_keys=True).encode("utf-8")
+        body = routed.body if routed.body is not None else render_body(result.payload)
         if (
             len(body) >= GZIP_THRESHOLD
             and "gzip" in self.headers.get("Accept-Encoding", "")
@@ -215,10 +230,13 @@ class CorpusServer(ThreadingHTTPServer):
         registry: MetricsRegistry | None = None,
         request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
         breaker: CircuitBreaker | None = None,
+        response_cache: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         self.store = store
-        self.service = CorpusService(store)
         self.metrics = ServiceMetrics(registry)
+        self.service = CorpusService(
+            store, registry=self.metrics.registry, cache_capacity=response_cache
+        )
         self.verbose = verbose
         self.request_timeout = request_timeout
         self.breaker = breaker if breaker is not None else CircuitBreaker(
@@ -228,7 +246,7 @@ class CorpusServer(ThreadingHTTPServer):
             registry=self.metrics.registry,
         )
         self._snapshots: OrderedDict[
-            tuple[str, str], tuple[ServiceResponse, str]
+            tuple[str, str], tuple[ServiceResponse, str, bytes]
         ] = OrderedDict()
         self._snapshot_lock = threading.Lock()
         super().__init__((host, port), CorpusRequestHandler)
@@ -240,8 +258,13 @@ class CorpusServer(ThreadingHTTPServer):
 
     def etag_for(self, path: str, query: str) -> str:
         """A strong validator: store content hash x canonical request."""
+        return self.etag_from_hash(self.store.content_hash(), path, query)
+
+    @staticmethod
+    def etag_from_hash(content_hash: str, path: str, query: str) -> str:
+        """The ETag for an already-read content hash (no store access)."""
         request_digest = hashlib.sha256(f"{path}?{query}".encode()).hexdigest()
-        return f'"{self.store.content_hash()[:20]}-{request_digest[:12]}"'
+        return f'"{content_hash[:20]}-{request_digest[:12]}"'
 
     # -- the resilient request path ----------------------------------------
 
@@ -252,21 +275,25 @@ class CorpusServer(ThreadingHTTPServer):
         bounded call; any raise or timeout trips the breaker and falls
         back to :meth:`_degrade` instead of propagating to the socket.
         """
-        key = (path, "&".join(sorted(query.split("&"))) if query else "")
+        canonical = "&".join(sorted(query.split("&"))) if query else ""
+        key = (path, canonical)
         if not self.breaker.allow():
             return self._degrade(path, key, "store circuit breaker is open")
 
-        def call() -> tuple[ServiceResponse, str | None]:
-            response = self.service.handle(path, params)
+        def call() -> tuple[ServiceResponse, str | None, bytes]:
+            rendered = self.service.handle_rendered(path, canonical, params)
+            response = rendered.response
             etag = (
-                self.etag_for(path, query)
-                if response.cacheable and response.status == 200
+                self.etag_from_hash(rendered.content_hash, path, query)
+                if rendered.content_hash is not None
+                and response.cacheable
+                and response.status == 200
                 else None
             )
-            return response, etag
+            return response, etag, rendered.body
 
         try:
-            response, etag = call_with_timeout(call, self.request_timeout)
+            response, etag, body = call_with_timeout(call, self.request_timeout)
         except DeadlineExceeded:
             self.metrics.registry.counter("repro_http_timeouts_total").inc()
             self.breaker.record_failure()
@@ -280,11 +307,11 @@ class CorpusServer(ThreadingHTTPServer):
         self.breaker.record_success()
         if etag is not None:
             with self._snapshot_lock:
-                self._snapshots[key] = (response, etag)
+                self._snapshots[key] = (response, etag, body)
                 self._snapshots.move_to_end(key)
                 while len(self._snapshots) > SNAPSHOT_CAPACITY:
                     self._snapshots.popitem(last=False)
-        return RoutedResult(response=response, etag=etag)
+        return RoutedResult(response=response, etag=etag, body=body)
 
     def _degrade(self, path: str, key: tuple[str, str], reason: str) -> RoutedResult:
         """Serve the last known snapshot, else an honest 503 — never hang."""
@@ -292,7 +319,7 @@ class CorpusServer(ThreadingHTTPServer):
         with self._snapshot_lock:
             snapshot = self._snapshots.get(key)
         if snapshot is not None:
-            response, etag = snapshot
+            response, etag, body = snapshot
             self.metrics.registry.counter(
                 "repro_http_degraded_total", mode="stale"
             ).inc()
@@ -304,6 +331,7 @@ class CorpusServer(ThreadingHTTPServer):
                     ("Retry-After", retry_after),
                 ),
                 degraded=True,
+                body=body,
             )
         self.metrics.registry.counter(
             "repro_http_degraded_total", mode="unavailable"
@@ -324,6 +352,7 @@ def create_server(
     registry: MetricsRegistry | None = None,
     request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
     breaker: CircuitBreaker | None = None,
+    response_cache: int = DEFAULT_CACHE_CAPACITY,
 ) -> CorpusServer:
     """The public constructor: a bound-but-not-running corpus server.
 
@@ -331,12 +360,14 @@ def create_server(
     pass ``port=0`` for an ephemeral port, *registry* to publish the
     HTTP metrics into an existing :class:`MetricsRegistry`,
     *request_timeout* (seconds; ``None`` disables) to bound every
-    store-touching request, and *breaker* to tune or share the store
-    circuit breaker.
+    store-touching request, *breaker* to tune or share the store
+    circuit breaker, and *response_cache* to size the hot-path
+    rendered-response cache (entries; ``0`` disables it).
     """
     return CorpusServer(
         store, host=host, port=port, verbose=verbose, registry=registry,
         request_timeout=request_timeout, breaker=breaker,
+        response_cache=response_cache,
     )
 
 
@@ -360,10 +391,12 @@ def serve_forever(
     port: int = 8765,
     verbose: bool = True,
     request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+    response_cache: int = DEFAULT_CACHE_CAPACITY,
 ) -> None:
     """Run until SIGINT/SIGTERM, then drain in-flight requests."""
     server = create_server(
-        store, host=host, port=port, verbose=verbose, request_timeout=request_timeout
+        store, host=host, port=port, verbose=verbose,
+        request_timeout=request_timeout, response_cache=response_cache,
     )
 
     def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path

@@ -13,14 +13,26 @@ error envelopes ``{"error": {"code", "message", "detail"}}``, unified
 attempt counts).  The legacy unversioned routes keep answering with
 their original shapes but carry a ``Deprecation`` header plus a
 ``Link: <successor>; rel="successor-version"`` pointer.
+
+Hot ``/v1`` responses are served from an LRU :class:`ResponseCache`
+keyed on ``(path, canonical query)`` and validated against the store's
+``content_hash()``: a hit skips the store query *and* the JSON render
+entirely, and an ingest that changes the store invalidates every entry
+at once (the hash no longer matches).  Legacy routes, errors, and
+``/metrics`` bypass the cache.  Hit/miss/eviction counters and the
+render counter publish into the server's metrics registry.
 """
 
 from __future__ import annotations
 
+import json
 import re
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from urllib.parse import unquote, urlencode
 
+from repro.obs.metrics import MetricsRegistry
 from repro.store.store import (
     METRIC_COLUMNS,
     CorpusStore,
@@ -31,6 +43,9 @@ from repro.store.store import (
 #: Hard ceiling on one page of a list endpoint.
 MAX_PAGE_LIMIT = 500
 DEFAULT_PAGE_LIMIT = 50
+
+#: Default entry count of the hot-path response cache (0 disables it).
+DEFAULT_CACHE_CAPACITY = 256
 
 #: Integers beyond this are rejected as overflow rather than silently
 #: accepted (2**53: the largest range JSON consumers agree on).
@@ -56,6 +71,101 @@ class ServiceResponse:
     endpoint: str  # the route pattern, for metrics
     cacheable: bool = True  # False: never ETag-revalidated (/metrics)
     headers: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class RenderedResponse:
+    """A routed response plus its canonical JSON bytes.
+
+    ``content_hash`` is the store hash the response was computed under
+    (``None`` only when the route never touched the store); ``cache_hit``
+    marks responses answered from the :class:`ResponseCache` without a
+    store query or a render.
+    """
+
+    response: ServiceResponse
+    body: bytes
+    content_hash: str | None
+    cache_hit: bool = False
+
+
+class ResponseCache:
+    """Thread-safe LRU of rendered responses, validated by content hash.
+
+    One entry per ``(path, canonical query)`` request; an entry only
+    answers while the store's ``content_hash()`` still equals the hash
+    it was rendered under, so re-ingesting the corpus invalidates the
+    whole cache implicitly — no explicit flush protocol.  Counters::
+
+        repro_serve_cache_hits_total        answered from cache
+        repro_serve_cache_misses_total      absent or stale entry
+        repro_serve_cache_evictions_total   LRU + stale evictions
+        repro_serve_cache_entries           current size (gauge)
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[
+            tuple[str, str], tuple[str, ServiceResponse, bytes]
+        ] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(
+        self, key: tuple[str, str], content_hash: str
+    ) -> tuple[ServiceResponse, bytes] | None:
+        """The cached (response, body) under *key*, if still valid."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == content_hash:
+                self._entries.move_to_end(key)
+                self.registry.counter("repro_serve_cache_hits_total").inc()
+                return entry[1], entry[2]
+            if entry is not None:  # stale: the store changed under it
+                del self._entries[key]
+                self.registry.counter("repro_serve_cache_evictions_total").inc()
+                self.registry.gauge("repro_serve_cache_entries").set(
+                    len(self._entries)
+                )
+        self.registry.counter("repro_serve_cache_misses_total").inc()
+        return None
+
+    def store(
+        self,
+        key: tuple[str, str],
+        content_hash: str,
+        response: ServiceResponse,
+        body: bytes,
+    ) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (content_hash, response, body)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.registry.counter("repro_serve_cache_evictions_total").inc()
+            self.registry.gauge("repro_serve_cache_entries").set(len(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.registry.gauge("repro_serve_cache_entries").set(0)
+
+
+def render_body(payload: dict) -> bytes:
+    """The one canonical JSON rendering of a response payload."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
 
 
 def _int_param(
@@ -103,8 +213,54 @@ def deprecation_headers(path: str) -> tuple[tuple[str, str], ...]:
 class CorpusService:
     """Routes read-only queries against one :class:`CorpusStore`."""
 
-    def __init__(self, store: CorpusStore) -> None:
+    def __init__(
+        self,
+        store: CorpusStore,
+        registry: MetricsRegistry | None = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
         self.store = store
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = (
+            ResponseCache(cache_capacity, self.registry)
+            if cache_capacity > 0
+            else None
+        )
+
+    def handle_rendered(
+        self, path: str, canonical_query: str, params: dict[str, str]
+    ) -> RenderedResponse:
+        """Route one request and render its body, through the cache.
+
+        ``content_hash()`` is read exactly once per request; it both
+        validates the cache entry and feeds the caller's ETag, so a hit
+        answers without any further store work.  Only current-API
+        (``/v1``) 200s are cached — legacy routes bypass (they are
+        deprecated, not worth hot-path memory) and errors are always
+        recomputed.  A store outage raises out of here (the content-hash
+        read fails), which is what trips the caller's circuit breaker.
+        """
+        v1 = path == API_V1_PREFIX or path.startswith(API_V1_PREFIX + "/")
+        content_hash = self.store.content_hash()
+        key = (path, canonical_query)
+        if v1 and self.cache is not None:
+            cached = self.cache.lookup(key, content_hash)
+            if cached is not None:
+                response, body = cached
+                return RenderedResponse(response, body, content_hash, cache_hit=True)
+        response = self.handle(path, params)
+        body = render_body(response.payload)
+        self.registry.counter(
+            "repro_serve_renders_total", endpoint=response.endpoint
+        ).inc()
+        if (
+            v1
+            and self.cache is not None
+            and response.cacheable
+            and response.status == 200
+        ):
+            self.cache.store(key, content_hash, response, body)
+        return RenderedResponse(response, body, content_hash)
 
     def handle(self, path: str, params: dict[str, str]) -> ServiceResponse:
         """Dispatch one GET request; never raises for bad input."""

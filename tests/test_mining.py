@@ -194,3 +194,46 @@ class TestChooseDdlFile:
             [record(path="alpha.sql"), record(path="beta.sql")]
         )
         assert choice.verdict is MultiFileVerdict.AMBIGUOUS
+
+    def test_multiple_preferred_stems_break_ties_on_sorted_path(self):
+        # Two preferred stems among noise: the lexicographically first
+        # preferred path wins instead of dropping to AMBIGUOUS.
+        choice = choose_ddl_file(
+            [
+                record(path="sql/install.sql"),
+                record(path="db/schema.sql"),
+                record(path="procedures.sql"),
+            ]
+        )
+        assert choice.verdict is MultiFileVerdict.SINGLE_FILE
+        assert choice.chosen.path == "db/schema.sql"
+
+    def test_choice_is_independent_of_input_order(self):
+        import itertools
+        import random
+
+        # Multi-vendor with several MySQL files falling through to the
+        # preferred-stem tie-break: every input permutation (and a few
+        # shuffles of a larger set) must produce the same verdict+path.
+        files = [
+            record(path="install/postgres.sql"),
+            record(path="sql/mysql/schema.sql"),
+            record(path="sql/mysql/db.sql"),
+            record(path="sql/mysql/procedures.sql"),
+        ]
+        outcomes = {
+            (choice.verdict, choice.chosen.path if choice.chosen else None)
+            for perm in itertools.permutations(files)
+            if (choice := choose_ddl_file(list(perm)))
+        }
+        assert outcomes == {(MultiFileVerdict.SINGLE_FILE, "sql/mysql/db.sql")}
+
+        rng = random.Random(7)
+        shuffled = list(files)
+        for _ in range(10):
+            rng.shuffle(shuffled)
+            choice = choose_ddl_file(shuffled)
+            assert (choice.verdict, choice.chosen.path) == (
+                MultiFileVerdict.SINGLE_FILE,
+                "sql/mysql/db.sql",
+            )

@@ -22,7 +22,7 @@ import pytest
 from repro.resilience import CircuitBreaker
 from repro.serve import CorpusService, start_server
 from repro.store import CorpusStore, ingest_corpus
-from tests.test_store import small_corpus
+from tests.test_store import SCHEMA_V0, SCHEMA_V1, repo_with_history, small_corpus
 
 
 @pytest.fixture(scope="module")
@@ -368,15 +368,20 @@ def fragile_server(seeded_store):
 
 
 def _break_service(server, exc=None):
-    """Make every store-touching route raise (default) or hang."""
-    def broken(path, params):
+    """Make every store-touching route raise (default) or hang.
+
+    Patches ``handle_rendered`` — the guarded entry point — so the
+    outage hits before the response cache can answer, exactly like a
+    real store failure (whose content-hash read raises first).
+    """
+    def broken(path, canonical_query, params):
         raise exc if exc is not None else RuntimeError("store exploded")
 
-    server.service.handle = broken
+    server.service.handle_rendered = broken
 
 
 def _heal_service(server):
-    del server.service.handle
+    del server.service.handle_rendered
 
 
 class TestDegradedServing:
@@ -418,10 +423,10 @@ class TestDegradedServing:
         assert fragile_server.breaker.state == fragile_server.breaker.CLOSED
 
     def test_hung_store_times_out_instead_of_hanging(self, fragile_server):
-        def hang(path, params):
+        def hang(path, canonical_query, params):
             time.sleep(30)
 
-        fragile_server.service.handle = hang
+        fragile_server.service.handle_rendered = hang
         started = time.perf_counter()
         status, headers, payload = request(fragile_server, "/v1/stats")
         elapsed = time.perf_counter() - started
@@ -488,3 +493,158 @@ class TestGracefulShutdown:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+@pytest.fixture
+def cache_server(seeded_store):
+    """A function-scoped server with fresh cache counters per test."""
+    server, thread = start_server(seeded_store, port=0)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _counter(server, name, **labels):
+    return server.metrics.registry.value(name, **labels)
+
+
+class TestResponseCache:
+    def test_repeat_v1_request_hits_the_cache_and_skips_the_render(
+        self, cache_server
+    ):
+        status, _, first = request(cache_server, "/v1/taxa")
+        assert status == 200
+        assert _counter(cache_server, "repro_serve_cache_misses_total") == 1
+        renders = _counter(
+            cache_server, "repro_serve_renders_total", endpoint="/v1/taxa"
+        )
+        assert renders == 1
+        status, _, second = request(cache_server, "/v1/taxa")
+        assert status == 200 and second == first
+        assert _counter(cache_server, "repro_serve_cache_hits_total") == 1
+        assert _counter(
+            cache_server, "repro_serve_renders_total", endpoint="/v1/taxa"
+        ) == renders  # served from cache: no second render
+
+    def test_304_revalidation_does_not_re_render_a_cached_entry(self, cache_server):
+        status, headers, _ = request(cache_server, "/v1/projects?limit=3")
+        assert status == 200
+        etag = headers["ETag"]
+        renders = _counter(
+            cache_server, "repro_serve_renders_total", endpoint="/v1/projects"
+        )
+        for _ in range(3):
+            status, headers2, payload = request(
+                cache_server, "/v1/projects?limit=3", {"If-None-Match": etag}
+            )
+            assert status == 304 and payload is None
+            assert headers2["ETag"] == etag
+        assert _counter(
+            cache_server, "repro_serve_renders_total", endpoint="/v1/projects"
+        ) == renders
+        assert _counter(cache_server, "repro_serve_cache_hits_total") == 3
+
+    def test_legacy_routes_bypass_the_cache(self, cache_server):
+        request(cache_server, "/taxa")
+        request(cache_server, "/taxa")
+        assert _counter(cache_server, "repro_serve_cache_hits_total") == 0
+        assert _counter(cache_server, "repro_serve_cache_misses_total") == 0
+        # Every legacy request re-renders.
+        assert _counter(
+            cache_server, "repro_serve_renders_total", endpoint="/taxa"
+        ) == 2
+
+    def test_errors_are_not_cached(self, cache_server):
+        for _ in range(2):
+            status, _, _ = request(cache_server, "/v1/projects/999999")
+            assert status == 404
+        assert _counter(cache_server, "repro_serve_cache_hits_total") == 0
+        assert _counter(cache_server, "repro_serve_cache_misses_total") == 2
+
+    def test_counters_are_exposed_via_the_metrics_endpoint(self, cache_server):
+        request(cache_server, "/v1/taxa")
+        request(cache_server, "/v1/taxa")
+        _, _, payload = request(cache_server, "/v1/metrics")
+        counters = payload["registry"]["counters"]
+        assert counters["repro_serve_cache_hits_total"] == 1
+        assert counters["repro_serve_cache_misses_total"] == 1
+        assert payload["registry"]["gauges"]["repro_serve_cache_entries"] >= 1
+
+    def test_ingest_invalidates_via_the_content_hash(self, tmp_path):
+        activity, lib_io, repos = small_corpus()
+        store = CorpusStore(tmp_path / "cache.db")
+        ingest_corpus(store, activity, lib_io, repos.get)
+        server, thread = start_server(store, port=0)
+        try:
+            status, headers, before = request(server, "/v1/projects")
+            assert status == 200
+            etag = headers["ETag"]
+            # Grow the corpus: the content hash moves, the entry is stale.
+            activity2, lib_io2, repos2 = small_corpus(
+                extra_repos={
+                    "new/arrival": repo_with_history(
+                        "new/arrival", [SCHEMA_V0, SCHEMA_V1]
+                    )
+                }
+            )
+            ingest_corpus(store, activity2, lib_io2, repos2.get)
+            status, headers, after = request(server, "/v1/projects")
+            assert status == 200
+            assert headers["ETag"] != etag
+            assert after["total"] == before["total"] + 1
+            assert _counter(server, "repro_serve_cache_evictions_total") >= 1
+            # And the old validator no longer revalidates.
+            status, _, _ = request(
+                server, "/v1/projects", {"If-None-Match": etag}
+            )
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            store.close()
+
+    def test_disabled_cache_renders_every_time(self, seeded_store):
+        server, thread = start_server(seeded_store, port=0, response_cache=0)
+        try:
+            request(server, "/v1/taxa")
+            request(server, "/v1/taxa")
+            assert server.service.cache is None
+            assert _counter(server, "repro_serve_cache_hits_total") == 0
+            assert _counter(
+                server, "repro_serve_renders_total", endpoint="/v1/taxa"
+            ) == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestResponseCacheUnit:
+    def test_lru_eviction_and_counters(self):
+        from repro.obs import MetricsRegistry
+        from repro.serve import ResponseCache, ServiceResponse
+
+        registry = MetricsRegistry()
+        cache = ResponseCache(capacity=2, registry=registry)
+        resp = ServiceResponse(status=200, payload={}, endpoint="/v1/x")
+        cache.store(("/a", ""), "h", resp, b"{}")
+        cache.store(("/b", ""), "h", resp, b"{}")
+        assert cache.lookup(("/a", ""), "h") is not None  # /a now most recent
+        cache.store(("/c", ""), "h", resp, b"{}")  # evicts /b
+        assert cache.lookup(("/b", ""), "h") is None
+        assert cache.lookup(("/a", ""), "h") is not None
+        assert registry.value("repro_serve_cache_evictions_total") == 1
+        assert registry.value("repro_serve_cache_entries") == 2
+
+    def test_stale_hash_misses_and_evicts(self):
+        from repro.serve import ResponseCache, ServiceResponse
+
+        cache = ResponseCache(capacity=4)
+        resp = ServiceResponse(status=200, payload={}, endpoint="/v1/x")
+        cache.store(("/a", ""), "h1", resp, b"{}")
+        assert cache.lookup(("/a", ""), "h2") is None
+        assert len(cache) == 0
+        assert cache.registry.value("repro_serve_cache_misses_total") == 1
+        assert cache.registry.value("repro_serve_cache_evictions_total") == 1
