@@ -13,6 +13,7 @@ with the history and perf regressions surface in review.
 """
 
 import json
+import os
 import random
 import time
 from pathlib import Path
@@ -167,24 +168,56 @@ def test_bench_funnel_cold_vs_warm_cache(full_corpus):
 
 
 def test_bench_funnel_serial_vs_parallel(full_corpus):
-    """jobs=1 vs jobs=4 over the paper-scale corpus, identical output."""
+    """Serial vs thread vs process backends at jobs=4, identical output.
+
+    The workload is CPU-bound python, so the thread backend historically
+    *lost* to serial (the 0.75x entry in the trajectory); the process
+    backend is the one that must actually scale.  The recorded entry
+    carries ``cores`` so the >= 2x gate only arms where 4 workers have
+    4 cores to run on — CI enforces it on its 4-vCPU runners, while a
+    1-core dev box records honest (unenforced) numbers.
+    """
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    runs = {
+        "serial": {"jobs": 1, "executor": "serial"},
+        "thread": {"jobs": 4, "executor": "thread"},
+        "process": {"jobs": 4, "executor": "process"},
+    }
     timings = {}
     reports = {}
-    for jobs in (1, 4):
+    for name, kwargs in runs.items():
         started = time.perf_counter()
-        reports[jobs] = full_corpus.run_funnel(jobs=jobs)  # fresh cache each
-        timings[jobs] = time.perf_counter() - started
-    assert [p.name for p in reports[1].studied] == [p.name for p in reports[4].studied]
-    assert reports[1].stage_rows() == reports[4].stage_rows()
+        reports[name] = full_corpus.run_funnel(**kwargs)  # fresh cache each
+        timings[name] = time.perf_counter() - started
+    for name in ("thread", "process"):
+        assert [p.name for p in reports["serial"].studied] == [
+            p.name for p in reports[name].studied
+        ]
+        assert reports["serial"].stage_rows() == reports[name].stage_rows()
 
-    speedup = timings[1] / timings[4] if timings[4] > 0 else float("inf")
+    def _speedup(name):
+        return timings["serial"] / timings[name] if timings[name] > 0 else float("inf")
+
     _TRAJECTORY["funnel_jobs"] = {
-        "serial_seconds": round(timings[1], 4),
-        "parallel_seconds": round(timings[4], 4),
+        "serial_seconds": round(timings["serial"], 4),
+        "thread_seconds": round(timings["thread"], 4),
+        "parallel_seconds": round(timings["process"], 4),
         "jobs": 4,
-        "speedup": round(speedup, 2),
+        "executor": "process",
+        "cores": cores,
+        "thread_speedup": round(_speedup("thread"), 2),
+        "speedup": round(_speedup("process"), 2),
     }
     print(
-        f"\nfunnel serial {timings[1]:.2f}s, jobs=4 {timings[4]:.2f}s "
-        f"({speedup:.2f}x; identical output)"
+        f"\nfunnel serial {timings['serial']:.2f}s, "
+        f"thread jobs=4 {timings['thread']:.2f}s ({_speedup('thread'):.2f}x), "
+        f"process jobs=4 {timings['process']:.2f}s ({_speedup('process'):.2f}x) "
+        f"on {cores} cores (identical output)"
     )
+    if cores >= 4:
+        assert _speedup("process") >= 2.0, (
+            f"process backend managed only {_speedup('process'):.2f}x over serial "
+            f"on {cores} cores; the parallel pipeline has regressed"
+        )

@@ -34,7 +34,9 @@ Commands
 
 Every corpus-running command (and ``classify``) shares one option set,
 declared once on :class:`RunOptions`: the pipeline knobs ``--jobs N``,
-``--cache-dir DIR`` and ``--stats``, the observability knobs
+``--executor {auto,serial,thread,process}`` (how those jobs run:
+worker processes by default when ``jobs > 1``), ``--cache-dir DIR``
+and ``--stats``, the observability knobs
 ``--trace FILE`` (write the run's span trace as JSONL) and
 ``--profile`` (wrap the run in ``cProfile``, writing ``.pstats`` next
 to the trace), the resilience knobs ``--retries N`` (bounded
@@ -84,6 +86,7 @@ class RunOptions:
     seed: int = 2019
     scale: float = 1.0
     jobs: int = 1
+    executor: str = "auto"
     cache_dir: str | None = None
     stats: bool = False
     trace: str | None = None
@@ -124,6 +127,13 @@ class RunOptions:
         parser.add_argument(
             "--jobs", type=int, default=1, metavar="N",
             help="measure N projects concurrently (results are identical for any N)",
+        )
+        parser.add_argument(
+            "--executor", default="auto",
+            choices=["auto", "serial", "thread", "process"],
+            help="execution backend for --jobs: worker processes sidestep the"
+                 " GIL (auto = process when jobs > 1); results are identical"
+                 " for every backend",
         )
         parser.add_argument(
             "--cache-dir", default=None, metavar="DIR",
@@ -214,6 +224,7 @@ def _build(args: argparse.Namespace):
         retry=opts.retry_policy(),
         project_deadline=opts.deadline,
         injector=opts.injector(),
+        executor=opts.executor,
     )
     elapsed = time.time() - started
     if not opts.json:
@@ -373,6 +384,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             retry=opts.retry_policy(),
             project_deadline=opts.deadline,
             injector=opts.injector(),
+            executor=opts.executor,
         )
         if opts.json:
             payload = {

@@ -114,16 +114,20 @@ def run_funnel(
     retry: RetryPolicy = NO_RETRY,
     project_deadline: float | None = None,
     injector: FaultInjector | None = None,
+    executor: str = "auto",
 ) -> FunnelReport:
     """Run the whole collection funnel and return its report.
 
-    ``jobs`` sets the pipeline's worker count (results are input-ordered,
-    so any job count yields identical reports); ``cache_dir`` enables the
-    on-disk parse/diff cache; ``cache`` shares an in-memory cache across
-    runs; ``pipeline`` substitutes a fully custom pipeline (it wins over
-    the other knobs).  ``retry``/``project_deadline``/``injector`` are
-    the resilience knobs (see :mod:`repro.resilience`): bounded retries
-    per project, a wall-clock budget per project, and seeded chaos.
+    ``jobs`` sets the pipeline's worker count and ``executor`` picks the
+    execution backend (serial, thread, or process; ``auto`` uses worker
+    processes whenever ``jobs > 1``) — results are input-ordered, so
+    every combination yields identical reports.  ``cache_dir`` enables
+    the on-disk parse/diff cache; ``cache`` shares an in-memory cache
+    across runs; ``pipeline`` substitutes a fully custom pipeline (it
+    wins over the other knobs).  ``retry``/``project_deadline``/
+    ``injector`` are the resilience knobs (see :mod:`repro.resilience`):
+    bounded retries per project, a wall-clock budget per project, and
+    seeded chaos.
     """
     report = FunnelReport()
     report.sql_collection_repos = activity.repository_count()
@@ -154,6 +158,7 @@ def run_funnel(
             PipelineConfig(
                 policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir,
                 retry=retry, project_deadline=project_deadline, injector=injector,
+                executor=executor,
             ),
             cache=cache,
         )

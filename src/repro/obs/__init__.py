@@ -27,12 +27,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metrics_registry,
 )
-from repro.obs.profile import profile_path_for, profiled
+from repro.obs.profile import (
+    active_profile_path,
+    merge_worker_profiles,
+    profile_path_for,
+    profiled,
+)
 from repro.obs.trace import (
     TRACE_LINE_SCHEMA,
     Span,
     TraceRecorder,
     active_recorder,
+    current_span_id,
     install_recorder,
     read_trace,
     recording,
@@ -51,7 +57,10 @@ __all__ = [
     "TRACE_LINE_SCHEMA",
     "TraceRecorder",
     "active_recorder",
+    "active_profile_path",
+    "current_span_id",
     "install_recorder",
+    "merge_worker_profiles",
     "metrics_registry",
     "profile_path_for",
     "profiled",

@@ -133,6 +133,23 @@ class Histogram:
             self._min = min(self._min, value)
             self._max = max(self._max, value)
 
+    def merge_counts(
+        self, counts: list[int], total: float, count: int, minimum: float, maximum: float
+    ) -> None:
+        """Fold another histogram's raw state into this one (same buckets)."""
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name} merge: bucket layouts differ"
+            )
+        with self._lock:
+            for index, value in enumerate(counts):
+                self._counts[index] += value
+            self._sum += total
+            self._count += count
+            if count:
+                self._min = min(self._min, minimum)
+                self._max = max(self._max, maximum)
+
     @property
     def count(self) -> int:
         return self._count
@@ -250,6 +267,59 @@ class MetricsRegistry:
             if label in labels and not isinstance(metric, Histogram):
                 out[labels[label]] = metric.value
         return out
+
+    # -- cross-process relay ----------------------------------------------
+
+    def dump_state(self) -> list[dict]:
+        """Every instrument's raw state as picklable primitives.
+
+        The process execution backend ships each worker's registry back
+        to the parent as this list; :meth:`merge_state` folds it in.
+        """
+        out: list[dict] = []
+        for metric in self.collect():
+            entry: dict = {
+                "kind": metric.kind,
+                "name": metric.name,
+                "labels": list(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    entry.update(
+                        buckets=list(metric.buckets),
+                        counts=list(metric._counts),
+                        sum=metric._sum,
+                        count=metric._count,
+                        min=metric._min,
+                        max=metric._max,
+                    )
+            else:
+                entry["value"] = float(metric.value)
+            out.append(entry)
+        return out
+
+    def merge_state(self, state: list[dict]) -> None:
+        """Fold a :meth:`dump_state` list into this registry.
+
+        Counters and histograms accumulate (the natural semantics for
+        per-worker deltas).  Gauges are *skipped*: they are point-in-time
+        values owned by the parent (a worker's ``repro_pipeline_jobs``
+        gauge of 1 must not stomp the parent's real job count).
+        """
+        for entry in state:
+            labels = dict(entry["labels"])
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    entry["name"], buckets=tuple(entry["buckets"]), **labels
+                )
+                histogram.merge_counts(
+                    entry["counts"], entry["sum"], entry["count"],
+                    entry["min"], entry["max"],
+                )
+            # gauges: parent-owned, intentionally not merged
 
     def snapshot(self) -> dict:
         """The whole registry as one JSON-friendly dict.

@@ -6,22 +6,40 @@ command; the resulting file loads straight into ``pstats`` or
 
     >>> import pstats
     >>> stats = pstats.Stats("trace.pstats")  # doctest: +SKIP
+
+The parent-process profiler cannot see work done by the process
+execution backend's workers (each worker is its own interpreter), so a
+profiled run advertises its output path via :func:`active_profile_path`;
+the backend has every worker profile its own chunks, ships the dumps
+home, and :func:`merge_worker_profiles` aggregates them into one
+``<path stem>-workers.pstats`` next to the parent profile.
 """
 
 from __future__ import annotations
 
 import cProfile
+import pstats
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
+
+#: The path the currently-running ``profiled()`` block dumps to, or None.
+_ACTIVE_PATH: Path | None = None
+
+
+def active_profile_path() -> Path | None:
+    """Where the in-flight ``profiled()`` block will write (or None)."""
+    return _ACTIVE_PATH
 
 
 @contextmanager
 def profiled(path: str | Path | None) -> Iterator[cProfile.Profile | None]:
     """Profile the block and dump ``.pstats`` to *path* (no-op on None)."""
+    global _ACTIVE_PATH
     if path is None:
         yield None
         return
+    _ACTIVE_PATH = Path(path)
     profiler = cProfile.Profile()
     profiler.enable()
     try:
@@ -29,6 +47,7 @@ def profiled(path: str | Path | None) -> Iterator[cProfile.Profile | None]:
     finally:
         profiler.disable()
         profiler.dump_stats(str(path))
+        _ACTIVE_PATH = None
 
 
 def profile_path_for(trace_path: str | None, command: str) -> Path:
@@ -36,3 +55,33 @@ def profile_path_for(trace_path: str | None, command: str) -> Path:
     if trace_path:
         return Path(trace_path).with_suffix(".pstats")
     return Path(f"repro-{command}.pstats")
+
+
+def worker_profile_dir(parent_path: Path) -> Path:
+    """The scratch directory worker chunk profiles dump into."""
+    return parent_path.with_name(parent_path.name + ".workers.d")
+
+
+def merge_worker_profiles(
+    paths: Sequence[str | Path], out: str | Path
+) -> Path | None:
+    """Aggregate per-worker ``.pstats`` dumps into one file.
+
+    Returns the written path, or None when *paths* is empty or none of
+    them loads (a crashed worker may leave a torn dump behind — that is
+    a lost sample, not a run failure).
+    """
+    merged: pstats.Stats | None = None
+    for path in paths:
+        try:
+            if merged is None:
+                merged = pstats.Stats(str(path))
+            else:
+                merged.add(str(path))
+        except (OSError, TypeError, EOFError, ValueError):
+            continue  # a torn dump is just a missing sample
+    if merged is None:
+        return None
+    out = Path(out)
+    merged.dump_stats(str(out))
+    return out

@@ -103,6 +103,42 @@ class TraceRecorder:
     def names(self) -> set[str]:
         return {span.name for span in self.spans()}
 
+    def adopt(
+        self,
+        payloads: list[dict],
+        parent_id: int | None = None,
+        thread: str | None = None,
+    ) -> int:
+        """Graft spans recorded in another process onto this recorder.
+
+        *payloads* is a list of :meth:`Span.payload` dicts from a worker
+        recorder.  Span ids are re-assigned from this recorder's counter
+        (worker-local ids would collide across workers), parent links
+        inside the batch are remapped, and root spans of the batch are
+        attached under *parent_id* (typically the parent's in-flight
+        ``pipeline.run`` span).  *thread* relabels the origin so merged
+        traces show which worker produced what.  Returns the number of
+        spans adopted.
+        """
+        mapping = {payload["span"]: self.next_id() for payload in payloads}
+        for payload in payloads:
+            original_parent = payload["parent"]
+            span = Span(
+                span_id=mapping[payload["span"]],
+                parent_id=(
+                    mapping.get(original_parent, parent_id)
+                    if original_parent is not None
+                    else parent_id
+                ),
+                name=payload["name"],
+                start_ts=payload["ts"],
+                thread=thread if thread is not None else payload["thread"],
+                attrs=dict(payload["attrs"]),
+                duration=payload["dur_ms"] / 1000,
+            )
+            self.record(span)
+        return len(payloads)
+
     def to_jsonl(self) -> str:
         lines = [
             json.dumps(span.payload(), sort_keys=True) for span in self.spans()
@@ -170,6 +206,32 @@ def uninstall_recorder() -> TraceRecorder | None:
 
 def active_recorder() -> TraceRecorder | None:
     return _recorder
+
+
+def current_span_id() -> int | None:
+    """The id of the innermost in-flight span on this thread (or None).
+
+    Execution backends use this to graft worker spans under the parent's
+    ``pipeline.run`` span when merging traces across processes.
+    """
+    if _recorder is None:
+        return None
+    stack = getattr(_stacks, "stack", None)
+    return stack[-1] if stack else None
+
+
+def reset_tracing_for_worker() -> None:
+    """Drop tracing state a forked worker inherited from its parent.
+
+    After ``fork`` the child's surviving thread still carries the
+    parent's span stack and installed recorder; a worker must start from
+    a clean slate or its spans would chain to span ids that only exist
+    in the parent process.
+    """
+    global _recorder
+    with _install_lock:
+        _recorder = None
+    _stacks.stack = []
 
 
 @contextmanager

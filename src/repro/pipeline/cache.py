@@ -24,6 +24,7 @@ one cache across workers.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import threading
 from pathlib import Path
@@ -283,7 +284,10 @@ class SchemaCache:
         if self._dir is None:
             return
         path = self._dir / kind / f"{key}.pkl"
-        tmp = path.with_suffix(f".{threading.get_ident()}.tmp")
+        # The suffix must be unique across *processes* too: the process
+        # execution backend has many workers writing the same layer, and
+        # thread idents alone collide between interpreters.
+        tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
         try:
             with open(tmp, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)

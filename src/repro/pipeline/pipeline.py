@@ -1,12 +1,14 @@
-"""The pipeline driver: concurrency, fault isolation, and timing.
+"""The pipeline driver: fault isolation, retries, and timing.
 
 ``MeasurementPipeline.run`` pushes every :class:`ProjectTask` through
-the stage chain.  With ``jobs > 1`` projects execute concurrently on a
-thread pool — the workload alternates pure-python parsing with shared
-cache lookups, and results are assembled strictly in input order, so a
-parallel run is byte-identical to a serial one.  A stage that raises
-demotes its project to a :class:`ProjectFailure`; the rest of the corpus
-is unaffected.
+the stage chain.  *How* the batch is scheduled is delegated to a
+pluggable :class:`~repro.pipeline.backends.ExecutionBackend` chosen by
+``PipelineConfig.executor`` — serial, the legacy thread pool, or worker
+processes (the default for ``jobs > 1``, since the workload is
+CPU-bound python and threads lose to the GIL).  Whatever the backend,
+results are assembled strictly in input order, so every executor yields
+byte-identical reports.  A stage that raises demotes its project to a
+:class:`ProjectFailure`; the rest of the corpus is unaffected.
 
 Resilience (opt-in via :class:`PipelineConfig`): a ``retry`` policy
 re-runs a failed project from a *fresh* context with deterministic
@@ -20,7 +22,6 @@ published to the run's metrics registry.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
@@ -39,6 +40,8 @@ from repro.pipeline.stages import (
     ProjectContext,
     ProjectFailure,
     ProjectTask,
+    SeededExtractStage,
+    SeedMap,
     Stage,
 )
 from repro.pipeline.stats import PipelineStats
@@ -61,6 +64,7 @@ class PipelineConfig:
     retry: RetryPolicy = field(default=NO_RETRY)
     project_deadline: float | None = None  # wall-second budget per project
     injector: FaultInjector | None = None  # seeded chaos, off by default
+    executor: str = "auto"  # serial | thread | process; auto picks by jobs
 
 
 class MeasurementPipeline:
@@ -72,21 +76,35 @@ class MeasurementPipeline:
         config: PipelineConfig = PipelineConfig(),
         cache: SchemaCache | None = None,
         stages: Sequence[Stage] | None = None,
+        seeds: SeedMap | None = None,
     ) -> None:
+        """*seeds* replaces the extract stage with a
+        :class:`SeededExtractStage` over pre-extracted histories (the
+        incremental ingest's fingerprint pass already walked them); the
+        process backend ships those version lists to its workers.
+        An explicit *stages* chain wins over both and pins execution to
+        in-process backends (closures cannot cross a fork)."""
         self.config = config
+        self.provider = provider
+        self.seeds = dict(seeds) if seeds is not None else None
+        self._custom_stages = stages is not None
         self.cache = cache if cache is not None else SchemaCache(config.cache_dir)
         self.stats = PipelineStats(jobs=max(1, config.jobs), cache=self.cache.counters)
-        self.stages: tuple[Stage, ...] = (
-            tuple(stages)
-            if stages is not None
-            else (
-                ExtractStage(provider, policy=config.policy),
+        if stages is not None:
+            self.stages: tuple[Stage, ...] = tuple(stages)
+        else:
+            extract: Stage = (
+                SeededExtractStage(self.seeds)
+                if self.seeds is not None
+                else ExtractStage(provider, policy=config.policy)
+            )
+            self.stages = (
+                extract,
                 ParseStage(self.cache, lenient=config.lenient),
                 DiffStage(self.cache),
                 MeasureStage(self.cache, reed_limit=config.reed_limit),
                 ClassifyStage(),
             )
-        )
 
     # -- single project ---------------------------------------------------
 
@@ -168,16 +186,25 @@ class MeasurementPipeline:
 
     def run(self, tasks: Iterable[ProjectTask]) -> list[ProjectContext]:
         """Run every task; results come back in input order regardless of
-        scheduling, so ``jobs=1`` and ``jobs=N`` yield identical output."""
+        scheduling, so every backend and job count yields identical
+        output.  Scheduling itself is delegated to the
+        :class:`~repro.pipeline.backends.ExecutionBackend` selected by
+        ``config.executor``."""
+        from repro.pipeline.backends import resolve_backend
+
         task_list = list(tasks)
         started = time.perf_counter()
         jobs = max(1, self.config.jobs)
-        with trace("pipeline.run", projects=len(task_list), jobs=jobs):
-            if jobs == 1 or len(task_list) <= 1:
-                results = [self.run_project(task) for task in task_list]
-            else:
-                with ThreadPoolExecutor(max_workers=jobs) as executor:
-                    results = list(executor.map(self.run_project, task_list))
+        backend = resolve_backend(
+            self.config.executor, jobs, custom_stages=self._custom_stages
+        )
+        with trace(
+            "pipeline.run",
+            projects=len(task_list),
+            jobs=jobs,
+            executor=backend.name,
+        ):
+            results = backend.execute(self, task_list)
         failed = sum(1 for ctx in results if ctx.outcome is Outcome.FAILED)
         self.stats.note_run(
             projects=len(task_list),

@@ -132,6 +132,37 @@ class ExtractStage:
             ctx.outcome = Outcome.ZERO_VERSIONS
 
 
+#: What seeds a :class:`SeededExtractStage`: repository (or None when it
+#: vanished) plus the pre-extracted usable version list, per repo name.
+SeedMap = dict[str, tuple[Repository | None, list[FileVersion]]]
+
+
+class SeededExtractStage:
+    """An extract stage fed from pre-extracted histories.
+
+    Two callers hold the version lists before the pipeline runs and must
+    not walk them twice: the incremental ingest (its fingerprint pass
+    already linearized every candidate history) and the process
+    execution backend (the parent ships each worker its tasks'
+    repositories and version lists, because a worker has no provider).
+    """
+
+    name = "extract"
+
+    def __init__(self, seeds: SeedMap):
+        self._seeds = seeds
+
+    def run(self, ctx: ProjectContext) -> None:
+        repo, versions = self._seeds.get(ctx.task.repo_name, (None, []))
+        if repo is None:
+            ctx.outcome = Outcome.ZERO_VERSIONS
+            return
+        ctx.repo = repo
+        ctx.file_versions = list(versions)
+        if not ctx.file_versions:
+            ctx.outcome = Outcome.ZERO_VERSIONS
+
+
 class ParseStage:
     """Scan for CREATE TABLE, then parse every version through the cache."""
 

@@ -26,6 +26,7 @@ Registry series owned by this class::
     repro_pipeline_recovered_total                   counter
     repro_pipeline_faults_injected_total{stage=...}  counter
     repro_pipeline_deadline_exceeded_total{stage=...} counter
+    repro_pipeline_partition_chunks                  gauge
 """
 
 from __future__ import annotations
@@ -58,6 +59,7 @@ class PipelineStats:
         self._completed = registry.counter("repro_pipeline_completed_total")
         self._failures = registry.counter("repro_pipeline_failures_total")
         self._wall = registry.counter("repro_pipeline_wall_seconds_total")
+        self._partition: dict | None = None
 
     # -- writers ----------------------------------------------------------
 
@@ -92,6 +94,16 @@ class PipelineStats:
         self.registry.counter(
             "repro_pipeline_deadline_exceeded_total", stage=stage
         ).inc()
+
+    def note_partition(self, digest: str, chunks: int, backend: str) -> None:
+        """Record how the execution backend split the task list.
+
+        The digest is a content hash of the (ordered) task-to-chunk
+        assignment, so two runs over the same inputs with the same
+        backend and job count provably partitioned identically.
+        """
+        self._partition = {"digest": digest, "chunks": chunks, "backend": backend}
+        self.registry.gauge("repro_pipeline_partition_chunks").set(chunks)
 
     def note_run(
         self, projects: int, completed: int, failures: int, wall_seconds: float
@@ -160,6 +172,11 @@ class PipelineStats:
         return self.registry.value("repro_pipeline_recovered_total")
 
     @property
+    def partition(self) -> dict | None:
+        """The last run's partition record (digest/chunks/backend)."""
+        return self._partition
+
+    @property
     def faults_injected(self) -> int:
         """Seeded chaos faults that fired during the run."""
         return sum(
@@ -193,6 +210,7 @@ class PipelineStats:
                 for stage, seconds in sorted(self.stage_seconds.items())
             },
             "stage_projects": dict(sorted(self.stage_projects.items())),
+            "partition": self._partition,
             "cache": self.cache.payload(),
             "registry": self.snapshot(),
         }

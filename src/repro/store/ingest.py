@@ -42,11 +42,7 @@ from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache, text_key
 from repro.pipeline.pipeline import MeasurementPipeline, PipelineConfig
 from repro.pipeline.stages import (
-    ClassifyStage,
-    DiffStage,
-    MeasureStage,
     Outcome,
-    ParseStage,
     ProjectContext,
     ProjectFailure,
     ProjectTask,
@@ -162,26 +158,6 @@ def history_fingerprint(
     return digest.hexdigest()
 
 
-class _SeededExtract:
-    """An extract stage fed from the fingerprinting pass, so changed
-    projects do not walk their histories twice."""
-
-    name = "extract"
-
-    def __init__(self, seeds: dict[str, tuple[Repository | None, list[FileVersion]]]):
-        self._seeds = seeds
-
-    def run(self, ctx: ProjectContext) -> None:
-        repo, versions = self._seeds[ctx.task.repo_name]
-        if repo is None:
-            ctx.outcome = Outcome.ZERO_VERSIONS
-            return
-        ctx.repo = repo
-        ctx.file_versions = versions
-        if not versions:
-            ctx.outcome = Outcome.ZERO_VERSIONS
-
-
 def _persist_resiliently(
     store: CorpusStore,
     ctx: ProjectContext,
@@ -244,6 +220,7 @@ def ingest_corpus(
     project_deadline: float | None = None,
     injector: FaultInjector | None = None,
     chunk_size: int | None = None,
+    executor: str = "auto",
 ) -> IngestReport:
     """Run the funnel front, measure the changed delta, persist it all.
 
@@ -254,9 +231,12 @@ def ingest_corpus(
     ordinary pipeline so the failure is recorded uniformly as a
     :class:`~repro.pipeline.stages.ProjectFailure`.
 
-    ``retry``/``project_deadline``/``injector`` parameterize the
-    measurement pipeline exactly as in ``run_funnel``; ``retry`` also
-    governs the persist step.  Measurement and persistence interleave
+    ``retry``/``project_deadline``/``injector``/``executor``
+    parameterize the measurement pipeline exactly as in ``run_funnel``
+    (the chunked measure phase routes through the selected execution
+    backend, so ``--jobs N --executor process`` parallelizes ingest
+    without giving up checkpointed resume); ``retry`` also governs the
+    persist step.  Measurement and persistence interleave
     in chunks of ``chunk_size`` (default ``max(8, jobs * 4)``) so a
     crash loses at most one chunk; the phase checkpoint under the
     store's :data:`INGEST_CHECKPOINT_KEY` survives the crash and the
@@ -267,6 +247,7 @@ def ingest_corpus(
     config = PipelineConfig(
         policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir,
         retry=retry, project_deadline=project_deadline, injector=injector,
+        executor=executor,
     )
 
     previous = store.get_meta(INGEST_CHECKPOINT_KEY)
@@ -342,17 +323,14 @@ def ingest_corpus(
 
     # -- measurement pass: only the delta enters the pipeline ------------
     shared_cache = cache if cache is not None else SchemaCache(config.cache_dir)
+    # Seeding (rather than a custom stage chain) keeps the pipeline
+    # executable on any backend: the process backend ships each worker
+    # its tasks' repositories and pre-extracted version lists.
     pipeline = MeasurementPipeline(
         provider=lambda name: seeds.get(name, (None, []))[0],
         config=config,
         cache=shared_cache,
-        stages=(
-            _SeededExtract(seeds),
-            ParseStage(shared_cache, lenient=config.lenient),
-            DiffStage(shared_cache),
-            MeasureStage(shared_cache, reed_limit=config.reed_limit),
-            ClassifyStage(),
-        ),
+        seeds=seeds,
     )
     # Measure and persist interleave in chunks: each chunk's rows are
     # durable (and checkpointed) before the next chunk is measured, so

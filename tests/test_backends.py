@@ -1,0 +1,348 @@
+"""Cross-backend equivalence: serial, thread, and process execution.
+
+The execution backend is pure scheduling — every backend must produce
+byte-identical study artifacts, identical failure records under seeded
+chaos, and the same provable cache behavior.  These tests pin that
+contract, plus the process backend's own obligations: worker death
+degrades to ``executor``-stage failures instead of hanging the run,
+worker spans/metrics relay into the parent's recorder/registry, and the
+task partition is deterministic and recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.io.export import funnel_payload
+from repro.obs import recording
+from repro.pipeline import (
+    EXECUTORS,
+    MeasurementPipeline,
+    Outcome,
+    PipelineConfig,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+    resolve_executor,
+)
+from repro.pipeline.backends import partition, partition_digest
+from repro.pipeline.stages import ProjectTask
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.synthesis import CorpusSpec, build_corpus
+from repro.vcs.repository import Repository
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    """A corpus small enough to re-run once per backend."""
+    return build_corpus(CorpusSpec(seed=2019, scale=0.05))
+
+
+def _tasks(names: list[str]) -> list[ProjectTask]:
+    return [ProjectTask(name, "schema.sql") for name in names]
+
+
+def _repo(name: str, versions: int = 3) -> Repository:
+    repo = Repository(name)
+    for index in range(versions):
+        columns = ", ".join(f"c{i} INT" for i in range(index + 1))
+        repo.commit(
+            {"schema.sql": f"CREATE TABLE t ({columns});".encode()},
+            author="a",
+            timestamp=1_000_000 + index * 86_400,
+            message=f"v{index}",
+        )
+    return repo
+
+
+class TestExecutorResolution:
+    def test_auto_is_serial_for_one_job_and_process_beyond(self):
+        assert resolve_executor("auto", 1) == "serial"
+        assert resolve_executor("auto", 4) == "process"
+
+    def test_explicit_names_resolve_to_themselves(self):
+        for name in ("serial", "thread", "process"):
+            assert resolve_executor(name, 1) == name
+            assert resolve_executor(name, 8) == name
+
+    def test_unknown_executor_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu", 4)
+
+    def test_resolve_backend_maps_names_to_classes(self):
+        assert isinstance(resolve_backend("serial", 4), SerialBackend)
+        assert isinstance(resolve_backend("thread", 4), ThreadBackend)
+        assert isinstance(resolve_backend("process", 4), ProcessBackend)
+        assert "auto" in EXECUTORS
+
+    def test_custom_stages_demote_process_to_thread_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="process boundary"):
+            backend = resolve_backend("process", 4, custom_stages=True)
+        assert isinstance(backend, ThreadBackend)
+
+
+class TestPartitioning:
+    def test_chunks_are_contiguous_and_cover_every_task(self):
+        chunks = partition(103, 4)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 103
+        for (_, stop), (start, _) in zip(chunks, chunks[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(chunks) == 16  # min(103, 4 * 4)
+
+    def test_fewer_tasks_than_chunk_budget(self):
+        assert partition(3, 4) == [(0, 1), (1, 2), (2, 3)]
+        assert partition(0, 4) == []
+
+    def test_digest_is_deterministic_and_input_sensitive(self):
+        tasks = _tasks(["a/x", "b/y", "c/z"])
+        chunks = partition(len(tasks), 2)
+        digest = partition_digest(tasks, chunks, "process")
+        assert digest == partition_digest(tasks, chunks, "process")
+        assert digest != partition_digest(list(reversed(tasks)), chunks, "process")
+        assert digest != partition_digest(tasks, chunks, "serial")
+
+    @pytest.mark.slow
+    def test_partition_is_recorded_in_stats_for_every_backend(self, small_corpus):
+        digests = {}
+        for executor in BACKENDS:
+            report = small_corpus.run_funnel(jobs=2, executor=executor)
+            record = report.stats.partition
+            assert record is not None and record["backend"] == executor
+            assert record["digest"] and record["chunks"] >= 1
+            assert report.stats.payload()["partition"] == record
+            digests[executor] = record["digest"]
+        # re-running the same backend reproduces the same digest
+        again = small_corpus.run_funnel(jobs=2, executor="process")
+        assert again.stats.partition["digest"] == digests["process"]
+
+
+@pytest.mark.slow
+class TestCrossBackendEquivalence:
+    def test_funnel_payload_is_byte_identical_across_backends(self, small_corpus):
+        payloads = {
+            executor: json.dumps(
+                funnel_payload(
+                    small_corpus.run_funnel(jobs=4, executor=executor)
+                ),
+                sort_keys=True,
+            )
+            for executor in BACKENDS
+        }
+        assert payloads["serial"] == payloads["thread"] == payloads["process"]
+
+    def test_seeded_faults_replay_identically_across_backends(self, small_corpus):
+        injector = FaultInjector(seed=7, rate=0.4, sites=("parse",))
+        retry = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0)
+        records = {}
+        for executor in BACKENDS:
+            report = small_corpus.run_funnel(
+                jobs=4, executor=executor, injector=injector, retry=retry
+            )
+            assert report.failed_count > 0  # the chaos actually fired
+            records[executor] = [
+                failure.payload()
+                for failure in sorted(report.failures, key=lambda f: f.project)
+            ]
+        assert records["serial"] == records["thread"] == records["process"]
+
+    def test_warm_disk_cache_through_process_backend_runs_zero_parses(
+        self, small_corpus, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        cold = small_corpus.run_funnel(
+            jobs=4, executor="process", cache_dir=cache_dir
+        )
+        assert cold.stats.cache.build_schema_calls > 0
+        with recording() as recorder:
+            warm = small_corpus.run_funnel(
+                jobs=4, executor="process", cache_dir=cache_dir
+            )
+        # provably warm: zero parses by counter *and* by trace
+        assert warm.stats.cache.build_schema_calls == 0
+        assert recorder.count("build_schema") == 0
+        assert warm.stats.cache.schema_disk_hits > 0
+        assert json.dumps(funnel_payload(warm), sort_keys=True) == json.dumps(
+            funnel_payload(cold), sort_keys=True
+        )
+
+
+class TestObservabilityRelay:
+    @pytest.mark.slow
+    def test_worker_spans_graft_under_the_parent_run_span(self, small_corpus):
+        with recording() as recorder:
+            small_corpus.run_funnel(jobs=4, executor="process")
+        run_span = recorder.spans("pipeline.run")[0]
+        assert run_span.attrs["executor"] == "process"
+        grafted = [
+            span for span in recorder.spans()
+            if span.thread.startswith("worker-")
+        ]
+        assert grafted, "worker spans must relay into the parent recorder"
+        assert recorder.count("stage.parse") > 0
+        by_id = {span.span_id: span for span in recorder.spans()}
+        for span in grafted:
+            # every grafted span chains up to the parent's run span
+            cursor = span
+            while cursor.parent_id is not None:
+                cursor = by_id[cursor.parent_id]
+            assert cursor.span_id == run_span.span_id or cursor is run_span
+
+    @pytest.mark.slow
+    def test_worker_metrics_merge_into_the_parent_registry(self, small_corpus):
+        serial = small_corpus.run_funnel(jobs=1, executor="serial")
+        process = small_corpus.run_funnel(jobs=4, executor="process")
+        # per-stage project counts are scheduling-independent
+        assert process.stats.stage_projects == serial.stats.stage_projects
+        assert process.stats.projects == serial.stats.projects
+        observed = sum(
+            metric.count
+            for _, metric in process.stats.registry.series(
+                "repro_pipeline_stage_duration_seconds"
+            )
+        )
+        assert observed == sum(process.stats.stage_projects.values())
+
+
+class TestProcessBackendResilience:
+    def test_worker_death_degrades_to_executor_failures(self):
+        class PoisonRepo(Repository):
+            """Unpickling this in a worker kills the worker process."""
+
+            def __reduce__(self):
+                return (os._exit, (17,))
+
+        repos = {
+            "ok/alpha": _repo("ok/alpha"),
+            "bad/boom": PoisonRepo("bad/boom"),
+            "ok/omega": _repo("ok/omega"),
+        }
+        pipeline = MeasurementPipeline(
+            repos.get, PipelineConfig(jobs=2, executor="process")
+        )
+        contexts = pipeline.run(
+            _tasks(["ok/alpha", "bad/boom", "ok/omega"])
+        )
+        by_name = {ctx.task.repo_name: ctx for ctx in contexts}
+        poisoned = by_name["bad/boom"]
+        assert poisoned.outcome is Outcome.FAILED
+        assert poisoned.failure is not None
+        assert poisoned.failure.stage == "executor"
+        assert poisoned.failure.error == "BrokenProcessPool"
+        # the healthy neighbours still completed (the run never hangs)
+        assert by_name["ok/alpha"].outcome is Outcome.STUDIED
+        assert by_name["ok/omega"].outcome is Outcome.STUDIED
+
+    def test_provider_exceptions_keep_serial_failure_semantics(self):
+        def flaky_provider(name):
+            raise ConnectionError(f"clone of {name} refused")
+
+        results = {}
+        for executor in ("serial", "process"):
+            pipeline = MeasurementPipeline(
+                flaky_provider,
+                PipelineConfig(
+                    jobs=2,
+                    executor=executor,
+                    retry=RetryPolicy(
+                        max_attempts=3, base_delay=0.0, max_delay=0.0
+                    ),
+                ),
+            )
+            (ctx,) = pipeline.run(_tasks(["gone/away"]))
+            assert ctx.failure is not None
+            results[executor] = ctx.failure.payload()
+        assert results["serial"] == results["process"]
+        assert results["process"]["stage"] == "extract"
+        assert results["process"]["attempts"] == 3
+
+    def test_unpicklable_repo_falls_back_to_inline_execution(self):
+        class UnpicklableRepo(Repository):
+            def __reduce__(self):
+                raise TypeError("cannot pickle this repository")
+
+        source = _repo("ok/inline")
+        repo = UnpicklableRepo("ok/inline")
+        repo.__dict__.update(source.__dict__)
+        pipeline = MeasurementPipeline(
+            {"ok/inline": repo}.get, PipelineConfig(jobs=2, executor="process")
+        )
+        contexts = pipeline.run(_tasks(["ok/inline"]) * 2)
+        assert all(ctx.outcome is Outcome.STUDIED for ctx in contexts)
+
+
+class TestSeededPipeline:
+    def test_seeded_pipeline_runs_on_every_backend(self):
+        from repro.vcs.history import extract_file_history
+        from repro.pipeline.stages import usable_versions
+
+        repo = _repo("seeded/project")
+        seeds = {
+            "seeded/project": (
+                repo,
+                usable_versions(extract_file_history(repo, "schema.sql")),
+            ),
+            "seeded/vanished": (None, []),
+        }
+        outcomes = {}
+        for executor in BACKENDS:
+            pipeline = MeasurementPipeline(
+                provider=lambda name: seeds.get(name, (None, []))[0],
+                config=PipelineConfig(jobs=2, executor=executor),
+                seeds=seeds,
+            )
+            contexts = pipeline.run(
+                _tasks(["seeded/project", "seeded/vanished"])
+            )
+            outcomes[executor] = [ctx.outcome for ctx in contexts]
+        assert (
+            outcomes["serial"]
+            == outcomes["thread"]
+            == outcomes["process"]
+            == [Outcome.STUDIED, Outcome.ZERO_VERSIONS]
+        )
+
+    def test_custom_stage_chain_still_executes_via_thread_fallback(self):
+        repo = _repo("custom/project")
+        pipeline = MeasurementPipeline(
+            {"custom/project": repo}.get,
+            PipelineConfig(jobs=2, executor="process"),
+        )
+        custom = MeasurementPipeline(
+            {"custom/project": repo}.get,
+            PipelineConfig(jobs=2, executor="process"),
+            stages=pipeline.stages,
+        )
+        with pytest.warns(RuntimeWarning, match="process boundary"):
+            contexts = custom.run(_tasks(["custom/project"]) * 3)
+        assert [ctx.outcome for ctx in contexts] == [Outcome.STUDIED] * 3
+
+
+@pytest.mark.slow
+class TestIngestThroughProcessBackend:
+    def test_ingest_store_content_hash_matches_serial(
+        self, small_corpus, tmp_path
+    ):
+        from repro.store import CorpusStore, ingest_corpus
+
+        hashes = {}
+        for executor in ("serial", "process"):
+            with CorpusStore(tmp_path / f"{executor}.db") as store:
+                report = ingest_corpus(
+                    store,
+                    small_corpus.activity,
+                    small_corpus.lib_io,
+                    small_corpus.provider,
+                    jobs=4,
+                    executor=executor,
+                )
+                assert report.measured > 0
+                hashes[executor] = store.content_hash()
+        assert hashes["serial"] == hashes["process"]

@@ -19,7 +19,8 @@ SUBCOMMANDS = ("funnel", "report", "classify", "project", "export", "ingest", "s
 #: (see docs/API.md, "Observability").
 STATS_PAYLOAD_KEYS = {
     "jobs", "projects", "completed", "failures", "wall_seconds",
-    "cpu_seconds", "stage_seconds", "stage_projects", "cache", "registry",
+    "cpu_seconds", "stage_seconds", "stage_projects", "partition", "cache",
+    "registry",
 }
 
 
