@@ -44,7 +44,7 @@ Quickstart
 >>> analysis = analyze_corpus(report.studied + report.rigid)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: The curated public API: exported name -> providing module.
 _EXPORTS = {
@@ -65,9 +65,14 @@ _EXPORTS = {
     # store: persistence + incremental ingest
     "CorpusStore": "repro.store",
     "IngestReport": "repro.store",
+    "ShardedCorpusStore": "repro.store",
     "ingest_corpus": "repro.store",
+    "resolve_store": "repro.store",
     # serve: the read-only HTTP API
+    "ClusterConfig": "repro.serve",
+    "ClusterSupervisor": "repro.serve",
     "create_server": "repro.serve",
+    "serve_cluster": "repro.serve",
     "serve_forever": "repro.serve",
     # loadgen: seeded load generation + the SLO gate
     "LoadConfig": "repro.loadgen",

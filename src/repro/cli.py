@@ -17,14 +17,18 @@ Commands
                 re-running the funnel;
 ``ingest``      run the funnel and persist the measured corpus into a
                 sqlite corpus store (incremental: an unchanged corpus
-                re-measures zero projects);
+                re-measures zero projects); ``--shards K`` partitions
+                the store across K sqlite files by project-name hash;
 ``serve``       serve an ingested store as a read-only JSON HTTP API
                 (versioned under /v1: projects, heartbeat, taxa, stats,
                 failures, metrics) with ETag revalidation, gzip,
                 request timeouts and circuit-breaker degradation; the
                 legacy unversioned routes answer with a Deprecation
                 header; ``--response-cache N`` sizes the hot-path
-                rendered-response cache (0 disables);
+                rendered-response cache (0 disables); ``--workers N``
+                pre-forks N shared-nothing SO_REUSEPORT worker
+                processes with supervised respawn and aggregated
+                cluster metrics;
 ``loadgen``     replay a seeded, store-derived workload against a
                 corpus API (self-hosted against ``--db`` or an external
                 ``--url``), closed-loop (``--concurrency``) or
@@ -263,9 +267,9 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.from_store is not None:
-        from repro.store import CorpusStore
+        from repro.store import resolve_store
 
-        with CorpusStore(args.from_store) as store:
+        with resolve_store(args.from_store) as store:
             if store.project_count() == 0:
                 raise CliError(
                     "empty_store",
@@ -344,9 +348,9 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.io import export_from_store, export_study
 
     if args.from_store is not None:
-        from repro.store import CorpusStore
+        from repro.store import resolve_store
 
-        with CorpusStore(args.from_store) as store:
+        with resolve_store(args.from_store) as store:
             if store.project_count() == 0:
                 raise CliError(
                     "empty_store",
@@ -366,14 +370,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    from repro.store import CorpusStore, ingest_corpus
+    from repro.store import ingest_corpus, resolve_store
 
     opts: RunOptions = args.options
     spec = CorpusSpec(seed=opts.seed, scale=opts.scale)
     started = time.time()
     with trace("corpus.build", seed=opts.seed, scale=opts.scale):
         corpus = build_corpus(spec)
-    with CorpusStore(args.db) as store:
+    with resolve_store(args.db, shards=args.shards) as store:
         report = ingest_corpus(
             store,
             corpus.activity,
@@ -393,6 +397,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                     "path": args.db,
                     "projects": store.project_count(),
                     "content_hash": store.content_hash(),
+                    "shards": getattr(store, "shard_count", 1),
                 },
             }
             if opts.stats and report.stats is not None:
@@ -401,7 +406,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             return 0
         print(f"# corpus seed={opts.seed} scale={opts.scale} built in {time.time() - started:.1f}s")
         print(report.summary())
-        print(f"store: {args.db} ({store.project_count()} projects, "
+        sharded = getattr(store, "shard_count", 1)
+        shard_note = f", {sharded} shards" if sharded > 1 else ""
+        print(f"store: {args.db} ({store.project_count()} projects{shard_note}, "
               f"content hash {store.content_hash()[:16]})")
     if opts.stats and report.stats is not None:
         print()
@@ -411,9 +418,40 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import serve_forever
-    from repro.store import CorpusStore
+    from repro.store import resolve_store
 
-    with CorpusStore(args.db) as store:
+    timeout = args.timeout if args.timeout and args.timeout > 0 else None
+    if args.workers > 1:
+        import tempfile
+
+        from repro.serve import ClusterConfig, serve_cluster
+
+        with resolve_store(args.db) as store:
+            if store.project_count() == 0:
+                raise CliError(
+                    "empty_store",
+                    f"store {args.db} is empty; run `repro ingest` first",
+                )
+            projects = store.project_count()
+        runtime_dir = args.runtime_dir or tempfile.mkdtemp(prefix="repro-serve-")
+        print(
+            f"serving {projects} projects from {args.db} "
+            f"on http://{args.host}:{args.port} with {args.workers} workers "
+            f"(runtime dir {runtime_dir}; Ctrl-C to stop)"
+        )
+        return serve_cluster(
+            ClusterConfig(
+                db=args.db,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                verbose=not args.quiet,
+                request_timeout=timeout,
+                response_cache=args.response_cache,
+                runtime_dir=runtime_dir,
+            )
+        )
+    with resolve_store(args.db) as store:
         if store.project_count() == 0:
             raise CliError(
                 "empty_store",
@@ -423,7 +461,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {store.project_count()} projects from {args.db} "
             f"on http://{args.host}:{args.port} (Ctrl-C to stop)"
         )
-        timeout = args.timeout if args.timeout and args.timeout > 0 else None
         serve_forever(
             store,
             host=args.host,
@@ -437,7 +474,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.loadgen import LoadConfig, append_trajectory, load_slo, run_load
-    from repro.store import CorpusStore
+    from repro.store import resolve_store
 
     opts: RunOptions = args.options
     config = LoadConfig(
@@ -457,7 +494,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             slo = load_slo(args.slo)
         except (OSError, ValueError) as exc:
             raise CliError("bad_slo_spec", f"cannot load SLO spec {args.slo}: {exc}")
-    with CorpusStore(args.db) as store:
+    with resolve_store(args.db) as store:
         if store.project_count() == 0:
             raise CliError(
                 "empty_store",
@@ -590,6 +627,11 @@ def main(argv: list[str] | None = None) -> int:
     ingest.add_argument(
         "--db", default="corpus.db", metavar="PATH", help="corpus store path"
     )
+    ingest.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="partition the store across K sqlite shard files (id-hash on"
+             " project name); an existing sharded store is autodetected",
+    )
     ingest.set_defaults(func=_cmd_ingest)
 
     serve = sub.add_parser(
@@ -614,6 +656,15 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--json", action="store_true",
         help="on failure, print the structured error envelope on stderr",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pre-fork N SO_REUSEPORT worker processes (1 = in-process server)",
+    )
+    serve.add_argument(
+        "--runtime-dir", default=None, metavar="DIR",
+        help="cluster state directory (supervisor.json, per-worker metrics"
+             " relays); defaults to a fresh temp dir",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -298,13 +298,17 @@ class MetricsRegistry:
             out.append(entry)
         return out
 
-    def merge_state(self, state: list[dict]) -> None:
+    def merge_state(self, state: list[dict], include_gauges: bool = False) -> None:
         """Fold a :meth:`dump_state` list into this registry.
 
         Counters and histograms accumulate (the natural semantics for
-        per-worker deltas).  Gauges are *skipped*: they are point-in-time
-        values owned by the parent (a worker's ``repro_pipeline_jobs``
-        gauge of 1 must not stomp the parent's real job count).
+        per-worker deltas).  Gauges are skipped by default: they are
+        point-in-time values owned by the parent (a worker's
+        ``repro_pipeline_jobs`` gauge of 1 must not stomp the parent's
+        real job count).  Pass ``include_gauges=True`` when every dumped
+        series carries a disambiguating label (the serving cluster tags
+        each worker's dump with ``worker="<i>"``), which makes setting
+        gauges safe and lossless.
         """
         for entry in state:
             labels = dict(entry["labels"])
@@ -319,7 +323,8 @@ class MetricsRegistry:
                     entry["counts"], entry["sum"], entry["count"],
                     entry["min"], entry["max"],
                 )
-            # gauges: parent-owned, intentionally not merged
+            elif kind == "gauge" and include_gauges:
+                self.gauge(entry["name"], **labels).set(entry["value"])
 
     def snapshot(self) -> dict:
         """The whole registry as one JSON-friendly dict.

@@ -35,6 +35,12 @@ under a store outage the server degrades to the last ETag-consistent
 snapshot (``Warning``/``Retry-After``) or an honest 503 — never a hang.
 """
 
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterError,
+    ClusterSupervisor,
+    serve_cluster,
+)
 from repro.serve.metrics import LATENCY_BUCKETS, ServiceMetrics
 from repro.serve.server import (
     CorpusServer,
@@ -59,6 +65,9 @@ from repro.serve.service import (
 
 __all__ = [
     "API_V1_PREFIX",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterSupervisor",
     "CorpusServer",
     "CorpusService",
     "DEFAULT_CACHE_CAPACITY",
@@ -74,6 +83,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceResponse",
     "create_server",
+    "serve_cluster",
     "serve_forever",
     "start_server",
 ]

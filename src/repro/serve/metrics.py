@@ -48,31 +48,52 @@ class ServiceMetrics:
         return self.registry.prometheus_text()
 
     def payload(self) -> dict:
-        """The JSON ``/metrics`` body: per-endpoint table + raw snapshot."""
+        """The JSON ``/metrics`` body: per-endpoint table + raw snapshot.
+
+        Accumulates across *every* series sharing an endpoint, so extra
+        labels — a cluster worker's ``worker="<i>"`` tag — fold into one
+        honest per-endpoint row instead of the last series winning.
+        """
         by_endpoint: dict[str, dict] = {}
+        latency: dict[str, dict] = {}
+        bytes_sent: dict[str, int | float] = {}
         for labels, metric in self.registry.series("repro_http_requests_total"):
             entry = by_endpoint.setdefault(
                 labels["endpoint"], {"requests": 0, "by_status": {}}
             )
             entry["requests"] += metric.value
-            entry["by_status"][labels["status"]] = metric.value
+            status = labels["status"]
+            entry["by_status"][status] = entry["by_status"].get(status, 0) + metric.value
         for labels, metric in self.registry.series("repro_http_request_seconds"):
             assert isinstance(metric, Histogram)
-            entry = by_endpoint.setdefault(
-                labels["endpoint"], {"requests": 0, "by_status": {}}
+            acc = latency.setdefault(
+                labels["endpoint"],
+                {"sum": 0.0, "count": 0, "min": float("inf"), "max": 0.0},
             )
-            avg = metric.sum / metric.count if metric.count else 0.0
-            entry["latency_ms"] = {
-                "avg": round(avg * 1000, 3),
-                "min": round(metric.minimum * 1000, 3),
-                "max": round(metric.maximum * 1000, 3),
-            }
+            acc["sum"] += metric.sum
+            acc["count"] += metric.count
+            if metric.count:
+                acc["min"] = min(acc["min"], metric.minimum)
+                acc["max"] = max(acc["max"], metric.maximum)
+        for labels, metric in self.registry.series("repro_http_response_bytes_total"):
+            endpoint = labels["endpoint"]
+            bytes_sent[endpoint] = bytes_sent.get(endpoint, 0) + metric.value
+        for endpoint in latency:
+            by_endpoint.setdefault(endpoint, {"requests": 0, "by_status": {}})
         for endpoint, entry in by_endpoint.items():
-            entry.setdefault("latency_ms", {"avg": 0.0, "min": 0.0, "max": 0.0})
+            acc = latency.get(endpoint)
+            if acc is not None:
+                avg = acc["sum"] / acc["count"] if acc["count"] else 0.0
+                minimum = acc["min"] if acc["count"] else 0.0
+                entry["latency_ms"] = {
+                    "avg": round(avg * 1000, 3),
+                    "min": round(minimum * 1000, 3),
+                    "max": round(acc["max"] * 1000, 3),
+                }
+            else:
+                entry["latency_ms"] = {"avg": 0.0, "min": 0.0, "max": 0.0}
             entry["by_status"] = dict(sorted(entry["by_status"].items()))
-            entry["bytes_sent"] = self.registry.value(
-                "repro_http_response_bytes_total", endpoint=endpoint
-            )
+            entry["bytes_sent"] = bytes_sent.get(endpoint, 0)
         return {
             "endpoints": dict(sorted(by_endpoint.items())),
             "total_requests": sum(

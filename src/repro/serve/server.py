@@ -39,6 +39,7 @@ import gzip
 import hashlib
 import math
 import signal
+import socket
 import threading
 import time
 from collections import OrderedDict
@@ -112,7 +113,7 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
         with trace("http.request", method="GET", path=split.path) as span:
             routed = self._route_metrics(split.path)
             if routed is None and self._is_prometheus_metrics(split.path):
-                body = self.server.metrics.prometheus_text().encode("utf-8")
+                body = self.server.metrics_prometheus().encode("utf-8")
                 headers = {"Content-Type": PROMETHEUS_CONTENT_TYPE}
                 for name, value in self._metrics_extra_headers(split.path):
                     headers[name] = value
@@ -164,7 +165,7 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
             return None
         response = ServiceResponse(
             status=200,
-            payload=self.server.metrics.payload(),
+            payload=self.server.metrics_payload(),
             endpoint=self._metrics_endpoint(path),
             cacheable=False,
             headers=self._metrics_extra_headers(path),
@@ -231,11 +232,16 @@ class CorpusServer(ThreadingHTTPServer):
         request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
         breaker: CircuitBreaker | None = None,
         response_cache: int = DEFAULT_CACHE_CAPACITY,
+        reuse_port: bool = False,
+        cluster_workers: int | None = None,
     ) -> None:
         self.store = store
         self.metrics = ServiceMetrics(registry)
         self.service = CorpusService(
-            store, registry=self.metrics.registry, cache_capacity=response_cache
+            store,
+            registry=self.metrics.registry,
+            cache_capacity=response_cache,
+            cluster_workers=cluster_workers,
         )
         self.verbose = verbose
         self.request_timeout = request_timeout
@@ -245,11 +251,32 @@ class CorpusServer(ThreadingHTTPServer):
             reset_timeout=5.0,
             registry=self.metrics.registry,
         )
+        #: A pre-fork worker installs its cluster-wide aggregation here
+        #: (any object with payload()/prometheus_text()); /metrics then
+        #: shows the whole cluster instead of one worker's counters.
+        self.metrics_view = None
+        self._reuse_port = reuse_port
         self._snapshots: OrderedDict[
             tuple[str, str], tuple[ServiceResponse, str, bytes]
         ] = OrderedDict()
         self._snapshot_lock = threading.Lock()
         super().__init__((host, port), CorpusRequestHandler)
+
+    def server_bind(self) -> None:
+        # SO_REUSEPORT must be set before bind(); with it, N worker
+        # processes listen on the same (host, port) and the kernel
+        # load-balances incoming connections across them.
+        if self._reuse_port:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    def metrics_payload(self) -> dict:
+        view = self.metrics_view if self.metrics_view is not None else self.metrics
+        return view.payload()
+
+    def metrics_prometheus(self) -> str:
+        view = self.metrics_view if self.metrics_view is not None else self.metrics
+        return view.prometheus_text()
 
     @property
     def url(self) -> str:
@@ -353,6 +380,8 @@ def create_server(
     request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
     breaker: CircuitBreaker | None = None,
     response_cache: int = DEFAULT_CACHE_CAPACITY,
+    reuse_port: bool = False,
+    cluster_workers: int | None = None,
 ) -> CorpusServer:
     """The public constructor: a bound-but-not-running corpus server.
 
@@ -363,11 +392,15 @@ def create_server(
     store-touching request, *breaker* to tune or share the store
     circuit breaker, and *response_cache* to size the hot-path
     rendered-response cache (entries; ``0`` disables it).
+    *reuse_port* and *cluster_workers* are the pre-fork cluster hooks:
+    bind with ``SO_REUSEPORT`` and advertise the worker count on
+    ``/v1/stats`` (see :mod:`repro.serve.cluster`).
     """
     return CorpusServer(
         store, host=host, port=port, verbose=verbose, registry=registry,
         request_timeout=request_timeout, breaker=breaker,
-        response_cache=response_cache,
+        response_cache=response_cache, reuse_port=reuse_port,
+        cluster_workers=cluster_workers,
     )
 
 
@@ -392,11 +425,13 @@ def serve_forever(
     verbose: bool = True,
     request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
     response_cache: int = DEFAULT_CACHE_CAPACITY,
+    registry: MetricsRegistry | None = None,
 ) -> None:
     """Run until SIGINT/SIGTERM, then drain in-flight requests."""
     server = create_server(
         store, host=host, port=port, verbose=verbose,
         request_timeout=request_timeout, response_cache=response_cache,
+        registry=registry,
     )
 
     def _shutdown(signum, frame) -> None:  # pragma: no cover - signal path

@@ -218,6 +218,7 @@ class CorpusService:
         store: CorpusStore,
         registry: MetricsRegistry | None = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        cluster_workers: int | None = None,
     ) -> None:
         self.store = store
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -226,6 +227,15 @@ class CorpusService:
             if cache_capacity > 0
             else None
         )
+        #: Worker count a pre-fork cluster advertises on /v1/stats
+        #: (None: single-process serving, no cluster block).  Only
+        #: stable, worker-independent values may go in that block — the
+        #: same bytes must come back whichever worker answers.
+        self.cluster_workers = cluster_workers
+        # The content hash the *current* request was routed under, so
+        # routes that echo it (/v1/stats) emit exactly the hash their
+        # ETag was derived from even if an ingest commits mid-request.
+        self._request_hash = threading.local()
 
     def handle_rendered(
         self, path: str, canonical_query: str, params: dict[str, str]
@@ -248,7 +258,11 @@ class CorpusService:
             if cached is not None:
                 response, body = cached
                 return RenderedResponse(response, body, content_hash, cache_hit=True)
-        response = self.handle(path, params)
+        self._request_hash.value = content_hash
+        try:
+            response = self.handle(path, params)
+        finally:
+            self._request_hash.value = None
         body = render_body(response.payload)
         self.registry.counter(
             "repro_serve_renders_total", endpoint=response.endpoint
@@ -452,7 +466,12 @@ class CorpusService:
 
     def _stats(self, v1: bool) -> ServiceResponse:
         payload = self.store.aggregates()
-        payload["content_hash"] = self.store.content_hash()
+        request_hash = getattr(self._request_hash, "value", None)
+        payload["content_hash"] = (
+            request_hash if request_hash is not None else self.store.content_hash()
+        )
+        if v1 and self.cluster_workers is not None:
+            payload["cluster"] = {"workers": self.cluster_workers}
         return ServiceResponse(
             status=200, payload=payload, endpoint=self._prefix("/stats", v1)
         )

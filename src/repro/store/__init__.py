@@ -16,6 +16,13 @@ from repro.store.ingest import (
     history_fingerprint,
     ingest_corpus,
 )
+from repro.store.shard import (
+    ShardedCorpusStore,
+    detect_shard_count,
+    resolve_store,
+    shard_index,
+    shard_paths,
+)
 from repro.store.store import (
     METRIC_COLUMNS,
     CorpusStore,
@@ -34,8 +41,13 @@ __all__ = [
     "PERSIST_FAILED_FINGERPRINT",
     "MetricRange",
     "ProjectPage",
+    "ShardedCorpusStore",
     "StoreError",
     "StoredProject",
+    "detect_shard_count",
     "history_fingerprint",
     "ingest_corpus",
+    "resolve_store",
+    "shard_index",
+    "shard_paths",
 ]

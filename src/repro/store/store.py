@@ -234,6 +234,90 @@ def _taxon_from(value: str) -> Taxon:
     raise StoreError(f"unknown taxon {value!r}")
 
 
+def compute_content_hash(
+    funnel_row: dict | None, identity_rows: Iterable[tuple[str, str, str, str]]
+) -> str:
+    """The canonical content digest over funnel counts + identity rows.
+
+    *identity_rows* must be ``(name, history_hash, outcome, taxon)``
+    tuples sorted by name.  Factored out of :meth:`CorpusStore.content_hash`
+    so a sharded store can merge its shards' rows and derive the exact
+    same digest as the equivalent single-file store.
+    """
+    digest = hashlib.sha256()
+    if funnel_row is not None:
+        digest.update(
+            f"{funnel_row['sql_collection_repos']}|{funnel_row['joined_and_filtered']}"
+            f"|{funnel_row['lib_io_projects']}|{funnel_row['omitted_by_paths']}".encode()
+        )
+    for name, history_hash, outcome, taxon in identity_rows:
+        digest.update(f"|{name}:{history_hash}:{outcome}:{taxon}".encode())
+    return digest.hexdigest()
+
+
+def aggregates_from_parts(parts: Iterable[dict]) -> dict:
+    """Merge :meth:`CorpusStore.aggregate_parts` dicts into /stats shape.
+
+    The single-store and sharded paths both funnel through here, so the
+    rendered aggregates are identical by construction whatever the shard
+    count.  Rounding (``avg_sup_months``) happens once, after the merge.
+    """
+    by_outcome: dict[str, int] = {}
+    heartbeat_total = 0
+    measured = {
+        "measured": 0,
+        "total_activity": 0,
+        "n_commits": 0,
+        "active_commits": 0,
+        "expansion": 0,
+        "maintenance": 0,
+        "sup_months_sum": 0,
+        "sup_months_count": 0,
+    }
+    funnel = None
+    for part in parts:
+        for outcome, n in part["by_outcome"].items():
+            by_outcome[outcome] = by_outcome.get(outcome, 0) + n
+        heartbeat_total += part["heartbeat_rows"]
+        for key in measured:
+            measured[key] += part["measured"][key]
+        if funnel is None:
+            funnel = part["funnel"]
+    cloned = by_outcome.get(Outcome.STUDIED.value, 0) + by_outcome.get(
+        Outcome.RIGID.value, 0
+    )
+    rigid = by_outcome.get(Outcome.RIGID.value, 0)
+    avg_sup = (
+        measured["sup_months_sum"] / measured["sup_months_count"]
+        if measured["sup_months_count"]
+        else 0.0
+    )
+    out = {
+        "projects": sum(by_outcome.values()),
+        "by_outcome": by_outcome,
+        "cloned_usable": cloned,
+        "rigid_share": (rigid / cloned) if cloned else 0.0,
+        "heartbeat_rows": heartbeat_total,
+        "measured": {
+            "projects": measured["measured"],
+            "total_activity": measured["total_activity"],
+            "n_commits": measured["n_commits"],
+            "active_commits": measured["active_commits"],
+            "expansion": measured["expansion"],
+            "maintenance": measured["maintenance"],
+            "avg_sup_months": round(avg_sup, 3),
+        },
+    }
+    if funnel is not None:
+        out["funnel"] = {
+            "sql_collection_repos": funnel["sql_collection_repos"],
+            "joined_and_filtered": funnel["joined_and_filtered"],
+            "lib_io_projects": funnel["lib_io_projects"],
+            "omitted_by_paths": json.loads(funnel["omitted_by_paths"]),
+        }
+    return out
+
+
 class CorpusStore:
     """Durable, queryable archive of one measured corpus.
 
@@ -250,6 +334,13 @@ class CorpusStore:
         self._write_lock = threading.RLock()
         self._shared: sqlite3.Connection | None = None
         self._etag: str | None = None
+        # Bumped on every write through *this* instance; combined with
+        # sqlite's per-connection ``PRAGMA data_version`` (which moves
+        # when *another* connection — including another process —
+        # commits) it forms the change token the content-hash cache
+        # validates against, so a concurrent ``repro ingest`` from a
+        # separate process still invalidates a serving process's ETags.
+        self._write_generation = 0
         with self._write_lock:
             conn = self._connection()
             conn.executescript(_DDL)
@@ -330,6 +421,7 @@ class CorpusStore:
             else:
                 conn.commit()
                 self._etag = None
+                self._write_generation += 1
 
     def close(self) -> None:
         if self._memory:
@@ -407,8 +499,17 @@ class CorpusStore:
             rows = conn.execute("SELECT name, history_hash FROM projects").fetchall()
         return {row["name"]: row["history_hash"] for row in rows}
 
-    def persist_context(self, ctx: ProjectContext, history_hash: str) -> None:
-        """Upsert one measured pipeline context under its fingerprint."""
+    def persist_context(
+        self, ctx: ProjectContext, history_hash: str, project_id: int | None = None
+    ) -> None:
+        """Upsert one measured pipeline context under its fingerprint.
+
+        *project_id* forces an explicit row id on first insert (a
+        conflicting existing name keeps its id).  The sharded store uses
+        it to allocate globally unique ids mirroring what a single
+        AUTOINCREMENT table would have handed out, so pagination order
+        and payloads stay byte-identical across shard counts.
+        """
         task = ctx.task
         columns = dict.fromkeys(METRIC_COLUMNS)
         taxon = ctx.taxon.value if ctx.taxon is not None else None
@@ -429,11 +530,14 @@ class CorpusStore:
                     columns[column] = getattr(metrics, column)
             blob = pickle.dumps(project, protocol=pickle.HIGHEST_PROTOCOL)
         outcome = ctx.outcome.value if ctx.outcome is not None else Outcome.FAILED.value
+        id_column = "id, " if project_id is not None else ""
+        id_value = (project_id,) if project_id is not None else ()
         with self._write_tx() as conn:
             conn.execute(
-                "INSERT INTO projects (name, ddl_path, domain, history_hash,"
-                f" outcome, taxon, {', '.join(METRIC_COLUMNS)}, payload)"
-                f" VALUES ({', '.join('?' * (6 + len(METRIC_COLUMNS) + 1))})"
+                f"INSERT INTO projects ({id_column}name, ddl_path, domain,"
+                f" history_hash, outcome, taxon, {', '.join(METRIC_COLUMNS)},"
+                " payload) VALUES"
+                f" ({', '.join('?' * (len(id_value) + 6 + len(METRIC_COLUMNS) + 1))})"
                 " ON CONFLICT(name) DO UPDATE SET"
                 " ddl_path = excluded.ddl_path, domain = excluded.domain,"
                 " history_hash = excluded.history_hash,"
@@ -441,6 +545,7 @@ class CorpusStore:
                 + "".join(f" {c} = excluded.{c}," for c in METRIC_COLUMNS)
                 + " payload = excluded.payload",
                 (
+                    *id_value,
                     task.repo_name,
                     task.ddl_path,
                     task.domain,
@@ -679,8 +784,14 @@ class CorpusStore:
             for taxon in TAXA_ORDER
         }
 
-    def aggregates(self) -> dict:
-        """Corpus-level aggregates (the /stats payload)."""
+    def aggregate_parts(self) -> dict:
+        """Raw, mergeable sums behind :meth:`aggregates`.
+
+        Everything is a plain count or sum (``sup_months`` kept as
+        sum + non-null count, not a rounded average), so a sharded store
+        can add its shards' parts element-wise and derive *exactly* the
+        aggregates the equivalent single-file store reports.
+        """
         with self._read_tx() as conn:
             outcome_rows = conn.execute(
                 "SELECT outcome, COUNT(*) AS n FROM projects GROUP BY outcome"
@@ -692,7 +803,8 @@ class CorpusStore:
                 " COALESCE(SUM(active_commits), 0) AS active_commits,"
                 " COALESCE(SUM(expansion), 0) AS expansion,"
                 " COALESCE(SUM(maintenance), 0) AS maintenance,"
-                " COALESCE(AVG(sup_months), 0) AS avg_sup_months"
+                " COALESCE(SUM(sup_months), 0) AS sup_months_sum,"
+                " COUNT(sup_months) AS sup_months_count"
                 " FROM projects WHERE outcome IN (?, ?)",
                 (Outcome.STUDIED.value, Outcome.RIGID.value),
             ).fetchone()
@@ -703,35 +815,16 @@ class CorpusStore:
                 "SELECT sql_collection_repos, joined_and_filtered, lib_io_projects,"
                 " omitted_by_paths FROM funnel WHERE id = 1"
             ).fetchone()
-        by_outcome = {row["outcome"]: row["n"] for row in outcome_rows}
-        cloned = by_outcome.get(Outcome.STUDIED.value, 0) + by_outcome.get(
-            Outcome.RIGID.value, 0
-        )
-        rigid = by_outcome.get(Outcome.RIGID.value, 0)
-        out = {
-            "projects": sum(by_outcome.values()),
-            "by_outcome": by_outcome,
-            "cloned_usable": cloned,
-            "rigid_share": (rigid / cloned) if cloned else 0.0,
+        return {
+            "by_outcome": {row["outcome"]: row["n"] for row in outcome_rows},
             "heartbeat_rows": heartbeat_total,
-            "measured": {
-                "projects": sums["measured"],
-                "total_activity": sums["total_activity"],
-                "n_commits": sums["n_commits"],
-                "active_commits": sums["active_commits"],
-                "expansion": sums["expansion"],
-                "maintenance": sums["maintenance"],
-                "avg_sup_months": round(sums["avg_sup_months"], 3),
-            },
+            "measured": dict(sums),
+            "funnel": dict(funnel) if funnel is not None else None,
         }
-        if funnel is not None:
-            out["funnel"] = {
-                "sql_collection_repos": funnel["sql_collection_repos"],
-                "joined_and_filtered": funnel["joined_and_filtered"],
-                "lib_io_projects": funnel["lib_io_projects"],
-                "omitted_by_paths": json.loads(funnel["omitted_by_paths"]),
-            }
-        return out
+
+    def aggregates(self) -> dict:
+        """Corpus-level aggregates (the /stats payload)."""
+        return aggregates_from_parts([self.aggregate_parts()])
 
     # -- full-fidelity reconstruction --------------------------------------
 
@@ -747,12 +840,31 @@ class CorpusStore:
         return pickle.loads(row["payload"])
 
     def _histories(self, outcome: Outcome) -> list[ProjectHistory]:
+        return [history for _, history in self.histories_with_ids(outcome)]
+
+    def histories_with_ids(
+        self, outcome: Outcome
+    ) -> list[tuple[int, ProjectHistory]]:
+        """``(id, history)`` pairs in ingest (id) order.
+
+        The ids let a sharded store merge its shards' lists back into
+        global ingest order before dropping them.
+        """
         with self._read_tx() as conn:
             rows = conn.execute(
-                "SELECT payload FROM projects WHERE outcome = ? ORDER BY id",
+                "SELECT id, payload FROM projects WHERE outcome = ? ORDER BY id",
                 (outcome.value,),
             ).fetchall()
-        return [pickle.loads(row["payload"]) for row in rows if row["payload"]]
+        return [
+            (row["id"], pickle.loads(row["payload"])) for row in rows if row["payload"]
+        ]
+
+    def max_project_id(self) -> int:
+        """The highest row id ever visible (0 for an empty store)."""
+        with self._read_tx() as conn:
+            return conn.execute(
+                "SELECT COALESCE(MAX(id), 0) AS n FROM projects"
+            ).fetchone()["n"]
 
     def funnel_report(self) -> FunnelReport:
         """Reconstruct the :class:`FunnelReport` of the ingested corpus.
@@ -788,16 +900,71 @@ class CorpusStore:
 
     # -- identity -----------------------------------------------------------
 
+    def change_token(self) -> tuple[int, int]:
+        """A cheap token that moves whenever the store's content may have.
+
+        ``(write generation, data_version)``: the generation counts
+        writes through this instance; sqlite's ``PRAGMA data_version``
+        moves when any *other* connection — another thread's, or another
+        process's — commits.  Equal tokens prove the cached content hash
+        is still valid; the sharded store concatenates its shards'
+        tokens the same way.
+        """
+        if self._memory:
+            return (self._write_generation, 0)
+        conn = self._connection()
+        version = conn.execute("PRAGMA data_version").fetchone()[0]
+        return (self._write_generation, version)
+
+    def funnel_front(self) -> dict | None:
+        """The funnel front-stage row as a plain dict (None if absent)."""
+        with self._read_tx() as conn:
+            row = conn.execute(
+                "SELECT sql_collection_repos, joined_and_filtered, lib_io_projects,"
+                " omitted_by_paths FROM funnel WHERE id = 1"
+            ).fetchone()
+        return dict(row) if row is not None else None
+
+    def identity_rows(self) -> list[tuple[str, str, str, str]]:
+        """``(name, history_hash, outcome, taxon)`` rows sorted by name.
+
+        The raw material of :func:`compute_content_hash`; a sharded
+        store merges its shards' rows before digesting.
+        """
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT name, history_hash, outcome, COALESCE(taxon, '') AS taxon"
+                " FROM projects ORDER BY name"
+            ).fetchall()
+        return [
+            (row["name"], row["history_hash"], row["outcome"], row["taxon"])
+            for row in rows
+        ]
+
     def content_hash(self) -> str:
         """A deterministic digest of the whole store's logical content.
 
         Derived from every project's history fingerprint plus the funnel
         counts — the serving layer's ETags revalidate against this.
+        Cached per thread against :meth:`change_token`, so recomputation
+        happens only when the store actually changed (including changes
+        committed by *other processes*, via ``PRAGMA data_version``).
         """
-        if self._etag is not None:
+        if self._memory:
+            if self._etag is None:
+                self._etag = compute_content_hash(
+                    self.funnel_front(), self.identity_rows()
+                )
             return self._etag
-        digest = hashlib.sha256()
+        token = self.change_token()
+        cached = getattr(self._local, "etag_cache", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
         with self._read_tx() as conn:
+            # Read the token *inside* the snapshot so the cached pair is
+            # consistent: a commit racing this read moves the next token.
+            version = conn.execute("PRAGMA data_version").fetchone()[0]
+            generation = self._write_generation
             funnel = conn.execute(
                 "SELECT sql_collection_repos, joined_and_filtered, lib_io_projects,"
                 " omitted_by_paths FROM funnel WHERE id = 1"
@@ -806,15 +973,12 @@ class CorpusStore:
                 "SELECT name, history_hash, outcome, COALESCE(taxon, '') AS taxon"
                 " FROM projects ORDER BY name"
             ).fetchall()
-        if funnel is not None:
-            digest.update(
-                f"{funnel['sql_collection_repos']}|{funnel['joined_and_filtered']}"
-                f"|{funnel['lib_io_projects']}|{funnel['omitted_by_paths']}".encode()
-            )
-        for row in rows:
-            digest.update(
-                f"|{row['name']}:{row['history_hash']}"
-                f":{row['outcome']}:{row['taxon']}".encode()
-            )
-        self._etag = digest.hexdigest()
-        return self._etag
+        etag = compute_content_hash(
+            dict(funnel) if funnel is not None else None,
+            [
+                (row["name"], row["history_hash"], row["outcome"], row["taxon"])
+                for row in rows
+            ],
+        )
+        self._local.etag_cache = ((generation, version), etag)
+        return etag
