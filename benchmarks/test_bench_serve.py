@@ -11,11 +11,18 @@ to ``BENCH_serve.json`` at the repository root:
   ``ThreadingHTTPServer`` over the warm store, for a paginated
   ``/projects`` page, a single-project ``/heartbeat``, and ``304``
   revalidation hits.
+- **Large-corpus query latency.**  A streamed 100k-project ingest
+  (``REPRO_BENCH_LARGE_COUNT`` overrides the row count) followed by
+  per-family query timings: the indexed cursor seek and filter families
+  must stay flat while the legacy deep-offset page pays its linear
+  cost.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import resource
 import threading
 import time
 import urllib.request
@@ -23,9 +30,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.serve import start_server
-from repro.store import CorpusStore, ingest_corpus
+from repro.serve import CorpusService, start_server
+from repro.store import CorpusStore, MetricRange, ingest_corpus, ingest_stream
 from repro.synthesis import CorpusSpec, build_corpus
+from repro.synthesis.stream import StreamSpec
 
 #: Collected below; flushed to BENCH_serve.json once per module.
 _TRAJECTORY: dict[str, dict] = {}
@@ -160,3 +168,78 @@ def test_bench_serve_throughput(warm_store):
         server.shutdown()
         server.server_close()
         thread.join(timeout=10)
+
+
+#: Row count for the large-corpus benchmark; CI smoke lanes lower it.
+LARGE_COUNT = int(os.environ.get("REPRO_BENCH_LARGE_COUNT", "100000"))
+
+
+def _latency_ms(call, repeats: int = 30) -> dict[str, float]:
+    """p50/p95/max over *repeats* timed calls, in milliseconds."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        call()
+        samples.append((time.perf_counter() - started) * 1000)
+    samples.sort()
+    return {
+        "p50": round(samples[len(samples) // 2], 3),
+        "p95": round(samples[min(len(samples) - 1, int(len(samples) * 0.95))], 3),
+        "max": round(samples[-1], 3),
+    }
+
+
+def test_bench_large_corpus_query_latency(tmp_path_factory):
+    spec = StreamSpec(seed=2019, count=LARGE_COUNT, profile="light")
+    store = CorpusStore(tmp_path_factory.mktemp("large") / "corpus.db")
+    try:
+        started = time.perf_counter()
+        report = ingest_stream(store, spec, chunk_size=256)
+        ingest_seconds = time.perf_counter() - started
+        assert report.measured == LARGE_COUNT
+        peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+
+        ids = store.project_ids()
+        mid = ids[len(ids) // 2]
+        taxon = sorted(store.taxa_summary())[0]
+        service = CorpusService(store)
+        queries = {
+            "cursor_page": lambda: store.query_projects(cursor=mid, limit=50),
+            "offset_deep": lambda: store.query_projects(
+                offset=max(0, LARGE_COUNT - 100), limit=50
+            ),
+            "taxon_page": lambda: store.query_projects(taxon=taxon, limit=50),
+            "metric_min": lambda: store.query_projects(
+                ranges=(MetricRange("active_commits", minimum=5),), limit=50
+            ),
+            "detail": lambda: store.get_project(mid),
+            "v1_cursor_http": lambda: service.handle(
+                "/v1/projects",
+                {"cursor": _mid_cursor(store, mid), "limit": "50"},
+            ),
+        }
+        latencies = {name: _latency_ms(call) for name, call in queries.items()}
+        _TRAJECTORY["large_corpus"] = {
+            "projects": LARGE_COUNT,
+            "ingest_seconds": round(ingest_seconds, 1),
+            "ingest_projects_per_second": round(LARGE_COUNT / ingest_seconds, 1),
+            "peak_rss_mb": round(peak_rss_mb, 1),
+            "query_latency_ms": latencies,
+        }
+        print(f"\nlarge corpus: {LARGE_COUNT} projects in {ingest_seconds:.1f}s"
+              f" ({LARGE_COUNT / ingest_seconds:.0f}/s), peak RSS {peak_rss_mb:.0f}MB")
+        for name, stats in latencies.items():
+            print(f"  {name:<16} p50 {stats['p50']:8.3f}ms  p95 {stats['p95']:8.3f}ms")
+        # The indexed families must not collapse at this scale; bounds
+        # are generous (1-core CI) — the trajectory holds the real data.
+        assert latencies["cursor_page"]["p50"] < 100
+        assert latencies["taxon_page"]["p50"] < 100
+        assert latencies["detail"]["p50"] < 50
+    finally:
+        store.close()
+
+
+def _mid_cursor(store, mid):
+    from repro.serve.cursors import encode_project_cursor
+
+    return encode_project_cursor(mid)

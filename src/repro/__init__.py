@@ -44,7 +44,7 @@ Quickstart
 >>> analysis = analyze_corpus(report.studied + report.rigid)
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: The curated public API: exported name -> providing module.
 _EXPORTS = {

@@ -370,11 +370,57 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    from repro.store import ingest_corpus, resolve_store
+    from repro.store import ingest_corpus, ingest_stream, resolve_store
 
     opts: RunOptions = args.options
-    spec = CorpusSpec(seed=opts.seed, scale=opts.scale)
     started = time.time()
+    if args.stream:
+        from repro.synthesis.stream import StreamSpec
+
+        spec = StreamSpec(
+            seed=opts.seed, count=args.count, profile=args.stream_profile
+        )
+        with resolve_store(args.db, shards=args.shards) as store:
+            report = ingest_stream(
+                store,
+                spec,
+                jobs=opts.jobs,
+                cache_dir=opts.cache_dir,
+                retry=opts.retry_policy(),
+                project_deadline=opts.deadline,
+                injector=opts.injector(),
+                chunk_size=args.batch_size,
+                executor=opts.executor,
+            )
+            if opts.json:
+                payload = {
+                    "ingest": report.payload(),
+                    "store": {
+                        "path": args.db,
+                        "projects": store.project_count(),
+                        "content_hash": store.content_hash(),
+                        "shards": getattr(store, "shard_count", 1),
+                    },
+                }
+                if opts.stats and report.stats is not None:
+                    payload["stats"] = report.stats.payload()
+                print(json.dumps(payload, sort_keys=True))
+                return 0
+            print(
+                f"# stream seed={opts.seed} count={args.count} "
+                f"profile={args.stream_profile} ingested in "
+                f"{time.time() - started:.1f}s"
+            )
+            print(report.summary())
+            sharded = getattr(store, "shard_count", 1)
+            shard_note = f", {sharded} shards" if sharded > 1 else ""
+            print(f"store: {args.db} ({store.project_count()} projects{shard_note}, "
+                  f"content hash {store.content_hash()[:16]})")
+        if opts.stats and report.stats is not None:
+            print()
+            print(report.stats.summary())
+        return 0
+    spec = CorpusSpec(seed=opts.seed, scale=opts.scale)
     with trace("corpus.build", seed=opts.seed, scale=opts.scale):
         corpus = build_corpus(spec)
     with resolve_store(args.db, shards=args.shards) as store:
@@ -631,6 +677,28 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=None, metavar="K",
         help="partition the store across K sqlite shard files (id-hash on"
              " project name); an existing sharded store is autodetected",
+    )
+    ingest.add_argument(
+        "--stream", action="store_true",
+        help="stream-synthesize the corpus instead of materializing it:"
+             " projects are generated, measured and persisted one batch at"
+             " a time with constant memory, and an interrupted run resumes"
+             " from its last completed batch",
+    )
+    ingest.add_argument(
+        "--count", type=int, default=1000, metavar="N",
+        help="number of projects to stream-synthesize (with --stream)",
+    )
+    ingest.add_argument(
+        "--stream-profile", default="light", choices=["light", "paper"],
+        help="calibration profile for --stream: 'light' preserves the"
+             " taxon-classification signature at ~1/100th the cost of the"
+             " paper-fidelity archetypes",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="projects per streamed batch transaction (default: scales"
+             " with --jobs)",
     )
     ingest.set_defaults(func=_cmd_ingest)
 

@@ -14,8 +14,14 @@ The mix models how the ``/v1`` API is actually read:
 
 - ``projects_hot`` — the landing page, ``/v1/projects?limit=50`` with
   no offset: the hottest single path;
-- ``projects_page`` — a pagination walk: successive offsets at a stable
-  page size, wrapping at the store's total;
+- ``projects_page`` — a keyset pagination walk: successive
+  ``cursor=<token>`` pages at a stable page size, wrapping at the
+  store's total.  Cursor tokens are computed **at plan time** from the
+  catalog's id sequence (the planner knows every id, so it can encode
+  the token the server would have returned) — paths stay fixed
+  strings, preserving plan digests, warmup prefetch and deterministic
+  304 counts, while the server still executes a genuine indexed
+  ``id > ?`` seek per page;
 - ``projects_filtered`` — taxon and ``min_<metric>`` filtered queries;
 - ``project_detail`` / ``heartbeat`` — per-project reads with a skewed
   (hot-head) id distribution, the way real traffic concentrates;
@@ -34,6 +40,7 @@ import random
 from dataclasses import dataclass, field
 from urllib.parse import urlencode
 
+from repro.serve.cursors import encode_project_cursor
 from repro.store.store import CorpusStore
 
 #: Default share of requests that revalidate with If-None-Match.
@@ -98,13 +105,14 @@ class StoreCatalog:
 
     @classmethod
     def from_store(cls, store: CorpusStore) -> "StoreCatalog":
-        page = store.query_projects()
-        ids = tuple(sorted(project.id for project in page.projects))
+        # One covering-index id scan — never materialize StoredProject
+        # rows here; at 100k+ projects that would cost hundreds of MB.
+        ids = tuple(store.project_ids())
         taxa = tuple(sorted(store.taxa_summary()))
         return cls(
             project_ids=ids,
             taxa=taxa,
-            total_projects=page.total,
+            total_projects=len(ids),
             content_hash=store.content_hash(),
         )
 
@@ -169,7 +177,7 @@ class WorkloadModel:
         families = [f for f, w in sorted(self.weights.items()) if w > 0]
         weights = [self.weights[f] for f in families]
         ids = self.catalog.project_ids
-        walk_offset = 0
+        walk_pos = 0
         requests: list[PlannedRequest] = []
         for index in range(count):
             family = rng.choices(families, weights=weights)[0]
@@ -177,12 +185,17 @@ class WorkloadModel:
                 path = "/v1/projects?" + _query({"limit": 50})
             elif family == "projects_page":
                 limit = rng.choice(_PAGE_LIMITS)
-                path = "/v1/projects?" + _query(
-                    {"limit": limit, "offset": walk_offset}
-                )
-                walk_offset += limit
-                if walk_offset >= self.catalog.total_projects:
-                    walk_offset = 0
+                if walk_pos == 0:
+                    # The walk's entry page: no cursor yet.
+                    path = "/v1/projects?" + _query({"limit": limit})
+                else:
+                    cursor = encode_project_cursor(ids[walk_pos - 1])
+                    path = "/v1/projects?" + _query(
+                        {"cursor": cursor, "limit": limit}
+                    )
+                walk_pos += limit
+                if walk_pos >= len(ids):
+                    walk_pos = 0
             elif family == "projects_filtered":
                 if self.catalog.taxa and rng.random() < 0.5:
                     path = "/v1/projects?" + _query(

@@ -1,0 +1,70 @@
+"""Opaque keyset-pagination cursor tokens for the /v1 API.
+
+A cursor names "resume strictly after this row" — the row id for
+``/v1/projects``, the project name for ``/v1/failures``.  Tokens are
+**opaque by contract**: clients must treat them as returned strings
+(the API.md contract), and the type prefix inside the encoding means a
+projects cursor pasted into the failures endpoint fails loudly with a
+400 instead of silently misbehaving.
+
+Because the payload is a key — not a position — a cursor stays *stable
+under concurrent re-ingest*: re-measured projects keep their ids, new
+projects only append beyond the high-water mark, and a deleted row is
+simply skipped by the ``> key`` seek.  An offset, by contrast, shifts
+whenever any earlier row appears or disappears.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+
+from repro.store.store import StoreError
+
+_PROJECT_PREFIX = "p:"
+_FAILURE_PREFIX = "f:"
+
+
+def _encode(payload: str) -> str:
+    raw = base64.urlsafe_b64encode(payload.encode("utf-8"))
+    return raw.rstrip(b"=").decode("ascii")
+
+
+def _decode(token: str) -> str:
+    if not token:
+        raise StoreError("cursor must not be empty")
+    padded = token + "=" * (-len(token) % 4)
+    try:
+        return base64.urlsafe_b64decode(padded.encode("ascii")).decode("utf-8")
+    except (binascii.Error, UnicodeError, ValueError):
+        raise StoreError(f"malformed cursor {token!r}")
+
+
+def encode_project_cursor(last_id: int) -> str:
+    """The opaque token resuming a projects walk after row *last_id*."""
+    return _encode(f"{_PROJECT_PREFIX}{last_id}")
+
+
+def decode_project_cursor(token: str) -> int:
+    """The row id inside a projects cursor (400s on any other token)."""
+    payload = _decode(token)
+    if not payload.startswith(_PROJECT_PREFIX) or not payload[
+        len(_PROJECT_PREFIX):
+    ].isdigit():
+        raise StoreError(f"not a projects cursor: {token!r}")
+    return int(payload[len(_PROJECT_PREFIX):])
+
+
+def encode_failure_cursor(last_project: str) -> str:
+    """The opaque token resuming a failures walk after *last_project*."""
+    return _encode(f"{_FAILURE_PREFIX}{last_project}")
+
+
+def decode_failure_cursor(token: str) -> str:
+    """The project name inside a failures cursor (400s otherwise)."""
+    payload = _decode(token)
+    if not payload.startswith(_FAILURE_PREFIX) or len(payload) <= len(
+        _FAILURE_PREFIX
+    ):
+        raise StoreError(f"not a failures cursor: {token!r}")
+    return payload[len(_FAILURE_PREFIX):]

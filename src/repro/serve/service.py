@@ -33,6 +33,12 @@ from dataclasses import dataclass, replace
 from urllib.parse import unquote, urlencode
 
 from repro.obs.metrics import MetricsRegistry
+from repro.serve.cursors import (
+    decode_failure_cursor,
+    decode_project_cursor,
+    encode_failure_cursor,
+    encode_project_cursor,
+)
 from repro.store.store import (
     METRIC_COLUMNS,
     CorpusStore,
@@ -210,6 +216,27 @@ def deprecation_headers(path: str) -> tuple[tuple[str, str], ...]:
     )
 
 
+def offset_deprecation_headers(
+    base: str, params: dict[str, str]
+) -> tuple[tuple[str, str], ...]:
+    """The headers an explicitly offset-paginated /v1 response carries.
+
+    Offset pagination still works — but it is O(offset) per page, so
+    responses the client *asked* to paginate by offset advertise the
+    cursor walk as their successor: the same route and filters, minus
+    the offset (the first cursor page), in the established
+    ``Deprecation: true`` + ``rel="successor-version"`` pattern.
+    """
+    query = {
+        key: value for key, value in params.items() if key not in ("offset", "cursor")
+    }
+    successor = f"{base}?{urlencode(sorted(query.items()))}" if query else base
+    return (
+        ("Deprecation", "true"),
+        ("Link", f'<{successor}>; rel="successor-version"'),
+    )
+
+
 class CorpusService:
     """Routes read-only queries against one :class:`CorpusStore`."""
 
@@ -352,6 +379,31 @@ class CorpusService:
         return offset, limit
 
     @staticmethod
+    def _raw_cursor(params: dict[str, str], v1: bool) -> str | None:
+        """The raw cursor param, validated for mode conflicts."""
+        raw = params.get("cursor")
+        if raw is None:
+            return None
+        if not v1:
+            raise StoreError("cursor pagination requires the /v1 API")
+        if "offset" in params:
+            raise StoreError("cursor and offset are mutually exclusive")
+        return raw
+
+    @staticmethod
+    def _cursor_link(
+        base: str, params: dict[str, str], next_cursor: str | None, limit: int
+    ) -> str | None:
+        """The relative URL continuing a cursor walk (None when done)."""
+        if next_cursor is None:
+            return None
+        query = dict(params)
+        query.pop("offset", None)
+        query["cursor"] = next_cursor
+        query["limit"] = str(limit)
+        return f"{base}?{urlencode(sorted(query.items()))}"
+
+    @staticmethod
     def _next_link(
         base: str, params: dict[str, str], offset: int, limit: int, total: int
     ) -> str | None:
@@ -372,6 +424,10 @@ class CorpusService:
 
     def _projects(self, params: dict[str, str], v1: bool) -> ServiceResponse:
         offset, limit = self._page_params(params)
+        raw_cursor = self._raw_cursor(params, v1)
+        cursor = (
+            decode_project_cursor(raw_cursor) if raw_cursor is not None else None
+        )
         ranges = []
         for key, value in params.items():
             if key.startswith(("min_", "max_")):
@@ -395,6 +451,7 @@ class CorpusService:
             ranges=ranges,
             offset=offset,
             limit=limit,
+            cursor=cursor,
         )
         payload = {
             "total": page.total,
@@ -402,32 +459,72 @@ class CorpusService:
             "limit": page.limit,
             "projects": [project.payload() for project in page.projects],
         }
+        base = f"{API_V1_PREFIX}/projects"
+        headers: tuple[tuple[str, str], ...] = ()
         if v1:
-            payload["next"] = self._next_link(
-                f"{API_V1_PREFIX}/projects", params, offset, limit, page.total
+            next_cursor = (
+                encode_project_cursor(page.next_cursor)
+                if page.next_cursor is not None
+                else None
             )
+            payload["next_cursor"] = next_cursor
+            if cursor is not None:
+                payload["next"] = self._cursor_link(base, params, next_cursor, limit)
+            else:
+                payload["next"] = self._next_link(
+                    base, params, offset, limit, page.total
+                )
+                if "offset" in params:
+                    headers = offset_deprecation_headers(base, params)
         return ServiceResponse(
             status=200,
             payload=payload,
             endpoint=self._prefix("/projects", v1),
+            headers=headers,
         )
 
     def _failures(self, params: dict[str, str]) -> ServiceResponse:
         offset, limit = self._page_params(params)
+        raw_cursor = self._raw_cursor(params, v1=True)
         total = self.store.failure_count()
-        rows = self.store.failures(offset=offset, limit=limit)
+        base = f"{API_V1_PREFIX}/failures"
+        headers: tuple[tuple[str, str], ...] = ()
+        if raw_cursor is not None:
+            page = self.store.query_failures(
+                cursor=decode_failure_cursor(raw_cursor), limit=limit
+            )
+            rows = list(page.failures)
+            next_cursor = (
+                encode_failure_cursor(page.next_cursor)
+                if page.next_cursor is not None
+                else None
+            )
+            next_link = self._cursor_link(base, params, next_cursor, limit)
+            offset = 0
+        else:
+            rows = self.store.failures(offset=offset, limit=limit)
+            # Derive the keyset continuation from the page itself, so an
+            # offset page can always hand the client over to cursor mode.
+            next_cursor = (
+                encode_failure_cursor(rows[-1].project)
+                if rows and offset + limit < total
+                else None
+            )
+            next_link = self._next_link(base, params, offset, limit, total)
+            if "offset" in params:
+                headers = offset_deprecation_headers(base, params)
         return ServiceResponse(
             status=200,
             payload={
                 "total": total,
                 "offset": offset,
                 "limit": limit,
-                "next": self._next_link(
-                    f"{API_V1_PREFIX}/failures", params, offset, limit, total
-                ),
+                "next": next_link,
+                "next_cursor": next_cursor,
                 "failures": [failure.payload() for failure in rows],
             },
-            endpoint=f"{API_V1_PREFIX}/failures",
+            endpoint=base,
+            headers=headers,
         )
 
     def _project(self, ref: int | str, v1: bool) -> ServiceResponse:

@@ -15,6 +15,7 @@ from repro.store.ingest import (
     PERSIST_FAILED_FINGERPRINT,
     history_fingerprint,
     ingest_corpus,
+    ingest_stream,
 )
 from repro.store.shard import (
     ShardedCorpusStore,
@@ -26,14 +27,17 @@ from repro.store.shard import (
 from repro.store.store import (
     METRIC_COLUMNS,
     CorpusStore,
+    FailurePage,
     MetricRange,
     ProjectPage,
+    QueryPage,
     StoreError,
     StoredProject,
 )
 
 __all__ = [
     "CorpusStore",
+    "FailurePage",
     "INGEST_CHECKPOINT_KEY",
     "IngestReport",
     "METRIC_COLUMNS",
@@ -41,12 +45,14 @@ __all__ = [
     "PERSIST_FAILED_FINGERPRINT",
     "MetricRange",
     "ProjectPage",
+    "QueryPage",
     "ShardedCorpusStore",
     "StoreError",
     "StoredProject",
     "detect_shard_count",
     "history_fingerprint",
     "ingest_corpus",
+    "ingest_stream",
     "resolve_store",
     "shard_index",
     "shard_paths",

@@ -85,6 +85,8 @@ class IngestReport:
     wall_seconds: float = 0.0
     stats: PipelineStats | None = None
     resumed_from: str | None = None  # phase an interrupted run died in
+    stream_count: int | None = None  # streamed ingest: total stream length
+    stream_resumed_at: int | None = None  # streamed ingest: first index run
 
     def summary(self) -> str:
         lines = [
@@ -120,6 +122,14 @@ class IngestReport:
                 "failed": self.failed,
             },
             "wall_seconds": round(self.wall_seconds, 6),
+            **(
+                {
+                    "stream_count": self.stream_count,
+                    "stream_resumed_at": self.stream_resumed_at,
+                }
+                if self.stream_count is not None
+                else {}
+            ),
         }
 
 
@@ -378,5 +388,190 @@ def ingest_corpus(
     report.studied = outcomes.get(Outcome.STUDIED.value, 0)
     report.failed = outcomes.get(Outcome.FAILED.value, 0)
     report.stats = pipeline.stats
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def _stream_checkpoint_start(store: CorpusStore, spec) -> tuple[int, str | None]:
+    """Where to resume a streamed ingest: (first index, interrupted phase).
+
+    The checkpoint is trusted only when its stream identity — seed,
+    profile, epoch — matches *spec*; a checkpoint left by a different
+    stream (or by classic ingest) restarts from index 0, which is safe
+    because streamed persists are idempotent upserts.
+    """
+    raw = store.get_meta(INGEST_CHECKPOINT_KEY)
+    if raw is None:
+        return 0, None
+    checkpoint = json.loads(raw)
+    phase = checkpoint.get("phase")
+    if (
+        phase == "stream"
+        and checkpoint.get("seed") == spec.seed
+        and checkpoint.get("profile") == spec.profile
+        and checkpoint.get("epoch_start") == spec.epoch_start
+    ):
+        return min(int(checkpoint.get("next_index", 0)), spec.count), phase
+    return 0, phase
+
+
+def ingest_stream(
+    store: CorpusStore,
+    spec,
+    policy: LinearizationPolicy = LinearizationPolicy.FULL,
+    reed_limit: int = DEFAULT_REED_LIMIT,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache: SchemaCache | None = None,
+    retry: RetryPolicy = NO_RETRY,
+    project_deadline: float | None = None,
+    injector: FaultInjector | None = None,
+    chunk_size: int | None = None,
+    executor: str = "auto",
+) -> IngestReport:
+    """Consume a synthesis stream into the store in bounded batches.
+
+    The constant-memory counterpart of :func:`ingest_corpus` for
+    *synthetic* corpora: *spec* is a
+    :class:`~repro.synthesis.stream.StreamSpec`, and projects are
+    generated, measured and persisted **one chunk at a time** — at no
+    point does more than ``chunk_size`` projects' worth of
+    repositories, seeds or measured contexts exist in memory, so peak
+    RSS is a function of the chunk size, not of ``spec.count``.
+
+    Everything else mirrors classic ingest:
+
+    - the chunk's measure phase routes through the configured execution
+      backend (``jobs``/``executor``), so ``--jobs 4 --executor
+      process`` parallelizes each chunk across cores;
+    - each chunk persists through the store's batched
+      :meth:`~repro.store.store.CorpusStore.persist_batch` — one
+      transaction per chunk — then advances the checkpoint under
+      :data:`INGEST_CHECKPOINT_KEY` to the next stream index, so a
+      killed run resumes **by index**, regenerating nothing before the
+      checkpoint (per-project seeds make any suffix of the stream
+      independently reproducible);
+    - unchanged projects (matching history fingerprints) are skipped
+      without measuring, so re-running the same spec measures zero;
+    - after the last chunk the store runs ``ANALYZE`` so the query
+      planner sees the post-bulk row counts.
+    """
+    from repro.synthesis.stream import stream_projects  # cycle-free late import
+
+    started = time.perf_counter()
+    report = IngestReport(stream_count=spec.count)
+    config = PipelineConfig(
+        policy=policy, reed_limit=reed_limit, jobs=jobs, cache_dir=cache_dir,
+        retry=retry, project_deadline=project_deadline, injector=injector,
+        executor=executor,
+    )
+    start, interrupted_phase = _stream_checkpoint_start(store, spec)
+    if interrupted_phase is not None:
+        report.resumed_from = interrupted_phase
+    report.stream_resumed_at = start
+    report.selected = report.tasks = spec.count
+
+    store.record_funnel_front(
+        sql_collection_repos=spec.count,
+        joined_and_filtered=spec.count,
+        lib_io_projects=spec.count,
+        omitted_by_paths={},
+    )
+
+    def _mark(next_index: int) -> None:
+        store.set_meta(
+            INGEST_CHECKPOINT_KEY,
+            json.dumps(
+                {
+                    "phase": "stream",
+                    "next_index": next_index,
+                    "seed": spec.seed,
+                    "profile": spec.profile,
+                    "epoch_start": spec.epoch_start,
+                    "count": spec.count,
+                },
+                sort_keys=True,
+            ),
+        )
+
+    chunk = chunk_size if chunk_size is not None else max(8, config.jobs * 4)
+    stats: PipelineStats | None = None
+    report.skipped_unchanged = start  # the resumed prefix is proven persisted
+    with trace("ingest.stream", count=spec.count, start=start, chunk=chunk):
+        for chunk_start in range(start, spec.count, chunk):
+            chunk_stop = min(chunk_start + chunk, spec.count)
+            seeds: dict[str, tuple[Repository | None, list[FileVersion]]] = {}
+            tasks: list[ProjectTask] = []
+            fingerprints: dict[str, str] = {}
+            changed: list[ProjectTask] = []
+            with trace("ingest.stream.synthesize", start=chunk_start, stop=chunk_stop):
+                for streamed in stream_projects(spec, chunk_start, chunk_stop):
+                    task = ProjectTask(
+                        streamed.name, streamed.ddl_path, streamed.plan.domain
+                    )
+                    tasks.append(task)
+                    versions = usable_versions(
+                        extract_file_history(
+                            streamed.repo, streamed.ddl_path, policy=policy
+                        )
+                    )
+                    fingerprint = history_fingerprint(
+                        task, streamed.repo, versions, config
+                    )
+                    fingerprints[task.repo_name] = fingerprint
+                    stored = store.get_project(task.repo_name)
+                    if stored is not None and stored.history_hash == fingerprint:
+                        report.skipped_unchanged += 1
+                        continue
+                    seeds[task.repo_name] = (streamed.repo, versions)
+                    changed.append(task)
+            # A fresh in-memory cache per chunk (unless the caller pinned
+            # one) keeps the parse/diff cache from growing with the
+            # stream; an on-disk cache_dir shares across chunks as usual.
+            chunk_cache = cache if cache is not None else SchemaCache(config.cache_dir)
+            pipeline = MeasurementPipeline(
+                provider=lambda name: seeds.get(name, (None, []))[0],
+                config=config,
+                cache=chunk_cache,
+                seeds=seeds,
+            )
+            if stats is None:
+                stats = pipeline.stats
+            else:
+                pipeline.stats = stats
+            contexts = pipeline.run(changed) if changed else []
+            with trace("ingest.stream.persist", contexts=len(contexts)):
+                if injector is None and retry.max_attempts <= 1:
+                    store.persist_batch(
+                        [
+                            (ctx, fingerprints[ctx.task.repo_name])
+                            for ctx in contexts
+                        ]
+                    )
+                else:
+                    # Fault injection / retry fidelity: the sequential
+                    # resilient path records persist failures per project.
+                    for ctx in contexts:
+                        _persist_resiliently(
+                            store,
+                            ctx,
+                            fingerprints[ctx.task.repo_name],
+                            retry,
+                            injector,
+                            pipeline.stats,
+                        )
+            report.measured += len(contexts)
+            _mark(chunk_stop)
+    with trace("ingest.analyze"):
+        store.analyze()
+    store.delete_meta(INGEST_CHECKPOINT_KEY)
+
+    outcomes = store.aggregates()["by_outcome"]
+    report.zero_versions = outcomes.get(Outcome.ZERO_VERSIONS.value, 0)
+    report.no_create = outcomes.get(Outcome.NO_CREATE.value, 0)
+    report.rigid = outcomes.get(Outcome.RIGID.value, 0)
+    report.studied = outcomes.get(Outcome.STUDIED.value, 0)
+    report.failed = outcomes.get(Outcome.FAILED.value, 0)
+    report.stats = stats
     report.wall_seconds = time.perf_counter() - started
     return report

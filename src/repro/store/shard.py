@@ -52,8 +52,9 @@ from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
 from repro.resilience.policy import CircuitBreaker, CircuitOpen
 from repro.store.store import (
     CorpusStore,
+    FailurePage,
     MetricRange,
-    ProjectPage,
+    QueryPage,
     StoredProject,
     StoreError,
     aggregates_from_parts,
@@ -283,9 +284,55 @@ class ShardedCorpusStore:
             shard.persist_context(ctx, history_hash, project_id=project_id)
             self.coordinator.set_meta(NEXT_ID_KEY, str(project_id + 1))
 
+    def persist_batch(
+        self,
+        items: Sequence[tuple[ProjectContext, str]],
+        ids: Sequence[int | None] | None = None,
+    ) -> None:
+        """Route one chunk of measured contexts to their shards, batched.
+
+        New names draw a contiguous block of global ids in item order
+        (identical to what item-by-item :meth:`persist_context` would
+        assign), then each shard receives its sub-batch through
+        :meth:`CorpusStore.persist_batch` — one transaction per shard
+        per chunk.  The high-water mark commits *before* the shard
+        writes: a failed chunk may burn ids (like an AUTOINCREMENT
+        table after a crashed bulk insert), but a concurrent or resumed
+        writer can never collide with rows the failed chunk already
+        committed.
+        """
+        if not items:
+            return
+        if ids is not None and any(forced is not None for forced in ids):
+            raise StoreError("the sharded store allocates its own global ids")
+        with self._id_lock:
+            per_shard: dict[int, tuple[list, list]] = {}
+            next_id = self._peek_next_id()
+            allocated = next_id
+            for ctx, history_hash in items:
+                name = ctx.task.repo_name
+                index, shard = self._shard_for(name)
+                forced = None
+                if shard.get_project(name) is None:
+                    forced = allocated
+                    allocated += 1
+                bucket = per_shard.setdefault(index, ([], []))
+                bucket[0].append((ctx, history_hash))
+                bucket[1].append(forced)
+            if allocated != next_id:
+                self.coordinator.set_meta(NEXT_ID_KEY, str(allocated))
+            for index in sorted(per_shard):
+                batch, forced_ids = per_shard[index]
+                self._shards[index].persist_batch(batch, ids=forced_ids)
+
     def prune_missing(self, keep: Iterable[str]) -> int:
         names = set(keep)
         return sum(shard.prune_missing(names) for shard in self._shards)
+
+    def analyze(self) -> None:
+        """Refresh planner statistics on every shard."""
+        for shard in self._shards:
+            shard.analyze()
 
     # -- typed queries (the read side) -------------------------------------
 
@@ -318,35 +365,52 @@ class ShardedCorpusStore:
         ranges: Sequence[MetricRange] = (),
         offset: int = 0,
         limit: int | None = None,
-    ) -> ProjectPage:
+        cursor: int | None = None,
+    ) -> QueryPage:
         """Scatter-gather pagination in global (id) order.
 
-        Each shard returns its own first ``offset + limit`` matches
-        (already id-ordered); a merge-sort on id then slices the global
-        window — identical rows, order and totals to the single-file
-        store answering the same query.
+        Each shard returns its own first matches past the cursor (or
+        inside the offset window), already id-ordered; a merge-sort on
+        id then slices the global window — identical rows, order,
+        totals *and* ``next_cursor`` to the single-file store answering
+        the same query.  The global cursor works unchanged per shard
+        because ids are globally unique and monotonic.
         """
         if offset < 0:
             raise StoreError("offset must be >= 0")
         if limit is not None and limit < 1:
             raise StoreError("limit must be >= 1")
-        want = None if limit is None else offset + limit
+        if cursor is not None:
+            if cursor < 0:
+                raise StoreError("cursor must be >= 0")
+            if offset:
+                raise StoreError("cursor and offset are mutually exclusive")
+        # One row beyond the global window signals "more rows exist";
+        # each shard must over-fetch by that row too.
+        want = None if limit is None else offset + limit + 1
         pages = self._scatter(
             lambda shard: shard.query_projects(
-                taxon=taxon, outcome=outcome, ranges=ranges, offset=0, limit=want
+                taxon=taxon, outcome=outcome, ranges=ranges, offset=0, limit=want,
+                cursor=cursor,
             )
         )
         total = sum(page.total for page in pages)
         merged = heapq.merge(
             *(page.projects for page in pages), key=lambda stored: stored.id
         )
-        stop = None if limit is None else offset + limit
-        window = tuple(islice(merged, offset, stop))
-        return ProjectPage(
+        if limit is None:
+            window = tuple(islice(merged, offset, None))
+            more = False
+        else:
+            window = tuple(islice(merged, offset, offset + limit + 1))
+            more = len(window) > limit
+            window = window[:limit]
+        return QueryPage(
             total=total,
             offset=offset,
             limit=limit if limit is not None else total,
             projects=window,
+            next_cursor=window[-1].id if more and window else None,
         )
 
     def by_taxon(self, taxon: Taxon | str) -> tuple[StoredProject, ...]:
@@ -380,6 +444,33 @@ class ShardedCorpusStore:
 
     def failure_count(self) -> int:
         return sum(self._scatter(lambda shard: shard.failure_count()))
+
+    def query_failures(
+        self, cursor: str | None = None, limit: int | None = None
+    ) -> FailurePage:
+        """Keyset failures page, merged by project name across shards."""
+        if limit is not None and limit < 1:
+            raise StoreError("limit must be >= 1")
+        fetch = None if limit is None else limit + 1
+        parts = self._scatter(
+            lambda shard: shard.query_failures(cursor=cursor, limit=fetch)
+        )
+        merged = heapq.merge(
+            *(part.failures for part in parts), key=lambda failure: failure.project
+        )
+        rows = list(islice(merged, fetch))
+        more = limit is not None and len(rows) > limit
+        if more:
+            rows = rows[:limit]
+        return FailurePage(
+            failures=tuple(rows),
+            next_cursor=rows[-1].project if more and rows else None,
+        )
+
+    def project_ids(self) -> list[int]:
+        """Every project id in global ingest order, merged across shards."""
+        parts = self._scatter(lambda shard: shard.project_ids())
+        return list(heapq.merge(*parts))
 
     def taxa_summary(self) -> dict[str, dict]:
         summaries = self._scatter(lambda shard: shard.taxa_summary())

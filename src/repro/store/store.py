@@ -44,7 +44,7 @@ from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
 
 #: Bump when the table layout changes; older stores are migrated in
 #: place when possible, newer ones refuse to open.
-STORE_SCHEMA_VERSION = 2
+STORE_SCHEMA_VERSION = 3
 
 #: The numeric per-project columns a metric-range filter may target.
 METRIC_COLUMNS: tuple[str, ...] = (
@@ -99,6 +99,21 @@ _HEARTBEAT_COLUMNS = (
     "is_active",
 )
 
+# Composite (filter, id) indexes chosen from the /v1 filter families the
+# serving layer actually exposes: taxon and outcome equality filters, the
+# loadgen's metric-range filters, and the keyset cursor seek (which rides
+# the integer primary key directly).  The trailing ``id`` column lets an
+# equality filter deliver rows already in pagination order, so a cursor
+# page under a taxon/outcome filter is one index descent — no scan, no
+# sort — however large the table grows.
+_INDEX_DDL = """
+CREATE INDEX IF NOT EXISTS idx_projects_taxon_id ON projects(taxon, id);
+CREATE INDEX IF NOT EXISTS idx_projects_outcome_id ON projects(outcome, id);
+CREATE INDEX IF NOT EXISTS idx_projects_n_commits ON projects(n_commits, id);
+CREATE INDEX IF NOT EXISTS idx_projects_total_activity ON projects(total_activity, id);
+CREATE INDEX IF NOT EXISTS idx_projects_active_commits ON projects(active_commits, id);
+"""
+
 _DDL = f"""
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
@@ -123,8 +138,7 @@ CREATE TABLE IF NOT EXISTS projects (
     ddl_commit_share    REAL,
     payload             BLOB
 );
-CREATE INDEX IF NOT EXISTS idx_projects_taxon ON projects(taxon);
-CREATE INDEX IF NOT EXISTS idx_projects_outcome ON projects(outcome);
+{_INDEX_DDL}
 CREATE TABLE IF NOT EXISTS versions (
     project_id INTEGER NOT NULL REFERENCES projects(id) ON DELETE CASCADE,
     ordinal    INTEGER NOT NULL,
@@ -152,6 +166,13 @@ CREATE TABLE IF NOT EXISTS failures (
 #: In-place migrations: schema version -> DDL lifting it one version up.
 _MIGRATIONS: dict[int, str] = {
     1: "ALTER TABLE failures ADD COLUMN attempts INTEGER NOT NULL DEFAULT 1",
+    # v3: replace the single-column taxon/outcome indexes with the
+    # composite (filter, id) set and cover the metric-range families.
+    2: (
+        "DROP INDEX IF EXISTS idx_projects_taxon;"
+        "DROP INDEX IF EXISTS idx_projects_outcome;"
+        + _INDEX_DDL
+    ),
 }
 
 
@@ -224,6 +245,29 @@ class ProjectPage:
     offset: int
     limit: int
     projects: tuple[StoredProject, ...]
+
+
+@dataclass(frozen=True)
+class QueryPage(ProjectPage):
+    """A :class:`ProjectPage` that also carries the keyset cursor.
+
+    ``next_cursor`` is the id of the page's last row whenever more rows
+    match beyond it, else ``None``.  Passing it back as
+    ``query_projects(cursor=...)`` resumes exactly after that row — an
+    indexed ``id > ?`` seek, O(page) however deep the walk, where the
+    equivalent ``offset`` walk is O(offset) per page.  Both store
+    layouts return it with identical semantics.
+    """
+
+    next_cursor: int | None = None
+
+
+@dataclass(frozen=True)
+class FailurePage:
+    """One keyset page of stored failure records (ordered by project)."""
+
+    failures: tuple[ProjectFailure, ...]
+    next_cursor: str | None = None
 
 
 def _taxon_from(value: str) -> Taxon:
@@ -499,17 +543,11 @@ class CorpusStore:
             rows = conn.execute("SELECT name, history_hash FROM projects").fetchall()
         return {row["name"]: row["history_hash"] for row in rows}
 
-    def persist_context(
-        self, ctx: ProjectContext, history_hash: str, project_id: int | None = None
-    ) -> None:
-        """Upsert one measured pipeline context under its fingerprint.
-
-        *project_id* forces an explicit row id on first insert (a
-        conflicting existing name keeps its id).  The sharded store uses
-        it to allocate globally unique ids mirroring what a single
-        AUTOINCREMENT table would have handed out, so pagination order
-        and payloads stay byte-identical across shard counts.
-        """
+    @staticmethod
+    def _project_upsert(
+        ctx: ProjectContext, history_hash: str, project_id: int | None
+    ) -> tuple[str, tuple]:
+        """The projects-table upsert statement + params for one context."""
         task = ctx.task
         columns = dict.fromkeys(METRIC_COLUMNS)
         taxon = ctx.taxon.value if ctx.taxon is not None else None
@@ -532,98 +570,180 @@ class CorpusStore:
         outcome = ctx.outcome.value if ctx.outcome is not None else Outcome.FAILED.value
         id_column = "id, " if project_id is not None else ""
         id_value = (project_id,) if project_id is not None else ()
-        with self._write_tx() as conn:
-            conn.execute(
-                f"INSERT INTO projects ({id_column}name, ddl_path, domain,"
-                f" history_hash, outcome, taxon, {', '.join(METRIC_COLUMNS)},"
-                " payload) VALUES"
-                f" ({', '.join('?' * (len(id_value) + 6 + len(METRIC_COLUMNS) + 1))})"
-                " ON CONFLICT(name) DO UPDATE SET"
-                " ddl_path = excluded.ddl_path, domain = excluded.domain,"
-                " history_hash = excluded.history_hash,"
-                " outcome = excluded.outcome, taxon = excluded.taxon,"
-                + "".join(f" {c} = excluded.{c}," for c in METRIC_COLUMNS)
-                + " payload = excluded.payload",
-                (
-                    *id_value,
-                    task.repo_name,
-                    task.ddl_path,
-                    task.domain,
-                    history_hash,
-                    outcome,
-                    taxon,
-                    *[columns[c] for c in METRIC_COLUMNS],
-                    blob,
-                ),
+        sql = (
+            f"INSERT INTO projects ({id_column}name, ddl_path, domain,"
+            f" history_hash, outcome, taxon, {', '.join(METRIC_COLUMNS)},"
+            " payload) VALUES"
+            f" ({', '.join('?' * (len(id_value) + 6 + len(METRIC_COLUMNS) + 1))})"
+            " ON CONFLICT(name) DO UPDATE SET"
+            " ddl_path = excluded.ddl_path, domain = excluded.domain,"
+            " history_hash = excluded.history_hash,"
+            " outcome = excluded.outcome, taxon = excluded.taxon,"
+            + "".join(f" {c} = excluded.{c}," for c in METRIC_COLUMNS)
+            + " payload = excluded.payload"
+        )
+        params = (
+            *id_value,
+            task.repo_name,
+            task.ddl_path,
+            task.domain,
+            history_hash,
+            outcome,
+            taxon,
+            *[columns[c] for c in METRIC_COLUMNS],
+            blob,
+        )
+        return sql, params
+
+    @staticmethod
+    def _version_rows(project_id: int, project) -> list[tuple]:
+        return [
+            (
+                project_id,
+                version.index,
+                version.commit_oid,
+                version.timestamp,
+                version.schema.size.tables,
+                version.schema.size.attributes,
             )
-            project_id = conn.execute(
-                "SELECT id FROM projects WHERE name = ?", (task.repo_name,)
-            ).fetchone()["id"]
-            conn.execute("DELETE FROM versions WHERE project_id = ?", (project_id,))
-            conn.execute("DELETE FROM heartbeat WHERE project_id = ?", (project_id,))
-            conn.execute("DELETE FROM failures WHERE project = ?", (task.repo_name,))
-            if project is not None:
+            for version in project.history.versions
+        ]
+
+    @staticmethod
+    def _heartbeat_rows(project_id: int, project) -> list[tuple]:
+        return [
+            (
+                project_id,
+                t.transition_id,
+                t.timestamp,
+                round(t.days_since_v0, 6),
+                t.running_month,
+                t.running_year,
+                t.old_size.tables,
+                t.old_size.attributes,
+                t.new_size.tables,
+                t.new_size.attributes,
+                t.diff.attrs_born,
+                t.diff.attrs_injected,
+                t.diff.attrs_deleted,
+                t.diff.attrs_ejected,
+                t.diff.attrs_type_changed,
+                t.diff.attrs_pk_changed,
+                t.expansion,
+                t.maintenance,
+                t.activity,
+                int(t.is_active),
+            )
+            for t in project.metrics.transitions
+        ]
+
+    def persist_context(
+        self, ctx: ProjectContext, history_hash: str, project_id: int | None = None
+    ) -> None:
+        """Upsert one measured pipeline context under its fingerprint.
+
+        *project_id* forces an explicit row id on first insert (a
+        conflicting existing name keeps its id).  The sharded store uses
+        it to allocate globally unique ids mirroring what a single
+        AUTOINCREMENT table would have handed out, so pagination order
+        and payloads stay byte-identical across shard counts.
+        """
+        self.persist_batch([(ctx, history_hash)], ids=[project_id])
+
+    def persist_batch(
+        self,
+        items: Sequence[tuple[ProjectContext, str]],
+        ids: Sequence[int | None] | None = None,
+    ) -> None:
+        """Upsert many ``(context, fingerprint)`` pairs in ONE transaction.
+
+        The batched path behind streamed ingest: all child rows
+        (versions, heartbeat, failures) of the whole chunk go through
+        one ``executemany`` per table, and the chunk commits atomically
+        — either every project of the chunk is durable or none is,
+        which is what makes resume-by-index sound.  Row-for-row the
+        result is identical to calling :meth:`persist_context` once per
+        item.
+        """
+        if not items:
+            return
+        if ids is None:
+            ids = [None] * len(items)
+        if len(ids) != len(items):
+            raise StoreError("persist_batch: items and ids must align")
+        with self._write_tx() as conn:
+            resolved: list[tuple[int, ProjectContext]] = []
+            for (ctx, history_hash), forced_id in zip(items, ids):
+                # The upsert stays per-row (conflict resolution + id
+                # readback); the heavy child tables batch below.
+                sql, params = self._project_upsert(ctx, history_hash, forced_id)
+                conn.execute(sql, params)
+                row_id = conn.execute(
+                    "SELECT id FROM projects WHERE name = ?", (ctx.task.repo_name,)
+                ).fetchone()["id"]
+                resolved.append((row_id, ctx))
+            conn.executemany(
+                "DELETE FROM versions WHERE project_id = ?",
+                [(row_id,) for row_id, _ in resolved],
+            )
+            conn.executemany(
+                "DELETE FROM heartbeat WHERE project_id = ?",
+                [(row_id,) for row_id, _ in resolved],
+            )
+            conn.executemany(
+                "DELETE FROM failures WHERE project = ?",
+                [(ctx.task.repo_name,) for _, ctx in resolved],
+            )
+            version_rows: list[tuple] = []
+            heartbeat_rows: list[tuple] = []
+            failure_rows: list[tuple] = []
+            for row_id, ctx in resolved:
+                if ctx.project is not None:
+                    version_rows.extend(self._version_rows(row_id, ctx.project))
+                    heartbeat_rows.extend(self._heartbeat_rows(row_id, ctx.project))
+                if ctx.failure is not None:
+                    failure_rows.append(
+                        (
+                            ctx.failure.project,
+                            ctx.failure.stage,
+                            ctx.failure.error,
+                            ctx.failure.message,
+                            ctx.failure.attempts,
+                        )
+                    )
+            if version_rows:
                 conn.executemany(
                     "INSERT INTO versions (project_id, ordinal, commit_oid,"
                     " timestamp, tables, attributes) VALUES (?, ?, ?, ?, ?, ?)",
-                    [
-                        (
-                            project_id,
-                            version.index,
-                            version.commit_oid,
-                            version.timestamp,
-                            version.schema.size.tables,
-                            version.schema.size.attributes,
-                        )
-                        for version in project.history.versions
-                    ],
+                    version_rows,
                 )
+            if heartbeat_rows:
                 conn.executemany(
                     "INSERT INTO heartbeat (project_id, "
                     + ", ".join(_HEARTBEAT_COLUMNS)
                     + ") VALUES ("
                     + ", ".join("?" * (1 + len(_HEARTBEAT_COLUMNS)))
                     + ")",
-                    [
-                        (
-                            project_id,
-                            t.transition_id,
-                            t.timestamp,
-                            round(t.days_since_v0, 6),
-                            t.running_month,
-                            t.running_year,
-                            t.old_size.tables,
-                            t.old_size.attributes,
-                            t.new_size.tables,
-                            t.new_size.attributes,
-                            t.diff.attrs_born,
-                            t.diff.attrs_injected,
-                            t.diff.attrs_deleted,
-                            t.diff.attrs_ejected,
-                            t.diff.attrs_type_changed,
-                            t.diff.attrs_pk_changed,
-                            t.expansion,
-                            t.maintenance,
-                            t.activity,
-                            int(t.is_active),
-                        )
-                        for t in project.metrics.transitions
-                    ],
+                    heartbeat_rows,
                 )
-            if ctx.failure is not None:
-                conn.execute(
+            if failure_rows:
+                conn.executemany(
                     "INSERT INTO failures (project, stage, error, message, attempts)"
                     " VALUES (?, ?, ?, ?, ?) ON CONFLICT(project) DO UPDATE SET"
                     " stage = excluded.stage, error = excluded.error,"
                     " message = excluded.message, attempts = excluded.attempts",
-                    (
-                        ctx.failure.project,
-                        ctx.failure.stage,
-                        ctx.failure.error,
-                        ctx.failure.message,
-                        ctx.failure.attempts,
-                    ),
+                    failure_rows,
                 )
+
+    def analyze(self) -> None:
+        """Refresh sqlite's statistics tables after a bulk ingest.
+
+        ``ANALYZE`` gives the query planner real row counts and index
+        selectivities — without it, a 100k-row table planned with
+        default guesses can pick the wrong index for combined filters.
+        """
+        with self._write_tx() as conn:
+            conn.execute("ANALYZE")
 
     def prune_missing(self, keep: Iterable[str]) -> int:
         """Drop projects that left the corpus; returns how many went."""
@@ -666,8 +786,16 @@ class CorpusStore:
         ranges: Sequence[MetricRange] = (),
         offset: int = 0,
         limit: int | None = None,
-    ) -> ProjectPage:
-        """Filtered, paginated projects in stable (ingest) order."""
+        cursor: int | None = None,
+    ) -> QueryPage:
+        """Filtered, paginated projects in stable (ingest) order.
+
+        ``cursor`` selects keyset pagination: rows strictly after id
+        *cursor* (an indexed seek), mutually exclusive with a non-zero
+        ``offset``.  Either way the page's ``next_cursor`` points past
+        its last row when more rows match, so any offset page can be
+        continued as a cursor walk.
+        """
         where: list[str] = []
         params: list[object] = []
         if taxon is not None:
@@ -689,20 +817,48 @@ class CorpusStore:
             raise StoreError("offset must be >= 0")
         if limit is not None and limit < 1:
             raise StoreError("limit must be >= 1")
+        if cursor is not None:
+            if cursor < 0:
+                raise StoreError("cursor must be >= 0")
+            if offset:
+                raise StoreError("cursor and offset are mutually exclusive")
+        seek_where = list(where)
+        seek_params = list(params)
+        if cursor is not None:
+            seek_where.append("id > ?")
+            seek_params.append(cursor)
+        seek_clause = (" WHERE " + " AND ".join(seek_where)) if seek_where else ""
+        # When the only constraint is a metric range, sqlite's planner
+        # prefers a full rowid-order scan (ORDER BY id is free there and
+        # it cannot see the range's selectivity without STAT4).  That
+        # plan degrades linearly with table size exactly when the filter
+        # is selective — the common dashboard query at 100k+ rows — so
+        # direct it through the metric's composite index: cost is then
+        # bounded by the match count, never by the corpus.
+        hint = ""
+        if ranges and taxon is None and outcome is None and cursor is None:
+            hint = f" INDEXED BY idx_projects_{ranges[0].metric}"
         with self._read_tx() as conn:
             total = conn.execute(
-                f"SELECT COUNT(*) AS n FROM projects{clause}", params
+                f"SELECT COUNT(*) AS n FROM projects{hint}{clause}", params
             ).fetchone()["n"]
             sql = (
-                f"SELECT {', '.join(_PROJECT_COLUMNS)} FROM projects{clause}"
-                " ORDER BY id LIMIT ? OFFSET ?"
+                f"SELECT {', '.join(_PROJECT_COLUMNS)} FROM projects{hint}"
+                f"{seek_clause} ORDER BY id LIMIT ? OFFSET ?"
             )
-            rows = conn.execute(sql, [*params, limit if limit else -1, offset]).fetchall()
-        return ProjectPage(
+            # Fetch one row beyond the page: its presence is the
+            # "more rows exist" signal behind next_cursor.
+            fetch = limit + 1 if limit is not None else -1
+            rows = conn.execute(sql, [*seek_params, fetch, offset]).fetchall()
+        more = limit is not None and len(rows) > limit
+        if more:
+            rows = rows[:limit]
+        return QueryPage(
             total=total,
             offset=offset,
             limit=limit if limit is not None else total,
             projects=tuple(StoredProject.from_row(row) for row in rows),
+            next_cursor=rows[-1]["id"] if more and rows else None,
         )
 
     def by_taxon(self, taxon: Taxon | str) -> tuple[StoredProject, ...]:
@@ -763,6 +919,53 @@ class CorpusStore:
     def failure_count(self) -> int:
         with self._read_tx() as conn:
             return conn.execute("SELECT COUNT(*) AS n FROM failures").fetchone()["n"]
+
+    def query_failures(
+        self, cursor: str | None = None, limit: int | None = None
+    ) -> FailurePage:
+        """Keyset page of failures: rows strictly after project *cursor*.
+
+        ``failures`` is keyed by project name (a TEXT primary key), so
+        the cursor is the last project of the previous page and the seek
+        is an indexed ``project > ?``.
+        """
+        if limit is not None and limit < 1:
+            raise StoreError("limit must be >= 1")
+        clause = " WHERE project > ?" if cursor is not None else ""
+        params: list[object] = [cursor] if cursor is not None else []
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT project, stage, error, message, attempts FROM failures"
+                f"{clause} ORDER BY project LIMIT ?",
+                [*params, limit + 1 if limit is not None else -1],
+            ).fetchall()
+        more = limit is not None and len(rows) > limit
+        if more:
+            rows = rows[:limit]
+        return FailurePage(
+            failures=tuple(
+                ProjectFailure(
+                    project=row["project"],
+                    stage=row["stage"],
+                    error=row["error"],
+                    message=row["message"],
+                    attempts=row["attempts"],
+                )
+                for row in rows
+            ),
+            next_cursor=rows[-1]["project"] if more and rows else None,
+        )
+
+    def project_ids(self) -> list[int]:
+        """Every project id in ingest order — one covering-index scan.
+
+        The cheap alternative to paging every ``StoredProject`` out of
+        the store when only the id sequence matters (the loadgen catalog
+        plans cursor walks from it at 100k+ rows).
+        """
+        with self._read_tx() as conn:
+            rows = conn.execute("SELECT id FROM projects ORDER BY id").fetchall()
+        return [row["id"] for row in rows]
 
     def taxa_summary(self) -> dict[str, dict]:
         """Population and share-of-studied per taxon (the /taxa payload)."""

@@ -252,3 +252,20 @@ class TestChaosFlags:
         assert report["measured"] == report["tasks"] > 0
         assert payload["store"]["projects"] == report["tasks"]
         assert len(payload["store"]["content_hash"]) == 64
+
+    def test_ingest_stream_json_payload(self, tmp_path, capsys):
+        db = tmp_path / "stream.db"
+        args = ["ingest", "--stream", "--count", "12", "--seed", "3",
+                "--db", str(db), "--batch-size", "5", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["ingest"]
+        assert report["stream_count"] == 12
+        assert report["stream_resumed_at"] == 0
+        assert report["measured"] == 12
+        assert payload["store"]["projects"] == 12
+        # The same stream again: every fingerprint matches, zero measured.
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)["ingest"]
+        assert warm["measured"] == 0
+        assert warm["skipped_unchanged"] == 12

@@ -100,6 +100,35 @@ class TestWorkloadModel:
                 seeded_store, weights={"projects_hot": 0}
             )
 
+    def test_pagination_family_walks_cursors_not_offsets(self, tmp_path):
+        from urllib.parse import parse_qsl, urlsplit
+
+        from repro.serve.cursors import decode_project_cursor
+        from repro.store import ingest_stream
+        from repro.synthesis.stream import StreamSpec
+
+        # The walk only mints cursors once a page boundary is crossed,
+        # so the store must outgrow the smallest page limit (10).
+        store = CorpusStore(tmp_path / "walk.db")
+        ingest_stream(store, StreamSpec(seed=3, count=30), chunk_size=30)
+        model = WorkloadModel.from_store(store, seed=7)
+        pages = [
+            request
+            for request in model.plan(600)
+            if request.family == "projects_page"
+        ]
+        assert pages
+        assert all("offset=" not in request.path for request in pages)
+        with_cursor = [r for r in pages if "cursor=" in r.path]
+        assert with_cursor, "a multi-page walk must mint cursor tokens"
+        ids = set(model.catalog.project_ids)
+        for request in with_cursor:
+            params = dict(parse_qsl(urlsplit(request.path).query))
+            # Every plan-time token names a real row, exactly as the
+            # server would have minted it.
+            assert decode_project_cursor(params["cursor"]) in ids
+        store.close()
+
 
 class TestRecorder:
     def test_exact_percentiles_on_known_samples(self):
