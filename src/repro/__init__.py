@@ -11,6 +11,9 @@ The package rebuilds the paper's full pipeline from scratch:
   funnel;
 - :mod:`repro.core` — Hecate-equivalent diffing, metrics, heartbeat,
   and the taxa classification tree;
+- :mod:`repro.advisor` — the migration advisor: proposed DDL in,
+  versioned + invertible migration script and taxon-atypicality
+  findings out (the write path behind ``POST /v1/.../advise``);
 - :mod:`repro.pipeline` — the staged measurement pipeline (parallel
   execution, content-hash caching, fault isolation);
 - :mod:`repro.store` / :mod:`repro.serve` — the persistent corpus
@@ -44,7 +47,7 @@ Quickstart
 >>> analysis = analyze_corpus(report.studied + report.rigid)
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: The curated public API: exported name -> providing module.
 _EXPORTS = {
@@ -57,6 +60,11 @@ _EXPORTS = {
     # core: analysis + taxa
     "analyze_corpus": "repro.core",
     "classify": "repro.core",
+    # advisor: migration scripts + atypicality findings
+    "Advice": "repro.advisor",
+    "AdvisorError": "repro.advisor",
+    "MigrationPlan": "repro.advisor",
+    "advise": "repro.advisor",
     # pipeline: the staged measurement engine
     "MeasurementPipeline": "repro.pipeline",
     "PipelineConfig": "repro.pipeline",
@@ -68,10 +76,12 @@ _EXPORTS = {
     "ShardedCorpusStore": "repro.store",
     "ingest_corpus": "repro.store",
     "resolve_store": "repro.store",
-    # serve: the read-only HTTP API
+    # serve: the HTTP API (reads + the advise write path)
     "ClusterConfig": "repro.serve",
     "ClusterSupervisor": "repro.serve",
+    "ROUTES": "repro.serve",
     "create_server": "repro.serve",
+    "openapi_document": "repro.serve",
     "serve_cluster": "repro.serve",
     "serve_forever": "repro.serve",
     # loadgen: seeded load generation + the SLO gate

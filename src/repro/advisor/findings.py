@@ -1,0 +1,219 @@
+"""The atypicality catalogue: is this proposal in character?
+
+The paper's central result is that projects settle into *profiles*
+(taxa) — frozen schemata stay frozen, focused-shot projects change in
+one early burst, and so on.  A proposed DDL change can therefore be
+judged against the project's own record: a Frozen project suddenly
+injecting twenty attributes is not wrong SQL, but it is wildly out of
+profile and worth flagging before it lands.
+
+Each check below compares the proposal's metric deltas (a
+:class:`~repro.core.diff.TransitionDiff` of latest-stored vs proposed
+schema) with the project's taxon and its per-transition heartbeat
+distribution, and emits :class:`Finding` rows with severity and the
+distributional evidence — JSON-friendly, deterministic, ready to be
+persisted verbatim in the advice ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.diff import TransitionDiff
+from repro.core.metrics import ProjectMetrics
+from repro.core.taxa import Taxon, classify_metrics
+
+#: Severity scale, mildest first; ``warning`` and up mark the proposal
+#: *atypical* for the project's profile.
+SEVERITIES = ("info", "notice", "warning", "critical")
+
+#: Attribute injections at or above this count constitute a mass
+#: injection (the paper's Fig 4 medians put typical per-commit activity
+#: in low single digits across every taxon).
+MASS_INJECTION_THRESHOLD = 10
+
+#: A destructive change of this many attributes (or any table drop)
+#: escalates from notice to warning.
+DESTRUCTIVE_WARNING_THRESHOLD = 5
+
+#: Activity below this floor never counts as an outlier, however quiet
+#: the project's history is.
+OUTLIER_ACTIVITY_FLOOR = 3
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One atypicality verdict: code, severity, message, evidence."""
+
+    code: str
+    severity: str
+    message: str
+    evidence: dict
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def is_atypical(self) -> bool:
+        return SEVERITIES.index(self.severity) >= SEVERITIES.index("warning")
+
+    def payload(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "evidence": self.evidence,
+        }
+
+
+def _severity_rank(finding: Finding) -> int:
+    return SEVERITIES.index(finding.severity)
+
+
+def _frozen_wakeup(taxon: Taxon, diff: TransitionDiff) -> Finding | None:
+    if taxon not in (Taxon.FROZEN, Taxon.ALMOST_FROZEN):
+        return None
+    if diff.activity == 0:
+        return None
+    severity = "critical" if diff.activity >= MASS_INJECTION_THRESHOLD else "warning"
+    return Finding(
+        code="frozen_wakeup",
+        severity=severity,
+        message=(
+            f"a {taxon.value} project proposes {diff.activity} attribute"
+            " change(s); its profile predicts none"
+        ),
+        evidence={"taxon": taxon.value, "proposal_activity": diff.activity},
+    )
+
+
+def _mass_injection(diff: TransitionDiff, heartbeat: Sequence[dict]) -> Finding | None:
+    injected = diff.attrs_born + diff.attrs_injected
+    if injected < MASS_INJECTION_THRESHOLD:
+        return None
+    observed_max = max((int(row["expansion"]) for row in heartbeat), default=0)
+    severity = "critical" if injected >= 2 * MASS_INJECTION_THRESHOLD else "warning"
+    return Finding(
+        code="mass_injection",
+        severity=severity,
+        message=(
+            f"the proposal injects {injected} attributes in one step"
+            f" (largest recorded expansion: {observed_max})"
+        ),
+        evidence={
+            "attrs_born": diff.attrs_born,
+            "attrs_injected": diff.attrs_injected,
+            "max_recorded_expansion": observed_max,
+        },
+    )
+
+
+def _destructive_change(diff: TransitionDiff) -> Finding | None:
+    removed = diff.attrs_deleted + diff.attrs_ejected
+    dropped_tables = len(diff.tables_deleted)
+    if removed == 0 and dropped_tables == 0:
+        return None
+    severity = (
+        "warning"
+        if dropped_tables or removed >= DESTRUCTIVE_WARNING_THRESHOLD
+        else "notice"
+    )
+    return Finding(
+        code="destructive_change",
+        severity=severity,
+        message=(
+            f"the proposal drops {dropped_tables} table(s) and removes"
+            f" {removed} attribute(s); the down script restores them"
+            " structurally but not their data"
+        ),
+        evidence={
+            "tables_deleted": dropped_tables,
+            "attrs_deleted": diff.attrs_deleted,
+            "attrs_ejected": diff.attrs_ejected,
+        },
+    )
+
+
+def _activity_outlier(
+    diff: TransitionDiff, heartbeat: Sequence[dict]
+) -> Finding | None:
+    activities = [int(row["activity"]) for row in heartbeat]
+    if not activities or diff.activity < OUTLIER_ACTIVITY_FLOOR:
+        return None
+    observed_max = max(activities)
+    if diff.activity <= observed_max:
+        return None
+    mean = sum(activities) / len(activities)
+    return Finding(
+        code="activity_outlier",
+        severity="warning",
+        message=(
+            f"proposal activity {diff.activity} exceeds every recorded"
+            f" transition (max {observed_max} over {len(activities)}"
+            " transitions)"
+        ),
+        evidence={
+            "proposal_activity": diff.activity,
+            "observed_max": observed_max,
+            "observed_mean": round(mean, 3),
+            "observed_transitions": len(activities),
+        },
+    )
+
+
+def _taxon_shift(
+    taxon: Taxon, metrics: ProjectMetrics, diff: TransitionDiff
+) -> Finding | None:
+    """Would the project re-classify if this proposal landed as a commit?"""
+    activity = diff.activity
+    would_be = classify_metrics(
+        n_commits=metrics.n_commits + 1,
+        active_commits=metrics.active_commits + (1 if activity > 0 else 0),
+        total_activity=metrics.total_activity + activity,
+        reeds=metrics.reeds + (1 if activity >= metrics.reed_limit else 0),
+    )
+    if would_be is taxon:
+        return None
+    return Finding(
+        code="taxon_shift",
+        severity="notice",
+        message=(
+            f"accepting the proposal would re-classify the project from"
+            f" {taxon.value} to {would_be.value}"
+        ),
+        evidence={
+            "taxon": taxon.value,
+            "would_be": would_be.value,
+            "proposal_activity": activity,
+            "total_activity_after": metrics.total_activity + activity,
+        },
+    )
+
+
+def evaluate_findings(
+    taxon: Taxon,
+    metrics: ProjectMetrics,
+    diff: TransitionDiff,
+    heartbeat: Iterable[dict] = (),
+) -> tuple[Finding, ...]:
+    """Run the whole catalogue; most severe findings first.
+
+    *heartbeat* rows are the store's per-transition dicts (only their
+    ``expansion`` and ``activity`` columns are read), so the evidence a
+    sharded store gathers is identical to the single-file store's.
+    """
+    rows = list(heartbeat)
+    candidates = (
+        _frozen_wakeup(taxon, diff),
+        _mass_injection(diff, rows),
+        _destructive_change(diff),
+        _activity_outlier(diff, rows),
+        _taxon_shift(taxon, metrics, diff),
+    )
+    found = [finding for finding in candidates if finding is not None]
+    found.sort(key=lambda finding: (-_severity_rank(finding), finding.code))
+    return tuple(found)

@@ -34,7 +34,14 @@ Commands
                 ``--url``), closed-loop (``--concurrency``) or
                 open-loop (``--rate``, coordinated-omission-corrected
                 latencies), and gate the report on a JSON SLO spec
-                (``--slo FILE``; violations exit with code 3).
+                (``--slo FILE``; violations exit with code 3);
+``advise``      run the migration advisor against a stored project: a
+                proposed full-schema DDL file in, a versioned up/down
+                migration script plus taxon-atypicality findings out —
+                the same JSON envelope (and the same persisted advice
+                ledger) as ``POST /v1/projects/{id}/advise``;
+                ``--key K`` sets the Idempotency-Key (default: derived
+                from the body), so re-running replays the stored row.
 
 Every corpus-running command (and ``classify``) shares one option set,
 declared once on :class:`RunOptions`: the pipeline knobs ``--jobs N``,
@@ -523,6 +530,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.store import resolve_store
 
     opts: RunOptions = args.options
+    weights = None
+    if args.weight:
+        from repro.loadgen import DEFAULT_WEIGHTS
+
+        weights = dict(DEFAULT_WEIGHTS)
+        for override in args.weight:
+            family, _, value = override.partition("=")
+            if not value or not value.isdigit():
+                raise CliError(
+                    "bad_weight",
+                    f"--weight takes FAMILY=N with integer N, got {override!r}",
+                )
+            weights[family] = int(value)  # unknown families fail model-side
     config = LoadConfig(
         seed=opts.seed,
         requests=args.requests,
@@ -533,6 +553,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         duration=args.duration,
         etag_reuse=args.etag_reuse,
         warmup=not args.no_warmup,
+        weights=weights,
     )
     slo = None
     if args.slo is not None:
@@ -597,6 +618,104 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             detail=json.dumps(report["slo"]),
             exit_code=3,
         )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from repro.advisor import AdvisorError, advise
+    from repro.serve.service import render_body
+    from repro.store import AdviceConflict, resolve_store
+
+    opts: RunOptions = args.options
+    if args.proposal == "-":
+        ddl = sys.stdin.read()
+    else:
+        try:
+            with open(args.proposal, encoding="utf-8") as handle:
+                ddl = handle.read()
+        except OSError as exc:
+            raise CliError("bad_proposal", f"cannot read {args.proposal}: {exc}")
+    with resolve_store(args.db) as store:
+        ref = int(args.project) if args.project.isdigit() else args.project
+        stored = store.get_project(ref)
+        if stored is None:
+            raise CliError("unknown_project", f"unknown project: {args.project}")
+        history = store.project_history(stored.name)
+        if history is None or not history.history.versions:
+            raise CliError(
+                "no_history",
+                f"{stored.name} has no stored schema history to advise against",
+            )
+        # The exact contract of POST /v1/projects/{id}/advise: the key
+        # defaults to a body-derived hash, a replay returns the stored
+        # bytes, and a key reused with a different body is a conflict.
+        body_sha256 = hashlib.sha256(render_body({"ddl": ddl})).hexdigest()
+        key = args.key or f"sha256:{body_sha256}"
+        existing = store.lookup_advice(stored.name, key)
+        if existing is not None and existing.body_sha256 == body_sha256:
+            payload = json.loads(existing.response.decode("utf-8"))
+            replayed = True
+        else:
+            try:
+                advice = advise(
+                    history,
+                    ddl,
+                    project_id=stored.id,
+                    taxon=stored.taxon,
+                    heartbeat_rows=store.heartbeat_rows(stored.name) or [],
+                )
+            except AdvisorError as exc:
+                raise CliError("bad_proposal", str(exc))
+
+            def build_response(advice_id: int) -> bytes:
+                return render_body(
+                    {
+                        "advice_id": advice_id,
+                        "idempotency_key": key,
+                        **advice.payload(),
+                    }
+                )
+
+            try:
+                record, replayed = store.record_advice(
+                    project_id=stored.id,
+                    project=stored.name,
+                    idempotency_key=key,
+                    body_sha256=body_sha256,
+                    build_response=build_response,
+                )
+            except AdviceConflict as exc:
+                raise CliError("idempotency_conflict", str(exc))
+            payload = json.loads(record.response.decode("utf-8"))
+    if opts.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    migration = payload["migration"]
+    replay_note = " (replayed from the advice ledger)" if replayed else ""
+    print(
+        f"# advice #{payload['advice_id']} for {payload['project']} "
+        f"[{payload['taxon']}]{replay_note}"
+    )
+    print(
+        f"migration v{migration['from_version']} -> v{migration['to_version']} "
+        f"({len(migration['operations'])} operation(s), cost {migration['cost']}, "
+        f"checksum {migration['checksum']})"
+    )
+    print(f"-- up\n{migration['up']}")
+    print(f"-- down\n{migration['down']}")
+    if payload["findings"]:
+        print("findings:")
+        for finding in payload["findings"]:
+            print(f"  [{finding['severity']}] {finding['code']}: "
+                  f"{finding['message']}")
+    else:
+        print("findings: none — the proposal is in profile")
+    if payload["atypical"]:
+        print("verdict: ATYPICAL for this project's evolution profile")
+    else:
+        print("verdict: in profile")
     return 0
 
 
@@ -790,8 +909,36 @@ def main(argv: list[str] | None = None) -> int:
         "--response-cache", type=int, default=None, metavar="N",
         help="cache size of the self-hosted server (ignored with --url)",
     )
+    loadgen.add_argument(
+        "--weight", action="append", default=None, metavar="FAMILY=N",
+        help="override one family's weight (repeatable; e.g. --weight"
+             " advise=5 opts the seeded write family into the mix)",
+    )
     RunOptions.add_to_parser(loadgen, corpus=False)
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    advise = sub.add_parser(
+        "advise",
+        help="run the migration advisor against a stored project",
+    )
+    advise.add_argument(
+        "proposal", metavar="FILE",
+        help="the proposed full schema as DDL text ('-' reads stdin)",
+    )
+    advise.add_argument(
+        "--db", default="corpus.db", metavar="PATH", help="corpus store path"
+    )
+    advise.add_argument(
+        "--project", required=True, metavar="REF",
+        help="numeric store id or project name",
+    )
+    advise.add_argument(
+        "--key", default=None, metavar="K",
+        help="Idempotency-Key; equal key + equal body replays the stored"
+             " advice (default: a key derived from the body hash)",
+    )
+    RunOptions.add_to_parser(advise, corpus=False)
+    advise.set_defaults(func=_cmd_advise)
 
     args = parser.parse_args(argv)
     args.options = RunOptions.from_args(args)

@@ -5,7 +5,9 @@ replayable, gateable measurement:
 
 - :mod:`repro.loadgen.workload` — seeded request mixes derived from a
   real :class:`~repro.store.CorpusStore` (same seed + same store =
-  byte-identical request sequence, provable via :func:`plan_digest`);
+  byte-identical request sequence, provable via :func:`plan_digest`),
+  including the opt-in ``advise`` write family (seeded POST bodies
+  with plan-time ``Idempotency-Key`` values);
 - :mod:`repro.loadgen.drivers` — closed-loop (N workers) and open-loop
   (target req/s, coordinated-omission-corrected) drivers over a
   keep-alive HTTP transport with optional seeded client-side faults;
@@ -36,6 +38,7 @@ from repro.loadgen.runner import (
 )
 from repro.loadgen.slo import SloCheck, SloSpec, SloVerdict, evaluate, load_slo
 from repro.loadgen.workload import (
+    ADVISE_KEY_POOL,
     DEFAULT_ETAG_REUSE,
     DEFAULT_WEIGHTS,
     PlannedRequest,
@@ -45,6 +48,7 @@ from repro.loadgen.workload import (
 )
 
 __all__ = [
+    "ADVISE_KEY_POOL",
     "ClosedLoopDriver",
     "DEFAULT_ETAG_REUSE",
     "DEFAULT_WEIGHTS",

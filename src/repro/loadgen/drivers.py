@@ -75,7 +75,7 @@ class EtagTable:
 
 
 class HttpTransport:
-    """Keep-alive GET transport, one ``HTTPConnection`` per thread."""
+    """Keep-alive HTTP transport, one ``HTTPConnection`` per thread."""
 
     def __init__(
         self, base_url: str, timeout: float = DEFAULT_TRANSPORT_TIMEOUT
@@ -103,14 +103,26 @@ class HttpTransport:
             conn.close()
         self._local.conn = None
 
-    def send(self, path: str, headers: dict[str, str]) -> TransportResult:
-        """One GET; reconnects once on a dropped keep-alive connection."""
+    def send(
+        self,
+        path: str,
+        headers: dict[str, str],
+        method: str = "GET",
+        body: str | None = None,
+    ) -> TransportResult:
+        """One request; reconnects once on a dropped keep-alive connection.
+
+        The single retry is safe for writes too: every planned POST
+        carries an ``Idempotency-Key``, so the resend replays instead of
+        double-recording.
+        """
+        payload = body.encode("utf-8") if body is not None else None
         for attempt in (1, 2):
             conn = self._connection()
             try:
-                conn.request("GET", path, headers=headers)
+                conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
-                body = response.read()
+                response_body = response.read()
             except (http.client.HTTPException, OSError) as exc:
                 self._reset()
                 if attempt == 2:
@@ -121,7 +133,7 @@ class HttpTransport:
                 status=response.status,
                 etag=response.getheader("ETag"),
                 degraded=warning.startswith(DEGRADED_WARNING_CODE),
-                body_bytes=len(body),
+                body_bytes=len(response_body),
             )
         return TransportResult(error="unreachable")  # pragma: no cover
 
@@ -151,10 +163,14 @@ def _headers_for(
     request: PlannedRequest, etags: EtagTable
 ) -> dict[str, str]:
     headers: dict[str, str] = {}
-    if request.revalidate:
+    if request.revalidate and request.method == "GET":
         etag = etags.get(request.path)
         if etag is not None:
             headers["If-None-Match"] = etag
+    if request.method == "POST":
+        headers["Content-Type"] = "application/json"
+        if request.idempotency_key is not None:
+            headers["Idempotency-Key"] = request.idempotency_key
     return headers
 
 
@@ -177,12 +193,15 @@ def _execute(
         return
     headers = _headers_for(request, etags)
     started = time.perf_counter()
-    result = transport.send(request.path, headers)
+    result = transport.send(
+        request.path, headers, method=request.method, body=request.body
+    )
     finished = time.perf_counter()
     if result.error is not None:
         recorder.error(request.family, result.error)
     else:
-        etags.put(request.path, result.etag)
+        if request.method == "GET":
+            etags.put(request.path, result.etag)
         corrected = None
         if scheduled_at is not None:
             corrected = max(finished - scheduled_at, finished - started)

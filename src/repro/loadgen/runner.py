@@ -93,13 +93,17 @@ def warm_paths(
     transport: HttpTransport,
     etags: EtagTable,
 ) -> int:
-    """Prefetch every unique planned path once, in sorted order.
+    """Prefetch every unique planned GET path once, in sorted order.
 
     Seeds the ETag table so revalidate-flagged requests always carry
     ``If-None-Match`` during the measured run; returns how many paths
-    were touched.  Warmup requests are not recorded.
+    were touched.  Warmup requests are not recorded.  Write requests
+    never warm — a warmup POST would consume the plan's idempotency
+    keys before the measured run.
     """
-    paths = sorted({request.path for request in plan})
+    paths = sorted(
+        {request.path for request in plan if request.method == "GET"}
+    )
     for path in paths:
         result = transport.send(path, {})
         if result.error is None:

@@ -17,8 +17,10 @@ share one artifact::
     }
 
 Every bound is optional; an empty spec passes vacuously.  Per-family
-entries currently support latency ceilings (``max_p99_ms`` /
-``max_p50_ms``) checked against that family's series.  When the report
+entries support latency ceilings (``max_p99_ms`` / ``max_p50_ms``)
+checked against that family's series, plus ``max_error_rate`` — added
+for write families like ``advise``, where a zero-error bound is the
+cheapest regression net for the idempotent POST path.  When the report
 carries a coordinated-omission-corrected series, latency checks use it
 — the corrected tail is the honest one.
 """
@@ -30,7 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 #: The keys a per-family override may set.
-_FAMILY_BOUNDS = ("max_p99_ms", "max_p50_ms")
+_FAMILY_BOUNDS = ("max_p99_ms", "max_p50_ms", "max_error_rate")
 
 
 @dataclass(frozen=True)
@@ -99,6 +101,12 @@ class SloSpec:
                 raise ValueError(
                     f"family {family!r}: unsupported bounds "
                     f"{', '.join(sorted(unknown))}"
+                )
+            rate = bounds.get("max_error_rate")
+            if rate is not None and not 0 <= rate <= 1:
+                raise ValueError(
+                    f"family {family!r}: max_error_rate must be in 0..1, "
+                    f"got {rate}"
                 )
 
     @classmethod
@@ -190,6 +198,15 @@ def evaluate(spec: SloSpec, report: dict) -> SloVerdict:
                     f"{family}.{quantile}_ms", bounds[bound], observed,
                     observed <= bounds[bound],
                 ))
+        rate = bounds.get("max_error_rate")
+        if rate is not None:
+            entry = families.get(family, {})
+            attempted = entry.get("requests", 0) + entry.get("errors", 0)
+            observed = entry.get("errors", 0) / attempted if attempted else 0.0
+            checks.append(SloCheck(
+                f"{family}.error_rate", rate, round(observed, 6),
+                observed <= rate,
+            ))
 
     return SloVerdict(
         passed=all(check.passed for check in checks),

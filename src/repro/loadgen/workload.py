@@ -31,11 +31,21 @@ A fraction of requests (``etag_reuse``) are marked ``revalidate``: the
 driver replays the last known ``ETag`` for that path as
 ``If-None-Match``, exercising the 304 path the way polling dashboards
 do.
+
+The one write family, ``advise`` (default weight 0 — opt in), POSTs
+seeded migration proposals to ``/v1/projects/{id}/advise``.  Bodies are
+planned exactly like cursor tokens: the planner reads each target
+project's latest stored schema at plan time and appends one
+deterministic probe table, so the body string — and with it the plan
+digest — is a pure function of (seed, store contents).  A bounded pool
+of ``Idempotency-Key`` values makes some POSTs replays of earlier ones,
+exercising the idempotent write path the way retrying clients do.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from urllib.parse import urlencode
@@ -47,6 +57,8 @@ from repro.store.store import CorpusStore
 DEFAULT_ETAG_REUSE = 0.3
 
 #: Default per-family weights (relative, need not sum to anything).
+#: ``advise`` (the write family) defaults to 0 so read-only plan
+#: digests — and every recorded benchmark — stay byte-identical.
 DEFAULT_WEIGHTS: dict[str, int] = {
     "projects_hot": 25,
     "projects_page": 15,
@@ -56,7 +68,15 @@ DEFAULT_WEIGHTS: dict[str, int] = {
     "taxa": 5,
     "stats": 5,
     "failures": 5,
+    "advise": 0,
 }
+
+#: At most this many distinct proposals (and Idempotency-Keys) per
+#: plan; a longer run re-POSTs earlier proposals, exercising replay.
+ADVISE_KEY_POOL = 16
+
+#: How many (hot-head) projects the advise family targets.
+ADVISE_TARGET_POOL = 8
 
 #: Page sizes the pagination walk cycles through.
 _PAGE_LIMITS = (10, 25, 50)
@@ -72,17 +92,34 @@ class PlannedRequest:
 
     ``path`` is the full request target (path + canonical sorted query).
     ``revalidate`` asks the driver to attach the last seen ``ETag`` for
-    this path as ``If-None-Match``.
+    this path as ``If-None-Match``.  Write requests carry a rendered
+    JSON ``body`` and an ``idempotency_key``, both fixed at plan time.
     """
 
     index: int
     family: str
     path: str
     revalidate: bool = False
+    method: str = "GET"
+    body: str | None = None
+    idempotency_key: str | None = None
 
     def line(self) -> str:
-        """The canonical one-line form digests and replays are built on."""
-        return f"{self.index} {self.family} GET {self.path} reval={int(self.revalidate)}"
+        """The canonical one-line form digests and replays are built on.
+
+        GET lines keep their historical shape exactly (recorded plan
+        digests must not move); writes append the body digest + key.
+        """
+        line = (
+            f"{self.index} {self.family} {self.method} {self.path}"
+            f" reval={int(self.revalidate)}"
+        )
+        if self.method != "GET":
+            body_digest = hashlib.sha256(
+                (self.body or "").encode("utf-8")
+            ).hexdigest()[:16]
+            line += f" body={body_digest} key={self.idempotency_key or '-'}"
+        return line
 
 
 def plan_digest(requests: list[PlannedRequest]) -> str:
@@ -96,24 +133,46 @@ def plan_digest(requests: list[PlannedRequest]) -> str:
 
 @dataclass(frozen=True)
 class StoreCatalog:
-    """The store facts a workload derives from (sorted, deterministic)."""
+    """The store facts a workload derives from (sorted, deterministic).
+
+    ``advise_targets`` are ``(project_id, base_ddl)`` pairs for the
+    write family — only gathered when asked (reading full histories is
+    not free), and only for a bounded hot-head pool.
+    """
 
     project_ids: tuple[int, ...]
     taxa: tuple[str, ...]
     total_projects: int
     content_hash: str
+    advise_targets: tuple[tuple[int, str], ...] = ()
 
     @classmethod
-    def from_store(cls, store: CorpusStore) -> "StoreCatalog":
+    def from_store(
+        cls, store: CorpusStore, include_advise: bool = False
+    ) -> "StoreCatalog":
         # One covering-index id scan — never materialize StoredProject
         # rows here; at 100k+ projects that would cost hundreds of MB.
         ids = tuple(store.project_ids())
         taxa = tuple(sorted(store.taxa_summary()))
+        advise_targets: list[tuple[int, str]] = []
+        if include_advise:
+            from repro.schema.writer import render_schema
+
+            for project_id in ids:
+                history = store.project_history(project_id)
+                if history is None or not history.history.versions:
+                    continue
+                advise_targets.append(
+                    (project_id, render_schema(history.history.versions[-1].schema))
+                )
+                if len(advise_targets) >= ADVISE_TARGET_POOL:
+                    break
         return cls(
             project_ids=ids,
             taxa=taxa,
             total_projects=len(ids),
             content_hash=store.content_hash(),
+            advise_targets=tuple(advise_targets),
         )
 
 
@@ -148,6 +207,12 @@ class WorkloadModel:
             )
         if not any(weight > 0 for weight in self.weights.values()):
             raise ValueError("at least one family weight must be positive")
+        if self.weights.get("advise", 0) > 0 and not self.catalog.advise_targets:
+            raise ValueError(
+                "the advise family needs projects with stored history"
+                " (catalog gathered none — was it built with"
+                " include_advise=True?)"
+            )
 
     @classmethod
     def from_store(
@@ -157,10 +222,13 @@ class WorkloadModel:
         weights: dict[str, int] | None = None,
         etag_reuse: float = DEFAULT_ETAG_REUSE,
     ) -> "WorkloadModel":
+        resolved = dict(weights) if weights is not None else dict(DEFAULT_WEIGHTS)
         return cls(
-            catalog=StoreCatalog.from_store(store),
+            catalog=StoreCatalog.from_store(
+                store, include_advise=resolved.get("advise", 0) > 0
+            ),
             seed=seed,
-            weights=dict(weights) if weights is not None else dict(DEFAULT_WEIGHTS),
+            weights=resolved,
             etag_reuse=etag_reuse,
         )
 
@@ -181,6 +249,7 @@ class WorkloadModel:
         requests: list[PlannedRequest] = []
         for index in range(count):
             family = rng.choices(families, weights=weights)[0]
+            method, body, idempotency_key = "GET", None, None
             if family == "projects_hot":
                 path = "/v1/projects?" + _query({"limit": 50})
             elif family == "projects_page":
@@ -214,12 +283,36 @@ class WorkloadModel:
                 path = "/v1/taxa"
             elif family == "stats":
                 path = "/v1/stats"
+            elif family == "advise":
+                targets = self.catalog.advise_targets
+                target_id, base_ddl = targets[rng.randrange(len(targets))]
+                # A bounded probe pool: probe P against project T always
+                # renders the same body under the same key, so longer
+                # runs deliberately replay earlier proposals.
+                probe = rng.randrange(ADVISE_KEY_POOL)
+                ddl = (
+                    base_ddl.rstrip()
+                    + f"\nCREATE TABLE loadgen_probe_{probe} ("
+                    "id INT, note VARCHAR(64));\n"
+                )
+                method = "POST"
+                body = json.dumps({"ddl": ddl}, sort_keys=True)
+                idempotency_key = f"loadgen-{self.seed}-{target_id}-{probe}"
+                path = f"/v1/projects/{target_id}/advise"
             else:  # failures
                 path = "/v1/failures"
-            revalidate = rng.random() < self.etag_reuse
+            # The draw always happens (stream stability); writes never
+            # revalidate (no ETag to reuse).
+            revalidate = rng.random() < self.etag_reuse and method == "GET"
             requests.append(
                 PlannedRequest(
-                    index=index, family=family, path=path, revalidate=revalidate
+                    index=index,
+                    family=family,
+                    path=path,
+                    revalidate=revalidate,
+                    method=method,
+                    body=body,
+                    idempotency_key=idempotency_key,
                 )
             )
         return requests

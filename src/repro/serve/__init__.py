@@ -1,38 +1,52 @@
-"""The read-only corpus serving layer (``repro serve``).
+"""The corpus serving layer (``repro serve``).
 
 A stdlib ``ThreadingHTTPServer`` over one :class:`~repro.store.CorpusStore`.
-The versioned ``/v1`` surface is the current API:
+The versioned ``/v1`` surface is the current API, driven by the
+declarative route table in :mod:`repro.serve.routes`:
 
-====================================  =========================================
-``GET /v1/projects``                  paginated projects; ``taxon=``,
-                                      ``outcome=``, ``min_<metric>=`` /
-                                      ``max_<metric>=``, ``offset=``, ``limit=``;
-                                      payload carries ``next``/``total``
-``GET /v1/projects/{id}``             one project + its schema-version ledger
-``GET /v1/projects/{id}/heartbeat``   the per-commit heartbeat rows
-``GET /v1/taxa``                      per-taxon populations and shares
-``GET /v1/stats``                     corpus aggregates + funnel counts
-``GET /v1/failures``                  stored ProjectFailure records with
-                                      retry-attempt counts (paginated)
-``GET /v1/metrics``                   the metrics registry: JSON, or
-                                      Prometheus text via ``Accept``
-====================================  =========================================
+=======================================  ======================================
+``GET /v1/projects``                     paginated projects; ``taxon=``,
+                                         ``outcome=``, ``min_<metric>=`` /
+                                         ``max_<metric>=``, ``cursor=`` or
+                                         ``offset=``/``limit=``; payload
+                                         carries ``next``/``total``
+``GET /v1/projects/{id}``                one project + its version ledger
+``GET /v1/projects/{id}/heartbeat``      the per-commit heartbeat rows
+``GET/POST /v1/projects/{id}/advise``    the migration advisor: POST a
+                                         proposed DDL change for a versioned
+                                         up/down script + atypicality
+                                         findings (idempotent via
+                                         ``Idempotency-Key``); GET the
+                                         persisted advice ledger
+``GET /v1/taxa``                         per-taxon populations and shares
+``GET /v1/stats``                        corpus aggregates + ``api`` block
+``GET /v1/failures``                     stored ProjectFailure records with
+                                         retry-attempt counts (paginated)
+``GET /v1/openapi.json``                 OpenAPI 3.1, generated from the
+                                         route table
+``GET /v1/metrics``                      the metrics registry: JSON, or
+                                         Prometheus text via ``Accept``
+=======================================  ======================================
 
 v1 errors use the structured envelope ``{"error": {"code", "message",
-"detail"}}``.  The legacy unversioned routes still answer with their
-original shapes but carry ``Deprecation: true`` and a ``Link:
-rel="successor-version"`` header pointing at their ``/v1`` successor.
+"detail"}}``; every /v1 response carries ``X-Api-Version``.  Unknown
+methods on known paths answer a uniform 405 with ``Allow``; ``OPTIONS``
+answers 204 + ``Allow``.  The legacy unversioned routes still answer
+with their original shapes but carry ``Deprecation: true`` and a
+``Link: rel="successor-version"`` header pointing at their ``/v1``
+successor.
 
 ``{id}`` is a numeric store id or a URL-encoded project name.  All
-cacheable responses carry a deterministic ``ETag`` derived from the
+cacheable GET responses carry a deterministic ``ETag`` derived from the
 store's content hash; ``If-None-Match`` revalidation answers ``304``.
-Hot ``/v1`` responses come from an LRU :class:`ResponseCache` keyed on
+Hot ``/v1`` GETs come from an LRU :class:`ResponseCache` keyed on
 ``(path, canonical query)`` and validated against the store's content
 hash, so repeat queries of an unchanged store skip the store read and
 the JSON render entirely (hit/miss counters on ``/metrics``).
 Requests run bounded by a timeout behind a store-level circuit breaker;
-under a store outage the server degrades to the last ETag-consistent
-snapshot (``Warning``/``Retry-After``) or an honest 503 — never a hang.
+under a store outage GETs degrade to the last ETag-consistent snapshot
+(``Warning``/``Retry-After``) or an honest 503, while writes always get
+the honest 503 (never stale advice) — and never a hang.
 """
 
 from repro.serve.cluster import (
@@ -42,10 +56,12 @@ from repro.serve.cluster import (
     serve_cluster,
 )
 from repro.serve.metrics import LATENCY_BUCKETS, ServiceMetrics
+from repro.serve.routes import API_VERSION, ROUTES, Route, openapi_document
 from repro.serve.server import (
     CorpusServer,
     DEFAULT_REQUEST_TIMEOUT,
     GZIP_THRESHOLD,
+    MAX_BODY_BYTES,
     PROMETHEUS_CONTENT_TYPE,
     RoutedResult,
     create_server,
@@ -65,6 +81,7 @@ from repro.serve.service import (
 
 __all__ = [
     "API_V1_PREFIX",
+    "API_VERSION",
     "ClusterConfig",
     "ClusterError",
     "ClusterSupervisor",
@@ -75,14 +92,18 @@ __all__ = [
     "DEFAULT_REQUEST_TIMEOUT",
     "GZIP_THRESHOLD",
     "LATENCY_BUCKETS",
+    "MAX_BODY_BYTES",
     "MAX_PAGE_LIMIT",
     "PROMETHEUS_CONTENT_TYPE",
+    "ROUTES",
     "RenderedResponse",
     "ResponseCache",
+    "Route",
     "RoutedResult",
     "ServiceMetrics",
     "ServiceResponse",
     "create_server",
+    "openapi_document",
     "serve_cluster",
     "serve_forever",
     "start_server",

@@ -1,7 +1,8 @@
 """The HTTP front: stdlib ``ThreadingHTTPServer`` around the service.
 
-Read-only JSON over GET, with the properties a corpus API needs to sit
-behind heavy traffic:
+JSON over GET — plus the first write path, ``POST
+/v1/projects/{id}/advise`` — with the properties a corpus API needs to
+sit behind heavy traffic:
 
 - **Deterministic revalidation.**  Every cacheable response carries an
   ``ETag`` derived from the store's content hash plus the canonical
@@ -18,11 +19,13 @@ behind heavy traffic:
   ``request_timeout`` (a hung read cannot pin a handler thread forever)
   behind a store-level :class:`~repro.resilience.CircuitBreaker`.  When
   the store fails or the breaker is open the server *degrades* instead
-  of hanging: a request whose response was served before comes back
-  from the last ETag-consistent snapshot with ``Warning: 110`` and
+  of hanging: a GET whose response was served before comes back from
+  the last ETag-consistent snapshot with ``Warning: 110`` and
   ``Retry-After`` headers; anything else gets a 503 envelope with
-  ``Retry-After``.  A half-open probe closes the breaker again once the
-  store recovers.
+  ``Retry-After``.  Writes never degrade to stale data — a POST under
+  an open breaker is always an honest 503 (the client retries with its
+  ``Idempotency-Key``, so the retry is safe).  A half-open probe closes
+  the breaker again once the store recovers.
 - **Observability.**  ``/metrics`` (and ``/v1/metrics``) exposes the
   server's :class:`~repro.obs.metrics.MetricsRegistry` — JSON by
   default, Prometheus text exposition (``text/plain; version=0.0.4``)
@@ -37,6 +40,7 @@ from __future__ import annotations
 
 import gzip
 import hashlib
+import json
 import math
 import signal
 import socket
@@ -51,6 +55,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import trace
 from repro.resilience.policy import CircuitBreaker, DeadlineExceeded, call_with_timeout
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.routes import API_VERSION
 from repro.serve.service import (
     API_V1_PREFIX,
     DEFAULT_CACHE_CAPACITY,
@@ -63,6 +68,10 @@ from repro.store.store import CorpusStore
 
 #: Responses smaller than this are not worth compressing.
 GZIP_THRESHOLD = 256
+
+#: Hard cap on one request body; beyond it the connection answers 413
+#: and closes (the client may still be mid-upload).
+MAX_BODY_BYTES = 1 << 20
 
 #: The Content-Type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -96,7 +105,7 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
     """Translates HTTP to :class:`CorpusService` calls."""
 
     server: "CorpusServer"
-    server_version = "repro-serve/1.3"
+    server_version = "repro-serve/1.4"
     protocol_version = "HTTP/1.1"
     # Headers and body flush as separate segments; without TCP_NODELAY,
     # Nagle + the peer's delayed ACK add ~40ms to every keep-alive
@@ -104,31 +113,69 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
-        self.do_GET(head_only=True)
+        self._dispatch("GET", head_only=True)
 
-    def do_GET(self, head_only: bool = False) -> None:  # noqa: N802 - stdlib naming
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def do_OPTIONS(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("OPTIONS")
+
+    # Unsupported-but-known methods still route, so the table answers
+    # with a uniform 405 + Allow envelope instead of the stdlib's 501.
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("PUT")
+
+    def do_PATCH(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("PATCH")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str, head_only: bool = False) -> None:
         started = time.perf_counter()
         split = urlsplit(self.path)
         params = dict(parse_qsl(split.query))
-        with trace("http.request", method="GET", path=split.path) as span:
-            routed = self._route_metrics(split.path)
-            if routed is None and self._is_prometheus_metrics(split.path):
-                body = self.server.metrics_prometheus().encode("utf-8")
-                headers = {"Content-Type": PROMETHEUS_CONTENT_TYPE}
-                for name, value in self._metrics_extra_headers(split.path):
-                    headers[name] = value
-                self._send(200, body, headers, head_only)
-                if span is not None:
-                    span.attrs.update(endpoint=self._metrics_endpoint(split.path),
-                                      status=200)
-                self.server.metrics.observe(
-                    self._metrics_endpoint(split.path), 200,
-                    time.perf_counter() - started, len(body),
-                )
-                return
+        v1 = split.path == API_V1_PREFIX or split.path.startswith(API_V1_PREFIX + "/")
+        with trace("http.request", method=method, path=split.path) as span:
+            routed = None
+            body_value = None
+            if method == "POST":
+                routed, body_value = self._read_body(split.path)
+            elif method not in ("GET", "OPTIONS"):
+                self._drain_body()  # keep keep-alive framing before the 405
+            if routed is None and method == "GET":
+                routed = self._route_metrics(split.path)
+                if routed is None and self._is_prometheus_metrics(split.path):
+                    body = self.server.metrics_prometheus().encode("utf-8")
+                    headers = {"Content-Type": PROMETHEUS_CONTENT_TYPE}
+                    if v1:
+                        headers["X-Api-Version"] = str(API_VERSION)
+                    for name, value in self._metrics_extra_headers(split.path):
+                        headers[name] = value
+                    self._send(200, body, headers, head_only)
+                    if span is not None:
+                        span.attrs.update(
+                            endpoint=self._metrics_endpoint(split.path), status=200
+                        )
+                    self.server.metrics.observe(
+                        self._metrics_endpoint(split.path), 200,
+                        time.perf_counter() - started, len(body),
+                    )
+                    return
             if routed is None:
-                routed = self.server.guarded_handle(split.path, split.query, params)
+                routed = self.server.guarded_handle(
+                    split.path, split.query, params,
+                    method=method,
+                    body=body_value,
+                    idempotency_key=self.headers.get("Idempotency-Key"),
+                )
             status, body, headers = self._materialize(routed, head_only)
+            if v1:
+                headers["X-Api-Version"] = str(API_VERSION)
             self._send(status, body, headers, head_only)
             if span is not None:
                 span.attrs.update(endpoint=routed.response.endpoint, status=status)
@@ -137,6 +184,98 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
         self.server.metrics.observe(
             routed.response.endpoint, status, time.perf_counter() - started, len(body)
         )
+
+    # -- request-body parsing ----------------------------------------------
+
+    def _protocol_error(
+        self, path: str, status: int, message: str,
+        detail: str | None = None, close: bool = False,
+    ) -> RoutedResult:
+        if close:
+            self.close_connection = True
+        return RoutedResult(
+            response=self.server.service.request_error(
+                path, status, message, detail=detail
+            ),
+            etag=None,
+        )
+
+    def _drain_body(self, length: int | None = None) -> bool:
+        """Discard a request body so keep-alive framing survives.
+
+        Reads up to ``8 * MAX_BODY_BYTES`` in chunks; beyond that the
+        connection is marked for close instead (don't relay an abusive
+        stream just to keep a socket warm).  Returns True if fully
+        drained.
+        """
+        if length is None:
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self.close_connection = True
+                return False
+        if length > 8 * MAX_BODY_BYTES:
+            self.close_connection = True
+            return False
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                self.close_connection = True
+                return False
+            remaining -= len(chunk)
+        return True
+
+    def _read_body(self, path: str) -> tuple[RoutedResult | None, object | None]:
+        """Read + parse one JSON request body; (error, None) on failure.
+
+        An oversized body is drained (bounded) before the 413 so the
+        client reliably reads the response instead of dying on a broken
+        pipe mid-upload; 415 drains nothing extra (the body was already
+        read).
+        """
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            return (
+                self._protocol_error(
+                    path, 400, f"invalid Content-Length: {raw_length!r}"
+                ),
+                None,
+            )
+        if length > MAX_BODY_BYTES:
+            drained = self._drain_body(length)
+            return (
+                self._protocol_error(
+                    path, 413,
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    detail=f"Content-Length: {length}",
+                    close=not drained,
+                ),
+                None,
+            )
+        raw = self.rfile.read(length) if length else b""
+        content_type = self.headers.get("Content-Type", "application/json")
+        if "json" not in content_type.split(";")[0]:
+            return (
+                self._protocol_error(
+                    path, 415,
+                    f"unsupported Content-Type: {content_type.split(';')[0]!r}",
+                    detail="send application/json",
+                ),
+                None,
+            )
+        try:
+            return None, json.loads(raw.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return (
+                self._protocol_error(
+                    path, 400, "the request body is not valid JSON",
+                    detail=str(exc),
+                ),
+                None,
+            )
 
     # -- /metrics routing ---------------------------------------------------
 
@@ -199,6 +338,8 @@ class CorpusRequestHandler(BaseHTTPRequestHandler):
             headers["Cache-Control"] = "max-age=0, must-revalidate"
             if self._etag_matches(routed.etag):
                 return 304, b"", headers
+        if result.status == 204:
+            return 204, b"", headers
         body = routed.body if routed.body is not None else render_body(result.payload)
         if (
             len(body) >= GZIP_THRESHOLD
@@ -295,24 +436,38 @@ class CorpusServer(ThreadingHTTPServer):
 
     # -- the resilient request path ----------------------------------------
 
-    def guarded_handle(self, path: str, query: str, params: dict[str, str]) -> RoutedResult:
+    def guarded_handle(
+        self,
+        path: str,
+        query: str,
+        params: dict[str, str],
+        method: str = "GET",
+        body: object | None = None,
+        idempotency_key: str | None = None,
+    ) -> RoutedResult:
         """Route one request through timeout + circuit breaker.
 
         Service routing *and* ETag computation (a store read) run on a
         bounded call; any raise or timeout trips the breaker and falls
         back to :meth:`_degrade` instead of propagating to the socket.
+        Only GETs earn ETags and degradation snapshots — a write's
+        response must never be replayed as if the store had served it.
         """
         canonical = "&".join(sorted(query.split("&"))) if query else ""
         key = (path, canonical)
         if not self.breaker.allow():
-            return self._degrade(path, key, "store circuit breaker is open")
+            return self._degrade(path, key, "store circuit breaker is open", method)
 
         def call() -> tuple[ServiceResponse, str | None, bytes]:
-            rendered = self.service.handle_rendered(path, canonical, params)
+            rendered = self.service.handle_rendered(
+                path, canonical, params,
+                method=method, body=body, idempotency_key=idempotency_key,
+            )
             response = rendered.response
             etag = (
                 self.etag_from_hash(rendered.content_hash, path, query)
-                if rendered.content_hash is not None
+                if method == "GET"
+                and rendered.content_hash is not None
                 and response.cacheable
                 and response.status == 200
                 else None
@@ -320,31 +475,44 @@ class CorpusServer(ThreadingHTTPServer):
             return response, etag, rendered.body
 
         try:
-            response, etag, body = call_with_timeout(call, self.request_timeout)
+            response, etag, body_bytes = call_with_timeout(call, self.request_timeout)
         except DeadlineExceeded:
             self.metrics.registry.counter("repro_http_timeouts_total").inc()
             self.breaker.record_failure()
             return self._degrade(
                 path, key,
                 f"request exceeded its {self.request_timeout}s deadline",
+                method,
             )
         except Exception as exc:
             self.breaker.record_failure()
-            return self._degrade(path, key, f"store failure: {type(exc).__name__}")
+            return self._degrade(
+                path, key, f"store failure: {type(exc).__name__}", method
+            )
         self.breaker.record_success()
         if etag is not None:
             with self._snapshot_lock:
-                self._snapshots[key] = (response, etag, body)
+                self._snapshots[key] = (response, etag, body_bytes)
                 self._snapshots.move_to_end(key)
                 while len(self._snapshots) > SNAPSHOT_CAPACITY:
                     self._snapshots.popitem(last=False)
-        return RoutedResult(response=response, etag=etag, body=body)
+        return RoutedResult(response=response, etag=etag, body=body_bytes)
 
-    def _degrade(self, path: str, key: tuple[str, str], reason: str) -> RoutedResult:
-        """Serve the last known snapshot, else an honest 503 — never hang."""
+    def _degrade(
+        self, path: str, key: tuple[str, str], reason: str, method: str = "GET"
+    ) -> RoutedResult:
+        """Serve the last known snapshot, else an honest 503 — never hang.
+
+        Writes skip the snapshot path entirely: stale advice must never
+        masquerade as a fresh verdict, so a degraded POST is always 503
+        + ``Retry-After`` (safe to retry — the Idempotency-Key makes the
+        retry exactly-once).
+        """
         retry_after = str(max(1, math.ceil(self.breaker.retry_after() or 1.0)))
-        with self._snapshot_lock:
-            snapshot = self._snapshots.get(key)
+        snapshot = None
+        if method == "GET":
+            with self._snapshot_lock:
+                snapshot = self._snapshots.get(key)
         if snapshot is not None:
             response, etag, body = snapshot
             self.metrics.registry.counter(

@@ -25,13 +25,14 @@ render counter publish into the server's metrics registry.
 
 from __future__ import annotations
 
+import hashlib
 import json
-import re
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from urllib.parse import unquote, urlencode
 
+from repro.advisor import AdvisorError, advise
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.cursors import (
     decode_failure_cursor,
@@ -39,8 +40,10 @@ from repro.serve.cursors import (
     encode_failure_cursor,
     encode_project_cursor,
 )
+from repro.serve.routes import API_VERSION, ROUTES, Route, openapi_document
 from repro.store.store import (
     METRIC_COLUMNS,
+    AdviceConflict,
     CorpusStore,
     MetricRange,
     StoreError,
@@ -59,9 +62,6 @@ MAX_INT_PARAM = 2**53
 
 #: The current API version prefix.
 API_V1_PREFIX = "/v1"
-
-_HEARTBEAT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)/heartbeat$")
-_PROJECT_RE = re.compile(r"^/projects/(?P<ref>[^/]+)$")
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,25 @@ class RenderedResponse:
     body: bytes
     content_hash: str | None
     cache_hit: bool = False
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """Everything a route handler may need, in one uniform shape.
+
+    The declarative dispatch hands every handler the same object —
+    matched route, HTTP method, parsed query params, the bound path
+    parameter (``ref``), and for write routes the parsed JSON body plus
+    the client's ``Idempotency-Key``.
+    """
+
+    route: Route
+    method: str
+    v1: bool
+    params: dict[str, str]
+    ref: int | str | None = None
+    body: object | None = None
+    idempotency_key: str | None = None
 
 
 class ResponseCache:
@@ -204,6 +223,10 @@ def _error_code_for(status: int) -> str:
     return {
         400: "bad_request",
         404: "not_found",
+        405: "method_not_allowed",
+        409: "idempotency_conflict",
+        413: "payload_too_large",
+        415: "unsupported_media_type",
         503: "store_unavailable",
     }.get(status, "error")
 
@@ -265,50 +288,75 @@ class CorpusService:
         self._request_hash = threading.local()
 
     def handle_rendered(
-        self, path: str, canonical_query: str, params: dict[str, str]
+        self,
+        path: str,
+        canonical_query: str,
+        params: dict[str, str],
+        method: str = "GET",
+        body: object | None = None,
+        idempotency_key: str | None = None,
     ) -> RenderedResponse:
         """Route one request and render its body, through the cache.
 
         ``content_hash()`` is read exactly once per request; it both
         validates the cache entry and feeds the caller's ETag, so a hit
         answers without any further store work.  Only current-API
-        (``/v1``) 200s are cached — legacy routes bypass (they are
-        deprecated, not worth hot-path memory) and errors are always
-        recomputed.  A store outage raises out of here (the content-hash
-        read fails), which is what trips the caller's circuit breaker.
+        (``/v1``) GET 200s are cached — legacy routes bypass (they are
+        deprecated, not worth hot-path memory), writes must always
+        reach the store, and errors are always recomputed.  A store
+        outage raises out of here (the content-hash read fails), which
+        is what trips the caller's circuit breaker.
         """
         v1 = path == API_V1_PREFIX or path.startswith(API_V1_PREFIX + "/")
         content_hash = self.store.content_hash()
         key = (path, canonical_query)
-        if v1 and self.cache is not None:
+        if v1 and method == "GET" and self.cache is not None:
             cached = self.cache.lookup(key, content_hash)
             if cached is not None:
-                response, body = cached
-                return RenderedResponse(response, body, content_hash, cache_hit=True)
+                response, body_bytes = cached
+                return RenderedResponse(
+                    response, body_bytes, content_hash, cache_hit=True
+                )
         self._request_hash.value = content_hash
         try:
-            response = self.handle(path, params)
+            response = self.handle(
+                path, params, method=method, body=body,
+                idempotency_key=idempotency_key,
+            )
         finally:
             self._request_hash.value = None
-        body = render_body(response.payload)
+        body_bytes = render_body(response.payload)
         self.registry.counter(
             "repro_serve_renders_total", endpoint=response.endpoint
         ).inc()
         if (
             v1
+            and method == "GET"
             and self.cache is not None
             and response.cacheable
             and response.status == 200
         ):
-            self.cache.store(key, content_hash, response, body)
-        return RenderedResponse(response, body, content_hash)
+            self.cache.store(key, content_hash, response, body_bytes)
+        return RenderedResponse(response, body_bytes, content_hash)
 
-    def handle(self, path: str, params: dict[str, str]) -> ServiceResponse:
-        """Dispatch one GET request; never raises for bad input."""
+    def handle(
+        self,
+        path: str,
+        params: dict[str, str],
+        method: str = "GET",
+        body: object | None = None,
+        idempotency_key: str | None = None,
+    ) -> ServiceResponse:
+        """Dispatch one request; never raises for bad input."""
         v1 = path == API_V1_PREFIX or path.startswith(API_V1_PREFIX + "/")
         sub = path[len(API_V1_PREFIX):] if v1 else path
         try:
-            response = self._route(sub or "/", params, v1)
+            response = self._route(
+                sub or "/", params, v1, method=method, body=body,
+                idempotency_key=idempotency_key,
+            )
+        except AdviceConflict as exc:
+            response = self._error(409, str(exc), self._prefix(sub, v1), v1)
         except StoreError as exc:
             response = self._error(400, str(exc), self._prefix(sub, v1), v1)
         if not v1:
@@ -328,24 +376,72 @@ class CorpusService:
             detail=reason,
         )
 
+    def request_error(
+        self, path: str, status: int, message: str, detail: str | None = None
+    ) -> ServiceResponse:
+        """A protocol-level error (bad body, oversized payload, ...).
+
+        The HTTP layer calls this for failures it detects *before*
+        routing — the envelope still follows the path's API version.
+        """
+        v1 = path == API_V1_PREFIX or path.startswith(API_V1_PREFIX + "/")
+        return self._error(
+            status, message, self._prefix("/request", v1), v1, detail=detail
+        )
+
     def _prefix(self, endpoint: str, v1: bool) -> str:
         return f"{API_V1_PREFIX}{endpoint}" if v1 else endpoint
 
-    def _route(self, path: str, params: dict[str, str], v1: bool) -> ServiceResponse:
-        if path in ("/projects", "/projects/"):
-            return self._projects(params, v1)
-        match = _HEARTBEAT_RE.match(path)
-        if match:
-            return self._heartbeat(_resolve_ref(match.group("ref")), v1)
-        match = _PROJECT_RE.match(path)
-        if match:
-            return self._project(_resolve_ref(match.group("ref")), v1)
-        if path in ("/taxa", "/taxa/"):
-            return self._taxa(v1)
-        if path in ("/stats", "/stats/"):
-            return self._stats(v1)
-        if v1 and path in ("/failures", "/failures/"):
-            return self._failures(params)
+    def _route(
+        self,
+        path: str,
+        params: dict[str, str],
+        v1: bool,
+        method: str = "GET",
+        body: object | None = None,
+        idempotency_key: str | None = None,
+    ) -> ServiceResponse:
+        """Dispatch against the declarative route table.
+
+        A known path with an unsupported method answers a uniform 405
+        envelope carrying the route's ``Allow`` set; ``OPTIONS`` answers
+        204 + ``Allow`` without touching the handler.
+        """
+        for route in ROUTES:
+            if not v1 and not route.legacy:
+                continue
+            match = route.pattern.match(path)
+            if match is None:
+                continue
+            endpoint = self._prefix(route.template, v1)
+            if method == "OPTIONS":
+                return ServiceResponse(
+                    status=204,
+                    payload={},
+                    endpoint=endpoint,
+                    cacheable=False,
+                    headers=(("Allow", route.allow),),
+                )
+            if method not in route.methods:
+                return self._error(
+                    405,
+                    f"method {method} is not allowed on {endpoint}",
+                    endpoint,
+                    v1,
+                    detail=f"allowed: {route.allow}",
+                    headers=(("Allow", route.allow),),
+                )
+            groups = match.groupdict()
+            request = RouteRequest(
+                route=route,
+                method=method,
+                v1=v1,
+                params=params,
+                ref=_resolve_ref(groups["ref"]) if "ref" in groups else None,
+                body=body,
+                idempotency_key=idempotency_key,
+            )
+            return getattr(self, route.handler)(request)
         shown = path if not v1 else API_V1_PREFIX + path
         return self._error(404, f"no such route: {shown}", "unknown", v1)
 
@@ -354,6 +450,7 @@ class CorpusService:
     def _error(
         self, status: int, message: str, endpoint: str, v1: bool,
         detail: str | None = None,
+        headers: tuple[tuple[str, str], ...] = (),
     ) -> ServiceResponse:
         """v1 wraps errors in the structured envelope; legacy keeps the
         original bare ``{"error": message}`` shape."""
@@ -368,7 +465,11 @@ class CorpusService:
         else:
             payload = {"error": message}
         return ServiceResponse(
-            status=status, payload=payload, endpoint=endpoint, cacheable=False
+            status=status,
+            payload=payload,
+            endpoint=endpoint,
+            cacheable=False,
+            headers=headers,
         )
 
     def _page_params(self, params: dict[str, str]) -> tuple[int, int]:
@@ -422,7 +523,8 @@ class CorpusService:
 
     # -- routes ------------------------------------------------------------
 
-    def _projects(self, params: dict[str, str], v1: bool) -> ServiceResponse:
+    def _projects(self, req: RouteRequest) -> ServiceResponse:
+        params, v1 = req.params, req.v1
         offset, limit = self._page_params(params)
         raw_cursor = self._raw_cursor(params, v1)
         cursor = (
@@ -483,7 +585,8 @@ class CorpusService:
             headers=headers,
         )
 
-    def _failures(self, params: dict[str, str]) -> ServiceResponse:
+    def _failures(self, req: RouteRequest) -> ServiceResponse:
+        params = req.params
         offset, limit = self._page_params(params)
         raw_cursor = self._raw_cursor(params, v1=True)
         total = self.store.failure_count()
@@ -527,7 +630,8 @@ class CorpusService:
             headers=headers,
         )
 
-    def _project(self, ref: int | str, v1: bool) -> ServiceResponse:
+    def _project(self, req: RouteRequest) -> ServiceResponse:
+        ref, v1 = req.ref, req.v1
         stored = self.store.get_project(ref)
         endpoint = self._prefix("/projects/{id}", v1)
         if stored is None:
@@ -536,7 +640,8 @@ class CorpusService:
         payload["versions"] = self.store.version_rows(ref)
         return ServiceResponse(status=200, payload=payload, endpoint=endpoint)
 
-    def _heartbeat(self, ref: int | str, v1: bool) -> ServiceResponse:
+    def _heartbeat(self, req: RouteRequest) -> ServiceResponse:
+        ref, v1 = req.ref, req.v1
         stored = self.store.get_project(ref)
         endpoint = self._prefix("/projects/{id}/heartbeat", v1)
         if stored is None:
@@ -554,14 +659,15 @@ class CorpusService:
             endpoint=endpoint,
         )
 
-    def _taxa(self, v1: bool) -> ServiceResponse:
+    def _taxa(self, req: RouteRequest) -> ServiceResponse:
         return ServiceResponse(
             status=200,
             payload={"taxa": self.store.taxa_summary()},
-            endpoint=self._prefix("/taxa", v1),
+            endpoint=self._prefix("/taxa", req.v1),
         )
 
-    def _stats(self, v1: bool) -> ServiceResponse:
+    def _stats(self, req: RouteRequest) -> ServiceResponse:
+        v1 = req.v1
         payload = self.store.aggregates()
         request_hash = getattr(self._request_hash, "value", None)
         payload["content_hash"] = (
@@ -569,6 +675,120 @@ class CorpusService:
         )
         if v1 and self.cluster_workers is not None:
             payload["cluster"] = {"workers": self.cluster_workers}
+        if v1:
+            payload["api"] = {"version": API_VERSION, "routes": len(ROUTES)}
         return ServiceResponse(
             status=200, payload=payload, endpoint=self._prefix("/stats", v1)
+        )
+
+    def _openapi(self, req: RouteRequest) -> ServiceResponse:
+        from repro import __version__
+
+        return ServiceResponse(
+            status=200,
+            payload=openapi_document(__version__),
+            endpoint=self._prefix("/openapi.json", req.v1),
+        )
+
+    def _advise(self, req: RouteRequest) -> ServiceResponse:
+        """The write path: persist-or-replay migration advice.
+
+        POST parses the proposal, runs the advisor, and records the
+        advice under ``(project, Idempotency-Key)`` in one store
+        transaction — the same key with the same body replays the
+        *stored bytes* (byte-identical response, ``Idempotency-Replayed``
+        header), the same key with a different body answers 409.  A
+        request without a key gets a content-derived one
+        (``sha256:<body hash>``), making retries of identical bodies
+        idempotent by construction.  GET lists the persisted ledger.
+        """
+        endpoint = self._prefix("/projects/{id}/advise", req.v1)
+        stored = self.store.get_project(req.ref)
+        if stored is None:
+            return self._error(404, f"unknown project: {req.ref}", endpoint, req.v1)
+        if req.method == "GET":
+            records = self.store.advice_records(stored.name)
+            return ServiceResponse(
+                status=200,
+                payload={
+                    "project": stored.name,
+                    "project_id": stored.id,
+                    "total": len(records),
+                    "advice": [
+                        json.loads(record.response.decode("utf-8"))
+                        for record in records
+                    ],
+                },
+                endpoint=endpoint,
+                cacheable=False,
+            )
+        body = req.body
+        if not isinstance(body, dict):
+            return self._error(
+                400, "the request body must be a JSON object", endpoint, req.v1
+            )
+        ddl = body.get("ddl")
+        if not isinstance(ddl, str) or not ddl.strip():
+            return self._error(
+                400,
+                'the request body must carry a non-empty "ddl" string',
+                endpoint,
+                req.v1,
+            )
+        history = self.store.project_history(stored.name)
+        if history is None or not history.history.versions:
+            return self._error(
+                400,
+                f"{stored.name} has no stored schema history to advise against",
+                endpoint,
+                req.v1,
+            )
+        body_sha256 = hashlib.sha256(render_body(body)).hexdigest()
+        key = req.idempotency_key or f"sha256:{body_sha256}"
+        # Fast path: a replay never burns an advisor run (or, under the
+        # sharded store, a global advice id).
+        existing = self.store.lookup_advice(stored.name, key)
+        if existing is not None and existing.body_sha256 == body_sha256:
+            return ServiceResponse(
+                status=200,
+                payload=json.loads(existing.response.decode("utf-8")),
+                endpoint=endpoint,
+                cacheable=False,
+                headers=(
+                    ("Idempotency-Key", key),
+                    ("Idempotency-Replayed", "true"),
+                ),
+            )
+        try:
+            advice = advise(
+                history,
+                ddl,
+                project_id=stored.id,
+                taxon=stored.taxon,
+                heartbeat_rows=self.store.heartbeat_rows(stored.name) or [],
+            )
+        except AdvisorError as exc:
+            return self._error(400, str(exc), endpoint, req.v1)
+
+        def build_response(advice_id: int) -> bytes:
+            return render_body(
+                {"advice_id": advice_id, "idempotency_key": key, **advice.payload()}
+            )
+
+        record, replayed = self.store.record_advice(
+            project_id=stored.id,
+            project=stored.name,
+            idempotency_key=key,
+            body_sha256=body_sha256,
+            build_response=build_response,
+        )
+        headers = [("Idempotency-Key", key)]
+        if replayed:
+            headers.append(("Idempotency-Replayed", "true"))
+        return ServiceResponse(
+            status=200,
+            payload=json.loads(record.response.decode("utf-8")),
+            endpoint=endpoint,
+            cacheable=False,
+            headers=tuple(headers),
         )

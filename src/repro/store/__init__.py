@@ -26,6 +26,8 @@ from repro.store.shard import (
 )
 from repro.store.store import (
     METRIC_COLUMNS,
+    AdviceConflict,
+    AdviceRecord,
     CorpusStore,
     FailurePage,
     MetricRange,
@@ -36,6 +38,8 @@ from repro.store.store import (
 )
 
 __all__ = [
+    "AdviceConflict",
+    "AdviceRecord",
     "CorpusStore",
     "FailurePage",
     "INGEST_CHECKPOINT_KEY",

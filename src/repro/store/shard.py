@@ -51,6 +51,8 @@ from repro.mining.path_filters import MultiFileVerdict
 from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
 from repro.resilience.policy import CircuitBreaker, CircuitOpen
 from repro.store.store import (
+    AdviceConflict,
+    AdviceRecord,
     CorpusStore,
     FailurePage,
     MetricRange,
@@ -68,6 +70,11 @@ SHARD_SUFFIX = ".shard-{index:02d}-of-{count:02d}"
 #: Meta key (shard 0) holding the next project id to hand out — the
 #: sharded equivalent of sqlite's ``sqlite_sequence`` high-water mark.
 NEXT_ID_KEY = "shard_next_id"
+
+#: Meta key (shard 0) holding the next *advice* id: the write-path
+#: ledger draws globally unique, monotonic ids from the coordinator so
+#: an advice id is stable whichever shard the project hashes to.
+ADVICE_NEXT_ID_KEY = "shard_next_advice_id"
 
 #: Meta keys each shard carries to describe (and validate) itself.
 SHARD_INDEX_KEY = "shard_index"
@@ -324,6 +331,70 @@ class ShardedCorpusStore:
             for index in sorted(per_shard):
                 batch, forced_ids = per_shard[index]
                 self._shards[index].persist_batch(batch, ids=forced_ids)
+
+    # -- advice (the write path) -------------------------------------------
+
+    def lookup_advice(
+        self, project: str, idempotency_key: str
+    ) -> AdviceRecord | None:
+        index, shard = self._shard_for(project)
+        return self._read(
+            index, lambda: shard.lookup_advice(project, idempotency_key)
+        )
+
+    def record_advice(
+        self,
+        project_id: int,
+        project: str,
+        idempotency_key: str,
+        body_sha256: str,
+        build_response,
+        advice_id: int | None = None,
+    ) -> tuple[AdviceRecord, bool]:
+        """Route one advice write to its project's shard, with a global id.
+
+        Ids come from an atomic coordinator meta sequence
+        (:data:`ADVICE_NEXT_ID_KEY`), committed *before* the shard
+        write: a crashed write may burn an id — exactly like a rolled
+        back AUTOINCREMENT insert after the sequence bumped — but two
+        workers (threads or cluster processes) can never mint the same
+        id.  A key replay loses the id it drew and returns the stored
+        row instead, byte-identical whichever worker answers.
+        """
+        if advice_id is not None:
+            raise StoreError("the sharded store allocates its own advice ids")
+        index, shard = self._shard_for(project)
+        existing = self._read(
+            index, lambda: shard.lookup_advice(project, idempotency_key)
+        )
+        if existing is not None:
+            if existing.body_sha256 != body_sha256:
+                raise AdviceConflict(
+                    f"idempotency key {idempotency_key!r} was already used"
+                    f" with a different request body for {project!r}"
+                )
+            return existing, True
+        with self._id_lock:
+            allocated = self.coordinator.allocate_meta_sequence(
+                ADVICE_NEXT_ID_KEY,
+                default_next=max(
+                    part.max_advice_id() for part in self._shards
+                ) + 1,
+            )
+        return shard.record_advice(
+            project_id, project, idempotency_key, body_sha256,
+            build_response, advice_id=allocated,
+        )
+
+    def advice_records(self, project: str) -> list[AdviceRecord]:
+        index, shard = self._shard_for(project)
+        return self._read(index, lambda: shard.advice_records(project))
+
+    def advice_count(self) -> int:
+        return sum(self._scatter(lambda shard: shard.advice_count()))
+
+    def max_advice_id(self) -> int:
+        return max(self._scatter(lambda shard: shard.max_advice_id()))
 
     def prune_missing(self, keep: Iterable[str]) -> int:
         names = set(keep)

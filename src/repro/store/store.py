@@ -44,7 +44,7 @@ from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
 
 #: Bump when the table layout changes; older stores are migrated in
 #: place when possible, newer ones refuse to open.
-STORE_SCHEMA_VERSION = 3
+STORE_SCHEMA_VERSION = 4
 
 #: The numeric per-project columns a metric-range filter may target.
 METRIC_COLUMNS: tuple[str, ...] = (
@@ -163,6 +163,26 @@ CREATE TABLE IF NOT EXISTS failures (
 );
 """
 
+# v4: the migration-advisor ledger.  ``response`` holds the canonical
+# JSON bytes served for the advice, so an idempotent replay is
+# byte-identical to the original response; (project, idempotency_key)
+# is the replay key.  Advice rows are an audit log, deliberately outside
+# ``identity_rows()`` so accepting advice never moves the corpus ETag.
+_ADVICE_DDL = """
+CREATE TABLE IF NOT EXISTS advice (
+    id              INTEGER PRIMARY KEY,
+    project_id      INTEGER NOT NULL,
+    project         TEXT NOT NULL,
+    idempotency_key TEXT NOT NULL,
+    body_sha256     TEXT NOT NULL,
+    response        BLOB NOT NULL,
+    UNIQUE (project, idempotency_key)
+);
+CREATE INDEX IF NOT EXISTS idx_advice_project_id ON advice(project, id);
+"""
+
+_DDL = _DDL + _ADVICE_DDL
+
 #: In-place migrations: schema version -> DDL lifting it one version up.
 _MIGRATIONS: dict[int, str] = {
     1: "ALTER TABLE failures ADD COLUMN attempts INTEGER NOT NULL DEFAULT 1",
@@ -173,11 +193,45 @@ _MIGRATIONS: dict[int, str] = {
         "DROP INDEX IF EXISTS idx_projects_outcome;"
         + _INDEX_DDL
     ),
+    # v4: the advice ledger behind POST /v1/projects/{id}/advise.
+    3: _ADVICE_DDL,
 }
 
 
 class StoreError(RuntimeError):
     """A store-layer failure (bad filter, incompatible schema, ...)."""
+
+
+class AdviceConflict(StoreError):
+    """An Idempotency-Key was replayed with a *different* request body."""
+
+
+@dataclass(frozen=True)
+class AdviceRecord:
+    """One persisted advisor recommendation (an advice-table row).
+
+    ``response`` is the canonical JSON body served when the advice was
+    first computed; replaying the same ``(project, idempotency_key)``
+    returns exactly these bytes.
+    """
+
+    id: int
+    project_id: int
+    project: str
+    idempotency_key: str
+    body_sha256: str
+    response: bytes
+
+    @classmethod
+    def from_row(cls, row: sqlite3.Row) -> "AdviceRecord":
+        return cls(
+            id=row["id"],
+            project_id=row["project_id"],
+            project=row["project"],
+            idempotency_key=row["idempotency_key"],
+            body_sha256=row["body_sha256"],
+            response=bytes(row["response"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -530,6 +584,30 @@ class CorpusStore:
                 " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
                 (key, value),
             )
+
+    def allocate_meta_sequence(self, key: str, default_next: int) -> int:
+        """Atomically draw the next value of a meta-backed id sequence.
+
+        Read-modify-write inside one ``BEGIN IMMEDIATE`` transaction, so
+        concurrent allocators — other threads *and other processes* —
+        serialize on sqlite's write lock and never receive the same
+        value.  *default_next* seeds the sequence when the key does not
+        exist yet.  Returns the allocated value; the stored next value
+        becomes ``allocated + 1``.
+        """
+        if key == "schema_version":
+            raise StoreError("schema_version is managed by the store itself")
+        with self._write_tx() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+            value = int(row["value"]) if row is not None else default_next
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, str(value + 1)),
+            )
+        return value
 
     def delete_meta(self, key: str) -> None:
         if key == "schema_version":
@@ -955,6 +1033,109 @@ class CorpusStore:
             ),
             next_cursor=rows[-1]["project"] if more and rows else None,
         )
+
+    # -- advice (the write path) -------------------------------------------
+
+    _ADVICE_COLUMNS = (
+        "id", "project_id", "project", "idempotency_key", "body_sha256",
+        "response",
+    )
+
+    def lookup_advice(
+        self, project: str, idempotency_key: str
+    ) -> AdviceRecord | None:
+        """The stored advice under one ``(project, idempotency_key)``."""
+        with self._read_tx() as conn:
+            row = conn.execute(
+                f"SELECT {', '.join(self._ADVICE_COLUMNS)} FROM advice"
+                " WHERE project = ? AND idempotency_key = ?",
+                (project, idempotency_key),
+            ).fetchone()
+        return AdviceRecord.from_row(row) if row is not None else None
+
+    def record_advice(
+        self,
+        project_id: int,
+        project: str,
+        idempotency_key: str,
+        body_sha256: str,
+        build_response,
+        advice_id: int | None = None,
+    ) -> tuple[AdviceRecord, bool]:
+        """Insert one advice row, or replay the existing one.
+
+        The whole insert-or-replay decision runs inside ONE immediate
+        write transaction, so two workers — threads *or processes* —
+        racing the same key serialize on sqlite's write lock and exactly
+        one row is ever persisted.  ``build_response(advice_id)`` must
+        return the canonical JSON bytes to store; deferring the render
+        lets the row id appear inside its own stored response.  Returns
+        ``(record, replayed)``; a key replayed with a different body
+        hash raises :class:`AdviceConflict`.
+
+        *advice_id* forces an explicit row id: the sharded store
+        allocates globally unique ids from its coordinator and passes
+        them through here, exactly like ``persist_context``'s forced
+        project ids.
+        """
+        with self._write_tx() as conn:
+            row = conn.execute(
+                f"SELECT {', '.join(self._ADVICE_COLUMNS)} FROM advice"
+                " WHERE project = ? AND idempotency_key = ?",
+                (project, idempotency_key),
+            ).fetchone()
+            if row is not None:
+                if row["body_sha256"] != body_sha256:
+                    raise AdviceConflict(
+                        f"idempotency key {idempotency_key!r} was already used"
+                        f" with a different request body for {project!r}"
+                    )
+                return AdviceRecord.from_row(row), True
+            if advice_id is None:
+                advice_id = conn.execute(
+                    "SELECT COALESCE(MAX(id), 0) + 1 AS n FROM advice"
+                ).fetchone()["n"]
+            response = build_response(advice_id)
+            conn.execute(
+                "INSERT INTO advice (id, project_id, project, idempotency_key,"
+                " body_sha256, response) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    advice_id, project_id, project, idempotency_key,
+                    body_sha256, response,
+                ),
+            )
+        return (
+            AdviceRecord(
+                id=advice_id,
+                project_id=project_id,
+                project=project,
+                idempotency_key=idempotency_key,
+                body_sha256=body_sha256,
+                response=response,
+            ),
+            False,
+        )
+
+    def advice_records(self, project: str) -> list[AdviceRecord]:
+        """Every stored advice for one project, in id (creation) order."""
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                f"SELECT {', '.join(self._ADVICE_COLUMNS)} FROM advice"
+                " WHERE project = ? ORDER BY id",
+                (project,),
+            ).fetchall()
+        return [AdviceRecord.from_row(row) for row in rows]
+
+    def advice_count(self) -> int:
+        with self._read_tx() as conn:
+            return conn.execute("SELECT COUNT(*) AS n FROM advice").fetchone()["n"]
+
+    def max_advice_id(self) -> int:
+        """The highest advice id ever visible (0 for an empty ledger)."""
+        with self._read_tx() as conn:
+            return conn.execute(
+                "SELECT COALESCE(MAX(id), 0) AS n FROM advice"
+            ).fetchone()["n"]
 
     def project_ids(self) -> list[int]:
         """Every project id in ingest order — one covering-index scan.

@@ -13,7 +13,10 @@ import pytest
 import repro
 from repro.cli import RunOptions, main
 
-SUBCOMMANDS = ("funnel", "report", "classify", "project", "export", "ingest", "serve")
+SUBCOMMANDS = (
+    "funnel", "report", "classify", "project", "export", "ingest", "serve",
+    "loadgen", "advise",
+)
 
 #: Documented schema of ``--stats`` / ``pipeline_stats.json`` payloads
 #: (see docs/API.md, "Observability").
@@ -269,3 +272,98 @@ class TestChaosFlags:
         warm = json.loads(capsys.readouterr().out)["ingest"]
         assert warm["measured"] == 0
         assert warm["skipped_unchanged"] == 12
+
+
+class TestAdviseCommand:
+    """``repro advise``: the advisor over a stored corpus, mirroring the
+    HTTP write path's envelope, idempotency and persistence."""
+
+    @pytest.fixture(scope="class")
+    def db_path(self, tmp_path_factory):
+        from repro.store import CorpusStore, ingest_corpus
+        from tests.test_store import small_corpus
+
+        path = tmp_path_factory.mktemp("advise-cli") / "corpus.db"
+        activity, lib_io, repos = small_corpus()
+        with CorpusStore(path) as store:
+            ingest_corpus(store, activity, lib_io, repos.get)
+        return path
+
+    @pytest.fixture()
+    def proposal(self, tmp_path):
+        path = tmp_path / "proposal.sql"
+        path.write_text(
+            "CREATE TABLE a (x INT, y INT);\n"
+            "CREATE TABLE cli_probe (id INT, note VARCHAR(64));\n"
+        )
+        return path
+
+    def test_human_output_renders_the_migration(self, db_path, proposal, capsys):
+        code = main([
+            "advise", str(proposal), "--db", str(db_path),
+            "--project", "ok/alpha", "--key", "cli-human-1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "advice #" in out and "ok/alpha" in out
+        assert "-- up" in out and "-- down" in out
+        assert "CREATE TABLE" in out and "DROP TABLE" in out
+        assert "ATYPICAL" in out  # a frozen-family project waking up
+
+    def test_json_replays_byte_identical_with_one_row(
+        self, db_path, proposal, capsys
+    ):
+        from repro.store import CorpusStore
+
+        argv = [
+            "advise", str(proposal), "--db", str(db_path),
+            "--project", "ok/beta", "--key", "cli-json-1", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert json.loads(first)["advice_id"] == json.loads(second)["advice_id"]
+        payload = json.loads(second)
+        assert payload["idempotency_key"] == "cli-json-1"
+        assert payload["migration"]["up"]
+        with CorpusStore(db_path) as store:
+            rows = [
+                r for r in store.advice_records("ok/beta")
+                if r.idempotency_key == "cli-json-1"
+            ]
+            assert len(rows) == 1
+
+    def test_conflicting_key_reuse_uses_the_envelope(
+        self, db_path, proposal, tmp_path, capsys
+    ):
+        other = tmp_path / "other.sql"
+        other.write_text("CREATE TABLE something_else (id INT);\n")
+        base = ["--db", str(db_path), "--project", "ok/alpha",
+                "--key", "cli-conflict-1", "--json"]
+        assert main(["advise", str(proposal)] + base) == 0
+        capsys.readouterr()
+        code = main(["advise", str(other)] + base)
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().err)
+        assert envelope["error"]["code"] == "idempotency_conflict"
+
+    def test_unknown_project_and_bad_proposal_fail_cleanly(
+        self, db_path, proposal, tmp_path, capsys
+    ):
+        code = main([
+            "advise", str(proposal), "--db", str(db_path),
+            "--project", "no/such", "--json",
+        ])
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().err)
+        assert envelope["error"]["code"] == "unknown_project"
+        empty = tmp_path / "empty.sql"
+        empty.write_text("-- no tables\n")
+        code = main([
+            "advise", str(empty), "--db", str(db_path),
+            "--project", "ok/alpha", "--json",
+        ])
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().err)
+        assert envelope["error"]["code"] == "bad_proposal"

@@ -366,3 +366,155 @@ class TestConcurrentRewrite:
             )
         finally:
             assert running.shutdown() == 0
+
+
+def post(url, path, body, key=None, timeout=10):
+    """POST a JSON body; returns (status, headers, raw-body)."""
+    headers = {"Content-Type": "application/json"}
+    if key is not None:
+        headers["Idempotency-Key"] = key
+    req = urllib.request.Request(
+        url + path,
+        data=json.dumps(body, sort_keys=True).encode("utf-8"),
+        headers=headers,
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+ADVISE_PATH = "/v1/projects/ok%2Falpha/advise"
+PROPOSAL = {
+    "ddl": (
+        "CREATE TABLE a (x INT, y INT);\n"
+        "CREATE TABLE cluster_probe (id INT, note VARCHAR(64));\n"
+    )
+}
+
+
+class TestClusterWrites:
+    """The write path under the pre-fork cluster: whichever worker's
+    process answers, one ``(project, Idempotency-Key)`` pair is exactly
+    one persisted advice row with byte-identical responses."""
+
+    def test_same_key_across_workers_is_one_row(self, cluster):
+        results = [
+            post(cluster.url, ADVISE_PATH, PROPOSAL, key="cluster-idem-1")
+            for _ in range(20)
+        ]
+        assert all(status == 200 for status, _, _ in results)
+        bodies = {raw for _, _, raw in results}
+        assert len(bodies) == 1  # byte-identical across both workers
+        replays = sum(
+            1 for _, headers, _ in results
+            if headers.get("Idempotency-Replayed") == "true"
+        )
+        assert replays == len(results) - 1  # exactly one fresh insert
+        _, _, listing = get(cluster.url, ADVISE_PATH)
+        rows = [
+            a for a in json.loads(listing)["advice"]
+            if a["idempotency_key"] == "cluster-idem-1"
+        ]
+        assert len(rows) == 1
+
+    def test_sigkill_mid_flight_idempotent_retry_recovers(
+        self, db_path, tmp_path_factory
+    ):
+        runtime = tmp_path_factory.mktemp("kill-write-rt")
+        running = RunningCluster(
+            ClusterConfig(
+                db=str(db_path), port=0, workers=2,
+                runtime_dir=str(runtime), relay_interval=0.2,
+            )
+        )
+        try:
+            key = "kill-retry-1"
+            status, _, first = post(running.url, ADVISE_PATH, PROPOSAL, key=key)
+            assert status == 200
+            stop = threading.Event()
+            bodies: list[bytes] = []
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        status, _, raw = post(
+                            running.url, ADVISE_PATH, PROPOSAL, key=key,
+                            timeout=5,
+                        )
+                    except OSError:
+                        continue  # the killed worker's socket: retry
+                    if status == 200:
+                        bodies.append(raw)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                victim = running.state()["workers"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                assert wait_until(
+                    lambda: running.state()["workers"][0]["respawns"] >= 1
+                ), "supervisor never respawned the killed worker"
+                wait_ready(running.url)
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert bodies, "no POST survived the kill window"
+            assert set(bodies) == {first}  # every retry replayed the ledger row
+            _, _, listing = get(running.url, ADVISE_PATH)
+            rows = [
+                a for a in json.loads(listing)["advice"]
+                if a["idempotency_key"] == key
+            ]
+            assert len(rows) == 1
+        finally:
+            assert running.shutdown() == 0
+
+    def test_sharded_store_advice_has_stable_global_ids(
+        self, tmp_path, tmp_path_factory
+    ):
+        from repro.store.shard import shard_index
+
+        db = tmp_path / "corpus.db"
+        activity, lib_io, repos = small_corpus()
+        with ShardedCorpusStore(db, shards=3) as store:
+            ingest_corpus(store, activity, lib_io, repos.get)
+        runtime = tmp_path_factory.mktemp("shard-write-rt")
+        running = RunningCluster(
+            ClusterConfig(
+                db=str(db), port=0, workers=2,
+                runtime_dir=str(runtime), relay_interval=0.2,
+            )
+        )
+        try:
+            ids = {}
+            for name in ("ok/alpha", "ok/beta"):
+                path = f"/v1/projects/{name.replace('/', '%2F')}/advise"
+                status, _, raw = post(
+                    running.url, path, PROPOSAL, key=f"shard-{name}"
+                )
+                assert status == 200
+                ids[name] = json.loads(raw)["advice_id"]
+                # Replays return the same global id from any worker.
+                for _ in range(4):
+                    status, headers, again = post(
+                        running.url, path, PROPOSAL, key=f"shard-{name}"
+                    )
+                    assert status == 200 and again == raw
+                    assert headers["Idempotency-Replayed"] == "true"
+            assert len(set(ids.values())) == len(ids)
+        finally:
+            assert running.shutdown() == 0
+        # The rows landed on the owning shard, under the allocated ids.
+        with ShardedCorpusStore(db) as fresh:
+            assert fresh.advice_count() == len(ids)
+            for name, advice_id in ids.items():
+                owner = shard_index(name, 3)
+                for index, shard in enumerate(fresh._shards):
+                    rows = shard.advice_records(name)
+                    assert bool(rows) == (index == owner), name
+                    if rows:
+                        assert [r.id for r in rows] == [advice_id]

@@ -81,8 +81,9 @@ class TestWorkloadModel:
         assert all(request.path.startswith("/v1/") for request in plan)
         counts = model.family_counts(plan)
         assert sum(counts.values()) == 500
-        # With 500 draws every default family should appear.
-        assert set(counts) == set(model.weights)
+        # With 500 draws every positively-weighted family should appear
+        # (advise defaults to weight 0: the write family is opt-in).
+        assert set(counts) == {f for f, w in model.weights.items() if w > 0}
 
     def test_rejects_empty_store_unknown_family_and_bad_reuse(self, tmp_path):
         empty = CorpusStore(tmp_path / "empty.db")
@@ -387,6 +388,24 @@ class TestLoadgenCli:
         assert comparable_fields(first) == comparable_fields(second)
         assert first["slo"]["passed"] is True
 
+    def test_weight_flag_opts_the_write_family_in(self, db_path, capsys):
+        code, captured = self._run(
+            capsys, db_path, "--seed", "42", "--requests", "60",
+            "--concurrency", "2", "--weight", "advise=5", "--json",
+        )
+        assert code == 0
+        report = json.loads(captured.out)
+        assert report["families"]["advise"]["requests"] > 0
+        assert report["executed"]["errors"] == 0
+
+    def test_malformed_weight_fails_cleanly(self, db_path, capsys):
+        code, captured = self._run(
+            capsys, db_path, "--weight", "advise=lots", "--json"
+        )
+        assert code == 1
+        envelope = json.loads(captured.err)
+        assert envelope["error"]["code"] == "bad_weight"
+
     def test_slo_violation_exits_3_with_the_error_envelope(
         self, db_path, capsys, tmp_path
     ):
@@ -430,3 +449,79 @@ class TestLoadgenCli:
             trajectory[0]["results"]["workload"]["digest"]
             == trajectory[1]["results"]["workload"]["digest"]
         )
+
+
+class TestAdviseFamily:
+    """The opt-in write family: seeded, replayable POST bodies."""
+
+    WEIGHTS = {"projects_hot": 3, "advise": 2}
+
+    def test_same_seed_plans_identical_bodies_and_keys(self, seeded_store):
+        a = WorkloadModel.from_store(
+            seeded_store, seed=21, weights=self.WEIGHTS
+        ).plan(200)
+        b = WorkloadModel.from_store(
+            seeded_store, seed=21, weights=self.WEIGHTS
+        ).plan(200)
+        assert a == b
+        assert plan_digest(a) == plan_digest(b)
+        writes = [r for r in a if r.method == "POST"]
+        assert writes, "the advise weight never planned a write"
+        for request in writes:
+            assert request.family == "advise"
+            assert request.idempotency_key.startswith("loadgen-21-")
+            assert "ddl" in json.loads(request.body)
+            assert request.revalidate is False  # ETags are a GET concern
+
+    def test_write_bodies_and_keys_move_the_digest(self, seeded_store):
+        a = WorkloadModel.from_store(
+            seeded_store, seed=21, weights=self.WEIGHTS
+        ).plan(200)
+        b = WorkloadModel.from_store(
+            seeded_store, seed=22, weights=self.WEIGHTS
+        ).plan(200)
+        assert plan_digest(a) != plan_digest(b)
+
+    def test_default_mix_plans_no_writes_and_keeps_the_line_shape(
+        self, seeded_store
+    ):
+        # The recorded GET plan digests must survive the write family:
+        # with advise at its default weight 0, no line carries body/key
+        # tokens, so pre-existing digests are unchanged by construction.
+        plan = WorkloadModel.from_store(seeded_store, seed=11).plan(300)
+        assert all(request.method == "GET" for request in plan)
+        assert all(" body=" not in request.line() for request in plan)
+
+    def test_advise_weight_without_targets_is_rejected(self, seeded_store):
+        from repro.loadgen import StoreCatalog
+
+        catalog = StoreCatalog.from_store(seeded_store, include_advise=False)
+        with pytest.raises(ValueError, match="advise"):
+            WorkloadModel(catalog=catalog, seed=1, weights=self.WEIGHTS)
+
+    def test_end_to_end_writes_persist_and_replay(self, tmp_path):
+        activity, lib_io, repos = small_corpus()
+        store = CorpusStore(tmp_path / "write-load.db")
+        ingest_corpus(store, activity, lib_io, repos.get)
+        try:
+            config = LoadConfig(
+                seed=33, requests=120, concurrency=4,
+                weights=self.WEIGHTS,
+            )
+            report = run_load(store, config, slo=LENIENT_SLO)
+            assert report["slo"]["passed"], report["slo"]
+            advised = report["families"]["advise"]["requests"]
+            assert advised > 0
+            assert report["statuses"].get("200", 0) >= advised
+            assert report["executed"]["errors"] == 0
+            # The bounded key pool replays on purpose: far fewer rows
+            # than requests, and every row belongs to a planned key.
+            assert 0 < store.advice_count() <= advised
+            from repro.loadgen import ADVISE_KEY_POOL, WorkloadModel as WM
+
+            model = WM.from_store(store, seed=33, weights=self.WEIGHTS)
+            assert store.advice_count() <= (
+                len(model.catalog.advise_targets) * ADVISE_KEY_POOL
+            )
+        finally:
+            store.close()

@@ -264,6 +264,7 @@ class TestV1Api:
             assert (legacy_status, v1_status) == (200, 200)
             legacy.pop("next", None), v1.pop("next", None)
             v1.pop("next_cursor", None)
+            v1.pop("api", None)  # the API metadata block is v1-only
             assert legacy == v1
 
     def test_v1_error_envelope(self, server):
@@ -375,7 +376,7 @@ def _break_service(server, exc=None):
     outage hits before the response cache can answer, exactly like a
     real store failure (whose content-hash read raises first).
     """
-    def broken(path, canonical_query, params):
+    def broken(path, canonical_query, params, **kwargs):
         raise exc if exc is not None else RuntimeError("store exploded")
 
     server.service.handle_rendered = broken
@@ -424,7 +425,7 @@ class TestDegradedServing:
         assert fragile_server.breaker.state == fragile_server.breaker.CLOSED
 
     def test_hung_store_times_out_instead_of_hanging(self, fragile_server):
-        def hang(path, canonical_query, params):
+        def hang(path, canonical_query, params, **kwargs):
             time.sleep(30)
 
         fragile_server.service.handle_rendered = hang
@@ -649,3 +650,263 @@ class TestResponseCacheUnit:
         assert len(cache) == 0
         assert cache.registry.value("repro_serve_cache_misses_total") == 1
         assert cache.registry.value("repro_serve_cache_evictions_total") == 1
+
+
+def send(server, path, method="GET", body=None, headers=None, raw_body=None):
+    """Any-method request; returns (status, headers, raw_bytes, json|None).
+
+    *body* is JSON-encoded with sorted keys (the client contract the
+    idempotency hash assumes); *raw_body* sends bytes verbatim for
+    malformed-payload tests.
+    """
+    data = raw_body
+    sent_headers = dict(headers or {})
+    if body is not None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+    if data is not None:
+        sent_headers.setdefault("Content-Type", "application/json")
+    req = urllib.request.Request(
+        server.url + path, data=data, method=method, headers=sent_headers
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            raw = resp.read()
+            status, resp_headers = resp.status, dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status, resp_headers = error.code, dict(error.headers)
+    if resp_headers.get("Content-Encoding") == "gzip":
+        raw = gzip.decompress(raw)
+    payload = json.loads(raw) if raw else None
+    return status, resp_headers, raw, payload
+
+
+class TestApiSurface:
+    """Satellites: OpenAPI, 405/OPTIONS, X-Api-Version — the route
+    table is the single source of truth for all three."""
+
+    def test_openapi_lists_every_registered_v1_route(self, server):
+        from repro.serve import ROUTES
+
+        status, headers, _, doc = send(server, "/v1/openapi.json")
+        assert status == 200
+        assert doc["openapi"].startswith("3.1")
+        assert doc["info"]["x-api-version"] == 1
+        for route in ROUTES:
+            path = f"/v1{route.template}"
+            assert path in doc["paths"], f"{path} missing from the document"
+            documented = {m.upper() for m in doc["paths"][path]}
+            assert documented == set(route.methods)
+        assert set(doc["paths"]) == {f"/v1{r.template}" for r in ROUTES}
+        assert "Error" in doc["components"]["schemas"]
+
+    def test_unsupported_method_on_known_path_is_405_with_allow(self, server):
+        status, headers, _, payload = send(server, "/v1/taxa", method="POST",
+                                           body={})
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        assert headers["Allow"] == "GET, HEAD, OPTIONS"
+        status, headers, _, payload = send(
+            server, "/v1/projects", method="DELETE"
+        )
+        assert status == 405 and "GET" in headers["Allow"]
+
+    def test_options_is_204_with_allow(self, server):
+        status, headers, raw, _ = send(server, "/v1/stats", method="OPTIONS")
+        assert status == 204 and raw == b""
+        assert headers["Allow"] == "GET, HEAD, OPTIONS"
+        status, headers, _, _ = send(
+            server, "/v1/projects/1/advise", method="OPTIONS"
+        )
+        assert status == 204
+        assert headers["Allow"] == "GET, HEAD, OPTIONS, POST"
+
+    def test_every_v1_response_carries_the_api_version(self, server):
+        for path, method in (
+            ("/v1/stats", "GET"),
+            ("/v1/projects/999999", "GET"),      # 404 envelope
+            ("/v1/taxa", "OPTIONS"),             # 204, no body at all
+            ("/v1/openapi.json", "GET"),
+            ("/v1/metrics", "GET"),
+        ):
+            _, headers, _, _ = send(server, path, method=method)
+            assert headers.get("X-Api-Version") == "1", (path, method)
+        # The legacy surface predates versioning and must not grow it.
+        _, headers, _, _ = send(server, "/stats")
+        assert "X-Api-Version" not in headers
+
+    def test_stats_reports_the_api_block(self, server):
+        from repro.serve import ROUTES
+
+        _, _, _, payload = send(server, "/v1/stats")
+        assert payload["api"] == {"version": 1, "routes": len(ROUTES)}
+
+
+@pytest.fixture
+def write_server(tmp_path):
+    """A function-scoped server over its own store, so advice-row
+    counts are absolute and POSTs cannot leak between tests."""
+    activity, lib_io, repos = small_corpus()
+    store = CorpusStore(tmp_path / "write.db")
+    ingest_corpus(store, activity, lib_io, repos.get)
+    server, thread = start_server(store, port=0)
+    yield server, store
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    store.close()
+
+
+PROPOSAL = {
+    "ddl": (
+        "CREATE TABLE `a` (\n  `x` INT,\n  `y` INT\n);\n"
+        "CREATE TABLE probe (id INT, note VARCHAR(64));\n"
+    )
+}
+
+
+class TestWritePath:
+    def test_advise_response_shape(self, write_server):
+        server, store = write_server
+        status, headers, _, payload = send(
+            server, "/v1/projects/ok%2Falpha/advise", method="POST",
+            body=PROPOSAL, headers={"Idempotency-Key": "shape-1"},
+        )
+        assert status == 200
+        assert headers["Idempotency-Key"] == "shape-1"
+        assert "Idempotency-Replayed" not in headers
+        assert payload["advice_id"] == 1
+        assert payload["project"] == "ok/alpha"
+        assert payload["taxon"] == "almost frozen"
+        migration = payload["migration"]
+        assert migration["to_version"] == migration["from_version"] + 1
+        assert "CREATE TABLE" in migration["up"]
+        assert "DROP TABLE" in migration["down"]
+        assert any(f["code"] == "frozen_wakeup" for f in payload["findings"])
+        assert payload["atypical"] is True
+
+    def test_replay_is_byte_identical_with_exactly_one_row(self, write_server):
+        server, store = write_server
+        kwargs = dict(method="POST", body=PROPOSAL,
+                      headers={"Idempotency-Key": "replay-1"})
+        status1, h1, raw1, _ = send(
+            server, "/v1/projects/ok%2Falpha/advise", **kwargs
+        )
+        status2, h2, raw2, _ = send(
+            server, "/v1/projects/ok%2Falpha/advise", **kwargs
+        )
+        assert (status1, status2) == (200, 200)
+        assert raw2 == raw1  # byte-identical, straight from the ledger
+        assert "Idempotency-Replayed" not in h1
+        assert h2["Idempotency-Replayed"] == "true"
+        assert store.advice_count() == 1
+
+    def test_key_reuse_with_a_different_body_is_409(self, write_server):
+        server, store = write_server
+        path = "/v1/projects/ok%2Falpha/advise"
+        headers = {"Idempotency-Key": "conflict-1"}
+        send(server, path, method="POST", body=PROPOSAL, headers=headers)
+        status, _, _, payload = send(
+            server, path, method="POST",
+            body={"ddl": "CREATE TABLE other (id INT);"}, headers=headers,
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "idempotency_conflict"
+        assert store.advice_count() == 1
+
+    def test_missing_key_is_derived_from_the_body(self, write_server):
+        server, store = write_server
+        path = "/v1/projects/ok%2Falpha/advise"
+        status, h1, raw1, _ = send(server, path, method="POST", body=PROPOSAL)
+        assert status == 200 and h1["Idempotency-Key"].startswith("sha256:")
+        _, h2, raw2, _ = send(server, path, method="POST", body=PROPOSAL)
+        assert raw2 == raw1 and h2["Idempotency-Replayed"] == "true"
+        assert store.advice_count() == 1
+
+    def test_bad_request_envelopes(self, write_server):
+        server, _ = write_server
+        path = "/v1/projects/ok%2Falpha/advise"
+        for body in ([1, 2], {"nope": 1}, {"ddl": ""}, {"ddl": 7}):
+            status, _, _, payload = send(server, path, method="POST", body=body)
+            assert status == 400, body
+            assert payload["error"]["code"] == "bad_request"
+        status, _, _, payload = send(
+            server, path, method="POST", raw_body=b"{not json",
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_oversized_body_is_413(self, write_server):
+        from repro.serve import MAX_BODY_BYTES
+
+        server, _ = write_server
+        status, _, _, payload = send(
+            server, "/v1/projects/ok%2Falpha/advise", method="POST",
+            raw_body=b"x" * (MAX_BODY_BYTES + 1),
+        )
+        assert status == 413
+        assert payload["error"]["code"] == "payload_too_large"
+
+    def test_wrong_content_type_is_415(self, write_server):
+        server, _ = write_server
+        status, _, _, payload = send(
+            server, "/v1/projects/ok%2Falpha/advise", method="POST",
+            raw_body=b"CREATE TABLE t (i INT);",
+            headers={"Content-Type": "text/plain"},
+        )
+        assert status == 415
+        assert payload["error"]["code"] == "unsupported_media_type"
+
+    def test_unknown_project_is_404(self, write_server):
+        server, _ = write_server
+        status, _, _, payload = send(
+            server, "/v1/projects/999999/advise", method="POST", body=PROPOSAL
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_get_lists_the_persisted_advice(self, write_server):
+        server, _ = write_server
+        path = "/v1/projects/ok%2Falpha/advise"
+        send(server, path, method="POST", body=PROPOSAL,
+             headers={"Idempotency-Key": "list-1"})
+        send(server, path, method="POST",
+             body={"ddl": "CREATE TABLE solo (id INT);"},
+             headers={"Idempotency-Key": "list-2"})
+        status, _, _, payload = send(server, path)
+        assert status == 200
+        assert payload["total"] == 2
+        assert [a["idempotency_key"] for a in payload["advice"]] == [
+            "list-1", "list-2"
+        ]
+
+    def test_writes_never_move_the_corpus_etag(self, write_server):
+        server, _ = write_server
+        _, headers, _, _ = send(server, "/v1/projects")
+        etag = headers["ETag"]
+        send(server, "/v1/projects/ok%2Falpha/advise", method="POST",
+             body=PROPOSAL)
+        status, headers, _, _ = send(
+            server, "/v1/projects", headers={"If-None-Match": etag}
+        )
+        assert status == 304  # advice rows live outside the content hash
+
+
+class TestDegradedWrites:
+    def test_degraded_post_is_an_honest_503_never_stale(self, fragile_server):
+        # Warm the GET snapshot, then break the store: GETs degrade to
+        # stale-but-consistent, POSTs must refuse outright.
+        status, _, _, _ = send(fragile_server, "/v1/taxa")
+        assert status == 200
+        _break_service(fragile_server)
+        status, headers, _, stale = send(fragile_server, "/v1/taxa")
+        assert status == 200 and "Warning" in headers  # GET: snapshot
+        status, headers, _, payload = send(
+            fragile_server, "/v1/projects/ok%2Falpha/advise", method="POST",
+            body=PROPOSAL,
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "store_unavailable"
+        assert int(headers["Retry-After"]) >= 1
+        assert "Warning" not in headers  # no stale write acknowledgements
+        assert "advice_id" not in (payload or {})
