@@ -84,6 +84,27 @@ from repro.synthesis import CorpusSpec, build_corpus
 from repro.viz import heartbeat_chart, heartbeat_series, line_chart, schema_size_series
 
 
+def _parse_dialects(value: str) -> tuple[str, ...]:
+    """Parse a comma-separated ``--dialects`` list into canonical names."""
+    from repro.sqlddl.dialects import canonical_dialect_name
+    from repro.sqlddl.errors import UnsupportedDialectError
+
+    names: list[str] = []
+    for raw in value.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            name = canonical_dialect_name(raw)
+        except UnsupportedDialectError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from exc
+        if name not in names:
+            names.append(name)
+    if not names:
+        raise argparse.ArgumentTypeError("at least one dialect is required")
+    return tuple(names)
+
+
 @dataclass(frozen=True)
 class RunOptions:
     """The shared option set of every corpus-running command.
@@ -107,6 +128,7 @@ class RunOptions:
     deadline: float | None = None
     fault_rate: float = 0.0
     fault_seed: int = 2019
+    dialects: tuple[str, ...] = ("mysql",)
 
     def injector(self, sites: tuple[str, ...] = ("parse", "persist")):
         """The seeded chaos injector these options describe (or None)."""
@@ -134,6 +156,14 @@ class RunOptions:
             parser.add_argument(
                 "--scale", type=float, default=1.0,
                 help="population scale factor (1.0 = paper size)",
+            )
+            parser.add_argument(
+                "--dialects", type=_parse_dialects, default=("mysql",),
+                metavar="NAMES",
+                help="enabled dialect frontends in preference order, comma-"
+                     "separated (mysql, postgresql, sqlite); the default"
+                     " mysql-only set reproduces the paper's funnel byte"
+                     " for byte",
             )
         parser.add_argument(
             "--jobs", type=int, default=1, metavar="N",
@@ -236,6 +266,7 @@ def _build(args: argparse.Namespace):
         project_deadline=opts.deadline,
         injector=opts.injector(),
         executor=opts.executor,
+        dialects=opts.dialects,
     )
     elapsed = time.time() - started
     if not opts.json:
@@ -385,7 +416,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         from repro.synthesis.stream import StreamSpec
 
         spec = StreamSpec(
-            seed=opts.seed, count=args.count, profile=args.stream_profile
+            seed=opts.seed, count=args.count, profile=args.stream_profile,
+            dialects=opts.dialects,
         )
         with resolve_store(args.db, shards=args.shards) as store:
             report = ingest_stream(
@@ -442,6 +474,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             project_deadline=opts.deadline,
             injector=opts.injector(),
             executor=opts.executor,
+            dialects=opts.dialects,
         )
         if opts.json:
             payload = {

@@ -32,6 +32,11 @@ driver replays the last known ``ETag`` for that path as
 ``If-None-Match``, exercising the 304 path the way polling dashboards
 do.
 
+``dialect`` (default weight 0 — opt in, keeping recorded plan digests
+valid) issues ``/v1/projects?dialect=<name>`` filter queries against
+the store's actual dialect population, exercising the covering
+``(dialect, id)`` index the way mixed-corpus dashboards do.
+
 The one write family, ``advise`` (default weight 0 — opt in), POSTs
 seeded migration proposals to ``/v1/projects/{id}/advise``.  Bodies are
 planned exactly like cursor tokens: the planner reads each target
@@ -69,6 +74,7 @@ DEFAULT_WEIGHTS: dict[str, int] = {
     "stats": 5,
     "failures": 5,
     "advise": 0,
+    "dialect": 0,
 }
 
 #: At most this many distinct proposals (and Idempotency-Keys) per
@@ -137,7 +143,9 @@ class StoreCatalog:
 
     ``advise_targets`` are ``(project_id, base_ddl)`` pairs for the
     write family — only gathered when asked (reading full histories is
-    not free), and only for a bounded hot-head pool.
+    not free), and only for a bounded hot-head pool.  ``dialects`` are
+    the store's distinct dialect names, likewise gathered only when the
+    ``dialect`` family is enabled.
     """
 
     project_ids: tuple[int, ...]
@@ -145,10 +153,14 @@ class StoreCatalog:
     total_projects: int
     content_hash: str
     advise_targets: tuple[tuple[int, str], ...] = ()
+    dialects: tuple[str, ...] = ()
 
     @classmethod
     def from_store(
-        cls, store: CorpusStore, include_advise: bool = False
+        cls,
+        store: CorpusStore,
+        include_advise: bool = False,
+        include_dialect: bool = False,
     ) -> "StoreCatalog":
         # One covering-index id scan — never materialize StoredProject
         # rows here; at 100k+ projects that would cost hundreds of MB.
@@ -173,6 +185,7 @@ class StoreCatalog:
             total_projects=len(ids),
             content_hash=store.content_hash(),
             advise_targets=tuple(advise_targets),
+            dialects=tuple(store.dialects()) if include_dialect else (),
         )
 
 
@@ -213,6 +226,12 @@ class WorkloadModel:
                 " (catalog gathered none — was it built with"
                 " include_advise=True?)"
             )
+        if self.weights.get("dialect", 0) > 0 and not self.catalog.dialects:
+            raise ValueError(
+                "the dialect family needs the store's dialect names"
+                " (catalog gathered none — was it built with"
+                " include_dialect=True?)"
+            )
 
     @classmethod
     def from_store(
@@ -225,7 +244,9 @@ class WorkloadModel:
         resolved = dict(weights) if weights is not None else dict(DEFAULT_WEIGHTS)
         return cls(
             catalog=StoreCatalog.from_store(
-                store, include_advise=resolved.get("advise", 0) > 0
+                store,
+                include_advise=resolved.get("advise", 0) > 0,
+                include_dialect=resolved.get("dialect", 0) > 0,
             ),
             seed=seed,
             weights=resolved,
@@ -279,6 +300,10 @@ class WorkloadModel:
                 path = f"/v1/projects/{self._pick_id(rng, ids)}"
             elif family == "heartbeat":
                 path = f"/v1/projects/{self._pick_id(rng, ids)}/heartbeat"
+            elif family == "dialect":
+                path = "/v1/projects?" + _query(
+                    {"dialect": rng.choice(self.catalog.dialects), "limit": 50}
+                )
             elif family == "taxa":
                 path = "/v1/taxa"
             elif family == "stats":

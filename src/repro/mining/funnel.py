@@ -29,7 +29,12 @@ from repro.core.heartbeat import DEFAULT_REED_LIMIT
 from repro.core.project import ProjectHistory
 from repro.mining.github_activity import GithubActivityDataset
 from repro.mining.librariesio import LibrariesIoDataset
-from repro.mining.path_filters import MultiFileVerdict, choose_ddl_file
+from repro.mining.path_filters import (
+    MultiFileVerdict,
+    choose_ddl_file,
+    dialect_for_choice,
+    vendor_preference,
+)
 from repro.mining.selection import SelectionCriteria, select_lib_io
 from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache
@@ -115,6 +120,7 @@ def run_funnel(
     project_deadline: float | None = None,
     injector: FaultInjector | None = None,
     executor: str = "auto",
+    dialects: tuple[str, ...] = ("mysql",),
 ) -> FunnelReport:
     """Run the whole collection funnel and return its report.
 
@@ -128,9 +134,16 @@ def run_funnel(
     ``injector`` are the resilience knobs (see :mod:`repro.resilience`):
     bounded retries per project, a wall-clock budget per project, and
     seeded chaos.
+
+    ``dialects`` is the enabled frontend set in preference order
+    (canonical names; see :mod:`repro.sqlddl.dialects`): it drives the
+    multi-vendor file choice and stamps each task's parse dialect.  The
+    default MySQL-only tuple reproduces the paper's funnel byte for
+    byte.
     """
     report = FunnelReport()
     report.sql_collection_repos = activity.repository_count()
+    preference = vendor_preference(dialects)
     with trace("funnel.select"):
         selected = select_lib_io(activity, lib_io, criteria)
     report.joined_and_filtered = len(selected)
@@ -138,7 +151,7 @@ def run_funnel(
     tasks: list[ProjectTask] = []
     with trace("funnel.choose_paths", candidates=len(selected)):
         for project in selected:
-            choice = choose_ddl_file(list(project.sql_files))
+            choice = choose_ddl_file(list(project.sql_files), dialects=preference)
             if not choice.accepted:
                 report.omitted_by_paths[choice.verdict] = (
                     report.omitted_by_paths.get(choice.verdict, 0) + 1
@@ -147,7 +160,10 @@ def run_funnel(
             assert choice.chosen is not None
             tasks.append(
                 ProjectTask(
-                    project.repo_name, choice.chosen.path, project.metadata.domain
+                    project.repo_name,
+                    choice.chosen.path,
+                    project.metadata.domain,
+                    dialect=dialect_for_choice(choice.chosen.path, dialects),
                 )
             )
     report.lib_io_projects = len(tasks)

@@ -92,13 +92,24 @@ def _vendor_language_product(paths: list[str]) -> bool:
     return len(vendors) >= 2 and len(languages) >= 2
 
 
-def choose_ddl_file(files: list[SqlFileRecord]) -> FileChoice:
+#: The historical preferred-vendor set: the paper chooses MySQL.
+DEFAULT_VENDOR_PREFERENCE: tuple[Dialect, ...] = (Dialect.MYSQL,)
+
+
+def choose_ddl_file(
+    files: list[SqlFileRecord],
+    dialects: tuple[Dialect, ...] = DEFAULT_VENDOR_PREFERENCE,
+) -> FileChoice:
     """Reduce a project's ``.sql`` files to (at most) one DDL file.
 
     Mirrors the paper's decision procedure, in order: path exclusions,
     the trivial single-file case, the vendor-language cartesian product
-    (omitted), the multi-vendor case (MySQL chosen), file-per-table and
-    incremental layouts (omitted), and otherwise ambiguity (omitted).
+    (omitted), the multi-vendor case (the first *enabled* vendor with
+    files chosen — the paper's "MySQL chosen" under the default
+    preference), file-per-table and incremental layouts (omitted), and
+    otherwise ambiguity (omitted).  ``dialects`` is the enabled-vendor
+    preference order; with the default ``(MYSQL,)`` the procedure is the
+    paper's, byte for byte.
     """
     candidates = [f for f in files if not is_excluded_path(f.path)]
     if not candidates:
@@ -113,14 +124,17 @@ def choose_ddl_file(files: list[SqlFileRecord]) -> FileChoice:
     vendors = {f.path: dialect_from_path(f.path) for f in candidates}
     distinct = set(vendors.values()) - {Dialect.UNKNOWN}
     if len(distinct) >= 2:
-        mysql_files = [f for f in candidates if vendors[f.path] is Dialect.MYSQL]
-        if len(mysql_files) == 1:
-            return FileChoice(MultiFileVerdict.VENDOR_CHOICE, mysql_files[0])
-        if not mysql_files:
+        for preferred in dialects:
+            vendor_files = [f for f in candidates if vendors[f.path] is preferred]
+            if vendor_files:
+                break
+        else:
             return FileChoice(MultiFileVerdict.AMBIGUOUS, None)
-        # Several MySQL files: fall through in sorted-path order so the
-        # eventual choice is independent of the input file order.
-        candidates = sorted(mysql_files, key=lambda f: f.path)
+        if len(vendor_files) == 1:
+            return FileChoice(MultiFileVerdict.VENDOR_CHOICE, vendor_files[0])
+        # Several files of the chosen vendor: fall through in sorted-path
+        # order so the eventual choice is independent of the input order.
+        candidates = sorted(vendor_files, key=lambda f: f.path)
         paths = [f.path for f in candidates]
 
     if _looks_incremental(paths):
@@ -140,3 +154,30 @@ def choose_ddl_file(files: list[SqlFileRecord]) -> FileChoice:
     if preferred:
         return FileChoice(MultiFileVerdict.SINGLE_FILE, preferred[0])
     return FileChoice(MultiFileVerdict.AMBIGUOUS, None)
+
+
+def vendor_preference(dialects: tuple[str, ...]) -> tuple[Dialect, ...]:
+    """The :func:`choose_ddl_file` preference order for canonical
+    frontend names (``("mysql", "postgresql", ...)`` → Dialect tuple)."""
+    from repro.sqlddl.dialects import frontend_for
+
+    return tuple(frontend_for(name).dialect for name in dialects)
+
+
+def dialect_for_choice(path: str, dialects: tuple[str, ...] = ("mysql",)) -> str:
+    """The frontend a chosen DDL file should parse through.
+
+    A path hint naming one of the *enabled* frontends wins; anything
+    else — unknown paths, hints for disabled vendors — falls back to
+    the primary (first enabled) dialect, exactly like the historical
+    MySQL-only funnel treated every accepted file as MySQL.
+    """
+    hinted = dialect_from_path(path)
+    if hinted is not Dialect.UNKNOWN:
+        from repro.sqlddl.dialects import FRONTENDS
+
+        for name in dialects:
+            frontend = FRONTENDS.get(name)
+            if frontend is not None and frontend.dialect is hinted:
+                return name
+    return dialects[0]

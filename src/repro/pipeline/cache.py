@@ -166,9 +166,20 @@ class SchemaCache:
 
     # -- parsing ----------------------------------------------------------
 
-    def schema_for(self, text: str, lenient: bool = True) -> Schema:
-        """The parsed schema of *text*, from memory, disk, or a parse."""
+    def schema_for(
+        self, text: str, lenient: bool = True, dialect: str = "mysql"
+    ) -> Schema:
+        """The parsed schema of *text*, from memory, disk, or a parse.
+
+        ``dialect`` routes the parse through the named frontend; the
+        cache key is dialect-qualified for every non-default dialect, so
+        a mixed corpus can never serve a SQLite-affinity schema to a
+        MySQL task (or vice versa).  MySQL keys keep their historical
+        unqualified form — warm on-disk caches stay warm.
+        """
         key = text_key(text, lenient)
+        if dialect and dialect != "mysql":
+            key = f"{dialect}-{key}"
         with self._lock:
             schema = self._schemas.get(key)
             if schema is not None:
@@ -179,7 +190,7 @@ class SchemaCache:
             # The span makes warm runs provable from the trace alone:
             # zero `build_schema` spans == zero parses happened.
             with trace("build_schema", key=key[:12]):
-                schema = build_schema(text, lenient=lenient)
+                schema = build_schema(text, lenient=lenient, dialect=dialect)
             self._store_pickle("schemas", key, schema)
             disk_hit = False
         else:

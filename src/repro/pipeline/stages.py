@@ -37,11 +37,17 @@ class Outcome(enum.Enum):
 
 @dataclass(frozen=True)
 class ProjectTask:
-    """One unit of pipeline input: a repository and its chosen DDL file."""
+    """One unit of pipeline input: a repository and its chosen DDL file.
+
+    ``dialect`` names the frontend the parse stage routes through (see
+    :mod:`repro.sqlddl.dialects`); the default keeps the historical
+    MySQL-only path and its byte-identical output.
+    """
 
     repo_name: str
     ddl_path: str
     domain: str = ""
+    dialect: str = "mysql"
 
 
 @dataclass(frozen=True)
@@ -176,12 +182,23 @@ class ParseStage:
         if not any(self._cache.has_create_table(v.text) for v in ctx.file_versions):
             ctx.outcome = Outcome.NO_CREATE
             return
+        dialect = ctx.task.dialect
+        if dialect and dialect != "mysql":
+            cache = self._cache
+
+            def factory(text: str, lenient: bool = True):
+                return cache.schema_for(text, lenient=lenient, dialect=dialect)
+
+        else:
+            # The historical code path, bit for bit: mysql tasks hand
+            # the cache method itself to history_from_versions.
+            factory = self._cache.schema_for
         ctx.history = history_from_versions(
             ctx.task.repo_name,
             ctx.task.ddl_path,
             ctx.file_versions,
             lenient=self._lenient,
-            schema_factory=self._cache.schema_for,
+            schema_factory=factory,
         )
 
 

@@ -159,6 +159,68 @@ def funnel_text(report: FunnelReport) -> str:
     return format_table(["stage", "count"], rows, title="Collection funnel (Sec III.A)")
 
 
+def dialect_comparison_rows(profiles: dict[str, dict]) -> list[list[object]]:
+    """Cross-dialect profile rows: one column per dialect, side by side.
+
+    Input is the mergeable shape of
+    :meth:`~repro.store.CorpusStore.dialect_profiles` (raw sums and
+    counts, never pre-averaged), so single-store and sharded corpora
+    render identical tables.
+    """
+    dialects = sorted(profiles)
+    rows: list[list[object]] = []
+
+    def add(label: str, value) -> None:
+        rows.append([label] + [value(profiles[d]) for d in dialects])
+
+    def ratio(num: float, den: float) -> str:
+        return f"{num / den:.2f}" if den else "-"
+
+    add("projects", lambda p: p["projects"])
+    add("studied", lambda p: p["studied"]["count"])
+    add(
+        "avg sup months",
+        lambda p: ratio(
+            p["studied"]["sup_months_sum"], p["studied"]["sup_months_count"]
+        ),
+    )
+    add(
+        "activity / studied",
+        lambda p: ratio(p["studied"]["total_activity"], p["studied"]["count"]),
+    )
+    add("heartbeat rows", lambda p: p["heartbeat"]["rows"])
+    add(
+        "heartbeat duty cycle",
+        lambda p: ratio(p["heartbeat"]["active"], p["heartbeat"]["rows"]),
+    )
+    add(
+        "activity / transition",
+        lambda p: ratio(p["heartbeat"]["activity_sum"], p["heartbeat"]["rows"]),
+    )
+    for taxon in TAXA_ORDER:
+        add(
+            f"taxa share {taxon.short}",
+            lambda p, t=taxon: ratio(
+                p["taxa"].get(t.value, 0), p["studied"]["count"]
+            ),
+        )
+    return rows
+
+
+def render_dialect_comparison(profiles: dict[str, dict]) -> str:
+    """The cross-dialect comparison table (heartbeat and taxa side by
+    side), or an empty string for a single-dialect corpus — the default
+    mysql-only report stays byte-identical."""
+    if len(profiles) < 2:
+        return ""
+    headers = ["profile"] + sorted(profiles)
+    return format_table(
+        headers,
+        dialect_comparison_rows(profiles),
+        title="Cross-dialect comparison: evolution profiles per frontend",
+    )
+
+
 def rq_summary(analysis: CorpusAnalysis) -> dict[str, float]:
     """The headline percentages of RQ1/RQ2 (Sec VI)."""
     summary = {
@@ -176,20 +238,28 @@ def rq_summary(analysis: CorpusAnalysis) -> dict[str, float]:
 class ExperimentSuite:
     """Bundle of every experiment over one funnel run."""
 
-    def __init__(self, report: FunnelReport, analysis: CorpusAnalysis) -> None:
+    def __init__(
+        self,
+        report: FunnelReport,
+        analysis: CorpusAnalysis,
+        dialect_profiles: dict[str, dict] | None = None,
+    ) -> None:
         self.report = report
         self.analysis = analysis
+        self.dialect_profiles = dialect_profiles or {}
 
     @classmethod
     def from_store(cls, store) -> "ExperimentSuite":
         """Build the suite from an ingested
         :class:`~repro.store.CorpusStore` instead of a fresh funnel run
-        — every figure and table renders without re-measuring."""
+        — every figure and table renders without re-measuring.  Store
+        backing also unlocks the cross-dialect comparison (the funnel
+        path has no dialect column to group by)."""
         from repro.core.analysis import analyze_corpus
 
         report = store.funnel_report()
         analysis = analyze_corpus(report.studied + report.rigid)
-        return cls(report, analysis)
+        return cls(report, analysis, dialect_profiles=store.dialect_profiles())
 
     def render_fig4(self) -> str:
         headers = ["measure"] + [t.short for t in TAXA_ORDER]
@@ -241,4 +311,9 @@ class ExperimentSuite:
             f"Shapiro-Wilk (activity): {tests.shapiro_activity}",
             format_table(["research question share", "value"], rq_rows),
         ]
+        # Only a mixed corpus gets the comparison section, so every
+        # single-dialect (default) report renders byte-identically.
+        comparison = render_dialect_comparison(self.dialect_profiles)
+        if comparison:
+            sections.append(comparison)
         return "\n\n".join(sections)

@@ -222,6 +222,21 @@ def apply_statements(
     return schema
 
 
-def build_schema(text: str, lenient: bool = True, report: BuildReport | None = None) -> Schema:
-    """Parse *text* and build the logical schema it declares."""
-    return apply_statements(Schema(), parse_script(text), lenient=lenient, report=report)
+def build_schema(
+    text: str,
+    lenient: bool = True,
+    report: BuildReport | None = None,
+    dialect: str = "mysql",
+) -> Schema:
+    """Parse *text* and build the logical schema it declares.
+
+    ``dialect`` selects the frontend (see :mod:`repro.sqlddl.dialects`);
+    the default is the historical direct ``parse_script`` path.
+    """
+    if dialect and dialect != "mysql":
+        from repro.sqlddl.dialects import parse_script_for
+
+        statements = parse_script_for(text, dialect)
+    else:
+        statements = parse_script(text)
+    return apply_statements(Schema(), statements, lenient=lenient, report=report)

@@ -71,8 +71,8 @@ class Route:
 
 
 _PROJECT_FILTERS = (
-    "taxon", "outcome", "limit", "offset", "cursor", "min_<metric>",
-    "max_<metric>",
+    "taxon", "outcome", "dialect", "limit", "offset", "cursor",
+    "min_<metric>", "max_<metric>",
 )
 
 #: The registry.  Order is cosmetic (templates are non-overlapping);

@@ -550,6 +550,7 @@ class CorpusService:
         page = self.store.query_projects(
             taxon=params.get("taxon"),
             outcome=params.get("outcome"),
+            dialect=params.get("dialect"),
             ranges=ranges,
             offset=offset,
             limit=limit,
@@ -662,7 +663,10 @@ class CorpusService:
     def _taxa(self, req: RouteRequest) -> ServiceResponse:
         return ServiceResponse(
             status=200,
-            payload={"taxa": self.store.taxa_summary()},
+            payload={
+                "taxa": self.store.taxa_summary(),
+                "by_dialect": self.store.taxa_by_dialect(),
+            },
             endpoint=self._prefix("/taxa", req.v1),
         )
 

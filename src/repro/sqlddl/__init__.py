@@ -1,4 +1,4 @@
-"""SQL DDL substrate: lexing, parsing and rendering of MySQL-flavoured DDL.
+"""SQL DDL substrate: lexing, parsing and rendering of DDL.
 
 The paper's toolchain (Hecate) consumes the ``CREATE TABLE`` statements of
 a schema file and turns them into a logical schema.  This subpackage is a
@@ -7,6 +7,11 @@ noise found in real-world ``.sql`` dumps (comments, ``INSERT`` statements,
 DBMS directives), a recursive-descent parser for the DDL statements that
 matter at the logical level, and a writer that renders a schema back to
 canonical DDL text (used by the synthetic-corpus realizer).
+
+Vendor-specific syntax lives in :mod:`repro.sqlddl.dialects`: pluggable
+frontends (MySQL — the default and the paper's DBMS — PostgreSQL, and
+SQLite) that all produce the same canonical AST, so everything past the
+parse is dialect-blind.
 """
 
 from repro.sqlddl.errors import SqlSyntaxError, UnsupportedDialectError
@@ -25,9 +30,21 @@ from repro.sqlddl.ast import (
     TableConstraint,
 )
 from repro.sqlddl.parser import Parser, parse_script, parse_statement
-from repro.sqlddl.dialect import Dialect, detect_dialect
+from repro.sqlddl.dialect import DIALECT_PRECEDENCE, Dialect, detect_dialect
+from repro.sqlddl.dialects import (
+    DEFAULT_DIALECT,
+    FRONTENDS,
+    DialectFrontend,
+    canonical_dialect_name,
+    frontend_for,
+    parse_script_for,
+)
 
 __all__ = [
+    "DEFAULT_DIALECT",
+    "DIALECT_PRECEDENCE",
+    "DialectFrontend",
+    "FRONTENDS",
     "AlterAction",
     "AlterTable",
     "ColumnDef",
@@ -45,7 +62,10 @@ __all__ = [
     "Token",
     "TokenKind",
     "UnsupportedDialectError",
+    "canonical_dialect_name",
     "detect_dialect",
+    "frontend_for",
+    "parse_script_for",
     "normalize_type",
     "parse_script",
     "parse_statement",

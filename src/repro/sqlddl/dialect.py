@@ -91,23 +91,55 @@ def dialect_from_path(path: str) -> Dialect:
     return Dialect.UNKNOWN
 
 
-def detect_dialect(content: str, path: str = "") -> Dialect:
-    """Guess the target DBMS of a ``.sql`` file.
+#: Deterministic tie-break order for equal fingerprint scores: the
+#: paper's DBMS first, then the dialects with frontends, then the rest.
+#: Documented in API.md ("Detection precedence") — change both together.
+DIALECT_PRECEDENCE: tuple[Dialect, ...] = (
+    Dialect.MYSQL,
+    Dialect.POSTGRES,
+    Dialect.SQLITE,
+    Dialect.MSSQL,
+    Dialect.ORACLE,
+)
 
-    Path hints win when present (a file under ``sql/postgres/`` is a
-    postgres file no matter what it contains); otherwise fingerprints in
-    the content are scored and the best-scoring vendor wins.  Files with
-    no signal at all come back UNKNOWN, which the selection pipeline
-    treats as "generic SQL" and lets through.
-    """
-    from_path = dialect_from_path(path)
-    if from_path is not Dialect.UNKNOWN:
-        return from_path
+
+def content_scores(content: str) -> dict[Dialect, int]:
+    """Fingerprint scores per dialect (hits capped at 5 per pattern)."""
     scores: dict[Dialect, int] = {}
     for pattern, dialect, weight in _CONTENT_FINGERPRINTS:
         hits = len(pattern.findall(content))
         if hits:
             scores[dialect] = scores.get(dialect, 0) + weight * min(hits, 5)
-    if not scores:
-        return Dialect.UNKNOWN
-    return max(scores.items(), key=lambda item: item[1])[0]
+    return scores
+
+
+def detect_dialect(content: str, path: str = "") -> Dialect:
+    """Guess the target DBMS of a ``.sql`` file.
+
+    Content markers win over path hints: what a file *contains* is
+    stronger evidence than where it sits (a ``db/mysql/`` directory full
+    of ``SERIAL`` columns is a migrated postgres schema, not a MySQL
+    one).  The decision procedure, in order:
+
+    1. score every content fingerprint; a unique top scorer wins;
+    2. on a score tie, a path hint naming one of the tied dialects
+       breaks it;
+    3. remaining ties resolve by :data:`DIALECT_PRECEDENCE`;
+    4. with no content signal at all, the path hint decides;
+    5. no signal anywhere comes back UNKNOWN, which the selection
+       pipeline treats as "generic SQL" and lets through.
+
+    The result is a pure function of ``(content, path)`` — permutation
+    of marker order inside the file never changes the verdict.
+    """
+    scores = content_scores(content)
+    if scores:
+        best = max(scores.values())
+        tied = [d for d in DIALECT_PRECEDENCE if scores.get(d, 0) == best]
+        if len(tied) == 1:
+            return tied[0]
+        from_path = dialect_from_path(path)
+        if from_path in tied:
+            return from_path
+        return tied[0]
+    return dialect_from_path(path)

@@ -1,0 +1,105 @@
+"""The PostgreSQL frontend.
+
+Most of what a ``pg_dump`` schema throws at us already parses through
+the shared grammar: ``ALTER TABLE ONLY`` (the parser accepts the
+``ONLY`` keyword), schema-qualified names (``public.users`` keeps its
+last part), double-quoted identifiers (the lexer's ``DQUOTE`` rule),
+``ALTER COLUMN x TYPE t USING ...``, and the SERIAL/BIGSERIAL/
+SMALLSERIAL families (normalized by :mod:`repro.sqlddl.types` to their
+integer bases).  Two constructs the shared lexer cannot tokenize are
+rewritten away in :meth:`preprocess`:
+
+- ``::type`` casts (``DEFAULT 'f'::boolean``, ``DEFAULT
+  nextval('seq'::regclass)``) — the cast operator and its (possibly
+  multi-word, possibly parenthesized) type expression are dropped,
+  leaving the value expression itself.  The scan is quote- and
+  comment-aware, so a literal ``'a::b'`` survives untouched.
+- ``COPY ... FROM stdin`` data blocks — everything between the COPY
+  statement and its ``\\.`` terminator is table *data*, not DDL, and may
+  contain semicolons that would desynchronize statement splitting.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sqlddl.dialects.base import BaseFrontend
+from repro.sqlddl.dialect import Dialect
+
+#: The type expression after a ``::`` cast: an (optionally quoted,
+#: optionally schema-qualified) name, optional multi-word tail
+#: (``character varying``, ``timestamp without time zone``), optional
+#: array suffix and optional argument list.
+_CAST_TAIL = re.compile(
+    r'\s*"?[A-Za-z_][\w$.]*"?'
+    r"(?:\s+(?:varying|precision|with|without|time|zone))*"
+    r"(?:\s*\(\s*\d+(?:\s*,\s*\d+)?\s*\))?"
+    r"(?:\s*\[\s*\])*"
+)
+
+#: A COPY data block: the COPY statement, its rows, and the ``\.`` end.
+_COPY_BLOCK = re.compile(
+    r"^COPY\s[^;]*?FROM\s+stdin;.*?^\\\.\s*?$", re.IGNORECASE | re.MULTILINE | re.DOTALL
+)
+
+
+def strip_casts(text: str) -> str:
+    """Remove ``::type`` casts outside strings, quotes and comments."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":  # string literal, '' escapes
+            j = i + 1
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                j += 1
+            else:
+                j = n
+            out.append(text[i:j])
+            i = j
+        elif ch == '"':  # quoted identifier
+            j = text.find('"', i + 1)
+            j = n if j < 0 else j + 1
+            out.append(text[i:j])
+            i = j
+        elif ch == "-" and text.startswith("--", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(text[i:j])
+            i = j
+        elif ch == "/" and text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(text[i:j])
+            i = j
+        elif ch == ":" and text.startswith("::", i):
+            match = _CAST_TAIL.match(text, i + 2)
+            if match is not None:
+                i = match.end()
+            else:
+                out.append(ch)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class PostgresFrontend(BaseFrontend):
+    """PostgreSQL DDL (``pg_dump``-shaped schema scripts)."""
+
+    name = "postgresql"
+    dialect = Dialect.POSTGRES
+
+    def preprocess(self, text: str) -> str:
+        if "stdin" in text:
+            text = _COPY_BLOCK.sub("COPY elided;", text)
+        if "::" in text:
+            text = strip_casts(text)
+        return text

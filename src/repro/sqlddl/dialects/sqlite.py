@@ -1,0 +1,58 @@
+"""The SQLite frontend.
+
+SQLite accepts essentially any spelling of a column type — or none at
+all — and maps it onto one of five *type affinities* (sqlite.org,
+"Datatypes In SQLite", §3.1).  Treating the literal spellings as
+distinct types would make cosmetic rewrites (``VARCHAR(64)`` →
+``VARCHAR(128)``, which SQLite ignores entirely) look like schema
+evolution, so this frontend collapses every parsed column type onto the
+canonical base of its affinity class:
+
+========  =====================================  ==============
+affinity  spelling rule (first match wins)       canonical base
+========  =====================================  ==============
+INTEGER   contains ``INT``                       ``INT``
+TEXT      contains ``CHAR``/``CLOB``/``TEXT``    ``TEXT``
+BLOB      contains ``BLOB`` (or no type at all)  ``BLOB``
+REAL      contains ``REAL``/``FLOA``/``DOUB``    ``DOUBLE``
+NUMERIC   anything else                          ``NUMERIC``
+========  =====================================  ==============
+
+Width arguments and ``UNSIGNED`` are dropped for the same reason —
+SQLite stores neither.  Grammar-wise the shared parser already covers
+SQLite: ``AUTOINCREMENT`` is accepted as a column attribute, all three
+identifier quoting styles (backtick, double-quote, ``[bracket]``) lex
+to the same ``QUOTED_IDENT``, and trailing ``WITHOUT ROWID`` /
+``STRICT`` table options are consumed by the trailing-options rule.
+"""
+
+from __future__ import annotations
+
+from repro.sqlddl.dialects.base import BaseFrontend
+from repro.sqlddl.dialect import Dialect
+from repro.sqlddl.types import DataType
+
+
+def affinity_base(base: str) -> str:
+    """The canonical base type of one spelled type, per SQLite's rules."""
+    upper = base.upper()
+    if "INT" in upper:
+        return "INT"
+    if "CHAR" in upper or "CLOB" in upper or "TEXT" in upper:
+        return "TEXT"
+    if "BLOB" in upper or not upper:
+        return "BLOB"
+    if "REAL" in upper or "FLOA" in upper or "DOUB" in upper:
+        return "DOUBLE"
+    return "NUMERIC"
+
+
+class SqliteFrontend(BaseFrontend):
+    """SQLite DDL with affinity-collapsed loose typing."""
+
+    name = "sqlite"
+    dialect = Dialect.SQLITE
+    typeless_columns = True  # CREATE TABLE t (raw, n INT) is legal SQLite
+
+    def normalize_column_type(self, data_type: DataType) -> DataType:
+        return DataType(base=affinity_base(data_type.base), args=(), unsigned=False)

@@ -44,13 +44,35 @@ _CONSTRAINT_STARTERS = {
 _IDENT_KINDS = (TokenKind.WORD, TokenKind.QUOTED_IDENT)
 
 
-class Parser:
-    """Parse a token stream into a list of :class:`Statement` nodes."""
+#: Column-attribute keywords that cannot open a data type.  With
+#: ``typeless_columns`` enabled (SQLite's loose grammar), a column name
+#: followed by one of these — or by ',' / ')' — declares no type.
+_ATTRIBUTE_STARTERS = {
+    "NOT", "NULL", "PRIMARY", "KEY", "UNIQUE", "DEFAULT", "REFERENCES",
+    "CHECK", "COLLATE", "AUTO_INCREMENT", "AUTOINCREMENT", "GENERATED",
+    "CONSTRAINT", "COMMENT",
+}
 
-    def __init__(self, tokens: list[Token], strict: bool = False) -> None:
+
+class Parser:
+    """Parse a token stream into a list of :class:`Statement` nodes.
+
+    ``typeless_columns`` admits SQLite's grammar delta of column
+    definitions without a data type (``CREATE TABLE t (raw, n INT)``);
+    the default rejects them, preserving the historical strict shape of
+    the MySQL grammar.
+    """
+
+    def __init__(
+        self,
+        tokens: list[Token],
+        strict: bool = False,
+        typeless_columns: bool = False,
+    ) -> None:
         self._tokens = tokens
         self._pos = 0
         self._strict = strict
+        self._typeless_columns = typeless_columns
 
     # ------------------------------------------------------------------
     # token helpers
@@ -262,12 +284,24 @@ class Parser:
 
     # -- column definitions --------------------------------------------
 
+    def _no_data_type_follows(self) -> bool:
+        """After a column name: does the definition omit the type?"""
+        token = self._peek()
+        if token.kind in (TokenKind.COMMA, TokenKind.RPAREN):
+            return True
+        return token.kind is TokenKind.WORD and token.upper in _ATTRIBUTE_STARTERS
+
     def _column_def(self) -> ColumnDef:
         token = self._next()
         if token.kind not in _IDENT_KINDS:
             raise SqlSyntaxError(f"expected column name, got {token.value!r}", token.line, token.column)
         name = token.value
-        data_type = self._data_type()
+        if self._typeless_columns and self._no_data_type_follows():
+            # SQLite: the type is optional; an empty base means "none
+            # declared" (BLOB affinity, which the frontend applies).
+            data_type = DataType(base="", args=(), unsigned=False)
+        else:
+            data_type = self._data_type()
         nullable = True
         is_pk = False
         default: str | None = None
@@ -724,14 +758,23 @@ class Parser:
         return RenameTable(renames=tuple(renames))
 
 
-def parse_script(text: str, strict: bool = False) -> list[Statement]:
+def parse_script(
+    text: str, strict: bool = False, typeless_columns: bool = False
+) -> list[Statement]:
     """Parse a whole ``.sql`` script into statement nodes.
 
     With ``strict=False`` (the default), lexing is lenient too: binary
     junk or unterminated quotes degrade instead of raising, so mining a
-    hostile repository never crashes.
+    hostile repository never crashes.  ``typeless_columns`` admits
+    SQLite's optional column types (see :class:`Parser`).
     """
-    return list(Parser(tokenize(text, strict=strict), strict=strict).statements())
+    return list(
+        Parser(
+            tokenize(text, strict=strict),
+            strict=strict,
+            typeless_columns=typeless_columns,
+        ).statements()
+    )
 
 
 def parse_statement(text: str) -> Statement:

@@ -26,6 +26,7 @@ from repro.store.shard import (
 )
 from repro.store.store import (
     METRIC_COLUMNS,
+    STORE_SCHEMA_VERSION,
     AdviceConflict,
     AdviceRecord,
     CorpusStore,
@@ -35,6 +36,7 @@ from repro.store.store import (
     QueryPage,
     StoreError,
     StoredProject,
+    merge_dialect_profiles,
 )
 
 __all__ = [
@@ -50,9 +52,11 @@ __all__ = [
     "MetricRange",
     "ProjectPage",
     "QueryPage",
+    "STORE_SCHEMA_VERSION",
     "ShardedCorpusStore",
     "StoreError",
     "StoredProject",
+    "merge_dialect_profiles",
     "detect_shard_count",
     "history_fingerprint",
     "ingest_corpus",

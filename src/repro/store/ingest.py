@@ -36,7 +36,12 @@ from dataclasses import dataclass, field
 from repro.core.heartbeat import DEFAULT_REED_LIMIT
 from repro.mining.github_activity import GithubActivityDataset
 from repro.mining.librariesio import LibrariesIoDataset
-from repro.mining.path_filters import MultiFileVerdict, choose_ddl_file
+from repro.mining.path_filters import (
+    MultiFileVerdict,
+    choose_ddl_file,
+    dialect_for_choice,
+    vendor_preference,
+)
 from repro.mining.selection import SelectionCriteria, select_lib_io
 from repro.obs.trace import trace
 from repro.pipeline.cache import SchemaCache, text_key
@@ -153,6 +158,11 @@ def history_fingerprint(
         f"{task.ddl_path}|{config.policy.name}|{config.reed_limit}"
         f"|{int(config.lenient)}".encode()
     )
+    if task.dialect not in ("", "mysql"):
+        # A dialect switch re-measures the project (SQLite affinity and
+        # postgres preprocessing change parses); the default spelling is
+        # omitted so pre-dialect fingerprints stay valid.
+        digest.update(f"|dialect:{task.dialect}".encode())
     from repro.core.project import repo_stats_of
 
     stats = repo_stats_of(repo)
@@ -231,6 +241,7 @@ def ingest_corpus(
     injector: FaultInjector | None = None,
     chunk_size: int | None = None,
     executor: str = "auto",
+    dialects: tuple[str, ...] = ("mysql",),
 ) -> IngestReport:
     """Run the funnel front, measure the changed delta, persist it all.
 
@@ -270,12 +281,13 @@ def ingest_corpus(
             json.dumps({"phase": phase, **extra}, sort_keys=True),
         )
 
+    preference = vendor_preference(dialects)
     with trace("ingest.select"):
         selected = select_lib_io(activity, lib_io, criteria)
         report.selected = len(selected)
         tasks: list[ProjectTask] = []
         for project in selected:
-            choice = choose_ddl_file(list(project.sql_files))
+            choice = choose_ddl_file(list(project.sql_files), dialects=preference)
             if not choice.accepted:
                 report.omitted_by_paths[choice.verdict] = (
                     report.omitted_by_paths.get(choice.verdict, 0) + 1
@@ -284,7 +296,10 @@ def ingest_corpus(
             assert choice.chosen is not None
             tasks.append(
                 ProjectTask(
-                    project.repo_name, choice.chosen.path, project.metadata.domain
+                    project.repo_name,
+                    choice.chosen.path,
+                    project.metadata.domain,
+                    dialect=dialect_for_choice(choice.chosen.path, dialects),
                 )
             )
         report.tasks = len(tasks)
@@ -410,6 +425,8 @@ def _stream_checkpoint_start(store: CorpusStore, spec) -> tuple[int, str | None]
         and checkpoint.get("seed") == spec.seed
         and checkpoint.get("profile") == spec.profile
         and checkpoint.get("epoch_start") == spec.epoch_start
+        and tuple(checkpoint.get("dialects", ["mysql"]))
+        == tuple(getattr(spec, "dialects", ("mysql",)))
     ):
         return min(int(checkpoint.get("next_index", 0)), spec.count), phase
     return 0, phase
@@ -489,6 +506,7 @@ def ingest_stream(
                     "profile": spec.profile,
                     "epoch_start": spec.epoch_start,
                     "count": spec.count,
+                    "dialects": list(getattr(spec, "dialects", ("mysql",))),
                 },
                 sort_keys=True,
             ),
@@ -507,7 +525,10 @@ def ingest_stream(
             with trace("ingest.stream.synthesize", start=chunk_start, stop=chunk_stop):
                 for streamed in stream_projects(spec, chunk_start, chunk_stop):
                     task = ProjectTask(
-                        streamed.name, streamed.ddl_path, streamed.plan.domain
+                        streamed.name,
+                        streamed.ddl_path,
+                        streamed.plan.domain,
+                        dialect=getattr(streamed, "dialect", "mysql"),
                     )
                     tasks.append(task)
                     versions = usable_versions(

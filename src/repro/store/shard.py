@@ -61,6 +61,7 @@ from repro.store.store import (
     StoreError,
     aggregates_from_parts,
     compute_content_hash,
+    merge_dialect_profiles,
 )
 
 #: Shard files hang off the base path: ``corpus.sqlite`` becomes
@@ -437,6 +438,7 @@ class ShardedCorpusStore:
         offset: int = 0,
         limit: int | None = None,
         cursor: int | None = None,
+        dialect: str | None = None,
     ) -> QueryPage:
         """Scatter-gather pagination in global (id) order.
 
@@ -462,7 +464,7 @@ class ShardedCorpusStore:
         pages = self._scatter(
             lambda shard: shard.query_projects(
                 taxon=taxon, outcome=outcome, ranges=ranges, offset=0, limit=want,
-                cursor=cursor,
+                cursor=cursor, dialect=dialect,
             )
         )
         total = sum(page.total for page in pages)
@@ -557,6 +559,29 @@ class ShardedCorpusStore:
             }
             for taxon, count in counts.items()
         }
+
+    def dialects(self) -> list[str]:
+        """Distinct dialects across every shard, sorted."""
+        merged: set[str] = set()
+        for part in self._scatter(lambda shard: shard.dialects()):
+            merged.update(part)
+        return sorted(merged)
+
+    def taxa_by_dialect(self) -> dict[str, dict[str, int]]:
+        """Per-dialect studied taxon counts, summed across shards."""
+        merged: dict[str, dict[str, int]] = {}
+        for part in self._scatter(lambda shard: shard.taxa_by_dialect()):
+            for dialect, taxa in part.items():
+                into = merged.setdefault(dialect, {})
+                for taxon, n in taxa.items():
+                    into[taxon] = into.get(taxon, 0) + n
+        return merged
+
+    def dialect_profiles(self) -> dict[str, dict]:
+        """Per-dialect profiles merged element-wise across shards."""
+        return merge_dialect_profiles(
+            self._scatter(lambda shard: shard.dialect_profiles())
+        )
 
     def aggregates(self) -> dict:
         return aggregates_from_parts(

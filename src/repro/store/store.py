@@ -44,7 +44,7 @@ from repro.pipeline.stages import Outcome, ProjectContext, ProjectFailure
 
 #: Bump when the table layout changes; older stores are migrated in
 #: place when possible, newer ones refuse to open.
-STORE_SCHEMA_VERSION = 4
+STORE_SCHEMA_VERSION = 5
 
 #: The numeric per-project columns a metric-range filter may target.
 METRIC_COLUMNS: tuple[str, ...] = (
@@ -72,6 +72,7 @@ _PROJECT_COLUMNS = (
     "name",
     "ddl_path",
     "domain",
+    "dialect",
     "history_hash",
     "outcome",
     "taxon",
@@ -114,6 +115,14 @@ CREATE INDEX IF NOT EXISTS idx_projects_total_activity ON projects(total_activit
 CREATE INDEX IF NOT EXISTS idx_projects_active_commits ON projects(active_commits, id);
 """
 
+# v5: the dialect filter family.  Kept out of ``_DDL``/``_INDEX_DDL``
+# because both replay against pre-v5 tables (the base script runs on
+# every open, before migrations) where the ``dialect`` column does not
+# exist yet; ``__init__`` applies it once the column is guaranteed.
+_DIALECT_INDEX_DDL = """
+CREATE INDEX IF NOT EXISTS idx_projects_dialect_id ON projects(dialect, id);
+"""
+
 _DDL = f"""
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
@@ -131,6 +140,7 @@ CREATE TABLE IF NOT EXISTS projects (
     name                TEXT NOT NULL UNIQUE,
     ddl_path            TEXT NOT NULL,
     domain              TEXT NOT NULL DEFAULT '',
+    dialect             TEXT NOT NULL DEFAULT 'mysql',
     history_hash        TEXT NOT NULL,
     outcome             TEXT NOT NULL,
     taxon               TEXT,
@@ -195,6 +205,13 @@ _MIGRATIONS: dict[int, str] = {
     ),
     # v4: the advice ledger behind POST /v1/projects/{id}/advise.
     3: _ADVICE_DDL,
+    # v5: the per-project parse dialect + its (dialect, id) filter
+    # index.  Every pre-dialect row was parsed through the MySQL
+    # frontend, so the backfill default is exact, not a guess.
+    4: (
+        "ALTER TABLE projects ADD COLUMN dialect TEXT NOT NULL DEFAULT 'mysql';"
+        + _DIALECT_INDEX_DDL
+    ),
 }
 
 
@@ -245,6 +262,7 @@ class StoredProject:
     history_hash: str
     outcome: str
     taxon: str | None
+    dialect: str = "mysql"
     metrics: dict[str, float | int | None] = field(default_factory=dict)
 
     @classmethod
@@ -257,6 +275,7 @@ class StoredProject:
             history_hash=row["history_hash"],
             outcome=row["outcome"],
             taxon=row["taxon"],
+            dialect=row["dialect"],
             metrics={column: row[column] for column in METRIC_COLUMNS},
         )
 
@@ -267,6 +286,7 @@ class StoredProject:
             "project": self.name,
             "ddl_path": self.ddl_path,
             "domain": self.domain,
+            "dialect": self.dialect,
             "history_hash": self.history_hash,
             "outcome": self.outcome,
             "taxon": self.taxon,
@@ -361,6 +381,7 @@ def aggregates_from_parts(parts: Iterable[dict]) -> dict:
     count.  Rounding (``avg_sup_months``) happens once, after the merge.
     """
     by_outcome: dict[str, int] = {}
+    by_dialect: dict[str, int] = {}
     heartbeat_total = 0
     measured = {
         "measured": 0,
@@ -376,6 +397,8 @@ def aggregates_from_parts(parts: Iterable[dict]) -> dict:
     for part in parts:
         for outcome, n in part["by_outcome"].items():
             by_outcome[outcome] = by_outcome.get(outcome, 0) + n
+        for dialect, n in part.get("by_dialect", {}).items():
+            by_dialect[dialect] = by_dialect.get(dialect, 0) + n
         heartbeat_total += part["heartbeat_rows"]
         for key in measured:
             measured[key] += part["measured"][key]
@@ -393,6 +416,7 @@ def aggregates_from_parts(parts: Iterable[dict]) -> dict:
     out = {
         "projects": sum(by_outcome.values()),
         "by_outcome": by_outcome,
+        "by_dialect": by_dialect,
         "cloned_usable": cloned,
         "rigid_share": (rigid / cloned) if cloned else 0.0,
         "heartbeat_rows": heartbeat_total,
@@ -414,6 +438,44 @@ def aggregates_from_parts(parts: Iterable[dict]) -> dict:
             "omitted_by_paths": json.loads(funnel["omitted_by_paths"]),
         }
     return out
+
+
+def merge_dialect_profiles(parts: Iterable[dict[str, dict]]) -> dict[str, dict]:
+    """Merge :meth:`CorpusStore.dialect_profiles` dicts element-wise.
+
+    Every leaf is a count or a sum, so shard merging is pure addition —
+    the sharded store's profile equals the single-file store's by
+    construction.
+    """
+    merged: dict[str, dict] = {}
+    for part in parts:
+        for dialect, profile in part.items():
+            into = merged.setdefault(
+                dialect,
+                {
+                    "projects": 0,
+                    "by_outcome": {},
+                    "studied": {
+                        "count": 0,
+                        "total_activity": 0,
+                        "active_commits": 0,
+                        "sup_months_sum": 0,
+                        "sup_months_count": 0,
+                    },
+                    "heartbeat": {"rows": 0, "active": 0, "activity_sum": 0},
+                    "taxa": {},
+                },
+            )
+            into["projects"] += profile["projects"]
+            for outcome, n in profile["by_outcome"].items():
+                into["by_outcome"][outcome] = into["by_outcome"].get(outcome, 0) + n
+            for key in into["studied"]:
+                into["studied"][key] += profile["studied"][key]
+            for key in into["heartbeat"]:
+                into["heartbeat"][key] += profile["heartbeat"][key]
+            for taxon, n in profile["taxa"].items():
+                into["taxa"][taxon] = into["taxa"].get(taxon, 0) + n
+    return merged
 
 
 class CorpusStore:
@@ -466,6 +528,11 @@ class CorpusStore:
                         f"store at {self.path} has schema version {row['value']}, "
                         f"this build expects {STORE_SCHEMA_VERSION}"
                     )
+            # Post-migration: the dialect column now exists whatever
+            # version the file started at, so its index is safe to
+            # (idempotently) ensure here.
+            conn.executescript(_DIALECT_INDEX_DDL)
+            conn.commit()
 
     # -- connection plumbing ----------------------------------------------
 
@@ -648,13 +715,15 @@ class CorpusStore:
         outcome = ctx.outcome.value if ctx.outcome is not None else Outcome.FAILED.value
         id_column = "id, " if project_id is not None else ""
         id_value = (project_id,) if project_id is not None else ()
+        dialect = getattr(task, "dialect", "mysql") or "mysql"
         sql = (
-            f"INSERT INTO projects ({id_column}name, ddl_path, domain,"
+            f"INSERT INTO projects ({id_column}name, ddl_path, domain, dialect,"
             f" history_hash, outcome, taxon, {', '.join(METRIC_COLUMNS)},"
             " payload) VALUES"
-            f" ({', '.join('?' * (len(id_value) + 6 + len(METRIC_COLUMNS) + 1))})"
+            f" ({', '.join('?' * (len(id_value) + 7 + len(METRIC_COLUMNS) + 1))})"
             " ON CONFLICT(name) DO UPDATE SET"
             " ddl_path = excluded.ddl_path, domain = excluded.domain,"
+            " dialect = excluded.dialect,"
             " history_hash = excluded.history_hash,"
             " outcome = excluded.outcome, taxon = excluded.taxon,"
             + "".join(f" {c} = excluded.{c}," for c in METRIC_COLUMNS)
@@ -665,6 +734,7 @@ class CorpusStore:
             task.repo_name,
             task.ddl_path,
             task.domain,
+            dialect,
             history_hash,
             outcome,
             taxon,
@@ -865,6 +935,7 @@ class CorpusStore:
         offset: int = 0,
         limit: int | None = None,
         cursor: int | None = None,
+        dialect: str | None = None,
     ) -> QueryPage:
         """Filtered, paginated projects in stable (ingest) order.
 
@@ -872,7 +943,9 @@ class CorpusStore:
         *cursor* (an indexed seek), mutually exclusive with a non-zero
         ``offset``.  Either way the page's ``next_cursor`` points past
         its last row when more rows match, so any offset page can be
-        continued as a cursor walk.
+        continued as a cursor walk.  ``dialect`` filters on the parse
+        dialect (equality over the ``(dialect, id)`` index, so a
+        dialect page is one index descent like taxon/outcome pages).
         """
         where: list[str] = []
         params: list[object] = []
@@ -883,6 +956,9 @@ class CorpusStore:
         if outcome is not None:
             where.append("outcome = ?")
             params.append(outcome.value if isinstance(outcome, Outcome) else outcome)
+        if dialect is not None:
+            where.append("dialect = ?")
+            params.append(dialect)
         for bound in ranges:
             if bound.minimum is not None:
                 where.append(f"{bound.metric} >= ?")
@@ -914,7 +990,8 @@ class CorpusStore:
         # direct it through the metric's composite index: cost is then
         # bounded by the match count, never by the corpus.
         hint = ""
-        if ranges and taxon is None and outcome is None and cursor is None:
+        if ranges and taxon is None and outcome is None and dialect is None \
+                and cursor is None:
             hint = f" INDEXED BY idx_projects_{ranges[0].metric}"
         with self._read_tx() as conn:
             total = conn.execute(
@@ -1168,6 +1245,102 @@ class CorpusStore:
             for taxon in TAXA_ORDER
         }
 
+    def dialects(self) -> list[str]:
+        """The distinct parse dialects present, sorted (covering index)."""
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT DISTINCT dialect FROM projects ORDER BY dialect"
+            ).fetchall()
+        return [row["dialect"] for row in rows]
+
+    def taxa_by_dialect(self) -> dict[str, dict[str, int]]:
+        """Studied taxon counts split per dialect: raw, mergeable counts.
+
+        ``{dialect: {taxon_value: count}}`` over studied projects only —
+        plain counts (no shares) so a sharded store can sum its shards'
+        dicts element-wise and match the single-file store exactly.
+        """
+        with self._read_tx() as conn:
+            rows = conn.execute(
+                "SELECT dialect, taxon, COUNT(*) AS n FROM projects"
+                " WHERE outcome = ? GROUP BY dialect, taxon",
+                (Outcome.STUDIED.value,),
+            ).fetchall()
+        out: dict[str, dict[str, int]] = {}
+        for row in rows:
+            out.setdefault(row["dialect"], {})[row["taxon"]] = row["n"]
+        return out
+
+    def dialect_profiles(self) -> dict[str, dict]:
+        """Per-dialect evolution profile: mergeable counts and sums.
+
+        The raw material of the report suite's cross-dialect comparison
+        (and the sharded merge): outcome counts, studied-metric sums and
+        heartbeat activity per dialect.  Averages are left to the
+        renderer so shard merging never re-averages averages.
+        """
+        profiles: dict[str, dict] = {}
+
+        def _profile(dialect: str) -> dict:
+            return profiles.setdefault(
+                dialect,
+                {
+                    "projects": 0,
+                    "by_outcome": {},
+                    "studied": {
+                        "count": 0,
+                        "total_activity": 0,
+                        "active_commits": 0,
+                        "sup_months_sum": 0,
+                        "sup_months_count": 0,
+                    },
+                    "heartbeat": {"rows": 0, "active": 0, "activity_sum": 0},
+                    "taxa": {},
+                },
+            )
+
+        with self._read_tx() as conn:
+            for row in conn.execute(
+                "SELECT dialect, outcome, COUNT(*) AS n FROM projects"
+                " GROUP BY dialect, outcome"
+            ):
+                profile = _profile(row["dialect"])
+                profile["projects"] += row["n"]
+                profile["by_outcome"][row["outcome"]] = row["n"]
+            for row in conn.execute(
+                "SELECT dialect, COUNT(*) AS n,"
+                " COALESCE(SUM(total_activity), 0) AS total_activity,"
+                " COALESCE(SUM(active_commits), 0) AS active_commits,"
+                " COALESCE(SUM(sup_months), 0) AS sup_months_sum,"
+                " COUNT(sup_months) AS sup_months_count"
+                " FROM projects WHERE outcome = ? GROUP BY dialect",
+                (Outcome.STUDIED.value,),
+            ):
+                studied = _profile(row["dialect"])["studied"]
+                studied["count"] = row["n"]
+                studied["total_activity"] = row["total_activity"]
+                studied["active_commits"] = row["active_commits"]
+                studied["sup_months_sum"] = row["sup_months_sum"]
+                studied["sup_months_count"] = row["sup_months_count"]
+            for row in conn.execute(
+                "SELECT p.dialect AS dialect, COUNT(*) AS n,"
+                " COALESCE(SUM(h.is_active), 0) AS active,"
+                " COALESCE(SUM(h.activity), 0) AS activity_sum"
+                " FROM heartbeat h JOIN projects p ON p.id = h.project_id"
+                " GROUP BY p.dialect"
+            ):
+                beat = _profile(row["dialect"])["heartbeat"]
+                beat["rows"] = row["n"]
+                beat["active"] = row["active"]
+                beat["activity_sum"] = row["activity_sum"]
+            for row in conn.execute(
+                "SELECT dialect, taxon, COUNT(*) AS n FROM projects"
+                " WHERE outcome = ? GROUP BY dialect, taxon",
+                (Outcome.STUDIED.value,),
+            ):
+                _profile(row["dialect"])["taxa"][row["taxon"]] = row["n"]
+        return profiles
+
     def aggregate_parts(self) -> dict:
         """Raw, mergeable sums behind :meth:`aggregates`.
 
@@ -1179,6 +1352,9 @@ class CorpusStore:
         with self._read_tx() as conn:
             outcome_rows = conn.execute(
                 "SELECT outcome, COUNT(*) AS n FROM projects GROUP BY outcome"
+            ).fetchall()
+            dialect_rows = conn.execute(
+                "SELECT dialect, COUNT(*) AS n FROM projects GROUP BY dialect"
             ).fetchall()
             sums = conn.execute(
                 "SELECT COUNT(*) AS measured,"
@@ -1201,6 +1377,7 @@ class CorpusStore:
             ).fetchone()
         return {
             "by_outcome": {row["outcome"]: row["n"] for row in outcome_rows},
+            "by_dialect": {row["dialect"]: row["n"] for row in dialect_rows},
             "heartbeat_rows": heartbeat_total,
             "measured": dict(sums),
             "funnel": dict(funnel) if funnel is not None else None,

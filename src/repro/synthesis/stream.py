@@ -133,6 +133,28 @@ def profile_archetypes(profile: str) -> dict[Taxon, TaxonArchetype]:
     raise ValueError(f"unknown stream profile {profile!r}; expected one of {PROFILES}")
 
 
+#: Per-dialect archetype-population multipliers: the calibration layer
+#: that tilts a streamed mix toward each ecosystem's observed evolution
+#: profile.  PostgreSQL-backed projects skew toward sustained evolution
+#: (server-side schemas keep moving), while SQLite corpora skew frozen
+#: (embedded schemas ship once and fossilize).  MySQL is the identity —
+#: an all-MySQL stream is byte-identical to the pre-dialect stream.
+#: Absent taxa multiply by 1.0.
+DIALECT_CALIBRATION: dict[str, dict[Taxon, float]] = {
+    "mysql": {},
+    "postgresql": {
+        Taxon.FROZEN: 0.7,
+        Taxon.FOCUSED_SHOT_AND_FROZEN: 1.3,
+        Taxon.MODERATE: 1.6,
+    },
+    "sqlite": {
+        Taxon.FROZEN: 1.8,
+        Taxon.ALMOST_FROZEN: 1.3,
+        Taxon.MODERATE: 0.5,
+    },
+}
+
+
 @dataclass(frozen=True)
 class StreamSpec:
     """Knobs of one streamed corpus.
@@ -149,11 +171,20 @@ class StreamSpec:
     count: int = 1000
     profile: str = "light"
     epoch_start: int = 1_420_070_400  # 2015-01-01
+    dialects: tuple[str, ...] = ("mysql",)
 
     def __post_init__(self) -> None:
         if self.count < 0:
             raise ValueError(f"count must be >= 0, got {self.count}")
         profile_archetypes(self.profile)  # validate eagerly
+        if not self.dialects:
+            raise ValueError("dialects must name at least one frontend")
+        from repro.sqlddl.dialects import canonical_dialect_name
+
+        canonical = tuple(canonical_dialect_name(name) for name in self.dialects)
+        if len(set(canonical)) != len(canonical):
+            raise ValueError(f"duplicate dialects in {self.dialects!r}")
+        object.__setattr__(self, "dialects", canonical)
 
 
 @dataclass
@@ -168,6 +199,7 @@ class StreamedProject:
     expected_taxon: Taxon
     metadata: LibrariesIoRecord
     sql_file: SqlFileRecord
+    dialect: str = "mysql"
 
 
 def project_seed(corpus_seed: int, index: int) -> int:
@@ -182,11 +214,22 @@ def project_seed(corpus_seed: int, index: int) -> int:
 
 
 def _pick_archetype(
-    rng: random.Random, archetypes: dict[Taxon, TaxonArchetype]
+    rng: random.Random,
+    archetypes: dict[Taxon, TaxonArchetype],
+    dialect: str = "mysql",
 ) -> TaxonArchetype:
-    """Population-weighted archetype choice (insertion order is fixed)."""
+    """Population-weighted archetype choice (insertion order is fixed).
+
+    ``dialect`` applies the :data:`DIALECT_CALIBRATION` multipliers; the
+    MySQL calibration is the identity, so the default draw — weights and
+    RNG consumption alike — matches the pre-dialect stream exactly.
+    """
+    calibration = DIALECT_CALIBRATION.get(dialect, {})
     choices = list(archetypes.values())
-    weights = [archetype.population for archetype in choices]
+    weights = [
+        archetype.population * calibration.get(archetype.taxon, 1.0)
+        for archetype in choices
+    ]
     return rng.choices(choices, weights=weights, k=1)[0]
 
 
@@ -200,7 +243,14 @@ def synthesize_project(spec: StreamSpec, index: int) -> StreamedProject:
     if index < 0:
         raise ValueError(f"index must be >= 0, got {index}")
     rng = random.Random(project_seed(spec.seed, index))
-    archetype = _pick_archetype(rng, profile_archetypes(spec.profile))
+    # The dialect draw happens ONLY for a genuine mix: a single-dialect
+    # stream must not consume RNG state the historical stream didn't,
+    # or every downstream draw (and the byte-identity gate) would move.
+    if len(spec.dialects) > 1:
+        dialect = rng.choice(list(spec.dialects))
+    else:
+        dialect = spec.dialects[0]
+    archetype = _pick_archetype(rng, profile_archetypes(spec.profile), dialect)
     forge = NameForge(rng)
     # The forge guarantees uniqueness only within one RNG; the index
     # suffix makes names globally unique across the whole stream.
@@ -229,6 +279,7 @@ def synthesize_project(spec: StreamSpec, index: int) -> StreamedProject:
         expected_taxon=archetype.taxon,
         metadata=metadata,
         sql_file=sql_file,
+        dialect=dialect,
     )
 
 

@@ -24,9 +24,44 @@ class TestPathHints:
     def test_path_detection(self, path, dialect):
         assert dialect_from_path(path) is dialect
 
-    def test_path_hint_overrides_content(self):
+    def test_content_overrides_path_hint(self):
+        # A db/mysql/ directory full of SERIAL columns is a migrated
+        # postgres schema, not a MySQL one: content evidence wins.
         content = "CREATE TABLE t (a SERIAL);"  # postgres fingerprint
+        assert detect_dialect(content, path="db/mysql/schema.sql") is Dialect.POSTGRES
+
+    def test_path_breaks_content_score_tie(self):
+        # SERIAL (postgres, 2) vs AUTO_INCREMENT (mysql, 2): tied
+        # scores, so the path hint picks among the tied dialects.
+        content = "CREATE TABLE a (x SERIAL);\nCREATE TABLE b (y INT AUTO_INCREMENT);"
+        assert detect_dialect(content, path="db/pgsql/schema.sql") is Dialect.POSTGRES
         assert detect_dialect(content, path="db/mysql/schema.sql") is Dialect.MYSQL
+
+    def test_untied_path_hint_cannot_override(self):
+        # The path names a dialect that is NOT among the tied top
+        # scorers: precedence, not the path, resolves the tie.
+        content = "CREATE TABLE a (x SERIAL);\nCREATE TABLE b (y INT AUTO_INCREMENT);"
+        assert detect_dialect(content, path="db/oracle/schema.sql") is Dialect.MYSQL
+
+    def test_tie_resolves_by_documented_precedence(self):
+        # Equal scores, no path: DIALECT_PRECEDENCE (MySQL first) wins.
+        content = "CREATE TABLE a (x SERIAL);\nCREATE TABLE b (y INT AUTO_INCREMENT);"
+        assert detect_dialect(content) is Dialect.MYSQL
+
+    def test_detection_is_permutation_invariant(self):
+        # Reordering the statements never changes the verdict.
+        statements = [
+            "CREATE TABLE a (x SERIAL);",
+            "CREATE TABLE b (y INT AUTO_INCREMENT);",
+            "CREATE TABLE c (z INT);",
+        ]
+        import itertools
+
+        verdicts = {
+            detect_dialect("\n".join(order), path="db/pgsql/schema.sql")
+            for order in itertools.permutations(statements)
+        }
+        assert verdicts == {Dialect.POSTGRES}
 
 
 class TestContentFingerprints:
